@@ -1,0 +1,45 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section. With no arguments it runs all of them; pass -exp to
+// select one (fig1, fig2, fig3, fig4, tps, fanout, linear).
+//
+// The output is self-describing: each experiment prints its id, the paper
+// artifact it reproduces, the measured rows, and the shape the paper reports
+// for comparison. EXPERIMENTS.md records a captured run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (default: all); one of fig1, fig2, fig3, fig4, tps, fanout, linear")
+	budget := flag.Int64("budget", 2_000_000, "transition budget for the exponential invalid-trace experiments")
+	flag.Parse()
+
+	all := experiments.All(*budget)
+	names := experiments.Names()
+	if *exp != "" {
+		run, ok := all[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want one of %v)\n", *exp, names)
+			os.Exit(1)
+		}
+		if err := run(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, name := range names {
+		fmt.Printf("=============================== %s ===============================\n", name)
+		if err := all[name](os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", name, "failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,467 @@
+// Command tango is the command-line face of the trace-analysis tool
+// generator: given an Estelle specification it checks it, prints its static
+// model, analyzes traces against it (off-line or on-line), or runs it
+// forward as an implementation to record traces.
+//
+// Usage:
+//
+//	tango check <spec.estelle>
+//	tango info  <spec.estelle>
+//	tango analyze [flags] <spec.estelle> <trace file|-->
+//	tango generate [flags] <spec.estelle> <script file|-->
+//
+// Analyze flags select the runtime options of the paper (§2.4): relative
+// order checking (-order NR|IO|IP|FULL), disabled IPs (-disable A,B),
+// unobserved IPs for partial traces (-unobserved A), initial-state search
+// (-statesearch), visited-state hashing (-hash), and on-line mode (-online)
+// which reads the trace incrementally as a dynamic trace file.
+//
+// Generate reads a script of environment inputs, one per line:
+//
+//	feed U TCONreq
+//	feed N DT d=5
+//	run            # fire transitions until quiescent
+//
+// and writes the recorded trace to stdout.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/lint"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/tango"
+)
+
+// errNotValid distinguishes "the analysis ran and the trace is not valid"
+// (exit code 2, nothing printed to stderr) from operational errors (exit 1).
+var errNotValid = fmt.Errorf("trace is not valid")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == errNotValid {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "tango:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) < 1 {
+		return usageError{}
+	}
+	switch args[0] {
+	case "check":
+		return runCheck(args[1:], w)
+	case "info":
+		return runInfo(args[1:], w)
+	case "analyze":
+		return runAnalyze(args[1:], w)
+	case "generate":
+		return runGenerate(args[1:], w)
+	case "lint":
+		return runLint(args[1:], w)
+	case "explore":
+		return runExplore(args[1:], w)
+	case "format":
+		return runFormat(args[1:], w, false)
+	case "normalform":
+		return runFormat(args[1:], w, true)
+	case "help", "-h", "--help":
+		return usageError{}
+	default:
+		return fmt.Errorf("unknown subcommand %q (want check, info, analyze or generate)", args[0])
+	}
+}
+
+type usageError struct{}
+
+func (usageError) Error() string {
+	return `usage:
+  tango check <spec.estelle>
+  tango info  <spec.estelle>
+  tango analyze [-order NR|IO|IP|FULL] [-disable ips] [-unobserved ips]
+                [-statesearch] [-hash] [-online] [-budget N] <spec> <trace|->
+  tango generate <spec> <script|->
+  tango format <spec>            (pretty-print the specification)
+  tango normalform <spec>        (§5.3 rewrite: lift if/case into provided clauses)
+  tango lint <spec>              (non-progress cycles, unreachable states, ...)
+  tango explore [-max N] <spec>  (bounded closed-system state-space exploration)`
+}
+
+func compileArg(path string) (*tango.Spec, error) {
+	spec, err := tango.CompileFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+func runCheck(args []string, w io.Writer) error {
+	if len(args) != 1 {
+		return usageError{}
+	}
+	spec, err := compileArg(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: specification %s is valid Tango input (%d transitions, %d states, %d ips)\n",
+		args[0], spec.Name(), spec.TransitionCount(), len(spec.States()), len(spec.IPs()))
+	return nil
+}
+
+func runInfo(args []string, w io.Writer) error {
+	if len(args) != 1 {
+		return usageError{}
+	}
+	spec, err := compileArg(args[0])
+	if err != nil {
+		return err
+	}
+	inner := spec.Internal()
+	fmt.Fprintf(w, "specification %s\n", spec.Name())
+	fmt.Fprintf(w, "  states (%d): %s\n", len(spec.States()), strings.Join(spec.States(), ", "))
+	fmt.Fprintf(w, "  interaction points (%d):\n", len(spec.IPs()))
+	for i, name := range spec.IPs() {
+		g := inner.Prog.IPs[i].Group
+		fmt.Fprintf(w, "    %-8s channel %s, role %s\n", name, g.Channel.Name, g.Role)
+	}
+	fmt.Fprintf(w, "  transition declarations (%d):\n", spec.TransitionCount())
+	for _, ti := range inner.Prog.Trans {
+		var parts []string
+		if len(ti.FromStates) > 0 {
+			names := make([]string, len(ti.FromStates))
+			for i, s := range ti.FromStates {
+				names[i] = inner.StateName(s)
+			}
+			parts = append(parts, "from "+strings.Join(names, ","))
+		}
+		if ti.To >= 0 {
+			parts = append(parts, "to "+inner.StateName(ti.To))
+		}
+		if ti.WhenInter != nil {
+			parts = append(parts, fmt.Sprintf("when %s.%s",
+				inner.IPName(ti.WhenIPIndex), ti.WhenInter.Name))
+		}
+		if ti.Provided != nil {
+			parts = append(parts, "provided <expr>")
+		}
+		fmt.Fprintf(w, "    %-8s %s\n", ti.Name, strings.Join(parts, " "))
+	}
+	return nil
+}
+
+func parseOrder(s string) (tango.OrderOpts, error) {
+	switch strings.ToUpper(s) {
+	case "NR", "NONE", "":
+		return tango.OrderNone, nil
+	case "IO":
+		return tango.OrderIO, nil
+	case "IP":
+		return tango.OrderIP, nil
+	case "FULL":
+		return tango.OrderFull, nil
+	}
+	return tango.OrderOpts{}, fmt.Errorf("unknown order mode %q (want NR, IO, IP or FULL)", s)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func runAnalyze(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	order := fs.String("order", "FULL", "relative order checking mode: NR, IO, IP or FULL")
+	disable := fs.String("disable", "", "comma-separated IPs whose outputs are not checked")
+	unobserved := fs.String("unobserved", "", "comma-separated IPs whose inputs are missing (partial trace)")
+	stateSearch := fs.Bool("statesearch", false, "retry from every initial FSM state")
+	hash := fs.Bool("hash", false, "prune revisited states with a hash table")
+	online := fs.Bool("online", false, "on-line analysis: read the trace incrementally (MDFS)")
+	budget := fs.Int64("budget", 0, "transition budget (0 = default)")
+	showSolution := fs.Bool("solution", false, "print the accepting transition sequence")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) < 2 {
+		return usageError{}
+	}
+	spec, err := compileArg(rest[0])
+	if err != nil {
+		return err
+	}
+	mode, err := parseOrder(*order)
+	if err != nil {
+		return err
+	}
+	opts := tango.Options{
+		Order:              mode,
+		DisabledIPs:        splitList(*disable),
+		UnobservedIPs:      splitList(*unobserved),
+		InitialStateSearch: *stateSearch,
+		StateHashing:       *hash,
+		MaxTransitions:     *budget,
+	}
+	an, err := spec.NewAnalyzer(opts)
+	if err != nil {
+		return err
+	}
+
+	// Several trace files run as a conformance campaign with a summary.
+	if len(rest) > 2 {
+		if *online {
+			return fmt.Errorf("-online accepts a single trace")
+		}
+		return runCampaign(w, an, rest[1:])
+	}
+
+	var in io.Reader = os.Stdin
+	if rest[1] != "-" {
+		f, err := os.Open(rest[1])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var res *tango.Result
+	if *online {
+		res, err = an.AnalyzeSource(trace.NewReaderSource(in))
+	} else {
+		var tr *trace.Trace
+		tr, err = trace.Read(in)
+		if err != nil {
+			return err
+		}
+		res, err = an.AnalyzeTrace(tr)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "verdict: %s\n", res.Verdict)
+	if res.Reason != "" {
+		fmt.Fprintf(w, "reason: %s\n", res.Reason)
+	}
+	s := res.Stats
+	fmt.Fprintf(w, "stats: TE=%d GE=%d RE=%d SA=%d depth=%d cpu=%s (%.0f trans/s)\n",
+		s.TE, s.GE, s.RE, s.SA, s.MaxDepth, s.CPUTime, s.TransitionsPerSecond())
+	if s.PGNodes > 0 || s.Regens > 0 {
+		fmt.Fprintf(w, "mdfs: pg-nodes=%d re-generates=%d\n", s.PGNodes, s.Regens)
+	}
+	if *showSolution && res.Verdict == analysis.Valid {
+		fmt.Fprintf(w, "solution: %s\n", res.SolutionString())
+	}
+	if d := res.Diagnosis; d != nil {
+		fmt.Fprintf(w, "diagnosis: best path explains %d/%d events, ending in state %s\n",
+			d.Explained, d.Total, d.State)
+		if d.FirstUnexplained != "" {
+			fmt.Fprintf(w, "  first unexplained interaction: %s\n", d.FirstUnexplained)
+		}
+	}
+	if res.Verdict != analysis.Valid && res.Verdict != analysis.ValidSoFar {
+		return errNotValid
+	}
+	return nil
+}
+
+func runLint(args []string, w io.Writer) error {
+	if len(args) != 1 {
+		return usageError{}
+	}
+	spec, err := compileArg(args[0])
+	if err != nil {
+		return err
+	}
+	findings := lint.Check(spec.Internal())
+	if len(findings) == 0 {
+		fmt.Fprintf(w, "%s: no findings\n", args[0])
+		return nil
+	}
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s: %s\n", args[0], f)
+	}
+	return nil
+}
+
+func runExplore(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	max := fs.Int("max", 10000, "maximum distinct composite states to visit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 1 {
+		return usageError{}
+	}
+	spec, err := compileArg(rest[0])
+	if err != nil {
+		return err
+	}
+	res, err := sim.Explore(spec.Internal(), *max)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "explored %d composite states, %d transitions, %d deadlock states",
+		res.States, res.Transitions, res.Deadlocks)
+	if res.Truncated {
+		fmt.Fprintf(w, " (truncated at -max %d)", *max)
+	}
+	fmt.Fprintln(w)
+	var names []string
+	for st := range res.FSMStates {
+		names = append(names, spec.Internal().StateName(st))
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "reachable FSM states (closed system): %s\n", strings.Join(names, ", "))
+	return nil
+}
+
+func runFormat(args []string, w io.Writer, normal bool) error {
+	if len(args) != 1 {
+		return usageError{}
+	}
+	out, stats, err := tango.NormalForm(args[0], normal)
+	if err != nil {
+		return err
+	}
+	if normal {
+		fmt.Fprintf(os.Stderr, "# normal form: %d -> %d transitions (%d ifs, %d cases lifted, %d passes)\n",
+			stats.Before, stats.After, stats.IfsLifted, stats.CasesLifted, stats.Passes)
+	}
+	_, err = io.WriteString(w, out)
+	return err
+}
+
+// runCampaign analyzes each trace file as one test case of a conformance
+// campaign and prints a per-case verdict plus a summary, failing (exit 2)
+// when any case is not valid.
+func runCampaign(w io.Writer, an *tango.Analyzer, files []string) error {
+	pass, fail := 0, 0
+	for _, file := range files {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		res, err := an.AnalyzeTrace(tr)
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		status := "PASS"
+		if res.Verdict != analysis.Valid {
+			status = "FAIL"
+			fail++
+		} else {
+			pass++
+		}
+		fmt.Fprintf(w, "%-4s %-40s %s (TE=%d, %s)\n",
+			status, file, res.Verdict, res.Stats.TE, res.Stats.CPUTime)
+		if d := res.Diagnosis; d != nil && d.FirstUnexplained != "" {
+			fmt.Fprintf(w, "       first unexplained: %s\n", d.FirstUnexplained)
+		}
+	}
+	fmt.Fprintf(w, "campaign: %d passed, %d failed\n", pass, fail)
+	if fail > 0 {
+		return errNotValid
+	}
+	return nil
+}
+
+func runGenerate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "scheduler seed (0 = deterministic declaration order)")
+	maxSteps := fs.Int("maxsteps", 10000, "maximum transitions per run directive")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 2 {
+		return usageError{}
+	}
+	spec, err := compileArg(rest[0])
+	if err != nil {
+		return err
+	}
+	var sched tango.Scheduler
+	if *seed != 0 {
+		sched = tango.Seeded(*seed)
+	}
+	g, err := spec.NewGenerator(sched)
+	if err != nil {
+		return err
+	}
+
+	var in io.Reader = os.Stdin
+	if rest[1] != "-" {
+		f, err := os.Open(rest[1])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	sc := bufio.NewScanner(in)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "feed":
+			if len(fields) < 3 {
+				return fmt.Errorf("script line %d: feed needs IP and INTERACTION", lineno)
+			}
+			params := map[string]string{}
+			for _, f := range fields[3:] {
+				eq := strings.IndexByte(f, '=')
+				if eq <= 0 {
+					return fmt.Errorf("script line %d: malformed parameter %q", lineno, f)
+				}
+				params[f[:eq]] = f[eq+1:]
+			}
+			if err := g.Feed(fields[1], fields[2], params); err != nil {
+				return fmt.Errorf("script line %d: %w", lineno, err)
+			}
+		case "run":
+			if _, err := g.Run(*maxSteps); err != nil {
+				return fmt.Errorf("script line %d: %w", lineno, err)
+			}
+		case "state":
+			fmt.Fprintf(os.Stderr, "# state: %s\n", g.FSMState())
+		default:
+			return fmt.Errorf("script line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if _, err := g.Run(*maxSteps); err != nil {
+		return err
+	}
+	return trace.Write(w, g.Trace())
+}

@@ -1,0 +1,254 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/specs"
+)
+
+// write puts content in a temp file and returns its path.
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestCheckCommand(t *testing.T) {
+	spec := write(t, "tp0.estelle", specs.TP0)
+	out, err := runCLI(t, "check", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "19 transitions") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestCheckRejectsBadSpec(t *testing.T) {
+	spec := write(t, "bad.estelle", "specification nope")
+	if _, err := runCLI(t, "check", spec); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestInfoCommand(t *testing.T) {
+	spec := write(t, "ack.estelle", specs.Ack)
+	out, err := runCLI(t, "info", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"specification ack", "S1, S2", "T1", "when A.x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateAndAnalyzePipeline(t *testing.T) {
+	spec := write(t, "tp0.estelle", specs.TP0)
+	script := write(t, "script.txt", `
+feed U TCONreq
+run
+feed N CC
+run
+feed U TDTreq d=5
+run
+`)
+	traceText, err := runCLI(t, "generate", "-seed", "0", spec, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(traceText, "in U TCONreq") || !strings.Contains(traceText, "out N CR") {
+		t.Fatalf("generated trace:\n%s", traceText)
+	}
+	traceFile := write(t, "trace.txt", traceText)
+
+	out, err := runCLI(t, "analyze", "-order", "FULL", "-solution", spec, traceFile)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "verdict: valid") || !strings.Contains(out, "solution:") {
+		t.Fatalf("analyze output:\n%s", out)
+	}
+}
+
+func TestAnalyzeInvalidExitPath(t *testing.T) {
+	spec := write(t, "tp0.estelle", specs.TP0)
+	traceFile := write(t, "bad.txt", "out N CR\nout N CR\n")
+	out, err := runCLI(t, "analyze", "-order", "FULL", spec, traceFile)
+	if err != errNotValid {
+		t.Fatalf("err = %v, want errNotValid (output: %s)", err, out)
+	}
+	if !strings.Contains(out, "verdict: invalid") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestAnalyzeOnline(t *testing.T) {
+	spec := write(t, "ack.estelle", specs.Ack)
+	traceFile := write(t, "tr.txt", "in A x\nin A x\nin B y\nout A ack\neof\n")
+	out, err := runCLI(t, "analyze", "-online", "-order", "NR", spec, traceFile)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "verdict: valid") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestAnalyzeOptionsPlumbing(t *testing.T) {
+	spec := write(t, "tp0.estelle", specs.TP0)
+	traceFile := write(t, "tr.txt", "in N DT d=7\nout U TDTind d=7\n")
+	// Fails from the default initial state...
+	if _, err := runCLI(t, "analyze", spec, traceFile); err != errNotValid {
+		t.Fatalf("err = %v", err)
+	}
+	// ...passes with -statesearch.
+	out, err := runCLI(t, "analyze", "-statesearch", spec, traceFile)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	// Unobserved/disable plumbing.
+	lowerOnly := write(t, "lower.txt", "out N CR\nin N CC\n")
+	out, err = runCLI(t, "analyze", "-unobserved", "U", "-disable", "U", spec, lowerOnly)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "verdict: valid") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestBadOrderFlag(t *testing.T) {
+	spec := write(t, "tp0.estelle", specs.TP0)
+	traceFile := write(t, "tr.txt", "")
+	if _, err := runCLI(t, "analyze", "-order", "SIDEWAYS", spec, traceFile); err == nil {
+		t.Fatal("expected error for unknown order mode")
+	}
+}
+
+func TestFormatCommand(t *testing.T) {
+	spec := write(t, "ack.estelle", specs.Ack)
+	out, err := runCLI(t, "format", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "specification ack;") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestNormalFormCommand(t *testing.T) {
+	src := `specification nf;
+channel CH(a, b);
+  by a: m(v : integer);
+  by b: hi; lo;
+module M systemprocess;
+  ip P : CH(b) individual queue;
+end;
+body B for M;
+state S0;
+initialize to S0 begin end;
+trans
+  from S0 to S0 when P.m name branch:
+    begin
+      if v > 0 then output P.hi else output P.lo;
+    end;
+end;
+end.`
+	spec := write(t, "nf.estelle", src)
+	out, err := runCLI(t, "normalform", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "provided v > 0") || !strings.Contains(out, "provided not (v > 0)") {
+		t.Fatalf("normal form output:\n%s", out)
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	if _, err := runCLI(t, "frobnicate"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := runCLI(t); err == nil {
+		t.Fatal("expected usage error")
+	}
+}
+
+func TestCampaign(t *testing.T) {
+	spec := write(t, "tp0.estelle", specs.TP0)
+	good := write(t, "good.txt", "in U TCONreq\nout N CR\n")
+	bad := write(t, "bad.txt", "out N CR\nout N CR\n")
+	out, err := runCLI(t, "analyze", spec, good, good)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "campaign: 2 passed, 0 failed") {
+		t.Fatalf("output: %s", out)
+	}
+	out, err = runCLI(t, "analyze", spec, good, bad)
+	if err != errNotValid {
+		t.Fatalf("err = %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "campaign: 1 passed, 1 failed") ||
+		!strings.Contains(out, "FAIL") ||
+		!strings.Contains(out, "first unexplained") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestExploreCommand(t *testing.T) {
+	spec := write(t, "abp.estelle", specs.ABP)
+	out, err := runCLI(t, "explore", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "reachable FSM states") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestLintCommand(t *testing.T) {
+	clean := write(t, "tp0.estelle", specs.TP0)
+	out, err := runCLI(t, "lint", clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no findings") {
+		t.Fatalf("output: %s", out)
+	}
+	dirty := write(t, "dirty.estelle", `specification d;
+channel CH(a, b);
+  by a: m;
+module M systemprocess;
+  ip P : CH(b) individual queue;
+end;
+body B for M;
+state S0, LIMBO;
+initialize to S0 begin end;
+trans
+  from S0 to same name spin: begin end;
+  from S0 to S0 when P.m name rx: begin end;
+end;
+end.`)
+	out, err = runCLI(t, "lint", dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "non-progress-cycle") || !strings.Contains(out, "unreachable-state") {
+		t.Fatalf("output: %s", out)
+	}
+}

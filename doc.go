@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "An Automatic Trace
+// Analysis Tool Generator for Estelle Specifications" (Ezust & Bochmann,
+// SIGCOMM 1995). The public API lives in package repro/tango; the Estelle
+// front end, virtual machine, analyzer and workloads live under internal/.
+// See README.md for the map, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's evaluation.
+package repro

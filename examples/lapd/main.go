@@ -1,0 +1,105 @@
+// LAPD trace analysis: the §4.1 scenario. A Q.921 link-layer trace with a
+// configurable number of user data packets is generated and analyzed under
+// all four relative-order checking modes, reproducing the Figure 3 rows for
+// one DI value, and an arbitration example shows the analyzer acting as the
+// interoperability "arbiter" of the paper's introduction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/workload"
+	"repro/specs"
+	"repro/tango"
+)
+
+func main() {
+	di := flag.Int("di", 10, "number of user data packets (the Figure 3 DI parameter)")
+	flag.Parse()
+
+	s, err := tango.Compile("lapd.estelle", specs.LAPD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LAPD (Q.921 subset): %d transition declarations, states %v\n\n",
+		s.TransitionCount(), s.States())
+
+	tr, err := workload.LAPDTrace(s.Internal(), *di, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace with DI=%d: %d events\n\n", *di, tr.Len())
+
+	fmt.Println("Figure 3 row (this DI, all four modes):")
+	fmt.Printf("  %-5s %10s %8s %8s %8s %8s\n", "mode", "CPUT", "TE", "GE", "RE", "SA")
+	for _, m := range []tango.OrderOpts{tango.OrderNone, tango.OrderIO, tango.OrderIP, tango.OrderFull} {
+		an, err := s.NewAnalyzer(tango.Options{Order: m})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := an.AnalyzeTrace(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Verdict != tango.Valid {
+			log.Fatalf("mode %s: %s", m, res.Verdict)
+		}
+		st := res.Stats
+		fmt.Printf("  %-5s %10s %8d %8d %8d %8d\n", m, st.CPUTime, st.TE, st.GE, st.RE, st.SA)
+	}
+
+	// Arbitration: a broken peer implementation acknowledges with a wrong
+	// N(R). The analyzer, acting as arbiter between the two sides, pins the
+	// blame: the trace cannot have been produced by a conforming LAPD.
+	fmt.Println("\narbitration: peer acknowledges with an impossible N(R)=9")
+	bad, err := tango.ParseTrace(`
+in U DLESTreq
+out P SABME p=1
+in P UA f=1
+out U DLESTconf
+in U DLDATAreq d=5
+out P IFR ns=0 nr=0 d=5
+in P RR nr=9 pf=0
+in U DLDATAreq d=6
+out P IFR ns=9 nr=0 d=6
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := s.NewAnalyzer(tango.Options{Order: tango.OrderFull})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := an.AnalyzeTrace(bad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  verdict: %s (the second I frame must carry N(S)=1, not 9 —\n", res.Verdict)
+	fmt.Println("  the module under test is not at fault for accepting RR nr=9,")
+	fmt.Println("  but the trace shows it then violated its own send sequence)")
+
+	// The same trace with the correct N(S) shows the implementation is fine
+	// even though the peer mis-acknowledged.
+	good, err := tango.ParseTrace(`
+in U DLESTreq
+out P SABME p=1
+in P UA f=1
+out U DLESTconf
+in U DLDATAreq d=5
+out P IFR ns=0 nr=0 d=5
+in P RR nr=9 pf=0
+in U DLDATAreq d=6
+out P IFR ns=1 nr=0 d=6
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = an.AnalyzeTrace(good)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n  with N(S)=1 the same exchange is %s: the IUT conforms,\n", res.Verdict)
+	fmt.Println("  so the arbiter points at the peer that sent RR nr=9.")
+}

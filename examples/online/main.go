@@ -1,0 +1,98 @@
+// On-line trace analysis (§3): a trace analyzer runs while the
+// implementation under test is still executing, reading a dynamic trace that
+// grows chunk by chunk. The example replays the paper's §3.1 "ack" scenario,
+// where the analyzer must park partially-generated (PG) nodes and revisit
+// them as input arrives, and then demonstrates the §3.1.2 forced-termination
+// verdict on ip3'.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/trace"
+	"repro/specs"
+	"repro/tango"
+)
+
+func main() {
+	ackScenario()
+	ip3Scenario()
+}
+
+func ev(dir trace.Dir, ip, inter string) trace.Event {
+	return trace.Event{Dir: dir, IP: ip, Interaction: inter}
+}
+
+func ackScenario() {
+	s, err := tango.Compile("ack.estelle", specs.Ack)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== ack (Figure 1): MDFS with PG-node revisits ===")
+	fmt.Println("chunk 1: in A x, in A x, in A x   (greedy T1 consumes everything)")
+	fmt.Println("chunk 2: in B y                   (needs a path through T2)")
+	fmt.Println("chunk 3: out A ack, eof")
+
+	for _, reorder := range []bool{true, false} {
+		src := trace.NewSliceSource([][]trace.Event{
+			{ev(trace.In, "A", "x"), ev(trace.In, "A", "x"), ev(trace.In, "A", "x")},
+			{ev(trace.In, "B", "y")},
+			{ev(trace.Out, "A", "ack")},
+		}, true)
+		an, err := s.NewAnalyzer(tango.Options{Reorder: reorder})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := an.AnalyzeSource(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nreorder=%v: verdict=%s\n", reorder, res.Verdict)
+		fmt.Printf("  solution: %s\n", res.SolutionString())
+		fmt.Printf("  PG-nodes saved: %d, re-generates: %d, restores: %d\n",
+			res.Stats.PGNodes, res.Stats.Regens, res.Stats.RE)
+	}
+}
+
+func ip3Scenario() {
+	s, err := tango.Compile("ip3prime.estelle", specs.IP3Prime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== ip3' (Figure 2): inconclusive until the EOF marker ===")
+	events := []trace.Event{
+		ev(trace.In, "A", "x"),
+		ev(trace.Out, "A", "p"),
+		ev(trace.Out, "A", "o"), // o can never be produced by ip3'
+		ev(trace.In, "B", "data"),
+		ev(trace.Out, "C", "data"),
+		ev(trace.In, "C", "data"),
+		ev(trace.Out, "B", "data"),
+	}
+
+	// While data keeps arriving at B and C, the TAM verifies it and keeps
+	// waiting: the invalid o is not detected.
+	src := trace.NewSliceSource([][]trace.Event{events}, false)
+	an, err := s.NewAnalyzer(tango.Options{MaxIdlePolls: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := an.AnalyzeSource(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("without eof marker: %s (%s)\n", res.Verdict, res.Reason)
+
+	// The operator forces a termination verdict with the eof marker.
+	src = trace.NewSliceSource([][]trace.Event{events}, true)
+	an, err = s.NewAnalyzer(tango.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = an.AnalyzeSource(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with eof marker:    %s\n", res.Verdict)
+}

@@ -1,0 +1,1108 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/efsm"
+	"repro/internal/estelle/sema"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Analyzer is a trace analysis module (TAM) generated from a specification:
+// it decides the validity of traces against the spec by backtracking search.
+// An Analyzer is not safe for concurrent use, but may be reused for several
+// traces sequentially.
+type Analyzer struct {
+	spec *efsm.Spec
+	opts Options
+	exec *vm.Exec
+
+	// Trace storage: events in arrival order, plus per-IP input/output lists
+	// holding indexes into events. Lists only grow (dynamic traces).
+	events  []efsm.ResolvedEvent
+	inputs  [][]int
+	outputs [][]int
+
+	disabled   []bool
+	unobserved []bool
+
+	dynamic bool
+	eofSeen bool
+
+	stats Stats
+	seen  map[string]struct{}
+}
+
+// node is one node of the search tree: a saved or live TAM state plus queue
+// cursors (§2.3), its generated transition list, and MDFS bookkeeping.
+type node struct {
+	parent *node
+	via    Step
+
+	// live is the state the node represents; saved is a private snapshot
+	// taken when the node may need to be restored (several candidates, or a
+	// PG-node that must be revisited).
+	live  *vm.State
+	saved *vm.State
+
+	inCur, outCur []int
+	synth         []int // synthesized-input counts per IP (partial mode)
+	depth         int
+
+	cands []candidate
+	next  int
+
+	// seeds are pre-built children from partial-mode forked execution.
+	seeds []seed
+
+	// MDFS state.
+	pg       bool
+	deferred []candidate
+	genLen   int // len(events) at last (re-)generate
+}
+
+type candidate struct {
+	ti *sema.TransInfo
+	// eventIdx indexes a.events for consumed inputs; -1 for spontaneous
+	// transitions; -2 for synthesized inputs at unobserved IPs.
+	eventIdx int
+	params   []vm.Value
+}
+
+type seed struct {
+	state  *vm.State
+	via    Step
+	inCur  []int
+	outCur []int
+	synth  []int
+}
+
+const (
+	evSpontaneous = -1
+	evSynthesized = -2
+)
+
+// New builds an analyzer over a compiled specification.
+func New(spec *efsm.Spec, opts Options) (*Analyzer, error) {
+	a := &Analyzer{spec: spec, opts: opts}
+	nIPs := spec.NumIPs()
+	a.disabled = make([]bool, nIPs)
+	a.unobserved = make([]bool, nIPs)
+	for _, name := range opts.DisabledIPs {
+		id, ok := spec.IPByName(name)
+		if !ok {
+			return nil, fmt.Errorf("disable ip: unknown interaction point %q", name)
+		}
+		a.disabled[id] = true
+	}
+	for _, name := range opts.UnobservedIPs {
+		id, ok := spec.IPByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unobserved ip: unknown interaction point %q", name)
+		}
+		a.unobserved[id] = true
+	}
+	a.exec = vm.New(spec.Prog)
+	return a, nil
+}
+
+// Spec returns the specification under analysis.
+func (a *Analyzer) Spec() *efsm.Spec { return a.spec }
+
+// Stats returns the counters of the last analysis.
+func (a *Analyzer) Stats() Stats { return a.stats }
+
+func (a *Analyzer) reset(traceLen int) {
+	a.opts = a.opts.withDefaults(traceLen)
+	a.exec.Partial = a.opts.Partial
+	nIPs := a.spec.NumIPs()
+	a.events = a.events[:0]
+	a.inputs = make([][]int, nIPs)
+	a.outputs = make([][]int, nIPs)
+	a.eofSeen = false
+	a.stats = Stats{}
+	a.seen = nil
+	if a.opts.StateHashing {
+		a.seen = make(map[string]struct{})
+	}
+}
+
+// ingest resolves and stores newly arrived trace events.
+func (a *Analyzer) ingest(events []trace.Event) error {
+	for _, ev := range events {
+		re, err := a.spec.ResolveEvent(ev)
+		if err != nil {
+			return err
+		}
+		if re.Dir == trace.Out && a.disabled[re.IP] {
+			continue // §2.4.3: outputs at disabled IPs are not checked
+		}
+		if re.Dir == trace.In && a.unobserved[re.IP] {
+			return fmt.Errorf("trace contains input at unobserved ip %s", a.spec.IPName(re.IP))
+		}
+		idx := len(a.events)
+		a.events = append(a.events, re)
+		if re.Dir == trace.In {
+			a.inputs[re.IP] = append(a.inputs[re.IP], idx)
+		} else {
+			a.outputs[re.IP] = append(a.outputs[re.IP], idx)
+		}
+	}
+	return nil
+}
+
+// AnalyzeTrace analyzes a fully loaded (static) trace.
+func (a *Analyzer) AnalyzeTrace(tr *trace.Trace) (*Result, error) {
+	a.dynamic = false
+	a.reset(tr.Len())
+	a.eofSeen = true
+	if err := a.ingest(tr.Events); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := a.search(nil, a.spec.Prog.InitTo)
+	if err != nil {
+		return nil, err
+	}
+	// §2.4.1 initial FSM state search: backtrack to just after initialize and
+	// retry from every other state.
+	if res.Verdict == Invalid && a.opts.InitialStateSearch {
+		for st := 0; st < a.spec.NumStates() && res.Verdict == Invalid; st++ {
+			if st == a.spec.Prog.InitTo {
+				continue
+			}
+			if a.seen != nil {
+				a.seen = make(map[string]struct{})
+			}
+			res2, err := a.search(nil, st)
+			if err != nil {
+				return nil, err
+			}
+			if res2.Verdict != Invalid {
+				res = res2
+			}
+		}
+	}
+	a.stats.CPUTime = time.Since(start)
+	res.Stats = a.stats
+	return res, nil
+}
+
+// AnalyzeSource performs on-line (MDFS) analysis of a dynamic trace source.
+func (a *Analyzer) AnalyzeSource(src trace.Source) (*Result, error) {
+	a.dynamic = true
+	a.reset(0)
+	events, eof, err := src.Poll()
+	if err != nil {
+		return nil, err
+	}
+	if err := a.ingest(events); err != nil {
+		return nil, err
+	}
+	a.eofSeen = eof
+	start := time.Now()
+	res, err := a.search(src, a.spec.Prog.InitTo)
+	if err != nil {
+		return nil, err
+	}
+	a.stats.CPUTime = time.Since(start)
+	res.Stats = a.stats
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// The search
+
+// search runs (M)DFS from the given initial FSM state. src is nil in static
+// mode.
+func (a *Analyzer) search(src trace.Source, initState int) (*Result, error) {
+	root, err := a.makeRoot(initState)
+	if err != nil {
+		return nil, err
+	}
+	stack := []*node{root}
+	var pgSaved []*node // MDFS: fully-explored PG-nodes awaiting new input
+	var pgav *node      // best PGAV node seen (dynamic mode)
+
+	// best tracks the node explaining the most trace events, for the
+	// diagnosis attached to invalid verdicts.
+	best := root
+	bestScore := a.explained(root)
+	note := func(n *node) {
+		if sc := a.explained(n); sc > bestScore {
+			best, bestScore = n, sc
+		}
+	}
+
+	// cur tracks which node's live state the shared mutable state belongs
+	// to; executing in place is only legal from that node.
+	curOwner := root
+
+	if done := a.complete(root); done && a.eofSeen {
+		return a.accept(root, initState), nil
+	} else if done {
+		pgav = root
+	}
+	if err := a.generate(root); err != nil {
+		return nil, err
+	}
+	a.maybeSave(root)
+
+	expansions := 0
+	idlePolls := 0
+
+	poll := func() (bool, error) {
+		if src == nil || a.eofSeen {
+			return false, nil
+		}
+		events, eof, err := src.Poll()
+		if err != nil {
+			return false, err
+		}
+		if err := a.ingest(events); err != nil {
+			return false, err
+		}
+		if eof {
+			a.eofSeen = true
+		}
+		arrived := len(events) > 0 || eof
+		if arrived {
+			idlePolls = 0
+			if a.seen != nil {
+				// New events change what "failure" means; visited-state
+				// pruning must start over (hashing is a static-mode
+				// optimization, kept sound here by clearing).
+				a.seen = make(map[string]struct{})
+			}
+			if a.opts.Reorder && len(pgSaved) > 0 {
+				// §3.1.3 dynamic node reordering: PG-nodes move to where
+				// they are searched immediately, the rest goes on hold.
+				for i := len(pgSaved) - 1; i >= 0; i-- {
+					n := pgSaved[i]
+					if err := a.regenerate(n); err != nil {
+						return false, err
+					}
+					stack = append(stack, n)
+				}
+				pgSaved = pgSaved[:0]
+			}
+		} else {
+			idlePolls++
+		}
+		return arrived, nil
+	}
+
+	for {
+		if a.stats.TE > a.opts.MaxTransitions {
+			return &Result{Verdict: Exhausted, InitialState: initState,
+				Reason:    fmt.Sprintf("transition budget %d exceeded", a.opts.MaxTransitions),
+				Diagnosis: a.diagnose(best)}, nil
+		}
+		expansions++
+		if a.dynamic && expansions%a.opts.PollEvery == 0 {
+			if _, err := poll(); err != nil {
+				return nil, err
+			}
+		}
+
+		if len(stack) == 0 {
+			if !a.dynamic {
+				return &Result{Verdict: Invalid, InitialState: initState,
+					Diagnosis: a.diagnose(best)}, nil
+			}
+			// MDFS idle handling: revive PG-nodes, wait for input, or stop.
+			if a.eofSeen {
+				// Queues are final (§3.1.2 forced termination): PG-nodes
+				// become fully generated; revisit them all.
+				progressed := false
+				for len(pgSaved) > 0 {
+					n := pgSaved[0]
+					pgSaved = pgSaved[1:]
+					if a.complete(n) {
+						return a.accept(n, initState), nil
+					}
+					if n.genLen < len(a.events) || len(n.deferred) > 0 {
+						if err := a.regenerate(n); err != nil {
+							return nil, err
+						}
+						n.pg = false
+						stack = append(stack, n)
+						progressed = true
+						break
+					}
+				}
+				if !progressed {
+					return &Result{Verdict: Invalid, InitialState: initState,
+						Diagnosis: a.diagnose(best)}, nil
+				}
+				continue
+			}
+			// Not EOF: try the oldest PG-node that can make progress
+			// (basic MDFS, §3.1.1).
+			revived := false
+			for i, n := range pgSaved {
+				if n.genLen < len(a.events) {
+					pgSaved = append(pgSaved[:i], pgSaved[i+1:]...)
+					if err := a.regenerate(n); err != nil {
+						return nil, err
+					}
+					stack = append(stack, n)
+					revived = true
+					break
+				}
+			}
+			if revived {
+				continue
+			}
+			arrived, err := poll()
+			if err != nil {
+				return nil, err
+			}
+			if arrived {
+				continue
+			}
+			if idlePolls > a.opts.MaxIdlePolls {
+				// §3.1.2: no conclusive result can be given while PG-nodes
+				// remain; report the in-progress verdict.
+				switch {
+				case pgav != nil:
+					res := a.accept(pgav, initState)
+					res.Verdict = ValidSoFar
+					return res, nil
+				case len(pgSaved) > 0:
+					return &Result{Verdict: LikelyInvalid, InitialState: initState,
+						Reason:    "only non-AV PG-nodes remain in the search tree",
+						Diagnosis: a.diagnose(best)}, nil
+				default:
+					return &Result{Verdict: Invalid, InitialState: initState,
+						Diagnosis: a.diagnose(best)}, nil
+				}
+			}
+			continue
+		}
+
+		n := stack[len(stack)-1]
+		if n.depth > a.stats.MaxDepth {
+			a.stats.MaxDepth = n.depth
+		}
+		// Events may have arrived since this node generated its transition
+		// list; refresh it so no newly-fireable transition is missed.
+		if a.dynamic && n.genLen < len(a.events) {
+			if err := a.regenerate(n); err != nil {
+				return nil, err
+			}
+		}
+
+		// Partial-mode seeds first.
+		if len(n.seeds) > 0 {
+			sd := n.seeds[0]
+			n.seeds = n.seeds[1:]
+			child, ok, err := a.adoptSeed(n, sd)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			note(child)
+			if done := a.complete(child); done && a.eofSeen {
+				return a.accept(child, initState), nil
+			} else if done {
+				if pgav == nil || child.depth > pgav.depth {
+					pgav = child
+				}
+				if a.opts.PGAVPrune {
+					stack = stack[:0]
+					pgSaved = pgSaved[:0]
+					a.savePG(child, &pgSaved)
+					continue
+				}
+			}
+			if err := a.generate(child); err != nil {
+				return nil, err
+			}
+			a.maybeSave(child)
+			curOwner = child
+			stack = append(stack, child)
+			continue
+		}
+
+		if n.next >= len(n.cands) {
+			// Node fully explored for now.
+			stack = stack[:len(stack)-1]
+			if a.dynamic && (n.pg || a.complete(n)) && !a.eofSeen {
+				a.savePG(n, &pgSaved)
+			}
+			continue
+		}
+
+		c := n.cands[n.next]
+		n.next++
+
+		child, ok, err := a.executeCandidate(n, c, &curOwner)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if child == nil {
+			continue // partial mode stored seeds on n
+		}
+		note(child)
+		if done := a.complete(child); done && a.eofSeen {
+			return a.accept(child, initState), nil
+		} else if done {
+			if pgav == nil || child.depth > pgav.depth {
+				pgav = child
+			}
+			if a.opts.PGAVPrune {
+				stack = stack[:0]
+				pgSaved = pgSaved[:0]
+				a.savePG(child, &pgSaved)
+				continue
+			}
+		}
+		if err := a.generate(child); err != nil {
+			return nil, err
+		}
+		a.maybeSave(child)
+		curOwner = child
+		stack = append(stack, child)
+	}
+}
+
+func (a *Analyzer) makeRoot(initState int) (*node, error) {
+	st, outs, err := a.exec.RunInit()
+	if err != nil {
+		return nil, fmt.Errorf("initialize transition: %w", err)
+	}
+	st.FSM = initState
+	if a.opts.UndefineGlobals {
+		for i, gv := range a.spec.Prog.GlobalVars {
+			st.Globals[i] = vm.Zero(gv.Type, true)
+		}
+	}
+	nIPs := a.spec.NumIPs()
+	root := &node{
+		live:   st,
+		inCur:  make([]int, nIPs),
+		outCur: make([]int, nIPs),
+	}
+	if a.opts.Partial {
+		root.synth = make([]int, nIPs)
+	}
+	// Outputs produced by the initialize block must be verified like any
+	// other outputs.
+	if len(outs) > 0 {
+		status := a.matchOutputsWith(outs, root.inCur, root.outCur)
+		if status != matchOK {
+			return nil, fmt.Errorf("initialize transition outputs do not match the trace")
+		}
+	}
+	a.stats.Nodes++
+	return root, nil
+}
+
+func (a *Analyzer) accept(n *node, initState int) *Result {
+	var steps []Step
+	for x := n; x != nil && x.parent != nil; x = x.parent {
+		steps = append(steps, x.via)
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	return &Result{Verdict: Valid, Solution: steps, InitialState: initState}
+}
+
+// complete reports whether every known input was consumed and every known
+// output verified at node n (the accepting condition; for dynamic traces
+// before EOF this is the PGAV condition of §3.1.2).
+func (a *Analyzer) complete(n *node) bool {
+	for p := 0; p < a.spec.NumIPs(); p++ {
+		if n.inCur[p] < len(a.inputs[p]) || n.outCur[p] < len(a.outputs[p]) {
+			return false
+		}
+	}
+	return true
+}
+
+// maybeSave snapshots the node when it may be revisited: more than one
+// pending alternative, or PG status in dynamic mode (§3.1.1: "it is
+// necessary to save the PG-node"). This is the Save operation.
+func (a *Analyzer) maybeSave(n *node) {
+	if n.saved != nil {
+		return
+	}
+	remaining := len(n.cands) - n.next + len(n.seeds)
+	if remaining > 1 || n.pg || (a.dynamic && !a.eofSeen) {
+		n.saved = n.live.Snapshot()
+		a.stats.SA++
+	}
+}
+
+func (a *Analyzer) savePG(n *node, pgSaved *[]*node) {
+	if n.saved == nil {
+		n.saved = n.live.Snapshot()
+		a.stats.SA++
+	}
+	a.stats.PGNodes++
+	*pgSaved = append(*pgSaved, n)
+}
+
+// ---------------------------------------------------------------------------
+// Generate
+
+// generate computes the fireable-transition list of a node (§2.2 Generate).
+// It also determines PG status: in dynamic mode, a node whose transition list
+// is incomplete because an input queue is empty is partially generated.
+func (a *Analyzer) generate(n *node) error {
+	a.stats.GE++
+	cands, pg, err := a.computeCandidates(n)
+	if err != nil {
+		return err
+	}
+	n.cands = cands
+	n.next = 0
+	n.pg = pg && a.dynamic && !a.eofSeen
+	n.genLen = len(a.events)
+	return nil
+}
+
+// regenerate recomputes the candidate list of a PG node after new input
+// arrived, keeping already-tried candidates skipped (§3.1.1 re-generate).
+func (a *Analyzer) regenerate(n *node) error {
+	a.stats.GE++
+	a.stats.Regens++
+	cands, pg, err := a.computeCandidates(n)
+	if err != nil {
+		return err
+	}
+	// Preserve the tried prefix: candidates are generated deterministically
+	// and the list only grows, but previously deferred (blocked) candidates
+	// must be retried, so rebuild as tried-prefix + untried.
+	tried := make(map[candKey]bool, n.next)
+	for _, c := range n.cands[:n.next] {
+		tried[keyOf(c)] = true
+	}
+	for _, c := range n.deferred {
+		tried[keyOf(c)] = false // force retry
+	}
+	n.deferred = nil
+	newCands := n.cands[:n.next:n.next]
+	for _, c := range cands {
+		if done, seen := tried[keyOf(c)]; !seen || !done {
+			newCands = append(newCands, c)
+		}
+	}
+	n.cands = newCands
+	n.pg = pg && a.dynamic && !a.eofSeen
+	n.genLen = len(a.events)
+	return nil
+}
+
+type candKey struct {
+	ti  *sema.TransInfo
+	evt int
+}
+
+func keyOf(c candidate) candKey { return candKey{c.ti, c.eventIdx} }
+
+func (a *Analyzer) computeCandidates(n *node) ([]candidate, bool, error) {
+	var cands []candidate
+	pg := false
+	// Use the node's authoritative state: a failed in-place execution leaves
+	// n.live past the transition, while n.saved still holds the node's state.
+	state := a.stateOf(n)
+	fsm := state.FSM
+
+	// Spontaneous transitions.
+	for _, ti := range a.spec.Spontaneous(fsm) {
+		ok, err := a.provided(state, ti, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			cands = append(cands, candidate{ti: ti, eventIdx: evSpontaneous})
+		}
+	}
+
+	// When-clause transitions, one IP at a time.
+	for p := 0; p < a.spec.NumIPs(); p++ {
+		if a.unobserved[p] {
+			// §5.2: undefined input queues always offer a synthesized
+			// interaction, bounded per path to avoid infinite trees (§5.4).
+			if n.synth != nil && n.synth[p] >= a.opts.SynthInputBudget {
+				continue
+			}
+			for _, ti := range a.spec.When(fsm, p) {
+				params := make([]vm.Value, len(ti.WhenInter.Params))
+				for i, ip := range ti.WhenInter.Params {
+					params[i] = vm.UndefValue(ip.Type)
+				}
+				ok, err := a.provided(state, ti, params)
+				if err != nil {
+					return nil, false, err
+				}
+				if ok {
+					cands = append(cands, candidate{ti: ti, eventIdx: evSynthesized, params: params})
+				}
+			}
+			continue
+		}
+		if n.inCur[p] >= len(a.inputs[p]) {
+			// Input queue empty: transitions here may become fireable when
+			// new input arrives — the PG criterion. Disabled IPs are exempt:
+			// §3.2.1 prescribes disable_ip exactly to stop every node from
+			// becoming PG when an IP will never see input.
+			if a.spec.HasWhenOn(fsm, p) && !a.disabled[p] {
+				pg = true
+			}
+			continue
+		}
+		evIdx := a.inputs[p][n.inCur[p]]
+		ev := &a.events[evIdx]
+		if a.inputBlocked(n, p, ev) {
+			continue
+		}
+		for _, ti := range a.spec.When(fsm, p) {
+			if ti.WhenInter != ev.Inter {
+				continue
+			}
+			ok, err := a.provided(state, ti, ev.Params)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				cands = append(cands, candidate{ti: ti, eventIdx: evIdx, params: ev.Params})
+			}
+		}
+	}
+
+	// Estelle priority: only minimal-priority transitions are offered.
+	cands = filterPriority(cands)
+	return cands, pg, nil
+}
+
+// provided evaluates a transition guard; a runtime error inside the guard
+// (e.g. a nil dereference in a condition lifted there by the normal-form
+// transformation) means the guard cannot hold, so the transition is simply
+// not enabled.
+func (a *Analyzer) provided(st *vm.State, ti *sema.TransInfo, params []vm.Value) (bool, error) {
+	ok, err := a.exec.EvalProvided(st, ti, params)
+	if err != nil {
+		if _, isRTE := err.(*vm.RuntimeError); isRTE {
+			return false, nil
+		}
+		return false, err
+	}
+	return ok, nil
+}
+
+// inputBlocked applies the §2.4.2 order-checking constraints to the front
+// input of IP p.
+func (a *Analyzer) inputBlocked(n *node, p int, ev *efsm.ResolvedEvent) bool {
+	if a.opts.Order.InBeforeOut {
+		// The consumed input must precede any unverified output at this IP.
+		if n.outCur[p] < len(a.outputs[p]) &&
+			a.events[a.outputs[p][n.outCur[p]]].Seq < ev.Seq {
+			return true
+		}
+	}
+	if a.opts.Order.IPOrder {
+		// The consumed input must be the globally earliest remaining input.
+		for q := 0; q < a.spec.NumIPs(); q++ {
+			if q == p || n.inCur[q] >= len(a.inputs[q]) {
+				continue
+			}
+			if a.events[a.inputs[q][n.inCur[q]]].Seq < ev.Seq {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func filterPriority(cands []candidate) []candidate {
+	if len(cands) < 2 {
+		return cands
+	}
+	min := cands[0].ti.Priority
+	mixed := false
+	for _, c := range cands[1:] {
+		if c.ti.Priority != min {
+			mixed = true
+			if c.ti.Priority < min {
+				min = c.ti.Priority
+			}
+		}
+	}
+	if !mixed {
+		return cands
+	}
+	out := cands[:0]
+	for _, c := range cands {
+		if c.ti.Priority == min {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// stateOf returns the node's current state for read-only evaluation,
+// preferring the live state (which equals saved when untouched).
+func (a *Analyzer) stateOf(n *node) *vm.State {
+	if n.saved != nil {
+		return n.saved
+	}
+	return n.live
+}
+
+// ---------------------------------------------------------------------------
+// Update (candidate execution) and output verification
+
+type matchStatus int
+
+const (
+	matchOK matchStatus = iota
+	matchFail
+	matchBlocked // output list exhausted before EOF (dynamic mode)
+)
+
+// executeCandidate performs the Update operation for candidate c of node n.
+// It returns the child node, or ok=false if the edge failed (mismatch,
+// blocked, depth limit, or hash prune). In partial mode, forked results are
+// stored as seeds on n and (nil, true) is returned.
+func (a *Analyzer) executeCandidate(n *node, c candidate, curOwner **node) (*node, bool, error) {
+	if n.depth+1 > a.opts.MaxDepth {
+		return nil, false, nil
+	}
+	via := Step{Trans: c.ti, EventSeq: evSpontaneous}
+	if c.eventIdx >= 0 {
+		via.EventSeq = a.events[c.eventIdx].Seq
+	} else if c.eventIdx == evSynthesized {
+		via.Synthesized = true
+	}
+
+	if a.opts.Partial {
+		// Forked execution: every feasible decision vector yields a seed.
+		a.stats.TE++
+		base := a.stateOf(n)
+		results, err := a.exec.ExecuteForked(base, c.ti, cloneParams(c.params))
+		if err != nil {
+			if _, isRTE := err.(*vm.RuntimeError); isRTE {
+				return nil, false, nil // branch dies, path fails
+			}
+			return nil, false, err
+		}
+		if len(results) > 1 {
+			a.stats.Forks += int64(len(results) - 1)
+		}
+		for _, r := range results {
+			inCur, outCur, synth := a.childCursors(n, c)
+			status := a.matchOutputsWith(r.Outputs, inCur, outCur)
+			switch status {
+			case matchFail:
+				continue
+			case matchBlocked:
+				n.pg = true
+				n.deferred = append(n.deferred, c)
+				continue
+			}
+			n.seeds = append(n.seeds, seed{state: r.State, via: via, inCur: inCur, outCur: outCur, synth: synth})
+		}
+		return nil, true, nil
+	}
+
+	// Normal mode: execute on the live state, restoring from the snapshot
+	// when the live state has moved on (§2.2 Restore).
+	var st *vm.State
+	if *curOwner == n && n.live != nil {
+		st = n.live
+		if n.saved == nil && n.next < len(n.cands) {
+			// More candidates will need this state later.
+			n.saved = st.Snapshot()
+			a.stats.SA++
+		}
+	} else {
+		if n.saved == nil {
+			// Should not happen: nodes that can be revisited are saved.
+			n.saved = n.live.Snapshot()
+			a.stats.SA++
+		}
+		st = n.saved.Snapshot()
+		a.stats.RE++
+	}
+	*curOwner = nil // state in flux during execution
+
+	a.stats.TE++
+	outs, err := a.exec.Execute(st, c.ti, cloneParams(c.params))
+	if err != nil {
+		if _, isRTE := err.(*vm.RuntimeError); isRTE {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	inCur, outCur, synth := a.childCursors(n, c)
+	switch a.matchOutputsWith(outs, inCur, outCur) {
+	case matchFail:
+		return nil, false, nil
+	case matchBlocked:
+		n.pg = true
+		n.deferred = append(n.deferred, c)
+		return nil, false, nil
+	}
+	child := &node{
+		parent: n,
+		via:    via,
+		live:   st,
+		inCur:  inCur,
+		outCur: outCur,
+		synth:  synth,
+		depth:  n.depth + 1,
+	}
+	a.stats.Nodes++
+	if a.seen != nil {
+		fp := a.fingerprint(child)
+		if _, dup := a.seen[fp]; dup {
+			a.stats.HashHits++
+			return nil, false, nil
+		}
+		a.seen[fp] = struct{}{}
+	}
+	return child, true, nil
+}
+
+func cloneParams(ps []vm.Value) []vm.Value {
+	if ps == nil {
+		return nil
+	}
+	out := make([]vm.Value, len(ps))
+	for i := range ps {
+		out[i] = ps[i].Copy()
+	}
+	return out
+}
+
+// adoptSeed turns a partial-mode seed into a child node.
+func (a *Analyzer) adoptSeed(n *node, sd seed) (*node, bool, error) {
+	child := &node{
+		parent: n,
+		via:    sd.via,
+		live:   sd.state,
+		inCur:  sd.inCur,
+		outCur: sd.outCur,
+		synth:  sd.synth,
+		depth:  n.depth + 1,
+	}
+	a.stats.Nodes++
+	if a.seen != nil {
+		fp := a.fingerprint(child)
+		if _, dup := a.seen[fp]; dup {
+			a.stats.HashHits++
+			return nil, false, nil
+		}
+		a.seen[fp] = struct{}{}
+	}
+	return child, true, nil
+}
+
+// childCursors copies n's cursors, consuming c's input event.
+func (a *Analyzer) childCursors(n *node, c candidate) (inCur, outCur, synth []int) {
+	inCur = append([]int(nil), n.inCur...)
+	outCur = append([]int(nil), n.outCur...)
+	if n.synth != nil {
+		synth = append([]int(nil), n.synth...)
+	}
+	switch {
+	case c.eventIdx >= 0:
+		ip := a.events[c.eventIdx].IP
+		inCur[ip]++
+	case c.eventIdx == evSynthesized:
+		if synth != nil {
+			synth[c.ti.WhenIPIndex]++
+		}
+		a.stats.SynthIn++
+	}
+	return inCur, outCur, synth
+}
+
+// matchOutputsWith verifies the outputs of one transition block against the
+// trace, advancing outCur in place on success. It implements the §2.4.2
+// output-side checks, including the multi-output permutation special case
+// under IP-order checking.
+func (a *Analyzer) matchOutputsWith(outs []vm.Output, inCur, outCur []int) matchStatus {
+	if len(outs) == 0 {
+		return matchOK
+	}
+	if !a.opts.Order.IPOrder {
+		for _, o := range outs {
+			if a.disabled[o.IP] {
+				continue
+			}
+			st := a.matchOne(o, inCur, outCur)
+			if st != matchOK {
+				return st
+			}
+		}
+		return matchOK
+	}
+	// IP-order mode: the block's outputs must be exactly the next outputs in
+	// global trace order, as a set — outputs of one block to different IPs
+	// may be permuted in the trace (§2.4.2 special case).
+	pending := make([]vm.Output, 0, len(outs))
+	for _, o := range outs {
+		if !a.disabled[o.IP] {
+			pending = append(pending, o)
+		}
+	}
+	for len(pending) > 0 {
+		// Any pending output whose trace list is exhausted blocks (dynamic)
+		// or fails (static/EOF).
+		for _, o := range pending {
+			if outCur[o.IP] >= len(a.outputs[o.IP]) {
+				if a.dynamic && !a.eofSeen {
+					return matchBlocked
+				}
+				return matchFail
+			}
+		}
+		// Find the globally earliest unverified trace output.
+		gIP, gSeq := -1, int(1)<<62
+		for q := 0; q < a.spec.NumIPs(); q++ {
+			if outCur[q] >= len(a.outputs[q]) {
+				continue
+			}
+			if s := a.events[a.outputs[q][outCur[q]]].Seq; s < gSeq {
+				gSeq, gIP = s, q
+			}
+		}
+		if gIP < 0 {
+			return matchFail
+		}
+		// It must be produced by this block (first pending output at gIP, to
+		// preserve same-IP emission order).
+		matched := -1
+		for i, o := range pending {
+			if o.IP == gIP {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			return matchFail
+		}
+		if st := a.matchOne(pending[matched], inCur, outCur); st != matchOK {
+			return st
+		}
+		pending = append(pending[:matched], pending[matched+1:]...)
+	}
+	return matchOK
+}
+
+// matchOne verifies a single output against the front of its IP's trace
+// output list.
+func (a *Analyzer) matchOne(o vm.Output, inCur, outCur []int) matchStatus {
+	p := o.IP
+	if outCur[p] >= len(a.outputs[p]) {
+		if a.dynamic && !a.eofSeen {
+			return matchBlocked
+		}
+		return matchFail
+	}
+	ev := &a.events[a.outputs[p][outCur[p]]]
+	if ev.Inter != o.Inter {
+		return matchFail
+	}
+	for i := range o.Params {
+		if !vm.MatchParam(o.Params[i], ev.Params[i]) {
+			return matchFail
+		}
+	}
+	if a.opts.Order.OutBeforeIn {
+		// The generated output must precede any unconsumed input at this IP.
+		if inCur[p] < len(a.inputs[p]) &&
+			a.events[a.inputs[p][inCur[p]]].Seq < ev.Seq {
+			return matchFail
+		}
+	}
+	outCur[p]++
+	return matchOK
+}
+
+func (a *Analyzer) fingerprint(n *node) string {
+	fp := n.live.Fingerprint()
+	var extra []byte
+	for p := 0; p < a.spec.NumIPs(); p++ {
+		extra = append(extra, byte('0'+n.inCur[p]%10))
+		extra = fmt.Appendf(extra, ":%d,%d;", n.inCur[p], n.outCur[p])
+	}
+	if n.synth != nil {
+		extra = fmt.Appendf(extra, "|%v", n.synth)
+	}
+	return fp + string(extra)
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+
+// explained counts the trace events accounted for at node n.
+func (a *Analyzer) explained(n *node) int {
+	sc := 0
+	for p := 0; p < a.spec.NumIPs(); p++ {
+		sc += n.inCur[p] + n.outCur[p]
+	}
+	return sc
+}
+
+// diagnose builds the invalid-verdict diagnosis from the best partial path.
+func (a *Analyzer) diagnose(best *node) *Diagnosis {
+	if best == nil {
+		return nil
+	}
+	d := &Diagnosis{
+		Explained: a.explained(best),
+		Total:     len(a.events),
+		State:     a.spec.StateName(a.stateOf(best).FSM),
+	}
+	// Earliest unexplained event across all queues.
+	bestSeq := int(1) << 62
+	var ev *efsm.ResolvedEvent
+	for p := 0; p < a.spec.NumIPs(); p++ {
+		if best.inCur[p] < len(a.inputs[p]) {
+			if e := &a.events[a.inputs[p][best.inCur[p]]]; e.Seq < bestSeq {
+				bestSeq, ev = e.Seq, e
+			}
+		}
+		if best.outCur[p] < len(a.outputs[p]) {
+			if e := &a.events[a.outputs[p][best.outCur[p]]]; e.Seq < bestSeq {
+				bestSeq, ev = e.Seq, e
+			}
+		}
+	}
+	if ev != nil {
+		d.FirstUnexplained = a.renderEvent(ev)
+	}
+	for x := best; x != nil && x.parent != nil; x = x.parent {
+		d.Path = append(d.Path, x.via)
+	}
+	for i, j := 0, len(d.Path)-1; i < j; i, j = i+1, j-1 {
+		d.Path[i], d.Path[j] = d.Path[j], d.Path[i]
+	}
+	return d
+}
+
+// renderEvent formats a resolved event like a trace line, with its global
+// position.
+func (a *Analyzer) renderEvent(ev *efsm.ResolvedEvent) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "#%d %s %s %s", ev.Seq, ev.Dir, a.spec.IPName(ev.IP), ev.Inter.Name)
+	for i, p := range ev.Inter.Params {
+		fmt.Fprintf(&sb, " %s=%s", p.Name, ev.Params[i])
+	}
+	return sb.String()
+}

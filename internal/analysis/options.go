@@ -1,0 +1,299 @@
+// Package analysis implements Tango's trace analyzers: the backtracking
+// depth-first search over the specification's state space that decides
+// whether a trace could have been produced by a conforming implementation
+// (§2 of the paper), and the multi-threaded depth-first search (MDFS) used
+// for on-line analysis of dynamic traces (§3).
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/estelle/sema"
+)
+
+// OrderOpts selects the relative order checking options of §2.4.2. The order
+// of interactions in the same direction through the same IP is always
+// enforced; these options add cross-direction and cross-IP constraints,
+// shrinking the search space when the implementation's queues permit it.
+type OrderOpts struct {
+	// InBeforeOut ("inputs with respect to outputs"): the next input
+	// consumed must precede any unverified output at the same IP in the
+	// trace. Usable under most circumstances.
+	InBeforeOut bool
+	// OutBeforeIn ("outputs with respect to inputs"): the next output
+	// generated must precede any unconsumed input at the same IP in the
+	// trace. Not usable when the implementation has input queues.
+	OutBeforeIn bool
+	// IPOrder: the next input consumed must precede any other unconsumed
+	// input in the trace, and the next output generated must precede any
+	// other unverified output — with the special case that outputs emitted
+	// by a single transition block to different IPs may appear permuted.
+	IPOrder bool
+}
+
+// The four checking modes used in the paper's evaluation (Figures 3 and 4).
+var (
+	// OrderNone disables all relative order checking (mode NR).
+	OrderNone = OrderOpts{}
+	// OrderIO enables input/output and output/input checking (mode IO).
+	OrderIO = OrderOpts{InBeforeOut: true, OutBeforeIn: true}
+	// OrderIP enables IP relative order checking only (mode IP).
+	OrderIP = OrderOpts{IPOrder: true}
+	// OrderFull enables every option (mode FULL).
+	OrderFull = OrderOpts{InBeforeOut: true, OutBeforeIn: true, IPOrder: true}
+)
+
+// String names the mode as in the paper's tables.
+func (o OrderOpts) String() string {
+	switch o {
+	case OrderNone:
+		return "NR"
+	case OrderIO:
+		return "IO"
+	case OrderIP:
+		return "IP"
+	case OrderFull:
+		return "FULL"
+	}
+	var parts []string
+	if o.InBeforeOut {
+		parts = append(parts, "I/O")
+	}
+	if o.OutBeforeIn {
+		parts = append(parts, "O/I")
+	}
+	if o.IPOrder {
+		parts = append(parts, "IP")
+	}
+	return strings.Join(parts, "+")
+}
+
+// Options configures an analyzer run.
+type Options struct {
+	Order OrderOpts
+
+	// DisabledIPs lists IPs whose outputs are not checked (§2.4.3); their
+	// trace output events are ignored and outputs the specification sends
+	// there are always considered valid.
+	DisabledIPs []string
+
+	// UnobservedIPs lists IPs whose inputs are missing from the trace
+	// (partial traces, §5.2): when-clauses on them are always enabled and
+	// synthesize interactions with undefined parameters. Setting this
+	// implies partial-trace (undefined-value) semantics.
+	UnobservedIPs []string
+
+	// Partial enables undefined-value semantics (§5.1) even without
+	// unobserved IPs, e.g. together with UndefineGlobals.
+	Partial bool
+
+	// UndefineGlobals marks every module variable undefined after the
+	// initialize transition, for analyzing traces whose initial variable
+	// state is unknown (§2.4.1, §5.1). Implies Partial.
+	UndefineGlobals bool
+
+	// InitialStateSearch retries the analysis from every FSM state when it
+	// fails from the default initial state (§2.4.1). Static mode only.
+	InitialStateSearch bool
+
+	// StateHashing prunes states already visited during the search, the
+	// extension proposed at the end of §4.2 ("keep information about which
+	// states were reached during the search in a hash table, to prevent the
+	// analysis of the same state twice").
+	StateHashing bool
+
+	// MaxDepth bounds the search-tree depth, protecting against
+	// non-progress cycles (default 4 * trace length + 64).
+	MaxDepth int
+
+	// MaxTransitions bounds the number of transition executions (TE) before
+	// the search gives up with an Exhausted verdict (default 5,000,000).
+	MaxTransitions int64
+
+	// SynthInputBudget bounds, per search path and unobserved IP, the number
+	// of synthesized inputs, preventing the infinite-depth trees of §5.4
+	// (default 8).
+	SynthInputBudget int
+
+	// Reorder enables MDFS dynamic node reordering (§3.1.3): whenever new
+	// input arrives, PG-nodes are searched first. Default true. Without it
+	// the analyzer runs basic MDFS (§3.1.1): PG-nodes are revisited oldest
+	// first only after the rest of the tree is exhausted.
+	Reorder bool
+
+	// PGAVPrune drops non-PGAV nodes whenever a PGAV node is found
+	// (footnote 2 of the paper): a memory/time optimization that may report
+	// invalid on some valid traces.
+	PGAVPrune bool
+
+	// PollEvery is the number of node expansions between polls of a dynamic
+	// source (default 32).
+	PollEvery int
+
+	// MaxIdlePolls bounds consecutive polls that yield no events before
+	// on-line analysis returns its in-progress verdict (default 64).
+	MaxIdlePolls int
+}
+
+func (o Options) withDefaults(traceLen int) Options {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 4*traceLen + 64
+	}
+	if o.MaxTransitions <= 0 {
+		o.MaxTransitions = 5_000_000
+	}
+	if o.SynthInputBudget <= 0 {
+		o.SynthInputBudget = 8
+	}
+	if o.PollEvery <= 0 {
+		o.PollEvery = 32
+	}
+	if o.MaxIdlePolls <= 0 {
+		o.MaxIdlePolls = 64
+	}
+	if len(o.UnobservedIPs) > 0 || o.UndefineGlobals {
+		o.Partial = true
+	}
+	return o
+}
+
+// Verdict is the outcome of an analysis.
+type Verdict int
+
+// The possible verdicts. Valid and Invalid are conclusive. ValidSoFar and
+// LikelyInvalid are the on-line verdicts of §3.1.2: ValidSoFar means a
+// PGAV-node exists (every interaction seen so far is explained);
+// LikelyInvalid means only non-AV PG-nodes remain. Exhausted means a resource
+// bound (MaxTransitions/MaxDepth everywhere) stopped the search first.
+const (
+	Invalid Verdict = iota
+	Valid
+	ValidSoFar
+	LikelyInvalid
+	Exhausted
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Valid:
+		return "valid"
+	case Invalid:
+		return "invalid"
+	case ValidSoFar:
+		return "valid so far"
+	case LikelyInvalid:
+		return "likely invalid"
+	case Exhausted:
+		return "search budget exhausted"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Conclusive reports whether the verdict is definitive.
+func (v Verdict) Conclusive() bool { return v == Valid || v == Invalid }
+
+// Stats are the search counters reported in the paper's tables (Figure 3/4):
+// transitions executed (TE), generate operations (GE), restores/backtracks
+// (RE) and state saves (SA), plus CPU time.
+type Stats struct {
+	TE int64 // transitions executed during search
+	GE int64 // generate operations
+	RE int64 // restores (backtracks) performed
+	SA int64 // state saves
+
+	MaxDepth int   // deepest node expanded
+	Nodes    int64 // nodes created
+	PGNodes  int64 // nodes that became partially-generated (MDFS)
+	Regens   int64 // re-generate operations on PG nodes (MDFS)
+	Forks    int64 // partial-trace decision forks taken
+	HashHits int64 // visited-state prunes
+	SynthIn  int64 // synthesized undefined inputs consumed
+	CPUTime  time.Duration
+}
+
+// TransitionsPerSecond is the paper's §4 throughput measure.
+func (s Stats) TransitionsPerSecond() float64 {
+	if s.CPUTime <= 0 {
+		return 0
+	}
+	return float64(s.TE) / s.CPUTime.Seconds()
+}
+
+// AverageFanout estimates the mean number of children per expanded node, the
+// measure discussed in §4.2 (2.6 without order checking vs 1.5 under full
+// checking for invalid TP0 traces).
+func (s Stats) AverageFanout() float64 {
+	if s.GE == 0 {
+		return 0
+	}
+	return float64(s.TE) / float64(s.GE)
+}
+
+// Step is one edge of the solution path.
+type Step struct {
+	Trans *sema.TransInfo
+	// EventSeq is the global trace position of the consumed input, or -1
+	// for spontaneous transitions and synthesized (unobserved) inputs.
+	EventSeq int
+	// Synthesized marks inputs invented for unobserved IPs.
+	Synthesized bool
+}
+
+// String renders the step as "name" or "name<seq".
+func (s Step) String() string {
+	switch {
+	case s.Synthesized:
+		return s.Trans.Name + "<?"
+	case s.EventSeq >= 0:
+		return fmt.Sprintf("%s<%d", s.Trans.Name, s.EventSeq)
+	default:
+		return s.Trans.Name
+	}
+}
+
+// Diagnosis explains a non-valid verdict: the best partial explanation the
+// search found. This is the information the paper's interoperability-arbiter
+// use case needs — not just "invalid" but which observed interaction no
+// conforming implementation could have produced.
+type Diagnosis struct {
+	// Explained counts trace events accounted for on the best path; Total is
+	// the number of events in the trace.
+	Explained, Total int
+	// State names the FSM state reached at the end of the best path.
+	State string
+	// FirstUnexplained is the earliest trace event (in global order) the
+	// best path could not consume or verify; empty when everything was
+	// explained (the trace failed for another reason, e.g. missing events).
+	FirstUnexplained string
+	// Path is the best partial transition sequence.
+	Path []Step
+}
+
+// Result is the outcome of one analysis run.
+type Result struct {
+	Verdict Verdict
+	Stats   Stats
+	// Solution is the accepting transition sequence when Verdict is Valid
+	// (or ValidSoFar), from the root.
+	Solution []Step
+	// InitialState is the FSM state ordinal the accepted run started from
+	// (differs from the default under InitialStateSearch).
+	InitialState int
+	// Reason describes why an inconclusive verdict was returned.
+	Reason string
+	// Diagnosis is set for Invalid (and Exhausted) verdicts.
+	Diagnosis *Diagnosis
+}
+
+// SolutionString renders the accepting path compactly.
+func (r *Result) SolutionString() string {
+	parts := make([]string, len(r.Solution))
+	for i, s := range r.Solution {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " ")
+}

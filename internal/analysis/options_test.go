@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/estelle/sema"
+)
+
+func TestOrderOptsString(t *testing.T) {
+	cases := []struct {
+		o    OrderOpts
+		want string
+	}{
+		{OrderNone, "NR"},
+		{OrderIO, "IO"},
+		{OrderIP, "IP"},
+		{OrderFull, "FULL"},
+		{OrderOpts{InBeforeOut: true}, "I/O"},
+		{OrderOpts{OutBeforeIn: true, IPOrder: true}, "O/I+IP"},
+	}
+	for _, c := range cases {
+		if got := c.o.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.o, got, c.want)
+		}
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	cases := map[Verdict]string{
+		Valid:         "valid",
+		Invalid:       "invalid",
+		ValidSoFar:    "valid so far",
+		LikelyInvalid: "likely invalid",
+		Exhausted:     "search budget exhausted",
+		Verdict(99):   "verdict(99)",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(v), got, want)
+		}
+	}
+	if !Valid.Conclusive() || !Invalid.Conclusive() {
+		t.Error("valid/invalid must be conclusive")
+	}
+	for _, v := range []Verdict{ValidSoFar, LikelyInvalid, Exhausted} {
+		if v.Conclusive() {
+			t.Errorf("%v must not be conclusive", v)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults(100)
+	if o.MaxDepth != 464 {
+		t.Errorf("MaxDepth = %d", o.MaxDepth)
+	}
+	if o.MaxTransitions != 5_000_000 || o.SynthInputBudget != 8 ||
+		o.PollEvery != 32 || o.MaxIdlePolls != 64 {
+		t.Errorf("defaults: %+v", o)
+	}
+	if o.Partial {
+		t.Error("Partial should default off")
+	}
+	o = Options{UnobservedIPs: []string{"X"}}.withDefaults(0)
+	if !o.Partial {
+		t.Error("UnobservedIPs must imply Partial")
+	}
+	o = Options{UndefineGlobals: true}.withDefaults(0)
+	if !o.Partial {
+		t.Error("UndefineGlobals must imply Partial")
+	}
+	// Explicit values survive.
+	o = Options{MaxDepth: 7, MaxTransitions: 9}.withDefaults(100)
+	if o.MaxDepth != 7 || o.MaxTransitions != 9 {
+		t.Errorf("explicit values overridden: %+v", o)
+	}
+}
+
+func TestStatsDerivedMetrics(t *testing.T) {
+	s := Stats{TE: 100, GE: 40, CPUTime: 2 * time.Second}
+	if got := s.TransitionsPerSecond(); got != 50 {
+		t.Errorf("TransitionsPerSecond = %v", got)
+	}
+	if got := s.AverageFanout(); got != 2.5 {
+		t.Errorf("AverageFanout = %v", got)
+	}
+	var zero Stats
+	if zero.TransitionsPerSecond() != 0 || zero.AverageFanout() != 0 {
+		t.Error("zero stats must not divide by zero")
+	}
+}
+
+func TestStepString(t *testing.T) {
+	ti := &dummyTrans
+	cases := []struct {
+		s    Step
+		want string
+	}{
+		{Step{Trans: ti, EventSeq: 5}, "t9<5"},
+		{Step{Trans: ti, EventSeq: -1}, "t9"},
+		{Step{Trans: ti, EventSeq: -2, Synthesized: true}, "t9<?"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("Step.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSolutionString(t *testing.T) {
+	r := &Result{Solution: []Step{
+		{Trans: &dummyTrans, EventSeq: 0},
+		{Trans: &dummyTrans, EventSeq: -1},
+	}}
+	if got := r.SolutionString(); got != "t9<0 t9" {
+		t.Errorf("SolutionString = %q", got)
+	}
+	if !strings.Contains(got3(), "t9") {
+		t.Error("sanity")
+	}
+}
+
+func got3() string { return (&Result{Solution: []Step{{Trans: &dummyTrans}}}).SolutionString() }
+
+// dummyTrans backs Step rendering tests.
+var dummyTrans = sema.TransInfo{Name: "t9"}

@@ -1,0 +1,258 @@
+// Package efsm turns a checked Estelle program (sema.Program) into the
+// executable static model the analyzer searches over: FSM states, interaction
+// points, and transition declarations indexed by (state, interaction point)
+// so that the Generate operation of the search (§2.2 of the paper) is a table
+// lookup rather than a scan.
+//
+// It also provides the codec between trace-file parameter text and run-time
+// values, shared by the analyzer and the implementation-generation mode.
+package efsm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/estelle/parser"
+	"repro/internal/estelle/sema"
+	"repro/internal/estelle/types"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Spec is the compiled executable model of one specification.
+type Spec struct {
+	Prog *sema.Program
+
+	// when[state][ip] lists the transitions with a when clause on that IP
+	// instance enabled in that FSM state, in declaration order.
+	when [][][]*sema.TransInfo
+	// spontaneous[state] lists the transitions without a when clause enabled
+	// in that FSM state.
+	spontaneous [][]*sema.TransInfo
+
+	ipByName map[string]int
+}
+
+// New indexes a checked program.
+func New(prog *sema.Program) *Spec {
+	s := &Spec{Prog: prog, ipByName: make(map[string]int, len(prog.IPs))}
+	nStates := len(prog.States)
+	nIPs := len(prog.IPs)
+	s.when = make([][][]*sema.TransInfo, nStates)
+	s.spontaneous = make([][]*sema.TransInfo, nStates)
+	for st := 0; st < nStates; st++ {
+		s.when[st] = make([][]*sema.TransInfo, nIPs)
+	}
+	for _, ti := range prog.Trans {
+		states := ti.FromStates
+		if states == nil {
+			states = allStates(nStates)
+		}
+		for _, st := range states {
+			if ti.Spontaneous() {
+				s.spontaneous[st] = append(s.spontaneous[st], ti)
+			} else if ti.WhenIPIndex >= 0 {
+				s.when[st][ti.WhenIPIndex] = append(s.when[st][ti.WhenIPIndex], ti)
+			}
+		}
+	}
+	for _, ip := range prog.IPs {
+		s.ipByName[strings.ToLower(ip.Name)] = ip.ID
+	}
+	return s
+}
+
+func allStates(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Compile parses, checks and indexes a specification source text. It is the
+// analogue of running Pet followed by Dingo: the result is directly
+// executable by the analyzer.
+func Compile(file, src string) (*Spec, error) {
+	astSpec, err := parser.Parse(file, src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	prog, err := sema.Check(astSpec)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	return New(prog), nil
+}
+
+// NumStates returns the number of FSM states.
+func (s *Spec) NumStates() int { return len(s.Prog.States) }
+
+// NumIPs returns the number of interaction-point instances.
+func (s *Spec) NumIPs() int { return len(s.Prog.IPs) }
+
+// StateName returns the name of state ordinal st.
+func (s *Spec) StateName(st int) string {
+	if st < 0 || st >= len(s.Prog.States) {
+		return fmt.Sprintf("state(%d)", st)
+	}
+	return s.Prog.States[st]
+}
+
+// IPName returns the display name of IP instance id.
+func (s *Spec) IPName(id int) string { return s.Prog.IPs[id].Name }
+
+// IPByName resolves a trace-file IP name (case-insensitive).
+func (s *Spec) IPByName(name string) (int, bool) {
+	id, ok := s.ipByName[strings.ToLower(name)]
+	return id, ok
+}
+
+// When returns the when-clause transitions for (state, ip).
+func (s *Spec) When(state, ip int) []*sema.TransInfo { return s.when[state][ip] }
+
+// Spontaneous returns the spontaneous transitions enabled in state.
+func (s *Spec) Spontaneous(state int) []*sema.TransInfo { return s.spontaneous[state] }
+
+// HasWhenOn reports whether any transition in state has a when clause on ip;
+// this is the PG-node criterion of §3.1.1 (a transition might have been
+// fireable if input were available).
+func (s *Spec) HasWhenOn(state, ip int) bool { return len(s.when[state][ip]) > 0 }
+
+// TransitionCount returns the number of transition declarations, the paper's
+// measure of specification size (§4).
+func (s *Spec) TransitionCount() int { return len(s.Prog.Trans) }
+
+// ---------------------------------------------------------------------------
+// Trace event resolution
+
+// ResolvedEvent is a trace event bound to the specification: IP instance id,
+// interaction, and parameter values in declaration order.
+type ResolvedEvent struct {
+	Seq    int
+	Dir    trace.Dir
+	IP     int
+	Inter  *sema.Interaction
+	Params []vm.Value
+}
+
+// ResolveEvent binds a textual trace event to the specification, validating
+// IP name, interaction name, direction legality and parameter values.
+func (s *Spec) ResolveEvent(ev trace.Event) (ResolvedEvent, error) {
+	var out ResolvedEvent
+	id, ok := s.IPByName(ev.IP)
+	if !ok {
+		return out, fmt.Errorf("trace line %d: unknown interaction point %q", ev.Line, ev.IP)
+	}
+	group := s.Prog.IPs[id].Group
+	inter, ok := group.Channel.Interactions[strings.ToLower(ev.Interaction)]
+	if !ok {
+		return out, fmt.Errorf("trace line %d: channel %s has no interaction %q",
+			ev.Line, group.Channel.Name, ev.Interaction)
+	}
+	// Direction legality: inputs to the module are sent by the peer role;
+	// outputs are sent by the module's own role.
+	if ev.Dir == trace.In && !inter.ByRole[group.PeerRole] {
+		return out, fmt.Errorf("trace line %d: interaction %s cannot arrive at ip %s (not sendable by role %s)",
+			ev.Line, inter.Name, ev.IP, group.PeerRole)
+	}
+	if ev.Dir == trace.Out && !inter.ByRole[group.Role] {
+		return out, fmt.Errorf("trace line %d: interaction %s cannot be output at ip %s (not sendable by role %s)",
+			ev.Line, inter.Name, ev.IP, group.Role)
+	}
+	params := make([]vm.Value, len(inter.Params))
+	for i, p := range inter.Params {
+		params[i] = vm.UndefValue(p.Type)
+	}
+	for _, tp := range ev.Params {
+		i := paramIndex(inter, tp.Name)
+		if i < 0 {
+			return out, fmt.Errorf("trace line %d: interaction %s has no parameter %q",
+				ev.Line, inter.Name, tp.Name)
+		}
+		v, err := ParseValue(inter.Params[i].Type, tp.Value)
+		if err != nil {
+			return out, fmt.Errorf("trace line %d: parameter %s: %v", ev.Line, tp.Name, err)
+		}
+		params[i] = v
+	}
+	out = ResolvedEvent{Seq: ev.Seq, Dir: ev.Dir, IP: id, Inter: inter, Params: params}
+	return out, nil
+}
+
+func paramIndex(inter *sema.Interaction, name string) int {
+	for i, p := range inter.Params {
+		if strings.EqualFold(p.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ParseValue parses a trace-file parameter value of the given type. "?"
+// denotes an unobserved (undefined) value.
+func ParseValue(t *types.Type, s string) (vm.Value, error) {
+	if s == "?" {
+		return vm.UndefValue(t), nil
+	}
+	root := t.Root()
+	switch root.Kind {
+	case types.Integer:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return vm.Value{}, fmt.Errorf("invalid integer %q", s)
+		}
+		return rangeCheck(t, i)
+	case types.Boolean:
+		switch strings.ToLower(s) {
+		case "true":
+			return vm.MakeOrdinal(t, 1), nil
+		case "false":
+			return vm.MakeOrdinal(t, 0), nil
+		}
+		return vm.Value{}, fmt.Errorf("invalid boolean %q", s)
+	case types.Char:
+		if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+			return vm.MakeOrdinal(t, int64(s[1])), nil
+		}
+		if len(s) == 1 {
+			return vm.MakeOrdinal(t, int64(s[0])), nil
+		}
+		return vm.Value{}, fmt.Errorf("invalid char %q", s)
+	case types.Enum:
+		for i, n := range root.EnumNames {
+			if strings.EqualFold(n, s) {
+				return rangeCheck(t, int64(i))
+			}
+		}
+		// Also accept a numeric ordinal.
+		if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return rangeCheck(t, i)
+		}
+		return vm.Value{}, fmt.Errorf("unknown enum member %q of %s", s, root)
+	default:
+		return vm.Value{}, fmt.Errorf("interaction parameters of type %s cannot appear in traces", t)
+	}
+}
+
+func rangeCheck(t *types.Type, i int64) (vm.Value, error) {
+	lo, hi := t.OrdinalRange()
+	if i < lo || i > hi {
+		return vm.Value{}, fmt.Errorf("value %d out of range %d..%d", i, lo, hi)
+	}
+	return vm.MakeOrdinal(t, i), nil
+}
+
+// FormatValue renders a run-time value in trace-file syntax.
+func FormatValue(v vm.Value) string { return v.String() }
+
+// EventFor renders a VM output as a trace event (used by the implementation
+// generation mode).
+func (s *Spec) EventFor(dir trace.Dir, ip int, inter *sema.Interaction, params []vm.Value) trace.Event {
+	ev := trace.Event{Dir: dir, IP: s.IPName(ip), Interaction: inter.Name}
+	for i, p := range inter.Params {
+		ev.Params = append(ev.Params, trace.Param{Name: p.Name, Value: FormatValue(params[i])})
+	}
+	return ev
+}

@@ -1,0 +1,549 @@
+// Package ast declares the abstract syntax tree produced by the Estelle
+// parser. The tree mirrors the surface syntax of the single-module Estelle
+// subset accepted by this Tango reproduction: a specification containing
+// channel definitions, one module header, and one module body holding Pascal
+// declarations, state declarations, an initialize transition, and a list of
+// transition declarations.
+package ast
+
+import "repro/internal/estelle/token"
+
+// Node is implemented by every syntax tree node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Specification structure
+
+// QueueKind describes the queue discipline declared for an interaction point.
+type QueueKind int
+
+const (
+	// QueueDefault means the IP inherits the specification default.
+	QueueDefault QueueKind = iota
+	// QueueIndividual gives the IP its own FIFO queue (the model Tango uses).
+	QueueIndividual
+	// QueueCommon shares a queue; accepted syntactically, rejected by sema.
+	QueueCommon
+)
+
+// Spec is the root node: one Estelle specification.
+type Spec struct {
+	NamePos  token.Pos
+	Name     string
+	Channels []*Channel
+	Decls    []Decl // global const/type declarations
+	Module   *ModuleHeader
+	Body     *ModuleBody
+}
+
+func (s *Spec) Pos() token.Pos { return s.NamePos }
+
+// Channel declares a channel type with two roles and the interactions each
+// role may send.
+type Channel struct {
+	NamePos token.Pos
+	Name    string
+	Roles   []string // exactly two
+	By      []*ByClause
+}
+
+func (c *Channel) Pos() token.Pos { return c.NamePos }
+
+// ByClause lists interactions sendable by the named roles.
+type ByClause struct {
+	RolePos      token.Pos
+	Roles        []string
+	Interactions []*InteractionDecl
+}
+
+func (b *ByClause) Pos() token.Pos { return b.RolePos }
+
+// InteractionDecl declares a message type with typed parameters.
+type InteractionDecl struct {
+	NamePos token.Pos
+	Name    string
+	Params  []*FieldGroup
+}
+
+func (d *InteractionDecl) Pos() token.Pos { return d.NamePos }
+
+// FieldGroup is `a, b : T` — shared by interaction parameters and record
+// fields.
+type FieldGroup struct {
+	NamesPos token.Pos
+	Names    []string
+	Type     TypeExpr
+}
+
+func (f *FieldGroup) Pos() token.Pos { return f.NamesPos }
+
+// ModuleHeader is the `module M systemprocess; ip ...; end;` header.
+type ModuleHeader struct {
+	NamePos token.Pos
+	Name    string
+	Class   string // systemprocess, systemactivity, process (informational)
+	IPs     []*IPDecl
+}
+
+func (m *ModuleHeader) Pos() token.Pos { return m.NamePos }
+
+// IPDecl declares one or more interaction points of the same channel/role:
+// `ip U : USERchan(provider) individual queue;`.
+type IPDecl struct {
+	NamesPos token.Pos
+	Names    []string
+	// Dims is non-nil for an array of interaction points:
+	// `ip N : array [1..3] of NETchan(provider)`.
+	Dims    []TypeExpr
+	Channel string
+	Role    string
+	Queue   QueueKind
+}
+
+func (d *IPDecl) Pos() token.Pos { return d.NamesPos }
+
+// ModuleBody is the `body B for M; ... end;` definition.
+type ModuleBody struct {
+	NamePos   token.Pos
+	Name      string
+	For       string
+	Decls     []Decl
+	States    []*StateDecl
+	StateSets []*StateSetDecl
+	Init      *Initialize
+	Trans     []*Transition
+}
+
+func (b *ModuleBody) Pos() token.Pos { return b.NamePos }
+
+// StateDecl names one FSM state.
+type StateDecl struct {
+	NamePos token.Pos
+	Name    string
+}
+
+func (s *StateDecl) Pos() token.Pos { return s.NamePos }
+
+// StateSetDecl names a set of states: `stateset BUSY = [S1, S2];`.
+type StateSetDecl struct {
+	NamePos token.Pos
+	Name    string
+	States  []string
+}
+
+func (s *StateSetDecl) Pos() token.Pos { return s.NamePos }
+
+// Initialize is the initialize transition: `initialize to S1 begin ... end;`.
+type Initialize struct {
+	KwPos token.Pos
+	To    string
+	Body  *Block
+}
+
+func (i *Initialize) Pos() token.Pos { return i.KwPos }
+
+// Transition is one transition declaration.
+type Transition struct {
+	KwPos token.Pos
+	// From holds state or stateset names; empty means "any state".
+	From []string
+	// To is the target state; empty or "same" keeps the current state.
+	To       string
+	ToSame   bool
+	When     *WhenClause
+	Provided Expr
+	Priority Expr // constant expression; nil if absent
+	Name     string
+	Body     *Block
+}
+
+func (t *Transition) Pos() token.Pos { return t.KwPos }
+
+// WhenClause is `when ip.interaction`; IP may be an indexed designator for
+// IP arrays.
+type WhenClause struct {
+	PosTok      token.Pos
+	IP          Expr // Ident or IndexExpr over an IP array
+	Interaction string
+}
+
+func (w *WhenClause) Pos() token.Pos { return w.PosTok }
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// Decl is a Pascal declaration inside the specification or module body.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// ConstDecl is `const N = 5;` (one binding).
+type ConstDecl struct {
+	NamePos token.Pos
+	Name    string
+	Value   Expr
+}
+
+func (d *ConstDecl) Pos() token.Pos { return d.NamePos }
+func (*ConstDecl) declNode()        {}
+
+// TypeDecl is `type T = ...;` (one binding).
+type TypeDecl struct {
+	NamePos token.Pos
+	Name    string
+	Type    TypeExpr
+}
+
+func (d *TypeDecl) Pos() token.Pos { return d.NamePos }
+func (*TypeDecl) declNode()        {}
+
+// VarDecl is `var a, b : T;` (one group).
+type VarDecl struct {
+	NamesPos token.Pos
+	Names    []string
+	Type     TypeExpr
+}
+
+func (d *VarDecl) Pos() token.Pos { return d.NamesPos }
+func (*VarDecl) declNode()        {}
+
+// FuncDecl is a function or procedure declaration with nested declarations.
+type FuncDecl struct {
+	NamePos  token.Pos
+	Name     string
+	Params   []*FormalParam
+	Result   TypeExpr // nil for procedures
+	Decls    []Decl
+	Body     *Block
+	IsPrim   bool // declared `primitive`/`forward` — unsupported by Tango
+	Function bool
+}
+
+func (d *FuncDecl) Pos() token.Pos { return d.NamePos }
+func (*FuncDecl) declNode()        {}
+
+// FormalParam is one group of formal parameters, possibly by-reference.
+type FormalParam struct {
+	NamesPos token.Pos
+	ByRef    bool
+	Names    []string
+	Type     TypeExpr
+}
+
+func (p *FormalParam) Pos() token.Pos { return p.NamesPos }
+
+// ---------------------------------------------------------------------------
+// Type expressions
+
+// TypeExpr is a syntactic type.
+type TypeExpr interface {
+	Node
+	typeNode()
+}
+
+// NamedType refers to a declared or built-in type by name.
+type NamedType struct {
+	NamePos token.Pos
+	Name    string
+}
+
+func (t *NamedType) Pos() token.Pos { return t.NamePos }
+func (*NamedType) typeNode()        {}
+
+// EnumType is `(red, green, blue)`.
+type EnumType struct {
+	LParen token.Pos
+	Names  []string
+}
+
+func (t *EnumType) Pos() token.Pos { return t.LParen }
+func (*EnumType) typeNode()        {}
+
+// SubrangeType is `lo .. hi` over constant expressions.
+type SubrangeType struct {
+	LoPos  token.Pos
+	Lo, Hi Expr
+}
+
+func (t *SubrangeType) Pos() token.Pos { return t.LoPos }
+func (*SubrangeType) typeNode()        {}
+
+// ArrayType is `array [I1, I2] of T`.
+type ArrayType struct {
+	KwPos   token.Pos
+	Indexes []TypeExpr
+	Elem    TypeExpr
+}
+
+func (t *ArrayType) Pos() token.Pos { return t.KwPos }
+func (*ArrayType) typeNode()        {}
+
+// RecordType is `record f : T; ... end`.
+type RecordType struct {
+	KwPos  token.Pos
+	Fields []*FieldGroup
+}
+
+func (t *RecordType) Pos() token.Pos { return t.KwPos }
+func (*RecordType) typeNode()        {}
+
+// PointerType is `^T`.
+type PointerType struct {
+	CaretPos token.Pos
+	Elem     TypeExpr
+}
+
+func (t *PointerType) Pos() token.Pos { return t.CaretPos }
+func (*PointerType) typeNode()        {}
+
+// SetType is `set of T` for ordinal T.
+type SetType struct {
+	KwPos token.Pos
+	Elem  TypeExpr
+}
+
+func (t *SetType) Pos() token.Pos { return t.KwPos }
+func (*SetType) typeNode()        {}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Block is `begin ... end`.
+type Block struct {
+	BeginPos token.Pos
+	Stmts    []Stmt
+}
+
+func (b *Block) Pos() token.Pos { return b.BeginPos }
+func (*Block) stmtNode()        {}
+
+// AssignStmt is `designator := expr`.
+type AssignStmt struct {
+	LHS Expr
+	RHS Expr
+}
+
+func (s *AssignStmt) Pos() token.Pos { return s.LHS.Pos() }
+func (*AssignStmt) stmtNode()        {}
+
+// IfStmt is `if c then s [else s]`.
+type IfStmt struct {
+	KwPos token.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // may be nil
+}
+
+func (s *IfStmt) Pos() token.Pos { return s.KwPos }
+func (*IfStmt) stmtNode()        {}
+
+// WhileStmt is `while c do s`.
+type WhileStmt struct {
+	KwPos token.Pos
+	Cond  Expr
+	Body  Stmt
+}
+
+func (s *WhileStmt) Pos() token.Pos { return s.KwPos }
+func (*WhileStmt) stmtNode()        {}
+
+// RepeatStmt is `repeat ss until c`.
+type RepeatStmt struct {
+	KwPos token.Pos
+	Body  []Stmt
+	Cond  Expr
+}
+
+func (s *RepeatStmt) Pos() token.Pos { return s.KwPos }
+func (*RepeatStmt) stmtNode()        {}
+
+// ForStmt is `for v := a to|downto b do s`.
+type ForStmt struct {
+	KwPos    token.Pos
+	Var      string
+	From, To Expr
+	Down     bool
+	Body     Stmt
+}
+
+func (s *ForStmt) Pos() token.Pos { return s.KwPos }
+func (*ForStmt) stmtNode()        {}
+
+// CaseStmt is `case e of c1, c2: s; ... else s end`.
+type CaseStmt struct {
+	KwPos token.Pos
+	Expr  Expr
+	Arms  []*CaseArm
+	Else  []Stmt // nil if absent
+}
+
+func (s *CaseStmt) Pos() token.Pos { return s.KwPos }
+func (*CaseStmt) stmtNode()        {}
+
+// CaseArm is one labelled arm of a case statement.
+type CaseArm struct {
+	Labels []Expr // constant expressions
+	Body   Stmt
+}
+
+// OutputStmt is `output ip.interaction(args)`.
+type OutputStmt struct {
+	KwPos       token.Pos
+	IP          Expr // Ident or IndexExpr over an IP array
+	Interaction string
+	Args        []Expr
+}
+
+func (s *OutputStmt) Pos() token.Pos { return s.KwPos }
+func (*OutputStmt) stmtNode()        {}
+
+// CallStmt is a procedure call, including the built-ins new and dispose.
+type CallStmt struct {
+	NamePos token.Pos
+	Name    string
+	Args    []Expr
+}
+
+func (s *CallStmt) Pos() token.Pos { return s.NamePos }
+func (*CallStmt) stmtNode()        {}
+
+// EmptyStmt is the empty statement (e.g. `begin end`).
+type EmptyStmt struct {
+	SemiPos token.Pos
+}
+
+func (s *EmptyStmt) Pos() token.Pos { return s.SemiPos }
+func (*EmptyStmt) stmtNode()        {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident is a name use.
+type Ident struct {
+	NamePos token.Pos
+	Name    string
+}
+
+func (e *Ident) Pos() token.Pos { return e.NamePos }
+func (*Ident) exprNode()        {}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	LitPos token.Pos
+	Value  int64
+}
+
+func (e *IntLit) Pos() token.Pos { return e.LitPos }
+func (*IntLit) exprNode()        {}
+
+// BoolLit is `true` or `false`.
+type BoolLit struct {
+	LitPos token.Pos
+	Value  bool
+}
+
+func (e *BoolLit) Pos() token.Pos { return e.LitPos }
+func (*BoolLit) exprNode()        {}
+
+// CharLit is a single-character literal.
+type CharLit struct {
+	LitPos token.Pos
+	Value  byte
+}
+
+func (e *CharLit) Pos() token.Pos { return e.LitPos }
+func (*CharLit) exprNode()        {}
+
+// StringLit is a multi-character string literal.
+type StringLit struct {
+	LitPos token.Pos
+	Value  string
+}
+
+func (e *StringLit) Pos() token.Pos { return e.LitPos }
+func (*StringLit) exprNode()        {}
+
+// BinaryExpr is `x op y`.
+type BinaryExpr struct {
+	Op   token.Kind
+	X, Y Expr
+}
+
+func (e *BinaryExpr) Pos() token.Pos { return e.X.Pos() }
+func (*BinaryExpr) exprNode()        {}
+
+// UnaryExpr is `op x` for op in {not, -, +}.
+type UnaryExpr struct {
+	OpPos token.Pos
+	Op    token.Kind
+	X     Expr
+}
+
+func (e *UnaryExpr) Pos() token.Pos { return e.OpPos }
+func (*UnaryExpr) exprNode()        {}
+
+// IndexExpr is `x[i1, i2]`.
+type IndexExpr struct {
+	X       Expr
+	Indexes []Expr
+}
+
+func (e *IndexExpr) Pos() token.Pos { return e.X.Pos() }
+func (*IndexExpr) exprNode()        {}
+
+// SelectorExpr is `x.field`.
+type SelectorExpr struct {
+	X     Expr
+	Field string
+}
+
+func (e *SelectorExpr) Pos() token.Pos { return e.X.Pos() }
+func (*SelectorExpr) exprNode()        {}
+
+// DerefExpr is `x^`.
+type DerefExpr struct {
+	X Expr
+}
+
+func (e *DerefExpr) Pos() token.Pos { return e.X.Pos() }
+func (*DerefExpr) exprNode()        {}
+
+// CallExpr is a function call `f(args)`.
+type CallExpr struct {
+	NamePos token.Pos
+	Name    string
+	Args    []Expr
+}
+
+func (e *CallExpr) Pos() token.Pos { return e.NamePos }
+func (*CallExpr) exprNode()        {}
+
+// SetLit is `[e1, e2 .. e3, ...]`, used with the `in` operator.
+type SetLit struct {
+	LBrack token.Pos
+	Elems  []SetElem
+}
+
+func (e *SetLit) Pos() token.Pos { return e.LBrack }
+func (*SetLit) exprNode()        {}
+
+// SetElem is one element or inclusive range in a set literal.
+type SetElem struct {
+	Lo Expr
+	Hi Expr // nil for a single element
+}

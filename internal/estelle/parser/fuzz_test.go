@@ -1,0 +1,32 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/estelle/sema"
+	"repro/specs"
+)
+
+// FuzzParse exercises the parser (and, when parsing succeeds, the checker)
+// on arbitrary inputs: neither may panic, and a nil error implies a non-nil
+// tree. Run with `go test -fuzz=FuzzParse ./internal/estelle/parser`.
+func FuzzParse(f *testing.F) {
+	for _, src := range specs.All() {
+		f.Add(src)
+	}
+	f.Add("specification s; end.")
+	f.Add("specification s; channel C(a,b); by a: m; module M; end; body B for M; end; end.")
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := Parse("fuzz", src)
+		if err == nil && spec == nil {
+			t.Fatal("nil spec without error")
+		}
+		if err != nil && spec != nil {
+			t.Fatal("non-nil spec with error")
+		}
+		if spec != nil {
+			// The checker must not panic on any parseable tree.
+			_, _ = sema.Check(spec)
+		}
+	})
+}

@@ -1,0 +1,1001 @@
+// Package parser implements a recursive-descent parser for the Estelle
+// subset. It corresponds to the Pet (Portable Estelle Translator) front end
+// in the original Tango tool chain: it turns specification text into an AST,
+// reporting syntax errors with precise positions.
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/estelle/ast"
+	"repro/internal/estelle/scanner"
+	"repro/internal/estelle/token"
+)
+
+// Parser holds the parsing state for one specification.
+type Parser struct {
+	toks []token.Token
+	pos  int
+	errs []error
+}
+
+// maxErrors bounds error accumulation so that a badly corrupted input cannot
+// produce an unbounded report.
+const maxErrors = 25
+
+// bailout is panicked internally when maxErrors is exceeded; Parse recovers it.
+type bailout struct{}
+
+// Parse parses a complete specification. The file name is used only in
+// positions. On failure it returns every syntax error found, joined.
+func Parse(file, src string) (spec *ast.Spec, err error) {
+	toks, scanErrs := scanner.ScanAll(file, src)
+	if len(scanErrs) > maxErrors {
+		scanErrs = scanErrs[:maxErrors]
+	}
+	p := &Parser{toks: toks}
+	p.errs = append(p.errs, scanErrs...)
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bailout); !ok {
+				panic(r)
+			}
+		}
+		if len(p.errs) > 0 {
+			spec = nil
+			err = errors.Join(p.errs...)
+		}
+	}()
+	spec = p.parseSpec()
+	return spec, nil
+}
+
+// ---------------------------------------------------------------------------
+// Token plumbing
+
+func (p *Parser) cur() token.Token {
+	if p.pos >= len(p.toks) {
+		var pos token.Pos
+		if n := len(p.toks); n > 0 {
+			pos = p.toks[n-1].Pos
+		}
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) peekKind(ahead int) token.Kind {
+	i := p.pos + ahead
+	if i >= len(p.toks) {
+		return token.EOF
+	}
+	return p.toks[i].Kind
+}
+
+func (p *Parser) next() token.Token {
+	t := p.cur()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf("expected %q, found %q", k.String(), p.cur().String())
+	return token.Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *Parser) errorf(format string, args ...any) {
+	p.errs = append(p.errs, fmt.Errorf("%s: %s", p.cur().Pos, fmt.Sprintf(format, args...)))
+	if len(p.errs) >= maxErrors {
+		panic(bailout{})
+	}
+}
+
+// sync skips tokens until one of the kinds (or EOF) is current, for error
+// recovery at statement/section boundaries.
+func (p *Parser) sync(kinds ...token.Kind) {
+	for !p.at(token.EOF) {
+		k := p.cur().Kind
+		for _, want := range kinds {
+			if k == want {
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+func (p *Parser) ident() (string, token.Pos) {
+	t := p.expect(token.IDENT)
+	return t.Lit, t.Pos
+}
+
+func (p *Parser) identList() []string {
+	var names []string
+	n, _ := p.ident()
+	names = append(names, n)
+	for p.accept(token.COMMA) {
+		n, _ := p.ident()
+		names = append(names, n)
+	}
+	return names
+}
+
+// ---------------------------------------------------------------------------
+// Specification
+
+func (p *Parser) parseSpec() *ast.Spec {
+	p.expect(token.SPECIFICATION)
+	name, pos := p.ident()
+	// Optional class on the specification itself, e.g. `systemprocess`.
+	if p.at(token.SYSTEMPROCESS) || p.at(token.SYSTEMACTIVITY) {
+		p.next()
+	}
+	p.expect(token.SEMICOLON)
+	spec := &ast.Spec{NamePos: pos, Name: name}
+
+	// `default individual queue;`
+	if p.accept(token.DEFAULT) {
+		p.accept(token.INDIVIDUAL)
+		p.expect(token.QUEUE)
+		p.expect(token.SEMICOLON)
+	}
+
+	for {
+		switch p.cur().Kind {
+		case token.CHANNEL:
+			spec.Channels = append(spec.Channels, p.parseChannel())
+		case token.CONST:
+			spec.Decls = append(spec.Decls, p.parseConstSection()...)
+		case token.TYPE:
+			spec.Decls = append(spec.Decls, p.parseTypeSection()...)
+		case token.MODULE:
+			spec.Module = p.parseModuleHeader()
+		case token.BODY:
+			spec.Body = p.parseModuleBody()
+		case token.END:
+			p.next()
+			p.expect(token.PERIOD)
+			p.checkSpecComplete(spec)
+			return spec
+		case token.EOF:
+			p.errorf("unexpected end of specification")
+			p.checkSpecComplete(spec)
+			return spec
+		default:
+			p.errorf("unexpected token %q at specification level", p.cur().String())
+			p.sync(token.CHANNEL, token.CONST, token.TYPE, token.MODULE, token.BODY, token.END)
+		}
+	}
+}
+
+func (p *Parser) checkSpecComplete(spec *ast.Spec) {
+	if spec.Module == nil {
+		p.errorf("specification %s has no module header", spec.Name)
+	}
+	if spec.Body == nil {
+		p.errorf("specification %s has no module body", spec.Name)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Channels
+
+func (p *Parser) parseChannel() *ast.Channel {
+	p.expect(token.CHANNEL)
+	name, pos := p.ident()
+	ch := &ast.Channel{NamePos: pos, Name: name}
+	p.expect(token.LPAREN)
+	ch.Roles = p.identList()
+	p.expect(token.RPAREN)
+	p.expect(token.SEMICOLON)
+	for p.at(token.BY) {
+		ch.By = append(ch.By, p.parseByClause())
+	}
+	return ch
+}
+
+func (p *Parser) parseByClause() *ast.ByClause {
+	t := p.expect(token.BY)
+	bc := &ast.ByClause{RolePos: t.Pos}
+	bc.Roles = p.identList()
+	p.expect(token.COLON)
+	// Interactions until the next section keyword.
+	for p.at(token.IDENT) {
+		bc.Interactions = append(bc.Interactions, p.parseInteractionDecl())
+	}
+	return bc
+}
+
+func (p *Parser) parseInteractionDecl() *ast.InteractionDecl {
+	name, pos := p.ident()
+	d := &ast.InteractionDecl{NamePos: pos, Name: name}
+	if p.accept(token.LPAREN) {
+		d.Params = append(d.Params, p.parseFieldGroup())
+		for p.accept(token.SEMICOLON) {
+			d.Params = append(d.Params, p.parseFieldGroup())
+		}
+		p.expect(token.RPAREN)
+	}
+	p.expect(token.SEMICOLON)
+	return d
+}
+
+func (p *Parser) parseFieldGroup() *ast.FieldGroup {
+	names := p.identListPos()
+	p.expect(token.COLON)
+	typ := p.parseType()
+	return &ast.FieldGroup{NamesPos: names.pos, Names: names.names, Type: typ}
+}
+
+type namedList struct {
+	names []string
+	pos   token.Pos
+}
+
+func (p *Parser) identListPos() namedList {
+	n, pos := p.ident()
+	nl := namedList{names: []string{n}, pos: pos}
+	for p.accept(token.COMMA) {
+		n, _ := p.ident()
+		nl.names = append(nl.names, n)
+	}
+	return nl
+}
+
+// ---------------------------------------------------------------------------
+// Module header
+
+func (p *Parser) parseModuleHeader() *ast.ModuleHeader {
+	p.expect(token.MODULE)
+	name, pos := p.ident()
+	m := &ast.ModuleHeader{NamePos: pos, Name: name}
+	switch p.cur().Kind {
+	case token.SYSTEMPROCESS, token.SYSTEMACTIVITY, token.PROCESS:
+		m.Class = p.next().Kind.String()
+	}
+	p.expect(token.SEMICOLON)
+	if p.accept(token.IP) {
+		m.IPs = append(m.IPs, p.parseIPDecl())
+		for p.accept(token.SEMICOLON) {
+			if p.at(token.END) {
+				break
+			}
+			m.IPs = append(m.IPs, p.parseIPDecl())
+		}
+	}
+	p.expect(token.END)
+	p.expect(token.SEMICOLON)
+	return m
+}
+
+func (p *Parser) parseIPDecl() *ast.IPDecl {
+	names := p.identListPos()
+	d := &ast.IPDecl{NamesPos: names.pos, Names: names.names}
+	p.expect(token.COLON)
+	if p.accept(token.ARRAY) {
+		p.expect(token.LBRACKET)
+		d.Dims = append(d.Dims, p.parseType())
+		for p.accept(token.COMMA) {
+			d.Dims = append(d.Dims, p.parseType())
+		}
+		p.expect(token.RBRACKET)
+		p.expect(token.OF)
+	}
+	d.Channel, _ = p.ident()
+	p.expect(token.LPAREN)
+	d.Role, _ = p.ident()
+	p.expect(token.RPAREN)
+	switch p.cur().Kind {
+	case token.INDIVIDUAL:
+		p.next()
+		p.expect(token.QUEUE)
+		d.Queue = ast.QueueIndividual
+	default:
+		d.Queue = ast.QueueDefault
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Module body
+
+func (p *Parser) parseModuleBody() *ast.ModuleBody {
+	p.expect(token.BODY)
+	name, pos := p.ident()
+	b := &ast.ModuleBody{NamePos: pos, Name: name}
+	p.expect(token.FOR)
+	b.For, _ = p.ident()
+	p.expect(token.SEMICOLON)
+	for {
+		switch p.cur().Kind {
+		case token.CONST:
+			b.Decls = append(b.Decls, p.parseConstSection()...)
+		case token.TYPE:
+			b.Decls = append(b.Decls, p.parseTypeSection()...)
+		case token.VAR:
+			b.Decls = append(b.Decls, p.parseVarSection()...)
+		case token.FUNCTION, token.PROCEDURE:
+			b.Decls = append(b.Decls, p.parseFuncDecl())
+		case token.STATE:
+			p.next()
+			nl := p.identListPos()
+			for i, n := range nl.names {
+				pos := nl.pos
+				_ = i
+				b.States = append(b.States, &ast.StateDecl{NamePos: pos, Name: n})
+			}
+			p.expect(token.SEMICOLON)
+		case token.STATESET:
+			b.StateSets = append(b.StateSets, p.parseStateSet())
+		case token.INITIALIZE:
+			b.Init = p.parseInitialize()
+		case token.TRANS:
+			p.next()
+			for p.transitionAhead() {
+				if t := p.parseTransition(); t != nil {
+					b.Trans = append(b.Trans, t)
+				}
+			}
+		case token.END:
+			p.next()
+			p.expect(token.SEMICOLON)
+			return b
+		case token.EOF:
+			p.errorf("unexpected end of module body %s", name)
+			return b
+		default:
+			p.errorf("unexpected token %q in module body", p.cur().String())
+			p.sync(token.CONST, token.TYPE, token.VAR, token.STATE, token.STATESET,
+				token.INITIALIZE, token.TRANS, token.END)
+		}
+	}
+}
+
+func (p *Parser) parseStateSet() *ast.StateSetDecl {
+	p.expect(token.STATESET)
+	name, pos := p.ident()
+	s := &ast.StateSetDecl{NamePos: pos, Name: name}
+	p.expect(token.EQ)
+	bracketed := p.accept(token.LBRACKET)
+	s.States = p.identList()
+	if bracketed {
+		p.expect(token.RBRACKET)
+	}
+	p.expect(token.SEMICOLON)
+	return s
+}
+
+func (p *Parser) parseInitialize() *ast.Initialize {
+	t := p.expect(token.INITIALIZE)
+	init := &ast.Initialize{KwPos: t.Pos}
+	p.expect(token.TO)
+	init.To, _ = p.ident()
+	init.Body = p.parseBlock()
+	p.expect(token.SEMICOLON)
+	return init
+}
+
+func (p *Parser) transitionAhead() bool {
+	switch p.cur().Kind {
+	case token.FROM, token.TO, token.WHEN, token.PROVIDED, token.PRIORITY,
+		token.NAME, token.BEGIN, token.ANY:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseTransition() *ast.Transition {
+	t := &ast.Transition{KwPos: p.cur().Pos}
+	for {
+		switch p.cur().Kind {
+		case token.FROM:
+			p.next()
+			t.From = append(t.From, p.identList()...)
+			continue
+		case token.TO:
+			p.next()
+			if p.accept(token.SAME) {
+				t.ToSame = true
+			} else {
+				t.To, _ = p.ident()
+			}
+			continue
+		case token.WHEN:
+			wt := p.next()
+			ipExpr := p.parseDesignatorFromIdent()
+			w := &ast.WhenClause{PosTok: wt.Pos}
+			// The designator must end in `.interaction`; split it off.
+			sel, ok := ipExpr.(*ast.SelectorExpr)
+			if !ok {
+				p.errorf("when clause must name ip.interaction")
+				return nil
+			}
+			w.IP = sel.X
+			w.Interaction = sel.Field
+			t.When = w
+			continue
+		case token.PROVIDED:
+			p.next()
+			t.Provided = p.parseExpr()
+			continue
+		case token.PRIORITY:
+			p.next()
+			t.Priority = p.parseExpr()
+			continue
+		case token.NAME:
+			p.next()
+			t.Name, _ = p.ident()
+			p.expect(token.COLON)
+			continue
+		case token.ANY:
+			p.errorf("'any' clauses are not supported by this Tango subset")
+			p.sync(token.BEGIN)
+			continue
+		case token.BEGIN:
+			t.Body = p.parseBlock()
+			p.expect(token.SEMICOLON)
+			return t
+		default:
+			p.errorf("unexpected token %q in transition declaration", p.cur().String())
+			p.sync(token.BEGIN, token.FROM, token.WHEN, token.END)
+			if !p.at(token.BEGIN) {
+				return nil
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (p *Parser) parseConstSection() []ast.Decl {
+	p.expect(token.CONST)
+	var out []ast.Decl
+	for p.at(token.IDENT) {
+		name, pos := p.ident()
+		p.expect(token.EQ)
+		val := p.parseExpr()
+		p.expect(token.SEMICOLON)
+		out = append(out, &ast.ConstDecl{NamePos: pos, Name: name, Value: val})
+	}
+	if len(out) == 0 {
+		p.errorf("empty const section")
+	}
+	return out
+}
+
+func (p *Parser) parseTypeSection() []ast.Decl {
+	p.expect(token.TYPE)
+	var out []ast.Decl
+	for p.at(token.IDENT) {
+		name, pos := p.ident()
+		p.expect(token.EQ)
+		typ := p.parseType()
+		p.expect(token.SEMICOLON)
+		out = append(out, &ast.TypeDecl{NamePos: pos, Name: name, Type: typ})
+	}
+	if len(out) == 0 {
+		p.errorf("empty type section")
+	}
+	return out
+}
+
+func (p *Parser) parseVarSection() []ast.Decl {
+	p.expect(token.VAR)
+	var out []ast.Decl
+	for p.at(token.IDENT) {
+		nl := p.identListPos()
+		p.expect(token.COLON)
+		typ := p.parseType()
+		p.expect(token.SEMICOLON)
+		out = append(out, &ast.VarDecl{NamesPos: nl.pos, Names: nl.names, Type: typ})
+	}
+	if len(out) == 0 {
+		p.errorf("empty var section")
+	}
+	return out
+}
+
+func (p *Parser) parseFuncDecl() ast.Decl {
+	isFunc := p.at(token.FUNCTION)
+	p.next()
+	name, pos := p.ident()
+	d := &ast.FuncDecl{NamePos: pos, Name: name, Function: isFunc}
+	if p.accept(token.LPAREN) {
+		d.Params = append(d.Params, p.parseFormalParam())
+		for p.accept(token.SEMICOLON) {
+			d.Params = append(d.Params, p.parseFormalParam())
+		}
+		p.expect(token.RPAREN)
+	}
+	if isFunc {
+		p.expect(token.COLON)
+		d.Result = p.parseType()
+	}
+	p.expect(token.SEMICOLON)
+	if p.accept(token.FORWARD) {
+		d.IsPrim = true
+		p.expect(token.SEMICOLON)
+		return d
+	}
+	for {
+		switch p.cur().Kind {
+		case token.CONST:
+			d.Decls = append(d.Decls, p.parseConstSection()...)
+		case token.TYPE:
+			d.Decls = append(d.Decls, p.parseTypeSection()...)
+		case token.VAR:
+			d.Decls = append(d.Decls, p.parseVarSection()...)
+		case token.FUNCTION, token.PROCEDURE:
+			d.Decls = append(d.Decls, p.parseFuncDecl())
+		default:
+			d.Body = p.parseBlock()
+			p.expect(token.SEMICOLON)
+			return d
+		}
+	}
+}
+
+func (p *Parser) parseFormalParam() *ast.FormalParam {
+	byRef := p.accept(token.VAR)
+	nl := p.identListPos()
+	p.expect(token.COLON)
+	typ := p.parseType()
+	return &ast.FormalParam{NamesPos: nl.pos, ByRef: byRef, Names: nl.names, Type: typ}
+}
+
+// ---------------------------------------------------------------------------
+// Types
+
+func (p *Parser) parseType() ast.TypeExpr {
+	switch p.cur().Kind {
+	case token.CARET:
+		t := p.next()
+		return &ast.PointerType{CaretPos: t.Pos, Elem: p.parseType()}
+	case token.PACKED:
+		p.next()
+		return p.parseType()
+	case token.ARRAY:
+		t := p.next()
+		at := &ast.ArrayType{KwPos: t.Pos}
+		p.expect(token.LBRACKET)
+		at.Indexes = append(at.Indexes, p.parseType())
+		for p.accept(token.COMMA) {
+			at.Indexes = append(at.Indexes, p.parseType())
+		}
+		p.expect(token.RBRACKET)
+		p.expect(token.OF)
+		at.Elem = p.parseType()
+		return at
+	case token.RECORD:
+		t := p.next()
+		rt := &ast.RecordType{KwPos: t.Pos}
+		for p.at(token.IDENT) {
+			rt.Fields = append(rt.Fields, p.parseFieldGroup())
+			if !p.accept(token.SEMICOLON) {
+				break
+			}
+		}
+		p.expect(token.END)
+		return rt
+	case token.SET:
+		t := p.next()
+		p.expect(token.OF)
+		return &ast.SetType{KwPos: t.Pos, Elem: p.parseType()}
+	case token.LPAREN:
+		t := p.next()
+		names := p.identList()
+		p.expect(token.RPAREN)
+		return &ast.EnumType{LParen: t.Pos, Names: names}
+	}
+	// Either a named type or a subrange of constant expressions. A lone
+	// identifier not followed by `..` is a named type.
+	if p.at(token.IDENT) && p.peekKind(1) != token.DOTDOT {
+		name, pos := p.ident()
+		return &ast.NamedType{NamePos: pos, Name: name}
+	}
+	lo := p.parseSimpleExpr()
+	p.expect(token.DOTDOT)
+	hi := p.parseSimpleExpr()
+	return &ast.SubrangeType{LoPos: lo.Pos(), Lo: lo, Hi: hi}
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *Parser) parseBlock() *ast.Block {
+	t := p.expect(token.BEGIN)
+	b := &ast.Block{BeginPos: t.Pos}
+	b.Stmts = p.parseStmtSeq(token.END)
+	p.expect(token.END)
+	return b
+}
+
+// parseStmtSeq parses `stmt ; stmt ; ...` up to (not consuming) the
+// terminator kind, or until/else for the callers that use those.
+func (p *Parser) parseStmtSeq(terms ...token.Kind) []ast.Stmt {
+	isTerm := func(k token.Kind) bool {
+		for _, t := range terms {
+			if k == t {
+				return true
+			}
+		}
+		return k == token.EOF
+	}
+	var stmts []ast.Stmt
+	for {
+		if isTerm(p.cur().Kind) {
+			return stmts
+		}
+		s := p.parseStmt()
+		if s != nil {
+			stmts = append(stmts, s)
+		}
+		if !p.accept(token.SEMICOLON) {
+			if !isTerm(p.cur().Kind) {
+				p.errorf("expected ';' or end of statement list, found %q", p.cur().String())
+				p.sync(append(terms, token.SEMICOLON)...)
+				p.accept(token.SEMICOLON)
+				continue
+			}
+			return stmts
+		}
+	}
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	switch p.cur().Kind {
+	case token.SEMICOLON:
+		return &ast.EmptyStmt{SemiPos: p.cur().Pos}
+	case token.BEGIN:
+		return p.parseBlock()
+	case token.IF:
+		return p.parseIf()
+	case token.WHILE:
+		return p.parseWhile()
+	case token.REPEAT:
+		return p.parseRepeat()
+	case token.FOR:
+		return p.parseFor()
+	case token.CASE:
+		return p.parseCase()
+	case token.OUTPUT:
+		return p.parseOutput()
+	case token.DELAY:
+		p.errorf("delay statements are not supported by Tango")
+		p.sync(token.SEMICOLON, token.END)
+		return nil
+	case token.IDENT:
+		return p.parseAssignOrCall()
+	default:
+		p.errorf("unexpected token %q at start of statement", p.cur().String())
+		p.sync(token.SEMICOLON, token.END)
+		return nil
+	}
+}
+
+func (p *Parser) parseIf() ast.Stmt {
+	t := p.expect(token.IF)
+	s := &ast.IfStmt{KwPos: t.Pos}
+	s.Cond = p.parseExpr()
+	p.expect(token.THEN)
+	s.Then = p.parseStmt()
+	if p.accept(token.ELSE) {
+		s.Else = p.parseStmt()
+	}
+	return s
+}
+
+func (p *Parser) parseWhile() ast.Stmt {
+	t := p.expect(token.WHILE)
+	s := &ast.WhileStmt{KwPos: t.Pos}
+	s.Cond = p.parseExpr()
+	p.expect(token.DO)
+	s.Body = p.parseStmt()
+	return s
+}
+
+func (p *Parser) parseRepeat() ast.Stmt {
+	t := p.expect(token.REPEAT)
+	s := &ast.RepeatStmt{KwPos: t.Pos}
+	s.Body = p.parseStmtSeq(token.UNTIL)
+	p.expect(token.UNTIL)
+	s.Cond = p.parseExpr()
+	return s
+}
+
+func (p *Parser) parseFor() ast.Stmt {
+	t := p.expect(token.FOR)
+	s := &ast.ForStmt{KwPos: t.Pos}
+	s.Var, _ = p.ident()
+	p.expect(token.ASSIGN)
+	s.From = p.parseExpr()
+	if p.accept(token.DOWNTO) {
+		s.Down = true
+	} else {
+		p.expect(token.TO)
+	}
+	s.To = p.parseExpr()
+	p.expect(token.DO)
+	s.Body = p.parseStmt()
+	return s
+}
+
+func (p *Parser) parseCase() ast.Stmt {
+	t := p.expect(token.CASE)
+	s := &ast.CaseStmt{KwPos: t.Pos}
+	s.Expr = p.parseExpr()
+	p.expect(token.OF)
+	for {
+		switch p.cur().Kind {
+		case token.END:
+			p.next()
+			return s
+		case token.ELSE:
+			p.next()
+			s.Else = p.parseStmtSeq(token.END)
+			p.expect(token.END)
+			return s
+		case token.SEMICOLON:
+			p.next()
+		case token.EOF:
+			p.errorf("unterminated case statement")
+			return s
+		default:
+			arm := &ast.CaseArm{}
+			arm.Labels = append(arm.Labels, p.parseExpr())
+			for p.accept(token.COMMA) {
+				arm.Labels = append(arm.Labels, p.parseExpr())
+			}
+			p.expect(token.COLON)
+			arm.Body = p.parseStmt()
+			s.Arms = append(s.Arms, arm)
+		}
+	}
+}
+
+func (p *Parser) parseOutput() ast.Stmt {
+	t := p.expect(token.OUTPUT)
+	s := &ast.OutputStmt{KwPos: t.Pos}
+	d := p.parseDesignatorFromIdent()
+	sel, ok := d.(*ast.SelectorExpr)
+	if !ok {
+		p.errorf("output statement must name ip.interaction")
+		return nil
+	}
+	s.IP = sel.X
+	s.Interaction = sel.Field
+	if p.accept(token.LPAREN) {
+		if !p.at(token.RPAREN) {
+			s.Args = append(s.Args, p.parseExpr())
+			for p.accept(token.COMMA) {
+				s.Args = append(s.Args, p.parseExpr())
+			}
+		}
+		p.expect(token.RPAREN)
+	}
+	return s
+}
+
+func (p *Parser) parseAssignOrCall() ast.Stmt {
+	name, pos := p.ident()
+	// Call with arguments?
+	if p.at(token.LPAREN) {
+		p.next()
+		var args []ast.Expr
+		if !p.at(token.RPAREN) {
+			args = append(args, p.parseExpr())
+			for p.accept(token.COMMA) {
+				args = append(args, p.parseExpr())
+			}
+		}
+		p.expect(token.RPAREN)
+		if p.at(token.ASSIGN) {
+			p.errorf("cannot assign to a call result")
+			p.sync(token.SEMICOLON, token.END)
+			return nil
+		}
+		return &ast.CallStmt{NamePos: pos, Name: name, Args: args}
+	}
+	d := p.parseDesignatorSuffix(&ast.Ident{NamePos: pos, Name: name})
+	if p.accept(token.ASSIGN) {
+		rhs := p.parseExpr()
+		return &ast.AssignStmt{LHS: d, RHS: rhs}
+	}
+	// Bare identifier: a parameterless procedure call.
+	if id, ok := d.(*ast.Ident); ok {
+		return &ast.CallStmt{NamePos: id.NamePos, Name: id.Name}
+	}
+	p.errorf("expected ':=' after designator")
+	p.sync(token.SEMICOLON, token.END)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (Pascal precedence)
+
+func (p *Parser) parseExpr() ast.Expr {
+	x := p.parseSimpleExpr()
+	for {
+		switch p.cur().Kind {
+		case token.EQ, token.NEQ, token.LT, token.LEQ, token.GT, token.GEQ, token.IN:
+			op := p.next().Kind
+			y := p.parseSimpleExpr()
+			x = &ast.BinaryExpr{Op: op, X: x, Y: y}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parseSimpleExpr() ast.Expr {
+	var x ast.Expr
+	switch p.cur().Kind {
+	case token.MINUS, token.PLUS:
+		t := p.next()
+		x = &ast.UnaryExpr{OpPos: t.Pos, Op: t.Kind, X: p.parseTerm()}
+	default:
+		x = p.parseTerm()
+	}
+	for {
+		switch p.cur().Kind {
+		case token.PLUS, token.MINUS, token.OR:
+			op := p.next().Kind
+			x = &ast.BinaryExpr{Op: op, X: x, Y: p.parseTerm()}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parseTerm() ast.Expr {
+	x := p.parseFactor()
+	for {
+		switch p.cur().Kind {
+		case token.STAR, token.SLASH, token.DIV, token.MOD, token.AND:
+			op := p.next().Kind
+			x = &ast.BinaryExpr{Op: op, X: x, Y: p.parseFactor()}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parseFactor() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.errorf("invalid integer literal %q", t.Lit)
+		}
+		return &ast.IntLit{LitPos: t.Pos, Value: v}
+	case token.TRUE:
+		p.next()
+		return &ast.BoolLit{LitPos: t.Pos, Value: true}
+	case token.FALSE:
+		p.next()
+		return &ast.BoolLit{LitPos: t.Pos, Value: false}
+	case token.CHAR:
+		p.next()
+		return &ast.CharLit{LitPos: t.Pos, Value: t.Lit[0]}
+	case token.STRING:
+		p.next()
+		return &ast.StringLit{LitPos: t.Pos, Value: t.Lit}
+	case token.NOT:
+		p.next()
+		return &ast.UnaryExpr{OpPos: t.Pos, Op: token.NOT, X: p.parseFactor()}
+	case token.LPAREN:
+		p.next()
+		x := p.parseExpr()
+		p.expect(token.RPAREN)
+		return x
+	case token.LBRACKET:
+		return p.parseSetLit()
+	case token.IDENT:
+		name, pos := p.ident()
+		if p.at(token.LPAREN) {
+			p.next()
+			var args []ast.Expr
+			if !p.at(token.RPAREN) {
+				args = append(args, p.parseExpr())
+				for p.accept(token.COMMA) {
+					args = append(args, p.parseExpr())
+				}
+			}
+			p.expect(token.RPAREN)
+			// A call result can itself be selected/indexed (rare); allow it.
+			return p.parseDesignatorSuffix(&ast.CallExpr{NamePos: pos, Name: name, Args: args})
+		}
+		return p.parseDesignatorSuffix(&ast.Ident{NamePos: pos, Name: name})
+	}
+	p.errorf("unexpected token %q in expression", t.String())
+	p.next()
+	return &ast.IntLit{LitPos: t.Pos}
+}
+
+func (p *Parser) parseSetLit() ast.Expr {
+	t := p.expect(token.LBRACKET)
+	lit := &ast.SetLit{LBrack: t.Pos}
+	if !p.at(token.RBRACKET) {
+		lit.Elems = append(lit.Elems, p.parseSetElem())
+		for p.accept(token.COMMA) {
+			lit.Elems = append(lit.Elems, p.parseSetElem())
+		}
+	}
+	p.expect(token.RBRACKET)
+	return lit
+}
+
+func (p *Parser) parseSetElem() ast.SetElem {
+	lo := p.parseSimpleExpr()
+	if p.accept(token.DOTDOT) {
+		return ast.SetElem{Lo: lo, Hi: p.parseSimpleExpr()}
+	}
+	return ast.SetElem{Lo: lo}
+}
+
+// parseDesignatorFromIdent parses `ident {. field | [i] | ^}` starting at the
+// current identifier token.
+func (p *Parser) parseDesignatorFromIdent() ast.Expr {
+	name, pos := p.ident()
+	return p.parseDesignatorSuffix(&ast.Ident{NamePos: pos, Name: name})
+}
+
+func (p *Parser) parseDesignatorSuffix(x ast.Expr) ast.Expr {
+	for {
+		switch p.cur().Kind {
+		case token.PERIOD:
+			p.next()
+			f, _ := p.ident()
+			x = &ast.SelectorExpr{X: x, Field: f}
+		case token.LBRACKET:
+			p.next()
+			ie := &ast.IndexExpr{X: x}
+			ie.Indexes = append(ie.Indexes, p.parseExpr())
+			for p.accept(token.COMMA) {
+				ie.Indexes = append(ie.Indexes, p.parseExpr())
+			}
+			p.expect(token.RBRACKET)
+			x = ie
+		case token.CARET:
+			p.next()
+			x = &ast.DerefExpr{X: x}
+		default:
+			return x
+		}
+	}
+}
+
+// FormatErrorList renders a joined parse error as a bulleted list for CLI use.
+func FormatErrorList(err error) string {
+	if err == nil {
+		return ""
+	}
+	var sb strings.Builder
+	for _, line := range strings.Split(err.Error(), "\n") {
+		sb.WriteString("  ")
+		sb.WriteString(line)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,376 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/estelle/ast"
+	"repro/internal/estelle/token"
+	"repro/specs"
+)
+
+// wrap builds a minimal valid specification around a body fragment.
+func wrap(bodyDecls string) string {
+	return `specification s;
+channel CH(a, b);
+  by a: m(v : integer);
+  by b: r;
+module M systemprocess;
+  ip P : CH(b) individual queue;
+end;
+body B for M;
+` + bodyDecls + `
+state S0;
+initialize to S0 begin end;
+trans
+  from S0 to S0 when P.m name t1: begin end;
+end;
+end.`
+}
+
+// wrapT builds a specification whose single transition body holds stmts.
+func wrapT(decls, stmts string) string {
+	return `specification s;
+channel CH(a, b);
+  by a: m(v : integer);
+  by b: r;
+module M systemprocess;
+  ip P : CH(b) individual queue;
+end;
+body B for M;
+` + decls + `
+state S0;
+initialize to S0 begin end;
+trans
+  from S0 to S0 when P.m name t1: begin
+` + stmts + `
+  end;
+end;
+end.`
+}
+
+func parseOK(t *testing.T, src string) *ast.Spec {
+	t.Helper()
+	spec, err := Parse("test.estelle", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return spec
+}
+
+func TestParseAllEmbeddedSpecs(t *testing.T) {
+	for name, src := range specs.All() {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			spec := parseOK(t, src)
+			if spec.Module == nil || spec.Body == nil {
+				t.Fatal("incomplete spec")
+			}
+		})
+	}
+}
+
+func TestSpecStructure(t *testing.T) {
+	spec := parseOK(t, wrap("var x : integer;"))
+	if spec.Name != "s" {
+		t.Errorf("name = %q", spec.Name)
+	}
+	if len(spec.Channels) != 1 || spec.Channels[0].Name != "CH" {
+		t.Fatalf("channels: %+v", spec.Channels)
+	}
+	ch := spec.Channels[0]
+	if len(ch.Roles) != 2 || ch.Roles[0] != "a" || ch.Roles[1] != "b" {
+		t.Errorf("roles: %v", ch.Roles)
+	}
+	if len(ch.By) != 2 {
+		t.Fatalf("by clauses: %d", len(ch.By))
+	}
+	if ch.By[0].Interactions[0].Name != "m" || len(ch.By[0].Interactions[0].Params) != 1 {
+		t.Errorf("interaction m: %+v", ch.By[0].Interactions[0])
+	}
+	if spec.Module.Name != "M" || len(spec.Module.IPs) != 1 {
+		t.Errorf("module: %+v", spec.Module)
+	}
+	if spec.Module.IPs[0].Queue != ast.QueueIndividual {
+		t.Errorf("queue kind: %v", spec.Module.IPs[0].Queue)
+	}
+	if spec.Body.Name != "B" || spec.Body.For != "M" {
+		t.Errorf("body: %+v", spec.Body)
+	}
+	if len(spec.Body.Trans) != 1 || spec.Body.Trans[0].Name != "t1" {
+		t.Errorf("transitions: %+v", spec.Body.Trans)
+	}
+}
+
+func TestTransitionClauses(t *testing.T) {
+	src := `specification s;
+channel CH(a, b);
+  by a: m;
+module M systemprocess;
+  ip P : CH(b) individual queue;
+end;
+body B for M;
+state S0, S1, S2;
+stateset SS = [S0, S1];
+initialize to S0 begin end;
+trans
+  from SS to S2 when P.m provided 1 < 2 priority 3 name big:
+    begin end;
+  from S2 to same provided true name spon:
+    begin end;
+  when P.m begin end;
+end;
+end.`
+	spec := parseOK(t, src)
+	trs := spec.Body.Trans
+	if len(trs) != 3 {
+		t.Fatalf("got %d transitions", len(trs))
+	}
+	big := trs[0]
+	if len(big.From) != 1 || big.From[0] != "SS" || big.To != "S2" {
+		t.Errorf("from/to: %+v", big)
+	}
+	if big.When == nil || big.When.Interaction != "m" {
+		t.Errorf("when: %+v", big.When)
+	}
+	if big.Provided == nil || big.Priority == nil || big.Name != "big" {
+		t.Errorf("clauses: %+v", big)
+	}
+	if !trs[1].ToSame {
+		t.Errorf("to same not parsed: %+v", trs[1])
+	}
+	if trs[2].Name != "" || trs[2].When == nil {
+		t.Errorf("anonymous transition: %+v", trs[2])
+	}
+	if len(spec.Body.StateSets) != 1 || len(spec.Body.StateSets[0].States) != 2 {
+		t.Errorf("stateset: %+v", spec.Body.StateSets)
+	}
+}
+
+func TestTypeExpressions(t *testing.T) {
+	spec := parseOK(t, wrap(`
+type
+  color = (red, green, blue);
+  small = 1 .. 10;
+  vec = array [small, 1..2] of integer;
+  rec = record a, b : integer; c : color end;
+  pcell = ^rec;
+  flags = set of color;
+var v : vec; r : rec; p : pcell; f : flags;
+`))
+	var names []string
+	for _, d := range spec.Body.Decls {
+		if td, ok := d.(*ast.TypeDecl); ok {
+			names = append(names, td.Name)
+			switch td.Name {
+			case "color":
+				e := td.Type.(*ast.EnumType)
+				if len(e.Names) != 3 {
+					t.Errorf("enum: %+v", e)
+				}
+			case "small":
+				if _, ok := td.Type.(*ast.SubrangeType); !ok {
+					t.Errorf("small: %T", td.Type)
+				}
+			case "vec":
+				a := td.Type.(*ast.ArrayType)
+				if len(a.Indexes) != 2 {
+					t.Errorf("vec dims: %+v", a)
+				}
+			case "rec":
+				r := td.Type.(*ast.RecordType)
+				if len(r.Fields) != 2 {
+					t.Errorf("rec fields: %+v", r.Fields)
+				}
+			case "pcell":
+				if _, ok := td.Type.(*ast.PointerType); !ok {
+					t.Errorf("pcell: %T", td.Type)
+				}
+			case "flags":
+				if _, ok := td.Type.(*ast.SetType); !ok {
+					t.Errorf("flags: %T", td.Type)
+				}
+			}
+		}
+	}
+	if strings.Join(names, ",") != "color,small,vec,rec,pcell,flags" {
+		t.Errorf("type names: %v", names)
+	}
+}
+
+func TestStatements(t *testing.T) {
+	spec := parseOK(t, wrap(`
+var i, j : integer; b : boolean;
+procedure p(x : integer; var y : integer);
+begin
+  y := x
+end;
+function f(x : integer) : integer;
+begin
+  f := x * 2
+end;
+`))
+	// A transition body exercising every statement form.
+	src2 := wrapT(`var i, j : integer; b : boolean;`, `
+  i := 1;
+  if i = 1 then j := 2 else j := 3;
+  while i < 10 do i := i + 1;
+  repeat i := i - 1 until i = 0;
+  for i := 1 to 5 do j := j + i;
+  for i := 5 downto 1 do j := j - i;
+  case j of
+    1, 2: i := 0;
+    3: begin i := 1; j := 2 end
+    else i := 9
+  end;
+  output P.r;
+`)
+	spec2 := parseOK(t, src2)
+	body := spec2.Body.Trans[0].Body
+	if len(body.Stmts) != 8 {
+		t.Fatalf("got %d statements, want 8", len(body.Stmts))
+	}
+	if _, ok := body.Stmts[7].(*ast.OutputStmt); !ok {
+		t.Errorf("last statement %T, want OutputStmt", body.Stmts[7])
+	}
+	_ = spec
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	src := wrapT("var a, b, c : integer; x : boolean;",
+		"a := b + c * 2; x := (a = b) or (b < c) and x;")
+	spec := parseOK(t, src)
+	asg := spec.Body.Trans[0].Body.Stmts[0].(*ast.AssignStmt)
+	add := asg.RHS.(*ast.BinaryExpr)
+	if add.Op != token.PLUS {
+		t.Fatalf("top op %v, want +", add.Op)
+	}
+	if mul, ok := add.Y.(*ast.BinaryExpr); !ok || mul.Op != token.STAR {
+		t.Fatalf("rhs %T, want * binding tighter", add.Y)
+	}
+	asg2 := spec.Body.Trans[0].Body.Stmts[1].(*ast.AssignStmt)
+	or := asg2.RHS.(*ast.BinaryExpr)
+	if or.Op != token.OR {
+		t.Fatalf("top op %v, want or", or.Op)
+	}
+	if and, ok := or.Y.(*ast.BinaryExpr); !ok || and.Op != token.AND {
+		t.Fatalf("or rhs %T, want and binding tighter", or.Y)
+	}
+}
+
+func TestDesignators(t *testing.T) {
+	src := wrapT("type r = record f : integer end; pr = ^r; var a : array [1..3] of r; p : pr;",
+		"a[1].f := p^.f;")
+	spec := parseOK(t, src)
+	asg := spec.Body.Trans[0].Body.Stmts[0].(*ast.AssignStmt)
+	sel, ok := asg.LHS.(*ast.SelectorExpr)
+	if !ok || sel.Field != "f" {
+		t.Fatalf("lhs %T", asg.LHS)
+	}
+	if _, ok := sel.X.(*ast.IndexExpr); !ok {
+		t.Fatalf("lhs base %T, want IndexExpr", sel.X)
+	}
+	rsel := asg.RHS.(*ast.SelectorExpr)
+	if _, ok := rsel.X.(*ast.DerefExpr); !ok {
+		t.Fatalf("rhs base %T, want DerefExpr", rsel.X)
+	}
+}
+
+func TestSetLiteralAndIn(t *testing.T) {
+	src := wrapT("var i : integer; b : boolean;",
+		"b := i in [1, 3 .. 5, 9];")
+	spec := parseOK(t, src)
+	asg := spec.Body.Trans[0].Body.Stmts[0].(*ast.AssignStmt)
+	in := asg.RHS.(*ast.BinaryExpr)
+	if in.Op != token.IN {
+		t.Fatalf("op %v", in.Op)
+	}
+	lit := in.Y.(*ast.SetLit)
+	if len(lit.Elems) != 3 || lit.Elems[1].Hi == nil {
+		t.Fatalf("set literal: %+v", lit)
+	}
+}
+
+func TestErrorMessages(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"", `expected "specification"`},
+		{"specification s;", "no module header"},
+		{wrap("var x : integer") /* missing ; */, "expected"},
+		{strings.Replace(wrap(""), "begin end;", "begin delay(5) end;", 1), "delay statements are not supported"},
+	}
+	for _, c := range cases {
+		_, err := Parse("t", c.src)
+		if err == nil {
+			t.Errorf("source %.40q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("source %.40q: error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestErrorLimit(t *testing.T) {
+	// A pathological input must not produce unbounded errors or hang.
+	src := "specification s; " + strings.Repeat("@ ", 500)
+	_, err := Parse("t", src)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	if n := strings.Count(err.Error(), "\n"); n > 2*maxErrors {
+		t.Fatalf("too many errors reported: %d lines", n)
+	}
+}
+
+// TestParserNeverPanics: property — arbitrary input must not panic the
+// parser (errors are fine).
+func TestParserNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = Parse("q", src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNeverPanicsOnMutations: property — random mutations of a valid
+// spec must not panic.
+func TestParserNeverPanicsOnMutations(t *testing.T) {
+	base := specs.TP0
+	f := func(pos uint16, b byte) bool {
+		i := int(pos) % len(base)
+		mutated := base[:i] + string(b) + base[i+1:]
+		_, _ = Parse("q", mutated)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPArrayDecl(t *testing.T) {
+	src := `specification s;
+channel CH(a, b);
+  by a: m;
+module M systemprocess;
+  ip P : array [0..3] of CH(b) individual queue;
+end;
+body B for M;
+state S0;
+initialize to S0 begin end;
+trans
+  from S0 to S0 when P[2].m name t1: begin end;
+end;
+end.`
+	spec := parseOK(t, src)
+	ipd := spec.Module.IPs[0]
+	if len(ipd.Dims) != 1 {
+		t.Fatalf("dims: %+v", ipd)
+	}
+	w := spec.Body.Trans[0].When
+	if _, ok := w.IP.(*ast.IndexExpr); !ok {
+		t.Fatalf("when ip %T, want IndexExpr", w.IP)
+	}
+}

@@ -1,0 +1,581 @@
+// Package printer renders an Estelle AST back to source text. It is used by
+// the normal-form transformer (§5.3 of the paper) to emit rewritten
+// specifications, and by `tango format`. The output parses back to a
+// structurally identical tree (round-trip property, tested against every
+// embedded specification).
+package printer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/estelle/ast"
+	"repro/internal/estelle/token"
+)
+
+// Print renders a complete specification.
+func Print(spec *ast.Spec) string {
+	var p printer
+	p.spec(spec)
+	return p.sb.String()
+}
+
+// PrintExpr renders a single expression.
+func PrintExpr(e ast.Expr) string {
+	var p printer
+	p.expr(e, precLowest)
+	return p.sb.String()
+}
+
+// PrintStmt renders a single statement at the given indent level.
+func PrintStmt(s ast.Stmt, indent int) string {
+	var p printer
+	p.indent = indent
+	p.stmt(s)
+	return p.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) nl() {
+	p.sb.WriteByte('\n')
+	for i := 0; i < p.indent; i++ {
+		p.sb.WriteString("  ")
+	}
+}
+
+func (p *printer) ws(s string) { p.sb.WriteString(s) }
+
+func (p *printer) wf(format string, args ...any) { fmt.Fprintf(&p.sb, format, args...) }
+
+// ---------------------------------------------------------------------------
+// Specification structure
+
+func (p *printer) spec(s *ast.Spec) {
+	p.wf("specification %s;", s.Name)
+	p.nl()
+	for _, ch := range s.Channels {
+		p.nl()
+		p.channel(ch)
+	}
+	if len(s.Decls) > 0 {
+		p.nl()
+		p.decls(s.Decls)
+	}
+	if s.Module != nil {
+		p.nl()
+		p.module(s.Module)
+	}
+	if s.Body != nil {
+		p.nl()
+		p.body(s.Body)
+	}
+	p.nl()
+	p.ws("end.")
+	p.nl()
+}
+
+func (p *printer) channel(c *ast.Channel) {
+	p.wf("channel %s(%s);", c.Name, strings.Join(c.Roles, ", "))
+	p.indent++
+	for _, by := range c.By {
+		p.nl()
+		p.wf("by %s:", strings.Join(by.Roles, ", "))
+		p.indent++
+		for _, in := range by.Interactions {
+			p.nl()
+			p.ws(in.Name)
+			if len(in.Params) > 0 {
+				p.ws("(")
+				for i, g := range in.Params {
+					if i > 0 {
+						p.ws("; ")
+					}
+					p.fieldGroup(g)
+				}
+				p.ws(")")
+			}
+			p.ws(";")
+		}
+		p.indent--
+	}
+	p.indent--
+	p.nl()
+}
+
+func (p *printer) fieldGroup(g *ast.FieldGroup) {
+	p.ws(strings.Join(g.Names, ", "))
+	p.ws(" : ")
+	p.typeExpr(g.Type)
+}
+
+func (p *printer) module(m *ast.ModuleHeader) {
+	p.wf("module %s", m.Name)
+	if m.Class != "" {
+		p.wf(" %s", m.Class)
+	}
+	p.ws(";")
+	p.indent++
+	if len(m.IPs) > 0 {
+		p.nl()
+		p.ws("ip ")
+		for i, d := range m.IPs {
+			if i > 0 {
+				p.ws(";")
+				p.nl()
+				p.ws("   ")
+			}
+			p.ws(strings.Join(d.Names, ", "))
+			p.ws(" : ")
+			if len(d.Dims) > 0 {
+				p.ws("array [")
+				for j, dim := range d.Dims {
+					if j > 0 {
+						p.ws(", ")
+					}
+					p.typeExpr(dim)
+				}
+				p.ws("] of ")
+			}
+			p.wf("%s(%s)", d.Channel, d.Role)
+			if d.Queue == ast.QueueIndividual {
+				p.ws(" individual queue")
+			}
+		}
+		p.ws(";")
+	}
+	p.indent--
+	p.nl()
+	p.ws("end;")
+	p.nl()
+}
+
+func (p *printer) body(b *ast.ModuleBody) {
+	p.wf("body %s for %s;", b.Name, b.For)
+	p.nl()
+	if len(b.Decls) > 0 {
+		p.nl()
+		p.decls(b.Decls)
+	}
+	if len(b.States) > 0 {
+		p.nl()
+		names := make([]string, len(b.States))
+		for i, s := range b.States {
+			names[i] = s.Name
+		}
+		p.wf("state %s;", strings.Join(names, ", "))
+		p.nl()
+	}
+	for _, ss := range b.StateSets {
+		p.wf("stateset %s = [%s];", ss.Name, strings.Join(ss.States, ", "))
+		p.nl()
+	}
+	if b.Init != nil {
+		p.nl()
+		p.wf("initialize to %s", b.Init.To)
+		p.nl()
+		p.block(b.Init.Body)
+		p.ws(";")
+		p.nl()
+	}
+	if len(b.Trans) > 0 {
+		p.nl()
+		p.ws("trans")
+		p.indent++
+		for _, t := range b.Trans {
+			p.nl()
+			p.transition(t)
+		}
+		p.indent--
+		p.nl()
+	}
+	p.nl()
+	p.ws("end;")
+	p.nl()
+}
+
+func (p *printer) transition(t *ast.Transition) {
+	var clauses []string
+	if len(t.From) > 0 {
+		clauses = append(clauses, "from "+strings.Join(t.From, ", "))
+	}
+	switch {
+	case t.ToSame:
+		clauses = append(clauses, "to same")
+	case t.To != "":
+		clauses = append(clauses, "to "+t.To)
+	}
+	if t.When != nil {
+		clauses = append(clauses, fmt.Sprintf("when %s.%s", PrintExpr(t.When.IP), t.When.Interaction))
+	}
+	if t.Provided != nil {
+		clauses = append(clauses, "provided "+PrintExpr(t.Provided))
+	}
+	if t.Priority != nil {
+		clauses = append(clauses, "priority "+PrintExpr(t.Priority))
+	}
+	if t.Name != "" {
+		clauses = append(clauses, "name "+t.Name+":")
+	}
+	p.ws(strings.Join(clauses, " "))
+	p.indent++
+	p.nl()
+	p.block(t.Body)
+	p.ws(";")
+	p.indent--
+	p.nl()
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (p *printer) decls(decls []ast.Decl) {
+	// Each declaration is emitted under its own section keyword; repeated
+	// `const`/`type`/`var` sections are valid concrete syntax and keep the
+	// printer simple and obviously correct.
+	for _, d := range decls {
+		switch d := d.(type) {
+		case *ast.ConstDecl:
+			p.wf("const %s = %s;", d.Name, PrintExpr(d.Value))
+			p.nl()
+		case *ast.TypeDecl:
+			p.wf("type %s = ", d.Name)
+			p.typeExpr(d.Type)
+			p.ws(";")
+			p.nl()
+		case *ast.VarDecl:
+			p.wf("var %s : ", strings.Join(d.Names, ", "))
+			p.typeExpr(d.Type)
+			p.ws(";")
+			p.nl()
+		case *ast.FuncDecl:
+			p.funcDecl(d)
+		}
+	}
+}
+
+func (p *printer) funcDecl(d *ast.FuncDecl) {
+	if d.Function {
+		p.wf("function %s", d.Name)
+	} else {
+		p.wf("procedure %s", d.Name)
+	}
+	if len(d.Params) > 0 {
+		p.ws("(")
+		for i, fp := range d.Params {
+			if i > 0 {
+				p.ws("; ")
+			}
+			if fp.ByRef {
+				p.ws("var ")
+			}
+			p.wf("%s : ", strings.Join(fp.Names, ", "))
+			p.typeExpr(fp.Type)
+		}
+		p.ws(")")
+	}
+	if d.Result != nil {
+		p.ws(" : ")
+		p.typeExpr(d.Result)
+	}
+	p.ws(";")
+	p.nl()
+	if len(d.Decls) > 0 {
+		p.decls(d.Decls)
+	}
+	p.block(d.Body)
+	p.ws(";")
+	p.nl()
+}
+
+// ---------------------------------------------------------------------------
+// Types
+
+func (p *printer) typeExpr(t ast.TypeExpr) {
+	switch t := t.(type) {
+	case *ast.NamedType:
+		p.ws(t.Name)
+	case *ast.EnumType:
+		p.wf("(%s)", strings.Join(t.Names, ", "))
+	case *ast.SubrangeType:
+		p.ws(PrintExpr(t.Lo))
+		p.ws(" .. ")
+		p.ws(PrintExpr(t.Hi))
+	case *ast.ArrayType:
+		p.ws("array [")
+		for i, ix := range t.Indexes {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.typeExpr(ix)
+		}
+		p.ws("] of ")
+		p.typeExpr(t.Elem)
+	case *ast.RecordType:
+		p.ws("record")
+		p.indent++
+		for i, f := range t.Fields {
+			p.nl()
+			p.fieldGroup(f)
+			if i < len(t.Fields)-1 {
+				p.ws(";")
+			}
+		}
+		p.indent--
+		p.nl()
+		p.ws("end")
+	case *ast.PointerType:
+		p.ws("^")
+		p.typeExpr(t.Elem)
+	case *ast.SetType:
+		p.ws("set of ")
+		p.typeExpr(t.Elem)
+	default:
+		p.ws("<?type?>")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *printer) block(b *ast.Block) {
+	if b == nil {
+		p.ws("begin end")
+		return
+	}
+	p.ws("begin")
+	p.indent++
+	for _, s := range b.Stmts {
+		p.nl()
+		p.stmt(s)
+		p.ws(";")
+	}
+	p.indent--
+	p.nl()
+	p.ws("end")
+}
+
+func (p *printer) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		p.block(s)
+	case *ast.EmptyStmt:
+	case *ast.AssignStmt:
+		p.expr(s.LHS, precLowest)
+		p.ws(" := ")
+		p.expr(s.RHS, precLowest)
+	case *ast.IfStmt:
+		p.ws("if ")
+		p.expr(s.Cond, precLowest)
+		p.ws(" then")
+		p.indent++
+		p.nl()
+		p.stmt(s.Then)
+		p.indent--
+		if s.Else != nil {
+			p.nl()
+			p.ws("else")
+			p.indent++
+			p.nl()
+			p.stmt(s.Else)
+			p.indent--
+		}
+	case *ast.WhileStmt:
+		p.ws("while ")
+		p.expr(s.Cond, precLowest)
+		p.ws(" do")
+		p.indent++
+		p.nl()
+		p.stmt(s.Body)
+		p.indent--
+	case *ast.RepeatStmt:
+		p.ws("repeat")
+		p.indent++
+		for _, st := range s.Body {
+			p.nl()
+			p.stmt(st)
+			p.ws(";")
+		}
+		p.indent--
+		p.nl()
+		p.ws("until ")
+		p.expr(s.Cond, precLowest)
+	case *ast.ForStmt:
+		p.wf("for %s := ", s.Var)
+		p.expr(s.From, precLowest)
+		if s.Down {
+			p.ws(" downto ")
+		} else {
+			p.ws(" to ")
+		}
+		p.expr(s.To, precLowest)
+		p.ws(" do")
+		p.indent++
+		p.nl()
+		p.stmt(s.Body)
+		p.indent--
+	case *ast.CaseStmt:
+		p.ws("case ")
+		p.expr(s.Expr, precLowest)
+		p.ws(" of")
+		p.indent++
+		for _, arm := range s.Arms {
+			p.nl()
+			for i, lab := range arm.Labels {
+				if i > 0 {
+					p.ws(", ")
+				}
+				p.expr(lab, precLowest)
+			}
+			p.ws(": ")
+			p.stmt(arm.Body)
+			p.ws(";")
+		}
+		if s.Else != nil {
+			p.nl()
+			p.ws("else")
+			p.indent++
+			for _, st := range s.Else {
+				p.nl()
+				p.stmt(st)
+				p.ws(";")
+			}
+			p.indent--
+		}
+		p.indent--
+		p.nl()
+		p.ws("end")
+	case *ast.OutputStmt:
+		p.ws("output ")
+		p.expr(s.IP, precLowest)
+		p.wf(".%s", s.Interaction)
+		if len(s.Args) > 0 {
+			p.ws("(")
+			for i, a := range s.Args {
+				if i > 0 {
+					p.ws(", ")
+				}
+				p.expr(a, precLowest)
+			}
+			p.ws(")")
+		}
+	case *ast.CallStmt:
+		p.ws(s.Name)
+		if len(s.Args) > 0 {
+			p.ws("(")
+			for i, a := range s.Args {
+				if i > 0 {
+					p.ws(", ")
+				}
+				p.expr(a, precLowest)
+			}
+			p.ws(")")
+		}
+	default:
+		p.ws("<?stmt?>")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Precedence levels, loosest first, matching the parser.
+const (
+	precLowest = iota // relational
+	precAdd
+	precMul
+	precUnary
+)
+
+func opPrec(op token.Kind) int {
+	switch op {
+	case token.EQ, token.NEQ, token.LT, token.LEQ, token.GT, token.GEQ, token.IN:
+		return precLowest
+	case token.PLUS, token.MINUS, token.OR:
+		return precAdd
+	case token.STAR, token.SLASH, token.DIV, token.MOD, token.AND:
+		return precMul
+	}
+	return precUnary
+}
+
+func (p *printer) expr(e ast.Expr, outer int) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		p.ws(e.Name)
+	case *ast.IntLit:
+		p.wf("%d", e.Value)
+	case *ast.BoolLit:
+		if e.Value {
+			p.ws("true")
+		} else {
+			p.ws("false")
+		}
+	case *ast.CharLit:
+		p.wf("'%c'", e.Value)
+	case *ast.StringLit:
+		p.wf("'%s'", strings.ReplaceAll(e.Value, "'", "''"))
+	case *ast.BinaryExpr:
+		prec := opPrec(e.Op)
+		if prec < outer {
+			p.ws("(")
+		}
+		p.expr(e.X, prec)
+		p.wf(" %s ", e.Op)
+		p.expr(e.Y, prec+1)
+		if prec < outer {
+			p.ws(")")
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			p.ws("not ")
+		} else {
+			p.ws(e.Op.String())
+		}
+		p.expr(e.X, precUnary)
+	case *ast.IndexExpr:
+		p.expr(e.X, precUnary)
+		p.ws("[")
+		for i, ix := range e.Indexes {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.expr(ix, precLowest)
+		}
+		p.ws("]")
+	case *ast.SelectorExpr:
+		p.expr(e.X, precUnary)
+		p.wf(".%s", e.Field)
+	case *ast.DerefExpr:
+		p.expr(e.X, precUnary)
+		p.ws("^")
+	case *ast.CallExpr:
+		p.ws(e.Name)
+		p.ws("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.expr(a, precLowest)
+		}
+		p.ws(")")
+	case *ast.SetLit:
+		p.ws("[")
+		for i, se := range e.Elems {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.expr(se.Lo, precLowest)
+			if se.Hi != nil {
+				p.ws(" .. ")
+				p.expr(se.Hi, precLowest)
+			}
+		}
+		p.ws("]")
+	default:
+		p.ws("<?expr?>")
+	}
+}

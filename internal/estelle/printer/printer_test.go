@@ -1,0 +1,131 @@
+package printer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/estelle/parser"
+	"repro/internal/estelle/sema"
+	"repro/specs"
+)
+
+// TestRoundTripAllSpecs: the printed form of every embedded specification
+// parses, type-checks, and reprints identically (print ∘ parse is idempotent
+// on printer output).
+func TestRoundTripAllSpecs(t *testing.T) {
+	for name, src := range specs.All() {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			orig, err := parser.Parse(name, src)
+			if err != nil {
+				t.Fatalf("parse original: %v", err)
+			}
+			printed := Print(orig)
+			re, err := parser.Parse(name+"-printed", printed)
+			if err != nil {
+				t.Fatalf("reparse printed form: %v\n--- printed ---\n%s", err, printed)
+			}
+			if _, err := sema.Check(re); err != nil {
+				t.Fatalf("recheck printed form: %v\n--- printed ---\n%s", err, printed)
+			}
+			printed2 := Print(re)
+			if printed != printed2 {
+				t.Fatalf("print not idempotent:\n--- first ---\n%s\n--- second ---\n%s",
+					printed, printed2)
+			}
+		})
+	}
+}
+
+// TestRoundTripPreservesModel: the static model (states, ips, transitions,
+// globals) of the reparsed output matches the original.
+func TestRoundTripPreservesModel(t *testing.T) {
+	for name, src := range specs.All() {
+		orig, err := parser.Parse(name, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := sema.Check(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := parser.Parse(name, Print(orig))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rp, err := sema.Check(re)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(op.Trans) != len(rp.Trans) || len(op.States) != len(rp.States) ||
+			len(op.IPs) != len(rp.IPs) || len(op.GlobalVars) != len(rp.GlobalVars) {
+			t.Fatalf("%s: model mismatch after round trip", name)
+		}
+		for i := range op.Trans {
+			if op.Trans[i].Name != rp.Trans[i].Name ||
+				op.Trans[i].To != rp.Trans[i].To ||
+				op.Trans[i].WhenIPIndex != rp.Trans[i].WhenIPIndex {
+				t.Fatalf("%s: transition %d differs after round trip", name, i)
+			}
+		}
+	}
+}
+
+func TestExprPrecedenceParens(t *testing.T) {
+	src := `specification s;
+channel CH(a, b);
+  by a: m;
+module M systemprocess;
+  ip P : CH(b) individual queue;
+end;
+body B for M;
+var x, y, z : integer; b1 : boolean;
+state S0;
+initialize to S0 begin
+  x := (y + z) * 2;
+  x := y + z * 2;
+  b1 := (x = y) or (y < z);
+  x := -(y + 1);
+end;
+trans from S0 to S0 when P.m name t: begin end;
+end;
+end.`
+	spec, err := parser.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(spec)
+	for _, want := range []string{
+		"(y + z) * 2",
+		"y + z * 2",
+		"(x = y) or (y < z)",
+		"-(y + 1)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStringEscaping(t *testing.T) {
+	src := `specification s;
+channel CH(a, b);
+  by a: m;
+module M systemprocess;
+  ip P : CH(b) individual queue;
+end;
+body B for M;
+var c : char;
+state S0;
+initialize to S0 begin c := 'x' end;
+trans from S0 to S0 when P.m name t: begin end;
+end;
+end.`
+	spec, err := parser.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Print(spec), "'x'") {
+		t.Fatal("char literal not printed")
+	}
+}

@@ -1,0 +1,205 @@
+package scanner
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/estelle/token"
+)
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	src := "specification s; x := y + 1 <= 2 <> 3 .. 4 ^p end."
+	toks, errs := ScanAll("t", src)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.SPECIFICATION, token.IDENT, token.SEMICOLON,
+		token.IDENT, token.ASSIGN, token.IDENT, token.PLUS, token.INT,
+		token.LEQ, token.INT, token.NEQ, token.INT, token.DOTDOT, token.INT,
+		token.CARET, token.IDENT, token.END, token.PERIOD,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	for _, src := range []string{"BEGIN", "Begin", "begin", "bEgIn"} {
+		toks, _ := ScanAll("t", src)
+		if len(toks) != 1 || toks[0].Kind != token.BEGIN {
+			t.Errorf("%q: got %v, want BEGIN", src, toks)
+		}
+	}
+}
+
+func TestIdentifiersKeepCase(t *testing.T) {
+	toks, _ := ScanAll("t", "FooBar")
+	if len(toks) != 1 || toks[0].Lit != "FooBar" {
+		t.Fatalf("got %v", toks)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := "a { comment } b (* another\nmultiline *) c"
+	toks, errs := ScanAll("t", src)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens, want 3: %v", len(toks), toks)
+	}
+	if toks[2].Pos.Line != 2 {
+		t.Errorf("token after multiline comment at line %d, want 2", toks[2].Pos.Line)
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	_, errs := ScanAll("t", "a { never closed")
+	if len(errs) == 0 {
+		t.Fatal("expected error")
+	}
+	_, errs = ScanAll("t", "a (* never closed")
+	if len(errs) == 0 {
+		t.Fatal("expected error")
+	}
+}
+
+func TestStringAndCharLiterals(t *testing.T) {
+	toks, errs := ScanAll("t", "'a' 'abc' 'it''s'")
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if toks[0].Kind != token.CHAR || toks[0].Lit != "a" {
+		t.Errorf("char literal: %v", toks[0])
+	}
+	if toks[1].Kind != token.STRING || toks[1].Lit != "abc" {
+		t.Errorf("string literal: %v", toks[1])
+	}
+	if toks[2].Kind != token.STRING || toks[2].Lit != "it's" {
+		t.Errorf("escaped quote: %v (%q)", toks[2], toks[2].Lit)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	_, errs := ScanAll("t", "'oops\n")
+	if len(errs) == 0 {
+		t.Fatal("expected error")
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	toks, errs := ScanAll("t", "a @ b")
+	if len(errs) == 0 {
+		t.Fatal("expected error")
+	}
+	if toks[1].Kind != token.ILLEGAL {
+		t.Fatalf("got %v", toks[1])
+	}
+}
+
+func TestPositions(t *testing.T) {
+	src := "a\n  b\nccc d"
+	toks, _ := ScanAll("f.est", src)
+	type pos struct{ l, c int }
+	want := []pos{{1, 1}, {2, 3}, {3, 1}, {3, 5}}
+	for i, w := range want {
+		if toks[i].Pos.Line != w.l || toks[i].Pos.Col != w.c {
+			t.Errorf("token %d at %d:%d, want %d:%d", i, toks[i].Pos.Line, toks[i].Pos.Col, w.l, w.c)
+		}
+	}
+	if got := toks[0].Pos.String(); got != "f.est:1:1" {
+		t.Errorf("Pos.String() = %q", got)
+	}
+}
+
+func TestEOFIdempotent(t *testing.T) {
+	s := New("t", "x")
+	s.Next()
+	for i := 0; i < 3; i++ {
+		if tok := s.Next(); tok.Kind != token.EOF {
+			t.Fatalf("call %d: got %v, want EOF", i, tok)
+		}
+	}
+}
+
+// TestScannerNeverPanics: property — the scanner terminates without panic on
+// arbitrary input and token positions are monotonically non-decreasing.
+func TestScannerNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		s := New("q", src)
+		lastLine, lastCol := 0, 0
+		for i := 0; i < len(src)+10; i++ {
+			tok := s.Next()
+			if tok.Kind == token.EOF {
+				return true
+			}
+			if tok.Pos.Line < lastLine ||
+				(tok.Pos.Line == lastLine && tok.Pos.Col < lastCol) {
+				return false
+			}
+			lastLine, lastCol = tok.Pos.Line, tok.Pos.Col
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNumbersRoundTrip: property — scanning a decimal literal yields exactly
+// that literal back.
+func TestNumbersRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		src := " " + strings.TrimLeft(string(rune('0'+n%10))+"", " ")
+		_ = src
+		lit := itoa(uint64(n))
+		toks, errs := ScanAll("t", lit)
+		return len(errs) == 0 && len(toks) == 1 &&
+			toks[0].Kind == token.INT && toks[0].Lit == lit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n uint64) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestAllKeywordsScan(t *testing.T) {
+	for k := token.AND; k <= token.WHEN; k++ {
+		if !k.IsKeyword() {
+			continue
+		}
+		toks, errs := ScanAll("t", k.String())
+		if len(errs) > 0 || len(toks) != 1 || toks[0].Kind != k {
+			t.Errorf("keyword %q scanned as %v (errs %v)", k.String(), toks, errs)
+		}
+	}
+}

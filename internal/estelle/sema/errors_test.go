@@ -1,0 +1,317 @@
+package sema
+
+import "testing"
+
+// TestChannelErrors covers channel declaration problems.
+func TestChannelErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{`specification s;
+channel CH(a);
+  by a: m;
+module M systemprocess;
+  ip P : CH(a) individual queue;
+end;
+body B for M;
+state S0;
+initialize to S0 begin end;
+trans from S0 to S0 when P.m name t: begin end;
+end;
+end.`, "exactly two roles"},
+		{`specification s;
+channel CH(a, a);
+  by a: m;
+module M systemprocess;
+  ip P : CH(a) individual queue;
+end;
+body B for M;
+state S0;
+initialize to S0 begin end;
+trans from S0 to S0 when P.m name t: begin end;
+end;
+end.`, "duplicate role"},
+		{`specification s;
+channel CH(a, b);
+  by c: m;
+module M systemprocess;
+  ip P : CH(b) individual queue;
+end;
+body B for M;
+state S0;
+initialize to S0 begin end;
+trans from S0 to S0 when P.m name t: begin end;
+end;
+end.`, "not declared by channel"},
+		{`specification s;
+channel CH(a, b);
+  by a: m(v : integer);
+  by b: m(w : integer);
+module M systemprocess;
+  ip P : CH(b) individual queue;
+end;
+body B for M;
+state S0;
+initialize to S0 begin end;
+trans from S0 to S0 when P.m name t: begin end;
+end;
+end.`, "redeclared with parameters"},
+	}
+	for _, c := range cases {
+		wantErr(t, c.src, c.frag)
+	}
+}
+
+// TestModuleHeaderErrors covers IP declaration problems.
+func TestModuleHeaderErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{`specification s;
+channel CH(a, b);
+  by a: m;
+module M systemprocess;
+  ip P : NOPE(b) individual queue;
+end;
+body B for M;
+state S0;
+initialize to S0 begin end;
+trans from S0 to S0 name t: begin end;
+end;
+end.`, "unknown channel"},
+		{`specification s;
+channel CH(a, b);
+  by a: m;
+module M systemprocess;
+  ip P : CH(zzz) individual queue;
+end;
+body B for M;
+state S0;
+initialize to S0 begin end;
+trans from S0 to S0 name t: begin end;
+end;
+end.`, "has no role"},
+		{`specification s;
+channel CH(a, b);
+  by a: m;
+module M systemprocess;
+  ip P : array [boolean, 1..2000] of CH(b) individual queue;
+end;
+body B for M;
+state S0;
+initialize to S0 begin end;
+trans from S0 to S0 name t: begin end;
+end;
+end.`, "dimension too large"},
+		{`specification s;
+channel CH(a, b);
+  by a: m;
+module M systemprocess;
+end;
+body B for M;
+state S0;
+initialize to S0 begin end;
+trans from S0 to S0 name t: begin end;
+end;
+end.`, "no interaction points"},
+	}
+	for _, c := range cases {
+		wantErr(t, c.src, c.frag)
+	}
+}
+
+// TestTransitionErrors covers transition clause problems.
+func TestTransitionErrors(t *testing.T) {
+	cases := []struct{ body, frag string }{
+		{`state S0;
+initialize to S0 begin end;
+trans from NOPE to S0 when P.m name t: begin end;`, "unknown state or stateset"},
+		{`state S0;
+initialize to S0 begin end;
+trans from S0 to NOPE when P.m name t: begin end;`, "unknown target state"},
+		{`state S0;
+initialize to S0 begin end;
+trans from S0 to S0 when P.nope name t: begin end;`, "no interaction"},
+		{`state S0;
+stateset SS = [S0, NOPE];
+initialize to S0 begin end;
+trans from S0 to S0 when P.m name t: begin end;`, "unknown state NOPE"},
+		{`var x : integer;
+state S0;
+initialize to S0 begin end;
+trans from x to S0 when P.m name t: begin end;`, "unknown state or stateset"},
+	}
+	for _, c := range cases {
+		wantErr(t, base(c.body), c.frag)
+	}
+}
+
+// TestExpressionErrors covers type errors in expressions.
+func TestExpressionErrors(t *testing.T) {
+	cases := []struct{ body, frag string }{
+		{`var x : integer; b : boolean;
+state S0;
+initialize to S0 begin b := x and b end;
+trans from S0 to S0 when P.m name t: begin end;`, "expects booleans"},
+		{`var x : integer; b : boolean;
+state S0;
+initialize to S0 begin x := b + 1 end;
+trans from S0 to S0 when P.m name t: begin end;`, "expects integers"},
+		{`var x : integer; b : boolean;
+state S0;
+initialize to S0 begin b := x = b end;
+trans from S0 to S0 when P.m name t: begin end;`, "cannot compare"},
+		{`var q : ^integer; b : boolean;
+state S0;
+initialize to S0 begin b := q < q end;
+trans from S0 to S0 when P.m name t: begin end;`, "cannot order"},
+		{`var x : integer;
+state S0;
+initialize to S0 begin x := x[1] end;
+trans from S0 to S0 when P.m name t: begin end;`, "indexing a non-array"},
+		{`var x : integer;
+state S0;
+initialize to S0 begin x := x.f end;
+trans from S0 to S0 when P.m name t: begin end;`, "non-record"},
+		{`type r = record f : integer end;
+var y : r; x : integer;
+state S0;
+initialize to S0 begin x := y.nope end;
+trans from S0 to S0 when P.m name t: begin end;`, "has no field"},
+		{`var x : integer;
+state S0;
+initialize to S0 begin x := x^ end;
+trans from S0 to S0 when P.m name t: begin end;`, "dereferencing non-pointer"},
+		{`var x : integer;
+state S0;
+initialize to S0 begin x := nope end;
+trans from S0 to S0 when P.m name t: begin end;`, "undeclared identifier"},
+		{`var x : integer;
+state S0;
+initialize to S0 begin x := nope(1) end;
+trans from S0 to S0 when P.m name t: begin end;`, "unknown function"},
+		{`procedure proc2;
+begin end;
+var x : integer;
+state S0;
+initialize to S0 begin x := proc2 end;
+trans from S0 to S0 when P.m name t: begin end;`, "used as a value"},
+		{`function f : integer;
+begin f := 1 end;
+state S0;
+initialize to S0 begin f end;
+trans from S0 to S0 when P.m name t: begin end;`, "called as a procedure"},
+		{`var x : array [1..2] of integer;
+state S0;
+initialize to S0 begin x[1, 2] := 1 end;
+trans from S0 to S0 when P.m name t: begin end;`, "1 dimensions"},
+		{`var x : boolean;
+state S0;
+initialize to S0 begin x := not 3 end;
+trans from S0 to S0 when P.m name t: begin end;`, "not expects a boolean"},
+		{`var x : integer;
+state S0;
+initialize to S0 begin x := -true end;
+trans from S0 to S0 when P.m name t: begin end;`, "expects an integer"},
+	}
+	for _, c := range cases {
+		wantErr(t, base(c.body), c.frag)
+	}
+}
+
+// TestBuiltinErrors covers builtin misuse.
+func TestBuiltinErrors(t *testing.T) {
+	cases := []struct{ body, frag string }{
+		{`var x : integer;
+state S0;
+initialize to S0 begin new(x) end;
+trans from S0 to S0 when P.m name t: begin end;`, "must be a pointer"},
+		{`var q : ^integer; x : integer;
+state S0;
+initialize to S0 begin x := new(q) end;
+trans from S0 to S0 when P.m name t: begin end;`, "cannot be used in an expression"},
+		{`var q : ^integer;
+state S0;
+initialize to S0 begin new(q, q) end;
+trans from S0 to S0 when P.m name t: begin end;`, "exactly one argument"},
+		{`var q : ^integer; x : integer;
+state S0;
+initialize to S0 begin x := ord(q) end;
+trans from S0 to S0 when P.m name t: begin end;`, "ord expects an ordinal"},
+		{`var b : boolean; c : char;
+state S0;
+initialize to S0 begin c := chr(b) end;
+trans from S0 to S0 when P.m name t: begin end;`, "chr expects an integer"},
+		{`var q : ^integer;
+state S0;
+initialize to S0 begin q := succ(q) end;
+trans from S0 to S0 when P.m name t: begin end;`, "succ/pred expects"},
+		{`var b : boolean; x : integer;
+state S0;
+initialize to S0 begin x := abs(b) end;
+trans from S0 to S0 when P.m name t: begin end;`, "abs expects an integer"},
+		{`var b : boolean;
+state S0;
+initialize to S0 begin b := odd(b) end;
+trans from S0 to S0 when P.m name t: begin end;`, "odd expects an integer"},
+	}
+	for _, c := range cases {
+		wantErr(t, base(c.body), c.frag)
+	}
+}
+
+// TestCallArgumentErrors covers user-call argument checking.
+func TestCallArgumentErrors(t *testing.T) {
+	cases := []struct{ body, frag string }{
+		{`procedure proc2(x : integer);
+begin end;
+state S0;
+initialize to S0 begin proc2(1, 2) end;
+trans from S0 to S0 when P.m name t: begin end;`, "expects 1 arguments"},
+		{`procedure proc2(x : integer);
+begin end;
+state S0;
+initialize to S0 begin proc2(true) end;
+trans from S0 to S0 when P.m name t: begin end;`, "cannot assign boolean"},
+		{`procedure proc2(var x : integer);
+begin end;
+state S0;
+initialize to S0 begin proc2(3) end;
+trans from S0 to S0 when P.m name t: begin end;`, "not assignable"},
+		{`procedure proc2(var x : integer);
+begin end;
+var b : boolean;
+state S0;
+initialize to S0 begin proc2(b) end;
+trans from S0 to S0 when P.m name t: begin end;`, "expected integer, got boolean"},
+		{`state S0;
+initialize to S0 begin nopeproc end;
+trans from S0 to S0 when P.m name t: begin end;`, "unknown procedure"},
+	}
+	for _, c := range cases {
+		wantErr(t, base(c.body), c.frag)
+	}
+}
+
+// TestLoopErrors covers for-loop control checking.
+func TestLoopErrors(t *testing.T) {
+	cases := []struct{ body, frag string }{
+		{`type r = record f : integer end;
+var y : r;
+state S0;
+initialize to S0 begin
+  for y := 1 to 3 do y.f := 1
+end;
+trans from S0 to S0 when P.m name t: begin end;`, "must be ordinal"},
+		{`var i : integer;
+state S0;
+initialize to S0 begin
+  for i := true to false do i := 1
+end;
+trans from S0 to S0 when P.m name t: begin end;`, "for loop start"},
+		{`state S0;
+initialize to S0 begin end;
+trans from S0 to S0 when P.m name t: begin
+  for v := 1 to 3 do begin end
+end;`, "interaction parameter"},
+	}
+	for _, c := range cases {
+		wantErr(t, base(c.body), c.frag)
+	}
+}

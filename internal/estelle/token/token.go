@@ -1,0 +1,276 @@
+// Package token defines the lexical tokens of the Estelle subset accepted by
+// this reproduction of Tango, together with source positions.
+//
+// Estelle (ISO 9074) is a Pascal-based formal description technique. The
+// subset covered here is the one required by single-module trace-analysis
+// specifications: channels, module headers and bodies, Pascal declarations
+// (const/type/var/function/procedure), states and statesets, and transition
+// declarations with from/to/when/provided/priority/any clauses.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// The list of token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT  // counter
+	INT    // 123
+	STRING // 'abc'
+	CHAR   // 'a' (single-character string literal; disambiguated by the parser)
+
+	// Operators and delimiters.
+	PLUS      // +
+	MINUS     // -
+	STAR      // *
+	SLASH     // /
+	EQ        // =
+	NEQ       // <>
+	LT        // <
+	LEQ       // <=
+	GT        // >
+	GEQ       // >=
+	ASSIGN    // :=
+	LPAREN    // (
+	RPAREN    // )
+	LBRACKET  // [
+	RBRACKET  // ]
+	COMMA     // ,
+	SEMICOLON // ;
+	COLON     // :
+	PERIOD    // .
+	DOTDOT    // ..
+	CARET     // ^
+
+	keywordStart
+	// Pascal keywords.
+	AND
+	ARRAY
+	BEGIN
+	CASE
+	CONST
+	DIV
+	DO
+	DOWNTO
+	ELSE
+	END
+	FALSE
+	FOR
+	FORWARD
+	FUNCTION
+	IF
+	IN
+	MOD
+	NOT
+	OF
+	OR
+	PACKED
+	PROCEDURE
+	RECORD
+	REPEAT
+	SET
+	THEN
+	TO
+	TRUE
+	TYPE
+	UNTIL
+	VAR
+	WHILE
+
+	// Estelle keywords.
+	ALL
+	ANY
+	BODY
+	BY
+	CHANNEL
+	DEFAULT
+	DELAY
+	FROM
+	INDIVIDUAL
+	INITIALIZE
+	IP
+	MODULE
+	NAME
+	OUTPUT
+	PRIORITY
+	PROCESS
+	PROVIDED
+	QUEUE
+	SAME
+	SPECIFICATION
+	STATE
+	STATESET
+	SYSTEMACTIVITY
+	SYSTEMPROCESS
+	TRANS
+	WHEN
+	keywordEnd
+)
+
+var names = map[Kind]string{
+	ILLEGAL: "ILLEGAL",
+	EOF:     "EOF",
+	IDENT:   "IDENT",
+	INT:     "INT",
+	STRING:  "STRING",
+	CHAR:    "CHAR",
+
+	PLUS:      "+",
+	MINUS:     "-",
+	STAR:      "*",
+	SLASH:     "/",
+	EQ:        "=",
+	NEQ:       "<>",
+	LT:        "<",
+	LEQ:       "<=",
+	GT:        ">",
+	GEQ:       ">=",
+	ASSIGN:    ":=",
+	LPAREN:    "(",
+	RPAREN:    ")",
+	LBRACKET:  "[",
+	RBRACKET:  "]",
+	COMMA:     ",",
+	SEMICOLON: ";",
+	COLON:     ":",
+	PERIOD:    ".",
+	DOTDOT:    "..",
+	CARET:     "^",
+
+	AND:       "and",
+	ARRAY:     "array",
+	BEGIN:     "begin",
+	CASE:      "case",
+	CONST:     "const",
+	DIV:       "div",
+	DO:        "do",
+	DOWNTO:    "downto",
+	ELSE:      "else",
+	END:       "end",
+	FALSE:     "false",
+	FOR:       "for",
+	FORWARD:   "forward",
+	FUNCTION:  "function",
+	IF:        "if",
+	IN:        "in",
+	MOD:       "mod",
+	NOT:       "not",
+	OF:        "of",
+	OR:        "or",
+	PACKED:    "packed",
+	PROCEDURE: "procedure",
+	RECORD:    "record",
+	REPEAT:    "repeat",
+	SET:       "set",
+	THEN:      "then",
+	TO:        "to",
+	TRUE:      "true",
+	TYPE:      "type",
+	UNTIL:     "until",
+	VAR:       "var",
+	WHILE:     "while",
+
+	ALL:            "all",
+	ANY:            "any",
+	BODY:           "body",
+	BY:             "by",
+	CHANNEL:        "channel",
+	DEFAULT:        "default",
+	DELAY:          "delay",
+	FROM:           "from",
+	INDIVIDUAL:     "individual",
+	INITIALIZE:     "initialize",
+	IP:             "ip",
+	MODULE:         "module",
+	NAME:           "name",
+	OUTPUT:         "output",
+	PRIORITY:       "priority",
+	PROCESS:        "process",
+	PROVIDED:       "provided",
+	QUEUE:          "queue",
+	SAME:           "same",
+	SPECIFICATION:  "specification",
+	STATE:          "state",
+	STATESET:       "stateset",
+	SYSTEMACTIVITY: "systemactivity",
+	SYSTEMPROCESS:  "systemprocess",
+	TRANS:          "trans",
+	WHEN:           "when",
+}
+
+// String returns the textual form of the token kind: the operator spelling
+// for operators, the lower-case keyword for keywords, and the class name for
+// literal classes.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether k is a reserved word of the language.
+func (k Kind) IsKeyword() bool { return k > keywordStart && k < keywordEnd }
+
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := keywordStart + 1; k < keywordEnd; k++ {
+		m[names[k]] = k
+	}
+	return m
+}()
+
+// Lookup maps an identifier spelling to its keyword kind, or IDENT if the
+// spelling is not reserved. Estelle, like Pascal, is case-insensitive; the
+// caller must pass a lower-cased spelling.
+func Lookup(lower string) Kind {
+	if k, ok := keywords[lower]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Pos is a source position: 1-based line and column, with the file name the
+// scanner was constructed with.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String formats the position as "file:line:col" (omitting an empty file).
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexical token with its source position and spelling.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	// Lit holds the literal spelling for IDENT, INT, STRING and CHAR tokens.
+	// Identifiers are recorded in their original case; keyword recognition
+	// and name resolution are case-insensitive.
+	Lit string
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT:
+		return t.Lit
+	case STRING, CHAR:
+		return "'" + t.Lit + "'"
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,298 @@
+// Package types defines the semantic type system of the Estelle subset:
+// Pascal's ordinal types (integer, boolean, char, enumerations, subranges),
+// structured types (arrays, records, sets) and pointers. It provides the
+// compatibility predicates used by the semantic analyzer and the layout
+// queries used by the virtual machine.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the type structure.
+type Kind int
+
+// The kinds of types.
+const (
+	Invalid Kind = iota
+	Integer
+	Boolean
+	Char
+	Enum
+	Subrange
+	Array
+	Record
+	Pointer
+	Set
+)
+
+// Field is one record field.
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// Type is a semantic type. Types are structural except for enums, which are
+// nominal (each enum declaration is distinct).
+type Type struct {
+	Kind Kind
+	// Name is the declared name, if the type was introduced by a type
+	// declaration; used in diagnostics only.
+	Name string
+
+	// Enum
+	EnumNames []string
+
+	// Subrange
+	Base   *Type // underlying ordinal type
+	Lo, Hi int64
+
+	// Array: Indexes are ordinal types, one per dimension.
+	Indexes []*Type
+	// Elem is the element type of an Array, Pointer or Set.
+	Elem *Type
+
+	// Record
+	Fields []Field
+}
+
+// Predeclared types shared by every program.
+var (
+	Int  = &Type{Kind: Integer, Name: "integer"}
+	Bool = &Type{Kind: Boolean, Name: "boolean"}
+	Chr  = &Type{Kind: Char, Name: "char"}
+)
+
+// IntegerLo and IntegerHi bound the predeclared integer type, matching a
+// 32-bit Pascal integer (Estelle inherits Pascal's integer).
+const (
+	IntegerLo = -2147483648
+	IntegerHi = 2147483647
+)
+
+// String renders the type for diagnostics.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	if t.Name != "" {
+		return t.Name
+	}
+	switch t.Kind {
+	case Enum:
+		return "(" + strings.Join(t.EnumNames, ", ") + ")"
+	case Subrange:
+		return fmt.Sprintf("%d..%d", t.Lo, t.Hi)
+	case Array:
+		idx := make([]string, len(t.Indexes))
+		for i, ix := range t.Indexes {
+			idx[i] = ix.String()
+		}
+		return fmt.Sprintf("array [%s] of %s", strings.Join(idx, ", "), t.Elem)
+	case Record:
+		return "record"
+	case Pointer:
+		return "^" + t.Elem.String()
+	case Set:
+		return "set of " + t.Elem.String()
+	default:
+		return kindName(t.Kind)
+	}
+}
+
+func kindName(k Kind) string {
+	switch k {
+	case Integer:
+		return "integer"
+	case Boolean:
+		return "boolean"
+	case Char:
+		return "char"
+	case Enum:
+		return "enum"
+	case Subrange:
+		return "subrange"
+	case Array:
+		return "array"
+	case Record:
+		return "record"
+	case Pointer:
+		return "pointer"
+	case Set:
+		return "set"
+	default:
+		return "invalid"
+	}
+}
+
+// IsOrdinal reports whether values of t have an ordinal number (and hence can
+// index arrays, appear in subranges, case labels and for loops).
+func (t *Type) IsOrdinal() bool {
+	switch t.Kind {
+	case Integer, Boolean, Char, Enum, Subrange:
+		return true
+	}
+	return false
+}
+
+// OrdinalRange returns the inclusive ordinal bounds of an ordinal type.
+func (t *Type) OrdinalRange() (lo, hi int64) {
+	switch t.Kind {
+	case Integer:
+		return IntegerLo, IntegerHi
+	case Boolean:
+		return 0, 1
+	case Char:
+		return 0, 255
+	case Enum:
+		return 0, int64(len(t.EnumNames)) - 1
+	case Subrange:
+		return t.Lo, t.Hi
+	}
+	return 0, -1
+}
+
+// Root returns the underlying ordinal type of a subrange (or t itself).
+func (t *Type) Root() *Type {
+	for t.Kind == Subrange {
+		t = t.Base
+	}
+	return t
+}
+
+// SameOrdinalFamily reports whether two ordinal types share an underlying
+// host type, so that values of one are assignment-compatible with the other
+// up to range checks.
+func SameOrdinalFamily(a, b *Type) bool {
+	ra, rb := a.Root(), b.Root()
+	if ra.Kind != rb.Kind {
+		return false
+	}
+	if ra.Kind == Enum {
+		return ra == rb // enums are nominal
+	}
+	return true
+}
+
+// AssignableFrom reports whether a value of type src may be assigned to a
+// location of type dst.
+func AssignableFrom(dst, src *Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	if dst == src {
+		return true
+	}
+	if dst.IsOrdinal() && src.IsOrdinal() {
+		return SameOrdinalFamily(dst, src)
+	}
+	switch dst.Kind {
+	case Pointer:
+		return src.Kind == Pointer && (src.Elem == dst.Elem || src.Elem == nil || dst.Elem == nil)
+	case Array:
+		return src.Kind == Array && equalStructure(dst, src)
+	case Record:
+		return src.Kind == Record && equalStructure(dst, src)
+	case Set:
+		return src.Kind == Set && (src.Elem == nil || SameOrdinalFamily(dst.Elem, src.Elem))
+	}
+	return false
+}
+
+// Comparable reports whether = / <> are defined between the two types.
+func Comparable(a, b *Type) bool {
+	if a.IsOrdinal() && b.IsOrdinal() {
+		return SameOrdinalFamily(a, b)
+	}
+	if a.Kind == Pointer && b.Kind == Pointer {
+		return true
+	}
+	if a.Kind == Set && b.Kind == Set {
+		return true
+	}
+	// Estelle permits whole-record/array equality in provided clauses; the
+	// VM implements deep comparison.
+	if a.Kind == b.Kind && (a.Kind == Record || a.Kind == Array) {
+		return equalStructure(a, b)
+	}
+	return false
+}
+
+// Ordered reports whether < <= > >= are defined between the two types.
+func Ordered(a, b *Type) bool {
+	return a.IsOrdinal() && b.IsOrdinal() && SameOrdinalFamily(a, b)
+}
+
+func equalStructure(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case Array:
+		if len(a.Indexes) != len(b.Indexes) {
+			return false
+		}
+		for i := range a.Indexes {
+			alo, ahi := a.Indexes[i].OrdinalRange()
+			blo, bhi := b.Indexes[i].OrdinalRange()
+			if ahi-alo != bhi-blo {
+				return false
+			}
+		}
+		return equalStructure(a.Elem, b.Elem)
+	case Record:
+		if len(a.Fields) != len(b.Fields) {
+			return false
+		}
+		for i := range a.Fields {
+			if !strings.EqualFold(a.Fields[i].Name, b.Fields[i].Name) ||
+				!equalStructure(a.Fields[i].Type, b.Fields[i].Type) {
+				return false
+			}
+		}
+		return true
+	case Pointer:
+		return a.Elem == b.Elem
+	default:
+		return SameOrdinalFamily(a, b)
+	}
+}
+
+// FieldIndex returns the position of the named field in a record type, or -1.
+// Field lookup is case-insensitive, as everywhere in Estelle.
+func (t *Type) FieldIndex(name string) int {
+	for i, f := range t.Fields {
+		if strings.EqualFold(f.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ArrayLen returns the total number of elements of (possibly
+// multi-dimensional) array type t.
+func (t *Type) ArrayLen() int {
+	n := 1
+	for _, ix := range t.Indexes {
+		lo, hi := ix.OrdinalRange()
+		n *= int(hi - lo + 1)
+	}
+	return n
+}
+
+// SetSize returns the number of bits needed to represent set type t, or -1
+// if the element range is unusable. Set membership bits are canonical: bit i
+// represents ordinal value i, so element types must have non-negative
+// ordinals bounded by 4095 (Pascal implementations bound set sizes
+// similarly; this keeps values of different set types bit-compatible).
+func (t *Type) SetSize() int {
+	lo, hi := t.Elem.OrdinalRange()
+	if lo < 0 || hi > 4095 || hi < lo {
+		return -1
+	}
+	return int(hi) + 1
+}

@@ -1,0 +1,182 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sub(base *Type, lo, hi int64) *Type {
+	return &Type{Kind: Subrange, Base: base, Lo: lo, Hi: hi}
+}
+
+func TestOrdinalRanges(t *testing.T) {
+	cases := []struct {
+		t      *Type
+		lo, hi int64
+	}{
+		{Int, IntegerLo, IntegerHi},
+		{Bool, 0, 1},
+		{Chr, 0, 255},
+		{&Type{Kind: Enum, EnumNames: []string{"a", "b", "c"}}, 0, 2},
+		{sub(Int, 3, 9), 3, 9},
+	}
+	for _, c := range cases {
+		lo, hi := c.t.OrdinalRange()
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("%s: range %d..%d, want %d..%d", c.t, lo, hi, c.lo, c.hi)
+		}
+		if !c.t.IsOrdinal() {
+			t.Errorf("%s: not ordinal", c.t)
+		}
+	}
+}
+
+func TestRootUnwindsNestedSubranges(t *testing.T) {
+	inner := sub(Int, 0, 100)
+	outer := &Type{Kind: Subrange, Base: inner.Base, Lo: 5, Hi: 10}
+	if outer.Root() != Int {
+		t.Fatalf("Root() = %v", outer.Root())
+	}
+}
+
+func TestEnumsAreNominal(t *testing.T) {
+	e1 := &Type{Kind: Enum, EnumNames: []string{"x", "y"}}
+	e2 := &Type{Kind: Enum, EnumNames: []string{"x", "y"}}
+	if SameOrdinalFamily(e1, e2) {
+		t.Fatal("distinct enums must not be family-compatible")
+	}
+	if !SameOrdinalFamily(e1, sub(e1, 0, 1)) {
+		t.Fatal("enum subrange must be compatible with its base")
+	}
+}
+
+func TestAssignableFrom(t *testing.T) {
+	small := sub(Int, 0, 9)
+	if !AssignableFrom(small, Int) || !AssignableFrom(Int, small) {
+		t.Error("integer subrange assignability")
+	}
+	if AssignableFrom(Int, Bool) {
+		t.Error("bool assignable to integer")
+	}
+	arr1 := &Type{Kind: Array, Indexes: []*Type{sub(Int, 1, 3)}, Elem: Int}
+	arr2 := &Type{Kind: Array, Indexes: []*Type{sub(Int, 0, 2)}, Elem: Int}
+	arr3 := &Type{Kind: Array, Indexes: []*Type{sub(Int, 0, 3)}, Elem: Int}
+	if !AssignableFrom(arr1, arr2) {
+		t.Error("same-shape arrays must be assignable")
+	}
+	if AssignableFrom(arr1, arr3) {
+		t.Error("different-length arrays must not be assignable")
+	}
+	rec1 := &Type{Kind: Record, Fields: []Field{{"A", Int}, {"B", Bool}}}
+	rec2 := &Type{Kind: Record, Fields: []Field{{"a", Int}, {"b", Bool}}}
+	rec3 := &Type{Kind: Record, Fields: []Field{{"a", Int}}}
+	if !AssignableFrom(rec1, rec2) {
+		t.Error("field names compare case-insensitively")
+	}
+	if AssignableFrom(rec1, rec3) {
+		t.Error("different records must not be assignable")
+	}
+	p1 := &Type{Kind: Pointer, Elem: rec1}
+	p2 := &Type{Kind: Pointer, Elem: rec1}
+	if !AssignableFrom(p1, p2) {
+		t.Error("same-target pointers must be assignable")
+	}
+}
+
+func TestComparableAndOrdered(t *testing.T) {
+	if !Comparable(Int, sub(Int, 0, 5)) {
+		t.Error("integer vs subrange comparable")
+	}
+	if Comparable(Int, Bool) {
+		t.Error("int vs bool comparable")
+	}
+	if !Ordered(Chr, Chr) {
+		t.Error("chars ordered")
+	}
+	p := &Type{Kind: Pointer, Elem: Int}
+	if !Comparable(p, p) {
+		t.Error("pointers comparable")
+	}
+	if Ordered(p, p) {
+		t.Error("pointers must not be ordered")
+	}
+}
+
+func TestFieldIndex(t *testing.T) {
+	rec := &Type{Kind: Record, Fields: []Field{{"head", Int}, {"Tail", Bool}}}
+	if rec.FieldIndex("HEAD") != 0 || rec.FieldIndex("tail") != 1 {
+		t.Error("case-insensitive field lookup failed")
+	}
+	if rec.FieldIndex("nope") != -1 {
+		t.Error("missing field must return -1")
+	}
+}
+
+func TestArrayLen(t *testing.T) {
+	at := &Type{Kind: Array,
+		Indexes: []*Type{sub(Int, 1, 3), sub(Int, 0, 4)}, Elem: Int}
+	if n := at.ArrayLen(); n != 15 {
+		t.Fatalf("ArrayLen = %d, want 15", n)
+	}
+}
+
+func TestSetSize(t *testing.T) {
+	ok := &Type{Kind: Set, Elem: sub(Int, 0, 127)}
+	if ok.SetSize() != 128 {
+		t.Errorf("SetSize = %d, want 128", ok.SetSize())
+	}
+	huge := &Type{Kind: Set, Elem: Int}
+	if huge.SetSize() != -1 {
+		t.Errorf("huge set size = %d, want -1", huge.SetSize())
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want string
+	}{
+		{Int, "integer"},
+		{sub(Int, 1, 5), "1..5"},
+		{&Type{Kind: Pointer, Elem: Int}, "^integer"},
+		{&Type{Kind: Set, Elem: Bool}, "set of boolean"},
+		{&Type{Kind: Enum, EnumNames: []string{"r", "g"}}, "(r, g)"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	var nilT *Type
+	if nilT.String() != "<nil>" {
+		t.Error("nil type String")
+	}
+}
+
+// Property: subranges of the same base are always mutually assignable, and
+// assignability over ordinals is symmetric in the family sense.
+func TestSubrangeFamilyProperty(t *testing.T) {
+	f := func(lo1, hi1, lo2, hi2 int16) bool {
+		a := sub(Int, int64(min16(lo1, hi1)), int64(max16(lo1, hi1)))
+		b := sub(Int, int64(min16(lo2, hi2)), int64(max16(lo2, hi2)))
+		return AssignableFrom(a, b) && AssignableFrom(b, a) &&
+			SameOrdinalFamily(a, b) == SameOrdinalFamily(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min16(a, b int16) int16 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max16(a, b int16) int16 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/efsm"
+	"repro/specs"
+)
+
+// TestFig1AndFig2 run quickly and assert their narrative output.
+func TestFig1(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig1(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "verdict: valid") || !strings.Contains(out, "T2") {
+		t.Fatalf("fig1 output:\n%s", out)
+	}
+}
+
+func TestFig2(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig2(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "likely invalid") || !strings.Contains(out, "-> verdict: invalid") {
+		t.Fatalf("fig2 output:\n%s", out)
+	}
+}
+
+// TestFig4SmallShape runs the Figure 4 configurations at reduced size and
+// checks the two shape claims: order checking wins at fixed depth, and FULL
+// cost grows with depth.
+func TestFig4Shape(t *testing.T) {
+	spec, err := efsm.Compile("tp0.estelle", specs.TP0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te := map[string]int64{}
+	for _, cfg := range []struct {
+		key  string
+		k    int
+		mode int // index into Modes
+	}{
+		{"k2-NR", 2, 0}, {"k2-FULL", 2, 3}, {"k4-FULL", 4, 3},
+	} {
+		tr, err := Fig4InvalidTrace(spec, cfg.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, err := runOnce(spec, optionsFor(Modes[cfg.mode], 2_000_000), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		te[cfg.key] = row.Stats.TE
+	}
+	if te["k2-FULL"] >= te["k2-NR"] {
+		t.Fatalf("FULL (%d TE) should beat NR (%d TE) at fixed depth", te["k2-FULL"], te["k2-NR"])
+	}
+	if te["k4-FULL"] <= te["k2-FULL"] {
+		t.Fatalf("FULL cost should grow with depth: k2=%d k4=%d", te["k2-FULL"], te["k4-FULL"])
+	}
+}
+
+// TestInflateLAPD compiles and still behaves like LAPD.
+func TestInflateLAPD(t *testing.T) {
+	src, err := InflateLAPD(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := efsm.Compile("lapd-inflated", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := efsm.Compile("lapd", specs.LAPD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.TransitionCount() != base.TransitionCount()+50 {
+		t.Fatalf("inflated count %d, want %d", spec.TransitionCount(), base.TransitionCount()+50)
+	}
+}
+
+// TestLinearRuns exercises the linear experiment end to end (it asserts
+// internally that every trace is valid).
+func TestLinearRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := Linear(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "TE/event") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+// TestFanoutRuns exercises the fanout experiment with a small budget.
+func TestFanoutRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := Fanout(&sb, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fanout") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+// TestRegistryComplete: every DESIGN.md experiment id is registered.
+func TestRegistryComplete(t *testing.T) {
+	all := All(1000)
+	for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "tps", "fanout", "linear"} {
+		if all[name] == nil {
+			t.Errorf("experiment %s not registered", name)
+		}
+	}
+	if len(Names()) != len(all) {
+		t.Errorf("Names() has %d entries, registry %d", len(Names()), len(all))
+	}
+}
+
+// TestFig3Full runs the complete Figure 3 experiment (all DIs, all modes)
+// and asserts the paper's qualitative orderings on the collected rows.
+func TestFig3Full(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig3(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, mode := range []string{"mode NR", "mode IO", "mode IP", "mode FULL"} {
+		if !strings.Contains(out, mode) {
+			t.Fatalf("missing %s in output", mode)
+		}
+	}
+	if strings.Contains(out, "invalid") {
+		t.Fatal("a Figure 3 trace was not valid")
+	}
+}
+
+// TestFig4Full runs the complete Figure 4 experiment within a budget.
+func TestFig4Full(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NR row is slow")
+	}
+	var sb strings.Builder
+	if err := Fig4(&sb, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c := strings.Count(sb.String(), "invalid"); c < 6 {
+		t.Fatalf("expected 6 invalid rows, got %d:\n%s", c, sb.String())
+	}
+}
+
+// TestTPSRuns exercises the throughput experiment (slow: inflated specs).
+func TestTPSRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("inflated-LAPD analysis is slow")
+	}
+	var sb strings.Builder
+	if err := TPS(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "lapd+800") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}

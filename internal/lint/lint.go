@@ -1,0 +1,334 @@
+// Package lint statically checks a compiled specification for the properties
+// Tango assumes of its input. The paper requires the trace analysis module to
+// be "free of non-progress cycles, as these can foil DFS algorithms, yielding
+// search trees of infinite depth" (§2.1, footnote 1); this package detects
+// them conservatively, along with unreachable FSM states, interaction points
+// no transition uses, and transitions that can never fire.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/efsm"
+	"repro/internal/estelle/ast"
+	"repro/internal/sim"
+)
+
+// Severity classifies a finding.
+type Severity int
+
+// Severities.
+const (
+	Warning Severity = iota
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Finding is one lint result.
+type Finding struct {
+	Severity Severity
+	Code     string // e.g. "non-progress-cycle"
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s [%s]: %s", f.Severity, f.Code, f.Message)
+}
+
+// Check runs every lint pass and returns the findings, stable-sorted by
+// severity then code.
+func Check(spec *efsm.Spec) []Finding {
+	var out []Finding
+	out = append(out, nonProgressCycles(spec)...)
+	out = append(out, unreachableStates(spec)...)
+	out = append(out, unusedIPs(spec)...)
+	out = append(out, constantFalseGuards(spec)...)
+	out = append(out, emptyBodies(spec)...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity > out[j].Severity
+		}
+		return out[i].Code < out[j].Code
+	})
+	return out
+}
+
+// nonProgressCycles looks for cycles in the FSM-state graph whose edges are
+// spontaneous transitions that produce no output. This over-approximates the
+// paper's definition (provided clauses and variable effects are ignored), so
+// a hit is a warning: the search trees such cycles create are of infinite
+// depth unless guards break them.
+func nonProgressCycles(spec *efsm.Spec) []Finding {
+	n := spec.NumStates()
+	adj := make([][]int, n)
+	labels := make(map[[2]int][]string)
+	for st := 0; st < n; st++ {
+		for _, ti := range spec.Spontaneous(st) {
+			if producesOutput(ti.Decl.Body) {
+				continue
+			}
+			to := ti.To
+			if to < 0 {
+				to = st
+			}
+			adj[st] = append(adj[st], to)
+			key := [2]int{st, to}
+			labels[key] = append(labels[key], ti.Name)
+		}
+	}
+	var out []Finding
+	// Self-loops first (the common case: `from S to same` with no output).
+	reported := make(map[int]bool)
+	for st := 0; st < n; st++ {
+		for _, to := range adj[st] {
+			if to == st && !reported[st] {
+				reported[st] = true
+				out = append(out, Finding{
+					Severity: Warning,
+					Code:     "non-progress-cycle",
+					Message: fmt.Sprintf(
+						"spontaneous transition %s loops on state %s without consuming input or producing output",
+						strings.Join(labels[[2]int{st, st}], ","), spec.StateName(st)),
+				})
+			}
+		}
+	}
+	// Longer cycles via DFS colouring.
+	color := make([]int, n) // 0 white, 1 grey, 2 black
+	var stack []int
+	var dfs func(u int) []int
+	dfs = func(u int) []int {
+		color[u] = 1
+		stack = append(stack, u)
+		for _, v := range adj[u] {
+			if v == u {
+				continue // self-loops reported above
+			}
+			if color[v] == 1 {
+				// Found a cycle: slice of the stack from v.
+				for i, s := range stack {
+					if s == v {
+						return append([]int(nil), stack[i:]...)
+					}
+				}
+			}
+			if color[v] == 0 {
+				if cyc := dfs(v); cyc != nil {
+					return cyc
+				}
+			}
+		}
+		color[u] = 2
+		stack = stack[:len(stack)-1]
+		return nil
+	}
+	for st := 0; st < n; st++ {
+		if color[st] != 0 {
+			continue
+		}
+		stack = stack[:0]
+		if cyc := dfs(st); cyc != nil {
+			names := make([]string, len(cyc))
+			for i, s := range cyc {
+				names[i] = spec.StateName(s)
+			}
+			out = append(out, Finding{
+				Severity: Warning,
+				Code:     "non-progress-cycle",
+				Message: fmt.Sprintf(
+					"spontaneous no-output transitions form a cycle through states %s",
+					strings.Join(names, " -> ")),
+			})
+		}
+	}
+	return out
+}
+
+func producesOutput(b *ast.Block) bool {
+	if b == nil {
+		return false
+	}
+	found := false
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.OutputStmt:
+			found = true
+		case *ast.Block:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *ast.IfStmt:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *ast.WhileStmt:
+			walk(s.Body)
+		case *ast.RepeatStmt:
+			for _, st := range s.Body {
+				walk(st)
+			}
+		case *ast.ForStmt:
+			walk(s.Body)
+		case *ast.CaseStmt:
+			for _, arm := range s.Arms {
+				walk(arm.Body)
+			}
+			for _, st := range s.Else {
+				walk(st)
+			}
+		}
+	}
+	for _, st := range b.Stmts {
+		walk(st)
+	}
+	return found
+}
+
+// unreachableStates reports FSM states not reachable from the initial state
+// in the transition graph (ignoring guards — conservative in the other
+// direction, so unreachability here is definite).
+func unreachableStates(spec *efsm.Spec) []Finding {
+	n := spec.NumStates()
+	adj := make([][]int, n)
+	for _, ti := range spec.Prog.Trans {
+		from := ti.FromStates
+		if from == nil {
+			for s := 0; s < n; s++ {
+				from = append(from, s)
+			}
+		}
+		for _, f := range from {
+			to := ti.To
+			if to < 0 {
+				to = f
+			}
+			adj[f] = append(adj[f], to)
+		}
+	}
+	seen := make([]bool, n)
+	queue := []int{spec.Prog.InitTo}
+	seen[spec.Prog.InitTo] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	var out []Finding
+	for s := 0; s < n; s++ {
+		if !seen[s] {
+			out = append(out, Finding{
+				Severity: Warning,
+				Code:     "unreachable-state",
+				Message:  fmt.Sprintf("state %s is unreachable from the initial state", spec.StateName(s)),
+			})
+		}
+	}
+	return out
+}
+
+// unusedIPs reports interaction points no transition receives on and no
+// output statement targets.
+func unusedIPs(spec *efsm.Spec) []Finding {
+	used := make([]bool, spec.NumIPs())
+	for _, ti := range spec.Prog.Trans {
+		if ti.WhenIPIndex >= 0 {
+			used[ti.WhenIPIndex] = true
+		}
+	}
+	for _, g := range spec.Prog.Info.OutputGroup {
+		for i := 0; i < g.Count; i++ {
+			used[g.Base+i] = true
+		}
+	}
+	var out []Finding
+	for i, u := range used {
+		if !u {
+			out = append(out, Finding{
+				Severity: Warning,
+				Code:     "unused-ip",
+				Message: fmt.Sprintf(
+					"interaction point %s is never received on or output to (consider disable_ip during analysis)",
+					spec.IPName(i)),
+			})
+		}
+	}
+	return out
+}
+
+// constantFalseGuards reports provided clauses that are literally `false`
+// (after constant folding of bool literals and not).
+func constantFalseGuards(spec *efsm.Spec) []Finding {
+	var out []Finding
+	for _, ti := range spec.Prog.Trans {
+		if v, ok := constBool(ti.Provided); ok && !v {
+			out = append(out, Finding{
+				Severity: Warning,
+				Code:     "never-fires",
+				Message:  fmt.Sprintf("transition %s has a constant-false provided clause", ti.Name),
+			})
+		}
+	}
+	return out
+}
+
+func constBool(e ast.Expr) (bool, bool) {
+	switch e := e.(type) {
+	case *ast.BoolLit:
+		return e.Value, true
+	case *ast.UnaryExpr:
+		if v, ok := constBool(e.X); ok {
+			return !v, true
+		}
+	}
+	return false, false
+}
+
+// emptyBodies reports transitions that neither change state, nor output, nor
+// contain statements — pure no-ops that only enlarge the search tree.
+func emptyBodies(spec *efsm.Spec) []Finding {
+	var out []Finding
+	for _, ti := range spec.Prog.Trans {
+		if ti.To >= 0 || ti.WhenInter != nil {
+			continue // consumes input or moves state: has an effect
+		}
+		if ti.Decl.Body == nil || len(ti.Decl.Body.Stmts) == 0 {
+			out = append(out, Finding{
+				Severity: Warning,
+				Code:     "no-op-transition",
+				Message:  fmt.Sprintf("spontaneous transition %s has an empty body and keeps the same state", ti.Name),
+			})
+		}
+	}
+	return out
+}
+
+// Reachability summarizes a bounded forward exploration of the composite
+// state space (FSM state + variables + heap), reporting which FSM states a
+// closed system (no environment input) can actually reach. It is a dynamic
+// complement to the static passes, built on internal/sim.
+func Reachability(spec *efsm.Spec, maxStates int) (reached []string, truncated bool, err error) {
+	set, truncated, err := sim.ReachableStates(spec, maxStates)
+	if err != nil {
+		return nil, false, err
+	}
+	for st := range set {
+		reached = append(reached, spec.StateName(st))
+	}
+	sort.Strings(reached)
+	return reached, truncated, nil
+}

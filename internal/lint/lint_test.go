@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/efsm"
+	"repro/specs"
+)
+
+func compile(t *testing.T, name, src string) *efsm.Spec {
+	t.Helper()
+	s, err := efsm.Compile(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func findings(t *testing.T, src string) []Finding {
+	t.Helper()
+	return Check(compile(t, "lint-test", src))
+}
+
+func hasCode(fs []Finding, code string) bool {
+	for _, f := range fs {
+		if f.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+const lintBase = `specification s;
+channel CH(a, b);
+  by a: m;
+  by b: r;
+module M systemprocess;
+  ip P : CH(b) individual queue;
+end;
+body B for M;
+%s
+end;
+end.`
+
+func TestSelfLoopNonProgressCycle(t *testing.T) {
+	fs := findings(t, sprintf(lintBase, `
+state S0;
+initialize to S0 begin end;
+trans
+  from S0 to same name spin: begin end;
+  from S0 to S0 when P.m name rx: begin end;
+`))
+	if !hasCode(fs, "non-progress-cycle") {
+		t.Fatalf("self-loop not reported: %v", fs)
+	}
+}
+
+func TestTwoStateNonProgressCycle(t *testing.T) {
+	fs := findings(t, sprintf(lintBase, `
+var x : integer;
+state S0, S1;
+initialize to S0 begin x := 0 end;
+trans
+  from S0 to S1 name hop: begin x := 1 end;
+  from S1 to S0 name back: begin x := 0 end;
+  from S0 to S0 when P.m name rx: begin end;
+`))
+	if !hasCode(fs, "non-progress-cycle") {
+		t.Fatalf("two-state cycle not reported: %v", fs)
+	}
+}
+
+func TestOutputBreaksCycle(t *testing.T) {
+	fs := findings(t, sprintf(lintBase, `
+state S0;
+initialize to S0 begin end;
+trans
+  from S0 to same name beat: begin output P.r end;
+  from S0 to S0 when P.m name rx: begin end;
+`))
+	if hasCode(fs, "non-progress-cycle") {
+		t.Fatalf("output-producing loop wrongly reported: %v", fs)
+	}
+}
+
+func TestUnreachableState(t *testing.T) {
+	fs := findings(t, sprintf(lintBase, `
+state S0, LIMBO;
+initialize to S0 begin end;
+trans
+  from S0 to S0 when P.m name rx: begin end;
+  from LIMBO to S0 when P.m name esc: begin end;
+`))
+	if !hasCode(fs, "unreachable-state") {
+		t.Fatalf("LIMBO not reported: %v", fs)
+	}
+}
+
+func TestUnusedIP(t *testing.T) {
+	src := `specification s;
+channel CH(a, b);
+  by a: m;
+module M systemprocess;
+  ip P : CH(b) individual queue;
+     Q : CH(b) individual queue;
+end;
+body B for M;
+state S0;
+initialize to S0 begin end;
+trans
+  from S0 to S0 when P.m name rx: begin end;
+end;
+end.`
+	fs := findings(t, src)
+	if !hasCode(fs, "unused-ip") {
+		t.Fatalf("unused Q not reported: %v", fs)
+	}
+}
+
+func TestNeverFires(t *testing.T) {
+	fs := findings(t, sprintf(lintBase, `
+state S0;
+initialize to S0 begin end;
+trans
+  from S0 to S0 when P.m provided not true name dead: begin end;
+`))
+	if !hasCode(fs, "never-fires") {
+		t.Fatalf("constant-false guard not reported: %v", fs)
+	}
+}
+
+func TestCleanSpecsMostlyQuiet(t *testing.T) {
+	// The shipped protocol specs must not trip the definite-problem passes.
+	for _, name := range []string{"tp0", "lapd", "ack", "ip3", "demux", "echo"} {
+		fs := findings(t, specs.All()[name])
+		for _, f := range fs {
+			switch f.Code {
+			case "non-progress-cycle", "unreachable-state", "never-fires":
+				t.Errorf("%s: unexpected %v", name, f)
+			}
+		}
+	}
+}
+
+func TestReachability(t *testing.T) {
+	// tp0 as a closed system (no input) stays in the initial state.
+	spec := compile(t, "tp0", specs.TP0)
+	states, truncated, err := Reachability(spec, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated || len(states) != 1 || states[0] != "idle" {
+		t.Fatalf("reachable: %v (truncated=%v)", states, truncated)
+	}
+}
+
+func sprintf(format string, args ...any) string {
+	return strings.Replace(format, "%s", args[0].(string), 1)
+}

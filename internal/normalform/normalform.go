@@ -1,0 +1,256 @@
+// Package normalform implements the specification transformation sketched in
+// §5.3 of the paper (after Sarikaya, Bochmann & Cerny): rewriting transitions
+// into a "normal form" that eliminates top-level if/then/else and case
+// statements by splitting each transition into several transitions guarded by
+// provided clauses. The paper proposes this rewrite to make partial trace
+// analysis tractable — an undefined branch condition then surfaces as an
+// ordinary (undefined ⇒ enabled) provided clause instead of an undefined
+// control-flow decision inside a block.
+//
+// The transformation is syntactic and semantics-preserving for conditions
+// without side effects (Estelle provided-clauses must be side-effect free, so
+// the conditions moved into them must be too; conditions containing function
+// calls are left in place conservatively). Only branching at the head of a
+// transition block is lifted; a bounded number of passes unfolds nested
+// branching.
+package normalform
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/estelle/ast"
+	"repro/internal/estelle/token"
+)
+
+// Options controls the transformation.
+type Options struct {
+	// MaxPasses bounds repeated lifting of nested branches (default 4).
+	MaxPasses int
+	// MaxTransitions aborts if splitting would exceed this many transition
+	// declarations (default 4096).
+	MaxTransitions int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPasses <= 0 {
+		o.MaxPasses = 4
+	}
+	if o.MaxTransitions <= 0 {
+		o.MaxTransitions = 4096
+	}
+	return o
+}
+
+// Stats reports what the transformation did.
+type Stats struct {
+	Passes      int
+	IfsLifted   int
+	CasesLifted int
+	Before      int // transition declarations before
+	After       int // transition declarations after
+}
+
+// Transform rewrites the specification in normal form, returning a new AST
+// (the input is not modified; unchanged subtrees are shared).
+func Transform(spec *ast.Spec, opts Options) (*ast.Spec, Stats, error) {
+	opts = opts.withDefaults()
+	var stats Stats
+	if spec.Body == nil {
+		return spec, stats, nil
+	}
+	stats.Before = len(spec.Body.Trans)
+	// Parenless calls to user functions parse as plain identifiers; collect
+	// the declared function names so conditions mentioning them are treated
+	// as (potentially side-effecting) calls.
+	funcs := make(map[string]bool)
+	for _, d := range spec.Body.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			funcs[strings.ToLower(fd.Name)] = true
+		}
+	}
+	tr := transformer{funcs: funcs}
+	trans := spec.Body.Trans
+	for pass := 0; pass < opts.MaxPasses; pass++ {
+		var next []*ast.Transition
+		changed := false
+		for _, t := range trans {
+			split, kind := tr.liftHead(t)
+			if split == nil {
+				next = append(next, t)
+				continue
+			}
+			changed = true
+			switch kind {
+			case "if":
+				stats.IfsLifted++
+			case "case":
+				stats.CasesLifted++
+			}
+			next = append(next, split...)
+			if len(next) > opts.MaxTransitions {
+				return nil, stats, fmt.Errorf(
+					"normal form: transition count would exceed %d", opts.MaxTransitions)
+			}
+		}
+		trans = next
+		if !changed {
+			stats.Passes = pass
+			break
+		}
+		stats.Passes = pass + 1
+	}
+	stats.After = len(trans)
+	out := *spec
+	body := *spec.Body
+	body.Trans = trans
+	out.Body = &body
+	return &out, stats, nil
+}
+
+// transformer carries the per-spec context of the rewrite.
+type transformer struct {
+	funcs map[string]bool // lower-cased user function/procedure names
+}
+
+// liftHead splits a transition whose block begins with an if or case
+// statement over a side-effect-free condition. It returns nil when the
+// transition is already in normal form (or cannot be lifted safely).
+func (tr transformer) liftHead(t *ast.Transition) ([]*ast.Transition, string) {
+	if t.Body == nil || len(t.Body.Stmts) == 0 {
+		return nil, ""
+	}
+	head := t.Body.Stmts[0]
+	rest := t.Body.Stmts[1:]
+	switch head := head.(type) {
+	case *ast.IfStmt:
+		if !tr.sideEffectFree(head.Cond) {
+			return nil, ""
+		}
+		thenT := derive(t, "nfT", head.Cond, prepend(head.Then, rest))
+		var elseStmt ast.Stmt = &ast.EmptyStmt{SemiPos: head.KwPos}
+		if head.Else != nil {
+			elseStmt = head.Else
+		}
+		elseT := derive(t, "nfF", notExpr(head.Cond), prepend(elseStmt, rest))
+		return []*ast.Transition{thenT, elseT}, "if"
+	case *ast.CaseStmt:
+		if !tr.sideEffectFree(head.Expr) {
+			return nil, ""
+		}
+		var out []*ast.Transition
+		var allLabels []ast.Expr
+		for i, arm := range head.Arms {
+			for _, lab := range arm.Labels {
+				if !tr.sideEffectFree(lab) {
+					return nil, ""
+				}
+			}
+			allLabels = append(allLabels, arm.Labels...)
+			cond := labelsMatch(head.Expr, arm.Labels)
+			out = append(out, derive(t, fmt.Sprintf("nfC%d", i), cond, prepend(arm.Body, rest)))
+		}
+		// The else arm (implicit empty when absent: Estelle's case without a
+		// matching label is a no-op in this subset's executor).
+		elseBody := prependAll(head.Else, rest)
+		out = append(out, derive(t, "nfCe", notExpr(labelsMatch(head.Expr, allLabels)), elseBody))
+		return out, "case"
+	default:
+		return nil, ""
+	}
+}
+
+// derive builds a copy of t with an extra provided conjunct and a new body.
+func derive(t *ast.Transition, suffix string, cond ast.Expr, stmts []ast.Stmt) *ast.Transition {
+	nt := *t
+	nt.Body = &ast.Block{BeginPos: t.Body.BeginPos, Stmts: stmts}
+	if nt.Provided != nil {
+		nt.Provided = &ast.BinaryExpr{Op: token.AND, X: paren(nt.Provided), Y: paren(cond)}
+	} else {
+		nt.Provided = cond
+	}
+	if t.Name != "" {
+		nt.Name = t.Name + "_" + suffix
+	}
+	return &nt
+}
+
+// paren exists only for clarity of intent: the AST is structural, so no
+// parentheses node is needed; precedence is re-established by the printer.
+func paren(e ast.Expr) ast.Expr { return e }
+
+func notExpr(e ast.Expr) ast.Expr {
+	return &ast.UnaryExpr{OpPos: e.Pos(), Op: token.NOT, X: e}
+}
+
+// labelsMatch builds `(e = l1) or (e = l2) or ...`.
+func labelsMatch(e ast.Expr, labels []ast.Expr) ast.Expr {
+	var out ast.Expr
+	for _, lab := range labels {
+		eq := &ast.BinaryExpr{Op: token.EQ, X: e, Y: lab}
+		if out == nil {
+			out = eq
+		} else {
+			out = &ast.BinaryExpr{Op: token.OR, X: out, Y: eq}
+		}
+	}
+	if out == nil {
+		return &ast.BoolLit{LitPos: e.Pos(), Value: false}
+	}
+	return out
+}
+
+func prepend(s ast.Stmt, rest []ast.Stmt) []ast.Stmt {
+	out := make([]ast.Stmt, 0, len(rest)+1)
+	if s != nil {
+		out = append(out, s)
+	}
+	return append(out, rest...)
+}
+
+func prependAll(ss []ast.Stmt, rest []ast.Stmt) []ast.Stmt {
+	out := make([]ast.Stmt, 0, len(ss)+len(rest))
+	out = append(out, ss...)
+	return append(out, rest...)
+}
+
+// sideEffectFree reports whether evaluating e cannot change module state:
+// true for expressions without function calls (user functions may assign
+// globals, so calls — including parenless calls, which parse as plain
+// identifiers — are conservatively rejected).
+func (tr transformer) sideEffectFree(e ast.Expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return true
+	case *ast.Ident:
+		return !tr.funcs[strings.ToLower(e.Name)]
+	case *ast.IntLit, *ast.BoolLit, *ast.CharLit, *ast.StringLit:
+		return true
+	case *ast.BinaryExpr:
+		return tr.sideEffectFree(e.X) && tr.sideEffectFree(e.Y)
+	case *ast.UnaryExpr:
+		return tr.sideEffectFree(e.X)
+	case *ast.IndexExpr:
+		for _, ix := range e.Indexes {
+			if !tr.sideEffectFree(ix) {
+				return false
+			}
+		}
+		return tr.sideEffectFree(e.X)
+	case *ast.SelectorExpr:
+		return tr.sideEffectFree(e.X)
+	case *ast.DerefExpr:
+		return tr.sideEffectFree(e.X)
+	case *ast.SetLit:
+		for _, se := range e.Elems {
+			if !tr.sideEffectFree(se.Lo) || se.Hi != nil && !tr.sideEffectFree(se.Hi) {
+				return false
+			}
+		}
+		return true
+	case *ast.CallExpr:
+		return false
+	default:
+		return false
+	}
+}

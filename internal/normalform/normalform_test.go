@@ -1,0 +1,269 @@
+package normalform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/efsm"
+	"repro/internal/estelle/parser"
+	"repro/internal/estelle/printer"
+	"repro/internal/estelle/sema"
+	"repro/internal/gen"
+	"repro/internal/trace"
+	"repro/specs"
+)
+
+// branchy is a spec whose transition bodies start with if/case statements.
+const branchy = `specification branchy;
+channel CH(a, b);
+  by a: m(v : integer);
+  by b: small; big; one; two; other;
+module M systemprocess;
+  ip P : CH(b) individual queue;
+end;
+body B for M;
+var count : integer;
+state S0;
+initialize to S0 begin count := 0 end;
+trans
+  from S0 to S0 when P.m name split:
+    begin
+      if v > 10 then
+        output P.big
+      else
+        output P.small;
+      count := count + 1;
+    end;
+
+  from S0 to S0 when P.m provided v < 0 name cased:
+    begin
+      case v of
+        -1: output P.one;
+        -2: output P.two
+        else output P.other
+      end;
+    end;
+end;
+end.`
+
+func transform(t *testing.T, src string, opts Options) (*efsm.Spec, Stats) {
+	t.Helper()
+	astSpec, err := parser.Parse("t.estelle", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, stats, err := Transform(astSpec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := printer.Print(out)
+	re, err := parser.Parse("t-nf.estelle", printed)
+	if err != nil {
+		t.Fatalf("reparse normal form: %v\n%s", err, printed)
+	}
+	prog, err := sema.Check(re)
+	if err != nil {
+		t.Fatalf("recheck normal form: %v\n%s", err, printed)
+	}
+	return efsm.New(prog), stats
+}
+
+func TestLiftIf(t *testing.T) {
+	spec, stats := transform(t, branchy, Options{})
+	if stats.IfsLifted != 1 || stats.CasesLifted != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	// split -> 2 transitions; cased -> 3 (two arms + else); total 5.
+	if spec.TransitionCount() != 5 {
+		t.Fatalf("transitions = %d, want 5", spec.TransitionCount())
+	}
+	// No transition body may start with if/case anymore.
+	for _, ti := range spec.Prog.Trans {
+		if len(ti.Decl.Body.Stmts) == 0 {
+			continue
+		}
+		head := printer.PrintStmt(ti.Decl.Body.Stmts[0], 0)
+		if strings.HasPrefix(head, "if ") || strings.HasPrefix(head, "case ") {
+			t.Fatalf("transition %s still starts with branching: %s", ti.Name, head)
+		}
+	}
+}
+
+// TestEquivalence: for every input value, the original and the normal-form
+// specification produce identical traces, and each validates the other's
+// traces.
+func TestEquivalence(t *testing.T) {
+	astSpec, err := parser.Parse("t.estelle", branchy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origProg, err := sema.Check(astSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := efsm.New(origProg)
+	nf, _ := transform(t, branchy, Options{})
+
+	for _, v := range []string{"-2", "-1", "-3", "0", "5", "10", "11", "99"} {
+		run := func(spec *efsm.Spec) *trace.Trace {
+			g, err := gen.New(spec, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Feed("P", "m", map[string]string{"v": v}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g.Run(10); err != nil {
+				t.Fatal(err)
+			}
+			return g.Trace()
+		}
+		trOrig, trNF := run(orig), run(nf)
+		if trace.Format(trOrig) != trace.Format(trNF) {
+			t.Fatalf("v=%s: traces differ\noriginal:\n%s\nnormal form:\n%s",
+				v, trace.Format(trOrig), trace.Format(trNF))
+		}
+		// Cross-validate.
+		for _, pair := range []struct {
+			spec *efsm.Spec
+			tr   *trace.Trace
+		}{{orig, trNF}, {nf, trOrig}} {
+			a, err := analysis.New(pair.spec, analysis.Options{Order: analysis.OrderFull})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := a.AnalyzeTrace(pair.tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verdict != analysis.Valid {
+				t.Fatalf("v=%s: cross-validation verdict %v", v, res.Verdict)
+			}
+		}
+	}
+}
+
+// TestNestedIfNeedsPasses: nested branching unfolds over several passes.
+func TestNestedIfNeedsPasses(t *testing.T) {
+	src := `specification nested;
+channel CH(a, b);
+  by a: m(v : integer);
+  by b: r(w : integer);
+module M systemprocess;
+  ip P : CH(b) individual queue;
+end;
+body B for M;
+state S0;
+initialize to S0 begin end;
+trans
+  from S0 to S0 when P.m name deep:
+    begin
+      if v > 0 then
+        if v > 10 then
+          output P.r(2)
+        else
+          output P.r(1)
+      else
+        output P.r(0);
+    end;
+end;
+end.`
+	spec, stats := transform(t, src, Options{})
+	if spec.TransitionCount() != 4 { // (>10), (1..10), else-empty-split... v>0&v>10, v>0&!(v>10), !(v>0) + its empty else
+		// After pass 1: 2 transitions (v>0 with inner if; not v>0).
+		// After pass 2: inner if splits into 2; the not-(v>0) body has no
+		// branch head. Total 3. The empty-then-else accounting may add one.
+		if spec.TransitionCount() != 3 {
+			t.Fatalf("transitions = %d (stats %+v)", spec.TransitionCount(), stats)
+		}
+	}
+	if stats.Passes < 2 {
+		t.Fatalf("expected at least 2 passes, got %+v", stats)
+	}
+}
+
+// TestConditionWithCallNotLifted: conditions containing function calls are
+// conservatively left in place.
+func TestConditionWithCallNotLifted(t *testing.T) {
+	src := `specification calls;
+channel CH(a, b);
+  by a: m(v : integer);
+  by b: r;
+module M systemprocess;
+  ip P : CH(b) individual queue;
+end;
+body B for M;
+var g : integer;
+function bump : integer;
+begin
+  g := g + 1;
+  bump := g
+end;
+state S0;
+initialize to S0 begin g := 0 end;
+trans
+  from S0 to S0 when P.m name sideeffect:
+    begin
+      if bump > 2 then output P.r;
+    end;
+end;
+end.`
+	astSpec, err := parser.Parse("t.estelle", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := Transform(astSpec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.IfsLifted != 0 || stats.Before != stats.After {
+		t.Fatalf("call-bearing condition was lifted: %+v", stats)
+	}
+}
+
+// TestTransitionBudget: runaway splitting is bounded.
+func TestTransitionBudget(t *testing.T) {
+	astSpec, err := parser.Parse("t.estelle", branchy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Transform(astSpec, Options{MaxTransitions: 3}); err == nil {
+		t.Fatal("expected budget error")
+	}
+}
+
+// TestExistingProvidedConjoined: the original provided clause is preserved as
+// a conjunct.
+func TestExistingProvidedConjoined(t *testing.T) {
+	spec, _ := transform(t, branchy, Options{})
+	found := false
+	for _, ti := range spec.Prog.Trans {
+		if strings.HasPrefix(ti.Name, "cased_") && ti.Provided != nil {
+			s := printer.PrintExpr(ti.Provided)
+			if strings.Contains(s, "v < 0") && strings.Contains(s, "and") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("original provided clause not conjoined into split transitions")
+	}
+}
+
+// TestIdempotentOnNormalSpecs: already-normal specifications are unchanged.
+func TestIdempotentOnNormalSpecs(t *testing.T) {
+	for _, name := range []string{"ack", "ip3", "lapd"} {
+		astSpec, err := parser.Parse(name, specs.All()[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats, err := Transform(astSpec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Before != stats.After {
+			t.Fatalf("%s: changed %d -> %d", name, stats.Before, stats.After)
+		}
+	}
+}

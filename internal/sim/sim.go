@@ -1,0 +1,101 @@
+// Package sim is a small bounded state-space explorer over compiled
+// specifications: breadth-first search over composite module states
+// (FSM state + variables + dynamic memory) with visited-state deduplication
+// by fingerprint. The paper situates Tango next to exhaustive validators like
+// SPIN (§1.1); this package provides the corresponding (bounded) exploration
+// primitive for closed systems, used by the linter's reachability pass and
+// usable on its own for sanity-checking specifications.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/efsm"
+	"repro/internal/vm"
+)
+
+// Result summarizes a bounded exploration.
+type Result struct {
+	// States is the number of distinct composite states visited.
+	States int
+	// Transitions is the number of edges executed.
+	Transitions int
+	// Truncated reports whether the bound stopped the exploration.
+	Truncated bool
+	// FSMStates is the set of FSM control states seen.
+	FSMStates map[int]bool
+	// Deadlocks counts states with no fireable transition.
+	Deadlocks int
+}
+
+// Explore runs BFS from the initialized state, firing spontaneous transitions
+// only (a closed system: no environment input), up to maxStates distinct
+// composite states.
+func Explore(spec *efsm.Spec, maxStates int) (*Result, error) {
+	if maxStates <= 0 {
+		maxStates = 10_000
+	}
+	exec := vm.New(spec.Prog)
+	init, _, err := exec.RunInit()
+	if err != nil {
+		return nil, fmt.Errorf("initialize: %w", err)
+	}
+	res := &Result{FSMStates: make(map[int]bool)}
+	seen := map[string]bool{init.Fingerprint(): true}
+	queue := []*vm.State{init}
+	res.States = 1
+	res.FSMStates[init.FSM] = true
+
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		fired := 0
+		for _, ti := range spec.Spontaneous(st.FSM) {
+			ok, err := exec.EvalProvided(st, ti, nil)
+			if err != nil {
+				if _, isRTE := err.(*vm.RuntimeError); isRTE {
+					continue
+				}
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			next := st.Snapshot()
+			if _, err := exec.Execute(next, ti, nil); err != nil {
+				if _, isRTE := err.(*vm.RuntimeError); isRTE {
+					continue
+				}
+				return nil, err
+			}
+			fired++
+			res.Transitions++
+			fp := next.Fingerprint()
+			if seen[fp] {
+				continue
+			}
+			seen[fp] = true
+			res.States++
+			res.FSMStates[next.FSM] = true
+			if res.States >= maxStates {
+				res.Truncated = true
+				return res, nil
+			}
+			queue = append(queue, next)
+		}
+		if fired == 0 {
+			res.Deadlocks++
+		}
+	}
+	return res, nil
+}
+
+// ReachableStates returns the set of FSM control states reachable in a
+// closed system, for the linter.
+func ReachableStates(spec *efsm.Spec, maxStates int) (map[int]bool, bool, error) {
+	res, err := Explore(spec, maxStates)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.FSMStates, res.Truncated, nil
+}

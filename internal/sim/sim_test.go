@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/efsm"
+	"repro/specs"
+)
+
+func compile(t *testing.T, name, src string) *efsm.Spec {
+	t.Helper()
+	s, err := efsm.Compile(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestClosedTP0IsQuiescent(t *testing.T) {
+	spec := compile(t, "tp0", specs.TP0)
+	res, err := Explore(spec, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States != 1 || res.Transitions != 0 || res.Deadlocks != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+const counterSpec = `specification counter;
+channel CH(a, b);
+  by a: m;
+module M systemprocess;
+  ip P : CH(b) individual queue;
+end;
+body B for M;
+var n : integer;
+state S0, DONE;
+initialize to S0 begin n := 0 end;
+trans
+  from S0 to S0 provided n < 5 name inc: begin n := n + 1 end;
+  from S0 to DONE provided n = 5 name fin: begin end;
+  from DONE to DONE when P.m name rx: begin end;
+end;
+end.`
+
+func TestExploreCountsDistinctStates(t *testing.T) {
+	spec := compile(t, "counter", counterSpec)
+	res, err := Explore(spec, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// States: (S0, n=0..5) plus (DONE, n=5) = 7 distinct composite states.
+	if res.States != 7 {
+		t.Fatalf("states = %d, want 7 (%+v)", res.States, res)
+	}
+	if !res.FSMStates[1] {
+		t.Fatal("DONE not reached")
+	}
+	if res.Truncated {
+		t.Fatal("unexpectedly truncated")
+	}
+}
+
+func TestExploreTruncates(t *testing.T) {
+	// An unbounded counter: exploration must stop at the cap.
+	src := `specification unbounded;
+channel CH(a, b);
+  by a: m;
+module M systemprocess;
+  ip P : CH(b) individual queue;
+end;
+body B for M;
+var n : integer;
+state S0;
+initialize to S0 begin n := 0 end;
+trans
+  from S0 to S0 name inc: begin n := n + 1 end;
+  from S0 to S0 when P.m name rx: begin end;
+end;
+end.`
+	spec := compile(t, "unbounded", src)
+	res, err := Explore(spec, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.States != 50 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestExploreDedupsByValue(t *testing.T) {
+	// A toggling bit yields exactly 2 composite states despite endless
+	// firing.
+	src := `specification toggle;
+channel CH(a, b);
+  by a: m;
+module M systemprocess;
+  ip P : CH(b) individual queue;
+end;
+body B for M;
+var b1 : boolean;
+state S0;
+initialize to S0 begin b1 := false end;
+trans
+  from S0 to S0 name flip: begin b1 := not b1 end;
+  from S0 to S0 when P.m name rx: begin end;
+end;
+end.`
+	spec := compile(t, "toggle", src)
+	res, err := Explore(spec, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States != 2 || res.Truncated {
+		t.Fatalf("result: %+v", res)
+	}
+}

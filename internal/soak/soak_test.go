@@ -1,0 +1,289 @@
+// Package soak holds randomized end-to-end tests tying the whole pipeline
+// together: random workloads are run through implementation generation mode,
+// and the resulting traces are checked against metamorphic invariants of the
+// analyzer — every generated trace is valid under every order-checking mode,
+// on-line and off-line verdicts agree, and random event reorderings never
+// crash the analyzer or produce nonsensical verdicts.
+package soak
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/efsm"
+	"repro/internal/gen"
+	"repro/internal/trace"
+	"repro/specs"
+)
+
+// randomWorkload drives g with n random environment inputs drawn from the
+// spec's receivable interactions, interleaving random amounts of execution.
+func randomWorkload(t *testing.T, spec *efsm.Spec, g *gen.Generator, rng *rand.Rand, n int) {
+	t.Helper()
+	type feedable struct {
+		ip     string
+		inter  string
+		params []string // parameter names
+		types  []intRange
+	}
+	var menu []feedable
+	for _, ipInfo := range spec.Prog.IPs {
+		group := ipInfo.Group
+		for _, inter := range group.Channel.Interactions {
+			if !inter.ByRole[group.PeerRole] {
+				continue
+			}
+			f := feedable{ip: ipInfo.Name, inter: inter.Name}
+			ok := true
+			for _, p := range inter.Params {
+				lo, hi := p.Type.OrdinalRange()
+				if hi < lo {
+					ok = false
+					break
+				}
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > lo+9 {
+					hi = lo + 9
+				}
+				f.params = append(f.params, p.Name)
+				f.types = append(f.types, intRange{lo, hi})
+			}
+			if ok {
+				menu = append(menu, f)
+			}
+		}
+	}
+	if len(menu) == 0 {
+		t.Fatal("no feedable interactions")
+	}
+	for i := 0; i < n; i++ {
+		f := menu[rng.Intn(len(menu))]
+		params := map[string]string{}
+		for j, name := range f.params {
+			r := f.types[j]
+			params[name] = strconv.FormatInt(r.lo+rng.Int63n(r.hi-r.lo+1), 10)
+		}
+		if err := g.Feed(f.ip, f.inter, params); err != nil {
+			t.Fatalf("feed %s.%s: %v", f.ip, f.inter, err)
+		}
+		if rng.Intn(3) > 0 {
+			if _, err := g.Run(rng.Intn(8) + 1); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		}
+	}
+	if _, err := g.Run(1024); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+type intRange struct{ lo, hi int64 }
+
+var soakSpecs = []string{"tp0", "lapd", "abp", "echo", "ip3"}
+
+// TestRandomTracesAreValidAllModes: the central soundness invariant.
+func TestRandomTracesAreValidAllModes(t *testing.T) {
+	rounds := 8
+	if testing.Short() {
+		rounds = 2
+	}
+	for _, name := range soakSpecs {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := efsm.Compile(name, specs.All()[name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(1); seed <= int64(rounds); seed++ {
+				rng := rand.New(rand.NewSource(seed * 7919))
+				g, err := gen.New(spec, gen.NewSeededScheduler(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				randomWorkload(t, spec, g, rng, 12)
+				// Inputs the module never consumed are not in the trace
+				// (inputs are recorded at consumption), so even a stalled
+				// workload leaves a valid trace prefix behind.
+				tr := g.Trace()
+				for _, mode := range []analysis.OrderOpts{
+					analysis.OrderNone, analysis.OrderIO, analysis.OrderIP, analysis.OrderFull,
+				} {
+					a, err := analysis.New(spec, analysis.Options{
+						Order: mode, MaxTransitions: 500_000,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := a.AnalyzeTrace(tr)
+					if err != nil {
+						t.Fatalf("seed %d mode %v: %v", seed, mode, err)
+					}
+					if res.Verdict != analysis.Valid && res.Verdict != analysis.Exhausted {
+						t.Fatalf("seed %d mode %v: generated trace found %v\n%s",
+							seed, mode, res.Verdict, trace.Format(tr))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOnlineOfflineAgreement: chunked on-line analysis agrees with off-line
+// analysis on random traces and their single-swap mutations.
+func TestOnlineOfflineAgreement(t *testing.T) {
+	rounds := 5
+	if testing.Short() {
+		rounds = 2
+	}
+	spec, err := efsm.Compile("tp0", specs.TP0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= int64(rounds); seed++ {
+		rng := rand.New(rand.NewSource(seed * 104729))
+		g, err := gen.New(spec, gen.NewSeededScheduler(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		randomWorkload(t, spec, g, rng, 8)
+		tr := g.Trace()
+		variants := []*trace.Trace{tr}
+		if tr.Len() >= 2 {
+			// Swap two random adjacent events (re-sequencing).
+			i := rng.Intn(tr.Len() - 1)
+			mut := &trace.Trace{Events: append([]trace.Event(nil), tr.Events...), EOF: true}
+			mut.Events[i], mut.Events[i+1] = mut.Events[i+1], mut.Events[i]
+			mut.Events[i].Seq, mut.Events[i+1].Seq = i, i+1
+			variants = append(variants, mut)
+		}
+		for vi, v := range variants {
+			opts := analysis.Options{Order: analysis.OrderFull, MaxTransitions: 500_000}
+			a, err := analysis.New(spec, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off, err := a.AnalyzeTrace(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var chunks [][]trace.Event
+			for i := 0; i < len(v.Events); i += 2 {
+				end := i + 2
+				if end > len(v.Events) {
+					end = len(v.Events)
+				}
+				chunk := make([]trace.Event, end-i)
+				copy(chunk, v.Events[i:end])
+				chunks = append(chunks, chunk)
+			}
+			a2, err := analysis.New(spec, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			on, err := a2.AnalyzeSource(trace.NewSliceSource(chunks, true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if on.Verdict != off.Verdict {
+				t.Fatalf("seed %d variant %d: online %v != offline %v\n%s",
+					seed, vi, on.Verdict, off.Verdict, trace.Format(v))
+			}
+		}
+	}
+}
+
+// TestStateHashingPreservesVerdicts: hashing is a pure optimization.
+func TestStateHashingPreservesVerdicts(t *testing.T) {
+	rounds := 5
+	if testing.Short() {
+		rounds = 2
+	}
+	spec, err := efsm.Compile("tp0", specs.TP0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= int64(rounds); seed++ {
+		rng := rand.New(rand.NewSource(seed * 31337))
+		g, err := gen.New(spec, gen.NewSeededScheduler(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		randomWorkload(t, spec, g, rng, 8)
+		tr := g.Trace()
+		// Also try a corrupted variant.
+		variants := []*trace.Trace{tr}
+		if tr.Len() > 0 {
+			mut := &trace.Trace{Events: append([]trace.Event(nil), tr.Events...), EOF: true}
+			i := rng.Intn(len(mut.Events))
+			mut.Events[i].Interaction = "DR" // often illegal at that point
+			variants = append(variants, mut)
+		}
+		for _, v := range variants {
+			run := func(hash bool) analysis.Verdict {
+				a, err := analysis.New(spec, analysis.Options{
+					Order: analysis.OrderIO, StateHashing: hash, MaxTransitions: 500_000,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := a.AnalyzeTrace(v)
+				if err != nil {
+					// Resolution errors (mutation made an event illegal at
+					// the codec level) affect both runs equally.
+					return analysis.Verdict(-1)
+				}
+				return res.Verdict
+			}
+			plain, hashed := run(false), run(true)
+			if plain != hashed && plain != analysis.Exhausted && hashed != analysis.Exhausted {
+				t.Fatalf("seed %d: hashing changed verdict %v -> %v\n%s",
+					seed, plain, hashed, trace.Format(v))
+			}
+		}
+	}
+}
+
+// TestAnalyzerRobustToEventNoise: random foreign events must yield clean
+// errors or verdicts, never panics.
+func TestAnalyzerRobustToEventNoise(t *testing.T) {
+	spec, err := efsm.Compile("tp0", specs.TP0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	ips := []string{"U", "N", "X"}
+	inters := []string{"TCONreq", "CR", "DT", "NOPE", "TDTind"}
+	for round := 0; round < 50; round++ {
+		tr := &trace.Trace{EOF: true}
+		n := rng.Intn(6) + 1
+		for i := 0; i < n; i++ {
+			dir := trace.In
+			if rng.Intn(2) == 0 {
+				dir = trace.Out
+			}
+			ev := trace.Event{
+				Seq: i, Dir: dir,
+				IP:          ips[rng.Intn(len(ips))],
+				Interaction: inters[rng.Intn(len(inters))],
+			}
+			if rng.Intn(2) == 0 {
+				ev.Params = []trace.Param{{Name: "d", Value: strconv.Itoa(rng.Intn(10))}}
+			}
+			tr.Events = append(tr.Events, ev)
+		}
+		a, err := analysis.New(spec, analysis.Options{MaxTransitions: 100_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.AnalyzeTrace(tr); err != nil {
+			// Codec-level rejection is a fine outcome for noise.
+			continue
+		}
+	}
+	_ = fmt.Sprintf // keep fmt for debug convenience
+}

@@ -1,0 +1,24 @@
+package trace
+
+import "testing"
+
+// FuzzRead exercises the trace codec on arbitrary text: no panics, and any
+// trace that parses must re-parse identically after formatting.
+func FuzzRead(f *testing.F) {
+	f.Add("in U TCONreq\nout N CR d=5\neof\n")
+	f.Add("# comment\n\nin A x p=? q=-3\n")
+	f.Add("eof")
+	f.Fuzz(func(t *testing.T, text string) {
+		tr, err := ReadString(text)
+		if err != nil {
+			return
+		}
+		tr2, err := ReadString(Format(tr))
+		if err != nil {
+			t.Fatalf("formatted trace does not re-parse: %v\n%s", err, Format(tr))
+		}
+		if Format(tr2) != Format(tr) {
+			t.Fatalf("format not stable:\n%s\nvs\n%s", Format(tr), Format(tr2))
+		}
+	})
+}

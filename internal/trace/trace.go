@@ -1,0 +1,367 @@
+// Package trace defines the execution-trace format consumed and produced by
+// Tango: a log of the interactions sent through the implementation's
+// interaction points. Traces exist in two flavours (§3 of the paper): static
+// traces, fully available before analysis starts, and dynamic traces, which
+// grow while the implementation under test is executing and are read
+// incrementally by the on-line analyzer.
+//
+// The textual format is line-oriented:
+//
+//	# comment
+//	in  U  TCONreq  dst=5 quality=1
+//	out N  CR       src=3
+//	eof
+//
+// Direction is relative to the implementation under test: "in" events are
+// inputs it consumed, "out" events are outputs it produced. The optional
+// trailing "eof" marker is the forced-termination signal of §3.1.2: it tells
+// an on-line analyzer that no further data will arrive on any queue.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Dir is the direction of an event relative to the IUT.
+type Dir int
+
+// Event directions.
+const (
+	In Dir = iota
+	Out
+)
+
+// String returns "in" or "out".
+func (d Dir) String() string {
+	if d == In {
+		return "in"
+	}
+	return "out"
+}
+
+// Param is one interaction parameter as recorded in the trace: a name and a
+// textual value ("5", "true", "'a'", an enum member name, or "?" for an
+// unobserved value).
+type Param struct {
+	Name  string
+	Value string
+}
+
+// Event is one recorded interaction.
+type Event struct {
+	// Seq is the 0-based global position of the event in the trace.
+	Seq int
+	Dir Dir
+	// IP is the interaction point name as recorded ("U", "N[2]", ...).
+	IP          string
+	Interaction string
+	Params      []Param
+	// Line is the 1-based source line, for diagnostics.
+	Line int
+}
+
+// String renders the event in trace format.
+func (e Event) String() string {
+	var sb strings.Builder
+	sb.WriteString(e.Dir.String())
+	sb.WriteByte(' ')
+	sb.WriteString(e.IP)
+	sb.WriteByte(' ')
+	sb.WriteString(e.Interaction)
+	for _, p := range e.Params {
+		sb.WriteByte(' ')
+		sb.WriteString(p.Name)
+		sb.WriteByte('=')
+		sb.WriteString(p.Value)
+	}
+	return sb.String()
+}
+
+// Trace is a fully loaded (static) trace.
+type Trace struct {
+	Events []Event
+	// EOF records whether the trace ended with an explicit eof marker.
+	EOF bool
+}
+
+// Len returns the number of events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Inputs counts events with direction In.
+func (t *Trace) Inputs() int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Dir == In {
+			n++
+		}
+	}
+	return n
+}
+
+// Outputs counts events with direction Out.
+func (t *Trace) Outputs() int { return len(t.Events) - t.Inputs() }
+
+// ParseError is a trace syntax error.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("trace line %d: %s", e.Line, e.Msg) }
+
+// ParseLine parses one trace line, returning (nil, false, nil) for blank and
+// comment lines, and (nil, true, nil) for the eof marker.
+func ParseLine(line string, lineno int) (*Event, bool, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil, false, nil
+	}
+	fields := strings.Fields(line)
+	if strings.EqualFold(fields[0], "eof") {
+		return nil, true, nil
+	}
+	if len(fields) < 3 {
+		return nil, false, &ParseError{lineno, "expected: in|out IP INTERACTION [name=value ...]"}
+	}
+	var d Dir
+	switch strings.ToLower(fields[0]) {
+	case "in":
+		d = In
+	case "out":
+		d = Out
+	default:
+		return nil, false, &ParseError{lineno, fmt.Sprintf("unknown direction %q", fields[0])}
+	}
+	ev := &Event{Dir: d, IP: fields[1], Interaction: fields[2], Line: lineno}
+	for _, f := range fields[3:] {
+		eq := strings.IndexByte(f, '=')
+		if eq <= 0 {
+			return nil, false, &ParseError{lineno, fmt.Sprintf("malformed parameter %q (want name=value)", f)}
+		}
+		ev.Params = append(ev.Params, Param{Name: f[:eq], Value: f[eq+1:]})
+	}
+	return ev, false, nil
+}
+
+// Read loads a complete static trace.
+func Read(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		ev, eof, err := ParseLine(sc.Text(), lineno)
+		if err != nil {
+			return nil, err
+		}
+		if eof {
+			t.EOF = true
+			continue
+		}
+		if ev == nil {
+			continue
+		}
+		if t.EOF {
+			return nil, &ParseError{lineno, "event after eof marker"}
+		}
+		ev.Seq = len(t.Events)
+		t.Events = append(t.Events, *ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadString loads a static trace from a string.
+func ReadString(s string) (*Trace, error) { return Read(strings.NewReader(s)) }
+
+// Write renders the trace (including the eof marker if set).
+func Write(w io.Writer, t *Trace) error {
+	for _, e := range t.Events {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	if t.EOF {
+		if _, err := fmt.Fprintln(w, "eof"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Format renders the trace to a string.
+func Format(t *Trace) string {
+	var sb strings.Builder
+	_ = Write(&sb, t)
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic traces (on-line analysis)
+
+// Source is a dynamic trace source (§3): an on-line analyzer polls it for
+// newly arrived events. Poll returns any events appended since the previous
+// call and whether the end-of-file marker has been seen. After the marker is
+// seen, no further events will be returned.
+type Source interface {
+	Poll() (events []Event, eof bool, err error)
+}
+
+// SliceSource replays a pre-recorded trace in scripted chunks, for testing
+// and benchmarking on-line analysis deterministically: each Poll returns the
+// next chunk.
+type SliceSource struct {
+	chunks [][]Event
+	eofAt  int // chunk index after which EOF is reported; -1 = never
+	next   int
+	seq    int
+}
+
+// NewSliceSource builds a source over the given chunks. If markEOF is true,
+// EOF is reported once all chunks are consumed.
+func NewSliceSource(chunks [][]Event, markEOF bool) *SliceSource {
+	s := &SliceSource{chunks: chunks, eofAt: -1}
+	if markEOF {
+		s.eofAt = len(chunks)
+	}
+	return s
+}
+
+// Poll returns the next chunk.
+func (s *SliceSource) Poll() ([]Event, bool, error) {
+	if s.next >= len(s.chunks) {
+		return nil, s.eofAt >= 0 && s.next >= s.eofAt, nil
+	}
+	chunk := s.chunks[s.next]
+	s.next++
+	out := make([]Event, len(chunk))
+	for i, e := range chunk {
+		e.Seq = s.seq
+		s.seq++
+		out[i] = e
+	}
+	return out, s.eofAt >= 0 && s.next >= s.eofAt, nil
+}
+
+// ReaderSource incrementally parses a growing stream (a dynamic trace file
+// that another process appends to). Each Poll consumes all complete lines
+// currently buffered.
+type ReaderSource struct {
+	r    *bufio.Reader
+	seq  int
+	line int
+	eof  bool
+	part strings.Builder
+}
+
+// NewReaderSource wraps r as a dynamic trace source.
+func NewReaderSource(r io.Reader) *ReaderSource {
+	return &ReaderSource{r: bufio.NewReader(r)}
+}
+
+// Poll reads as many complete lines as are available without blocking
+// indefinitely; it stops at the first read error or io.EOF of the underlying
+// reader (io.EOF does NOT imply the trace eof marker — only the textual
+// marker does).
+func (s *ReaderSource) Poll() ([]Event, bool, error) {
+	if s.eof {
+		return nil, true, nil
+	}
+	var events []Event
+	for {
+		chunk, err := s.r.ReadString('\n')
+		if chunk != "" && !strings.HasSuffix(chunk, "\n") {
+			// Partial line: stash and wait for the rest.
+			s.part.WriteString(chunk)
+			return events, s.eof, nil
+		}
+		if chunk != "" {
+			line := s.part.String() + chunk
+			s.part.Reset()
+			s.line++
+			ev, eof, perr := ParseLine(line, s.line)
+			if perr != nil {
+				return events, s.eof, perr
+			}
+			if eof {
+				s.eof = true
+				return events, true, nil
+			}
+			if ev != nil {
+				ev.Seq = s.seq
+				s.seq++
+				events = append(events, *ev)
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
+				return events, s.eof, nil
+			}
+			return events, s.eof, err
+		}
+	}
+}
+
+// Collect drains a source completely (polling until EOF) into a static
+// trace. It is intended for tests; it spins if the source never reports EOF
+// and never produces events, so only use it with finite sources.
+func Collect(src Source, maxPolls int) (*Trace, error) {
+	t := &Trace{}
+	for i := 0; i < maxPolls; i++ {
+		evs, eof, err := src.Poll()
+		if err != nil {
+			return nil, err
+		}
+		t.Events = append(t.Events, evs...)
+		if eof {
+			t.EOF = true
+			return t, nil
+		}
+	}
+	return t, fmt.Errorf("source did not report eof within %d polls", maxPolls)
+}
+
+// Corrupt returns a copy of tr with the event at index i replaced using fn,
+// used by the experiment harness to fabricate invalid traces (§4.2: "one
+// parameter in the last data interaction of the trace file was edited
+// slightly to cause a mismatch").
+func Corrupt(tr *Trace, i int, fn func(Event) Event) *Trace {
+	out := &Trace{Events: make([]Event, len(tr.Events)), EOF: tr.EOF}
+	copy(out.Events, tr.Events)
+	out.Events[i] = fn(out.Events[i])
+	out.Events[i].Seq = i
+	return out
+}
+
+// Stats summarizes a trace for reports.
+func Stats(tr *Trace) string {
+	perIP := map[string][2]int{}
+	for _, e := range tr.Events {
+		c := perIP[e.IP]
+		if e.Dir == In {
+			c[0]++
+		} else {
+			c[1]++
+		}
+		perIP[e.IP] = c
+	}
+	names := make([]string, 0, len(perIP))
+	for n := range perIP {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d events (%d in, %d out)", tr.Len(), tr.Inputs(), tr.Outputs())
+	for _, n := range names {
+		c := perIP[n]
+		fmt.Fprintf(&sb, "; %s: %d/%d", n, c[0], c[1])
+	}
+	return sb.String()
+}

@@ -1,0 +1,131 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/estelle/types"
+)
+
+// Heap models Estelle dynamic memory (new/dispose). Addresses are opaque
+// positive integers; 0 is nil. The heap supports deep snapshot/restore, which
+// is what makes backtracking over transitions that allocate memory possible
+// (§3.2.2 of the paper discusses the cost of exactly this operation).
+type Heap struct {
+	cells map[int64]*Value
+	next  int64
+
+	// Allocs and Disposes count lifetime operations, for statistics.
+	Allocs, Disposes int64
+}
+
+// NewHeap returns an empty heap.
+func NewHeap() *Heap {
+	return &Heap{cells: make(map[int64]*Value), next: 1}
+}
+
+// Alloc allocates a cell of type t and returns its address. With undef set
+// the new cell's scalars start undefined (partial-trace mode).
+func (h *Heap) Alloc(t *types.Type, undef bool) int64 {
+	addr := h.next
+	h.next++
+	v := Zero(t, undef)
+	h.cells[addr] = &v
+	h.Allocs++
+	return addr
+}
+
+// Get returns the cell at addr.
+func (h *Heap) Get(addr int64) (*Value, error) {
+	if addr == 0 {
+		return nil, fmt.Errorf("nil pointer dereference")
+	}
+	v, ok := h.cells[addr]
+	if !ok {
+		return nil, fmt.Errorf("dangling pointer dereference (address %d)", addr)
+	}
+	return v, nil
+}
+
+// Dispose frees the cell at addr.
+func (h *Heap) Dispose(addr int64) error {
+	if addr == 0 {
+		return fmt.Errorf("dispose of nil pointer")
+	}
+	if _, ok := h.cells[addr]; !ok {
+		return fmt.Errorf("dispose of unallocated address %d", addr)
+	}
+	delete(h.cells, addr)
+	h.Disposes++
+	return nil
+}
+
+// Len returns the number of live cells.
+func (h *Heap) Len() int { return len(h.cells) }
+
+// Snapshot returns a deep copy of the heap. Allocation counters carry over so
+// that addresses allocated after a restore do not collide with addresses that
+// may still be referenced by other saved states.
+func (h *Heap) Snapshot() *Heap {
+	out := &Heap{
+		cells:    make(map[int64]*Value, len(h.cells)),
+		next:     h.next,
+		Allocs:   h.Allocs,
+		Disposes: h.Disposes,
+	}
+	for a, v := range h.cells {
+		c := v.Copy()
+		out.cells[a] = &c
+	}
+	return out
+}
+
+// Fingerprint writes a canonical representation of the heap reachable-state
+// into sb. Cells are visited in address order; because address allocation is
+// deterministic along any execution path, equal heaps along different paths
+// of the same search produce equal fingerprints whenever their allocation
+// histories coincide.
+func (h *Heap) Fingerprint(sb *strings.Builder) {
+	addrs := make([]int64, 0, len(h.cells))
+	for a := range h.cells {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		fmt.Fprintf(sb, "@%d", a)
+		h.cells[a].Fingerprint(sb)
+	}
+}
+
+// State is the VM half of a TAM state (§2.3 of the paper): the FSM control
+// state expressed as an ordinal, the values of all global module variables,
+// and dynamic memory. Queue states (trace cursors) are layered on top by the
+// analyzer.
+type State struct {
+	FSM     int
+	Globals []Value
+	Heap    *Heap
+}
+
+// Snapshot returns a deep copy of the state (the paper's Save operation,
+// minus queue cursors which the analyzer copies itself).
+func (s *State) Snapshot() *State {
+	out := &State{FSM: s.FSM, Globals: make([]Value, len(s.Globals)), Heap: s.Heap.Snapshot()}
+	for i := range s.Globals {
+		out.Globals[i] = s.Globals[i].Copy()
+	}
+	return out
+}
+
+// Fingerprint returns a canonical string for visited-state hashing.
+func (s *State) Fingerprint() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "F%d|", s.FSM)
+	for i := range s.Globals {
+		s.Globals[i].Fingerprint(&sb)
+	}
+	sb.WriteByte('|')
+	s.Heap.Fingerprint(&sb)
+	return sb.String()
+}

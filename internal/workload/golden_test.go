@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/efsm"
+	"repro/internal/trace"
+	"repro/specs"
+)
+
+// TestGoldenTraces pins the generated workloads: the experiment traces are a
+// deterministic function of (spec, parameters, seed), so the evaluation
+// numbers in EXPERIMENTS.md are reproducible bit-for-bit. A mismatch means
+// either the generator, the scheduler, or the protocol spec changed — all of
+// which invalidate recorded results and should be deliberate.
+func TestGoldenTraces(t *testing.T) {
+	lapd := compile(t, "lapd", specs.LAPD)
+	tp0 := compile(t, "tp0", specs.TP0)
+	echo := compile(t, "echo", specs.Echo)
+
+	cases := []struct {
+		file string
+		gen  func() (*trace.Trace, error)
+	}{
+		{"lapd_di5_seed5.trace", func() (*trace.Trace, error) { return LAPDTrace(lapd, 5, 5) }},
+		{"tp0_3x3_seed3.trace", func() (*trace.Trace, error) { return TP0Trace(tp0, 3, 3, 3, true) }},
+		{"tp0_bulk3_seed3.trace", func() (*trace.Trace, error) { return TP0BulkTrace(tp0, 3, 3, true) }},
+		{"echo_5_seed1.trace", func() (*trace.Trace, error) { return EchoTrace(echo, 5, 1) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.file, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", c.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if trace.Format(got) != string(want) {
+				t.Fatalf("generated trace diverged from golden file %s:\n--- got ---\n%s--- want ---\n%s",
+					c.file, trace.Format(got), want)
+			}
+		})
+	}
+}
+
+// TestGoldenTracesStillValid: the recorded corpus validates under full order
+// checking against the current specs.
+func TestGoldenTracesStillValid(t *testing.T) {
+	bySpec := map[string]*efsm.Spec{
+		"lapd": compile(t, "lapd", specs.LAPD),
+		"tp0":  compile(t, "tp0", specs.TP0),
+		"echo": compile(t, "echo", specs.Echo),
+	}
+	files, err := filepath.Glob(filepath.Join("testdata", "*.trace"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no golden traces: %v", err)
+	}
+	for _, file := range files {
+		b, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := trace.ReadString(string(b))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		base := filepath.Base(file)
+		var spec *efsm.Spec
+		for prefix, s := range bySpec {
+			if len(base) >= len(prefix) && base[:len(prefix)] == prefix {
+				spec = s
+			}
+		}
+		if spec == nil {
+			t.Fatalf("%s: no spec prefix", file)
+		}
+		a, err := analysis.New(spec, analysis.Options{Order: analysis.OrderFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.AnalyzeTrace(tr)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if res.Verdict != analysis.Valid {
+			t.Fatalf("%s: verdict %v", file, res.Verdict)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package workload builds the traces used in the paper's evaluation (§4):
+// valid LAPD traces parameterized by the number of user data packets
+// (Figure 3), valid and invalid TP0 traces parameterized by search depth
+// (Figure 4), and small driver workloads for the throughput measurements.
+// All traces are produced by running the compiled specification in
+// implementation generation mode with a seeded scheduler, exactly as the
+// paper's traces were obtained from Dingo-generated implementations.
+package workload
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/efsm"
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+// LAPDTrace generates a valid LAPD trace with di data packets sent from the
+// user module (layer 3) to the LAPD module, as in Figure 3: link
+// establishment, di acknowledged I-frames, then link release.
+func LAPDTrace(spec *efsm.Spec, di int, seed int64) (*trace.Trace, error) {
+	g, err := gen.New(spec, gen.NewSeededScheduler(seed))
+	if err != nil {
+		return nil, err
+	}
+	step := func(feedErr error) error {
+		if feedErr != nil {
+			return feedErr
+		}
+		_, err := g.Run(16)
+		return err
+	}
+	if err := step(g.Feed("U", "DLESTreq", nil)); err != nil {
+		return nil, err
+	}
+	if err := step(g.Feed("P", "UA", map[string]string{"f": "1"})); err != nil {
+		return nil, err
+	}
+	if g.FSMState() != "st7" {
+		return nil, fmt.Errorf("lapd: establishment failed, in %s", g.FSMState())
+	}
+	for i := 0; i < di; i++ {
+		if err := step(g.Feed("U", "DLDATAreq", map[string]string{"d": strconv.Itoa(i % 100)})); err != nil {
+			return nil, err
+		}
+		// The peer acknowledges the I frame the module just sent: N(R) is
+		// the next send sequence number, i+1 mod 128.
+		nr := strconv.Itoa((i + 1) % 128)
+		if err := step(g.Feed("P", "RR", map[string]string{"nr": nr, "pf": "0"})); err != nil {
+			return nil, err
+		}
+	}
+	if err := step(g.Feed("U", "DLRELreq", nil)); err != nil {
+		return nil, err
+	}
+	if err := step(g.Feed("P", "UA", map[string]string{"f": "1"})); err != nil {
+		return nil, err
+	}
+	if g.Pending() != 0 {
+		return nil, fmt.Errorf("lapd: %d inputs left unconsumed", g.Pending())
+	}
+	return g.Trace(), nil
+}
+
+// TP0Trace generates a valid TP0 trace: connection establishment, nUp data
+// interactions from the upper tester and nDown from the lower tester (all
+// relayed), then an orderly release initiated from above. The §4.2 invalid
+// traces are derived from these; see TP0BulkTrace for the bulk-arrival
+// variant the paper's Figure 4 uses.
+func TP0Trace(spec *efsm.Spec, nUp, nDown int, seed int64, release bool) (*trace.Trace, error) {
+	g, err := gen.New(spec, gen.NewSeededScheduler(seed))
+	if err != nil {
+		return nil, err
+	}
+	step := func(feedErr error) error {
+		if feedErr != nil {
+			return feedErr
+		}
+		_, err := g.Run(16)
+		return err
+	}
+	if err := step(g.Feed("U", "TCONreq", nil)); err != nil {
+		return nil, err
+	}
+	if err := step(g.Feed("N", "CC", nil)); err != nil {
+		return nil, err
+	}
+	if g.FSMState() != "data" {
+		return nil, fmt.Errorf("tp0: handshake failed, in %s", g.FSMState())
+	}
+	n := nUp
+	if nDown > n {
+		n = nDown
+	}
+	for i := 0; i < n; i++ {
+		if i < nUp {
+			if err := g.Feed("U", "TDTreq", map[string]string{"d": strconv.Itoa(10 + i)}); err != nil {
+				return nil, err
+			}
+		}
+		if i < nDown {
+			if err := g.Feed("N", "DT", map[string]string{"d": strconv.Itoa(50 + i)}); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := g.Run(16); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := g.Run(64); err != nil {
+		return nil, err
+	}
+	if release {
+		if err := step(g.Feed("U", "TDISreq", nil)); err != nil {
+			return nil, err
+		}
+	}
+	if g.Pending() != 0 {
+		return nil, fmt.Errorf("tp0: %d inputs left unconsumed", g.Pending())
+	}
+	return g.Trace(), nil
+}
+
+// TP0BulkTrace generates the Figure 4 trace scenario: "the initial
+// handshaking, followed by [k] interactions sent from the lower module and
+// [k] interactions sent from the upper module" — all environment data
+// arrives before the module relays it, so the buffers fill up and the
+// module's read/enqueue and dequeue/output transitions interleave
+// nondeterministically (average fanout ≈ 2.4 in the paper).
+func TP0BulkTrace(spec *efsm.Spec, k int, seed int64, release bool) (*trace.Trace, error) {
+	g, err := gen.New(spec, gen.NewSeededScheduler(seed))
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Feed("U", "TCONreq", nil); err != nil {
+		return nil, err
+	}
+	if _, err := g.Run(8); err != nil {
+		return nil, err
+	}
+	if err := g.Feed("N", "CC", nil); err != nil {
+		return nil, err
+	}
+	if _, err := g.Run(8); err != nil {
+		return nil, err
+	}
+	if g.FSMState() != "data" {
+		return nil, fmt.Errorf("tp0: handshake failed, in %s", g.FSMState())
+	}
+	for i := 0; i < k; i++ {
+		if err := g.Feed("U", "TDTreq", map[string]string{"d": strconv.Itoa(10 + i)}); err != nil {
+			return nil, err
+		}
+		if err := g.Feed("N", "DT", map[string]string{"d": strconv.Itoa(50 + i)}); err != nil {
+			return nil, err
+		}
+	}
+	// Drain with the seeded scheduler: reads and sends interleave, so the
+	// recorded inputs and outputs interleave in the trace (what gives the
+	// IO/OI options their pruning power, as in the paper's Figure 4 where
+	// the IO row equals the FULL row). See TP0FullBufferTrace for the
+	// all-inputs-first variant.
+	if _, err := g.Run(16*k + 64); err != nil {
+		return nil, err
+	}
+	if release {
+		if err := g.Feed("U", "TDISreq", nil); err != nil {
+			return nil, err
+		}
+		if _, err := g.Run(16); err != nil {
+			return nil, err
+		}
+	}
+	if g.Pending() != 0 {
+		return nil, fmt.Errorf("tp0: %d inputs left unconsumed", g.Pending())
+	}
+	return g.Trace(), nil
+}
+
+// TP0FullBufferTrace is TP0BulkTrace with the buffers filled completely
+// before any draining: all read/enqueue transitions fire first (preferred
+// scheduler), so the trace records every input before the relayed outputs.
+// Analyzing its corrupted variant without order checking reproduces the
+// paper's Figure 4 depth-13 row almost exactly (TE within 8 of 88329); with
+// IO checking it shows the opposite regime, since an inputs-first trace
+// gives the input/output order constraints nothing to prune.
+func TP0FullBufferTrace(spec *efsm.Spec, k int, seed int64, release bool) (*trace.Trace, error) {
+	g, err := gen.New(spec, gen.NewSeededScheduler(seed))
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Feed("U", "TCONreq", nil); err != nil {
+		return nil, err
+	}
+	if _, err := g.Run(8); err != nil {
+		return nil, err
+	}
+	if err := g.Feed("N", "CC", nil); err != nil {
+		return nil, err
+	}
+	if _, err := g.Run(8); err != nil {
+		return nil, err
+	}
+	for i := 0; i < k; i++ {
+		if err := g.Feed("U", "TDTreq", map[string]string{"d": strconv.Itoa(10 + i)}); err != nil {
+			return nil, err
+		}
+		if err := g.Feed("N", "DT", map[string]string{"d": strconv.Itoa(50 + i)}); err != nil {
+			return nil, err
+		}
+	}
+	uniform := gen.NewSeededScheduler(seed + 1)
+	g.SetScheduler(gen.NewPreferScheduler([]string{"T13", "T15"}, uniform))
+	if _, err := g.Run(16*k + 64); err != nil {
+		return nil, err
+	}
+	g.SetScheduler(uniform)
+	if release {
+		if err := g.Feed("U", "TDISreq", nil); err != nil {
+			return nil, err
+		}
+		if _, err := g.Run(16); err != nil {
+			return nil, err
+		}
+	}
+	if g.Pending() != 0 {
+		return nil, fmt.Errorf("tp0: %d inputs left unconsumed", g.Pending())
+	}
+	return g.Trace(), nil
+}
+
+// CorruptLastData returns a copy of tr with the parameter of the last
+// parameterized output event edited to a mismatching value — the §4.2 recipe
+// for invalid traces ("one parameter in the last data interaction of the
+// trace file was edited slightly to cause a mismatch").
+func CorruptLastData(tr *trace.Trace) (*trace.Trace, error) {
+	for i := len(tr.Events) - 1; i >= 0; i-- {
+		ev := tr.Events[i]
+		if ev.Dir == trace.Out && len(ev.Params) > 0 {
+			return trace.Corrupt(tr, i, func(e Event) Event {
+				old, _ := strconv.Atoi(e.Params[0].Value)
+				ps := make([]trace.Param, len(e.Params))
+				copy(ps, e.Params)
+				ps[0].Value = strconv.Itoa(old + 1)
+				e.Params = ps
+				return e
+			}), nil
+		}
+	}
+	return nil, fmt.Errorf("trace has no parameterized output to corrupt")
+}
+
+// Event aliases trace.Event for the corruption callback.
+type Event = trace.Event
+
+// EchoTrace generates a valid echo-responder trace with n request/response
+// exchanges, for throughput (transitions-per-second) measurements.
+func EchoTrace(spec *efsm.Spec, n int, seed int64) (*trace.Trace, error) {
+	g, err := gen.New(spec, gen.NewSeededScheduler(seed))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if err := g.Feed("S", "req", map[string]string{
+			"seq": strconv.Itoa(i % 2), "d": strconv.Itoa(i),
+		}); err != nil {
+			return nil, err
+		}
+		if _, err := g.Run(8); err != nil {
+			return nil, err
+		}
+	}
+	if g.Pending() != 0 {
+		return nil, fmt.Errorf("echo: %d inputs left unconsumed", g.Pending())
+	}
+	return g.Trace(), nil
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/efsm"
+	"repro/internal/trace"
+	"repro/specs"
+)
+
+func compile(t *testing.T, name, src string) *efsm.Spec {
+	t.Helper()
+	s, err := efsm.Compile(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func analyzeVerdict(t *testing.T, spec *efsm.Spec, opts analysis.Options, tr *trace.Trace) analysis.Verdict {
+	t.Helper()
+	a, err := analysis.New(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.AnalyzeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Verdict
+}
+
+func TestLAPDTraceValidAndScales(t *testing.T) {
+	spec := compile(t, "lapd", specs.LAPD)
+	var prevLen int
+	for _, di := range []int{1, 5, 10} {
+		tr, err := LAPDTrace(spec, di, 1)
+		if err != nil {
+			t.Fatalf("di=%d: %v", di, err)
+		}
+		if tr.Len() <= prevLen {
+			t.Fatalf("trace length did not grow with di: %d then %d", prevLen, tr.Len())
+		}
+		prevLen = tr.Len()
+		if v := analyzeVerdict(t, spec, analysis.Options{Order: analysis.OrderFull}, tr); v != analysis.Valid {
+			t.Fatalf("di=%d: verdict %v", di, v)
+		}
+	}
+}
+
+func TestTP0TraceValidAllModes(t *testing.T) {
+	spec := compile(t, "tp0", specs.TP0)
+	tr, err := TP0Trace(spec, 3, 3, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []analysis.OrderOpts{
+		analysis.OrderNone, analysis.OrderIO, analysis.OrderIP, analysis.OrderFull,
+	} {
+		if v := analyzeVerdict(t, spec, analysis.Options{Order: mode}, tr); v != analysis.Valid {
+			t.Fatalf("mode %v: verdict %v", mode, v)
+		}
+	}
+}
+
+func TestCorruptLastDataMakesInvalid(t *testing.T) {
+	spec := compile(t, "tp0", specs.TP0)
+	tr, err := TP0Trace(spec, 2, 2, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := CorruptLastData(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := analyzeVerdict(t, spec, analysis.Options{Order: analysis.OrderFull}, bad); v != analysis.Invalid {
+		t.Fatalf("corrupted trace verdict %v, want invalid", v)
+	}
+	// The original is untouched and still valid.
+	if v := analyzeVerdict(t, spec, analysis.Options{Order: analysis.OrderFull}, tr); v != analysis.Valid {
+		t.Fatalf("original trace verdict %v", v)
+	}
+}
+
+func TestEchoTraceValid(t *testing.T) {
+	spec := compile(t, "echo", specs.Echo)
+	tr, err := EchoTrace(spec, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 20 {
+		t.Fatalf("trace len = %d, want 20", tr.Len())
+	}
+	if v := analyzeVerdict(t, spec, analysis.Options{Order: analysis.OrderFull}, tr); v != analysis.Valid {
+		t.Fatalf("verdict %v", v)
+	}
+}
+
+// TestDeterministicAcrossSeeds: the same seed gives the same trace.
+func TestDeterministicAcrossSeeds(t *testing.T) {
+	spec := compile(t, "lapd", specs.LAPD)
+	a, err := LAPDTrace(spec, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LAPDTrace(spec, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Format(a) != trace.Format(b) {
+		t.Fatal("same seed produced different traces")
+	}
+}
+
+// TestTP0FullBufferTrace: the all-inputs-first variant is valid and has the
+// inputs-before-outputs shape in the data phase.
+func TestTP0FullBufferTrace(t *testing.T) {
+	spec := compile(t, "tp0", specs.TP0)
+	tr, err := TP0FullBufferTrace(spec, 3, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := analyzeVerdict(t, spec, analysis.Options{Order: analysis.OrderNone}, tr); v != analysis.Valid {
+		t.Fatalf("verdict %v", v)
+	}
+	// After the handshake (4 events), all 6 data inputs precede all data
+	// outputs.
+	firstOut, lastIn := -1, -1
+	for _, ev := range tr.Events[4:] {
+		if ev.Interaction == "TDTreq" || ev.Interaction == "DT" && ev.Dir == trace.In {
+			lastIn = ev.Seq
+		}
+		if ev.Dir == trace.Out && (ev.Interaction == "DT" || ev.Interaction == "TDTind") && firstOut < 0 {
+			firstOut = ev.Seq
+		}
+	}
+	if firstOut >= 0 && lastIn > firstOut {
+		t.Fatalf("data inputs not fully buffered: last input #%d after first output #%d\n%s",
+			lastIn, firstOut, trace.Format(tr))
+	}
+}

@@ -1,0 +1,66 @@
+// Package specs embeds the Estelle specifications used throughout the
+// repository: the paper's Figure 1 and Figure 2 examples, the two protocols
+// of the evaluation (TP0 and LAPD), the §5.4 demultiplexer, and a small echo
+// responder used for throughput measurements.
+package specs
+
+import _ "embed"
+
+// Ack is Figure 1 of the paper ("ack"): the minimal specification whose
+// on-line analysis requires backtracking over PG-nodes.
+//
+//go:embed ack.estelle
+var Ack string
+
+// IP3 is Figure 2 of the paper ("ip3") with all five transitions.
+//
+//go:embed ip3.estelle
+var IP3 string
+
+// IP3Prime is Figure 2 restricted to t1..t3 ("ip3'"), whose invalid traces
+// are undetectable on-line until the EOF marker.
+//
+//go:embed ip3prime.estelle
+var IP3Prime string
+
+// TP0 is the Class 0 Transport Protocol of §4.2 (19 transition declarations,
+// dynamic-memory buffers).
+//
+//go:embed tp0.estelle
+var TP0 string
+
+// LAPD is the Q.921 subset of §4.1.
+//
+//go:embed lapd.estelle
+var LAPD string
+
+// Demux is the §5.4 router whose partial traces defeat analysis.
+//
+//go:embed demux.estelle
+var Demux string
+
+// Echo is a simple (<10 transitions) specification for transitions-per-second
+// measurements (§4).
+//
+//go:embed echo.estelle
+var Echo string
+
+// ABP is an alternating-bit-protocol sender with ACK-driven retransmission,
+// exercising subrange-typed interaction parameters.
+//
+//go:embed abp.estelle
+var ABP string
+
+// All maps specification names to their sources.
+func All() map[string]string {
+	return map[string]string{
+		"ack":      Ack,
+		"ip3":      IP3,
+		"ip3prime": IP3Prime,
+		"tp0":      TP0,
+		"lapd":     LAPD,
+		"demux":    Demux,
+		"echo":     Echo,
+		"abp":      ABP,
+	}
+}

@@ -1,0 +1,214 @@
+// Protocol-behaviour tests for the shipped specifications: each test drives
+// the compiled spec in implementation generation mode and/or checks traces
+// against it, pinning down the protocol semantics the experiments rely on.
+package specs_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/specs"
+	"repro/tango"
+)
+
+func analyzeText(t *testing.T, spec *tango.Spec, text string) tango.Verdict {
+	t.Helper()
+	an, err := spec.NewAnalyzer(tango.Options{Order: tango.OrderFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tango.ParseTrace(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.AnalyzeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Verdict
+}
+
+// --- LAPD ---------------------------------------------------------------
+
+const lapdEstablish = `
+in U DLESTreq
+out P SABME p=1
+in P UA f=1
+out U DLESTconf
+`
+
+func TestLAPDInvalidNRTriggersReestablishment(t *testing.T) {
+	spec := tango.MustCompile("lapd", specs.LAPD)
+	// V(S)=0, V(A)=0: N(R)=9 is outside the window, so the conforming
+	// reaction is a new SABME (x1), not a silent ack update.
+	if v := analyzeText(t, spec, lapdEstablish+`
+in P RR nr=9 pf=0
+out P SABME p=1
+`); v != tango.Valid {
+		t.Fatalf("re-establishment path: %v", v)
+	}
+	// Silently accepting the out-of-window ack and sending the next I frame
+	// is non-conforming.
+	if v := analyzeText(t, spec, lapdEstablish+`
+in P RR nr=9 pf=0
+in U DLDATAreq d=1
+out P IFR ns=0 nr=0 d=1
+`); v != tango.Invalid {
+		t.Fatalf("out-of-window ack accepted: %v", v)
+	}
+}
+
+func TestLAPDInWindowAckAccepted(t *testing.T) {
+	spec := tango.MustCompile("lapd", specs.LAPD)
+	if v := analyzeText(t, spec, lapdEstablish+`
+in U DLDATAreq d=5
+out P IFR ns=0 nr=0 d=5
+in P RR nr=1 pf=0
+in U DLDATAreq d=6
+out P IFR ns=1 nr=0 d=6
+`); v != tango.Valid {
+		t.Fatalf("in-window ack: %v", v)
+	}
+}
+
+func TestLAPDUIFramesInEveryState(t *testing.T) {
+	spec := tango.MustCompile("lapd", specs.LAPD)
+	// UI transfer works without establishment (st4)...
+	if v := analyzeText(t, spec, `
+in U DLUDATAreq d=7
+out P UI d=7
+in P UI d=8
+out U DLUDATAind d=8
+`); v != tango.Valid {
+		t.Fatalf("UI in st4: %v", v)
+	}
+	// ...and inside a multiple-frame session (st7).
+	if v := analyzeText(t, spec, lapdEstablish+`
+in P UI d=9
+out U DLUDATAind d=9
+`); v != tango.Valid {
+		t.Fatalf("UI in st7: %v", v)
+	}
+}
+
+func TestLAPDRejTriggersRetransmissionPoint(t *testing.T) {
+	spec := tango.MustCompile("lapd", specs.LAPD)
+	// After REJ nr=0 the sender must rewind V(S) to 0, so the next I frame
+	// repeats N(S)=0.
+	if v := analyzeText(t, spec, lapdEstablish+`
+in U DLDATAreq d=5
+out P IFR ns=0 nr=0 d=5
+in P REJ nr=0 pf=0
+in U DLDATAreq d=6
+out P IFR ns=0 nr=0 d=6
+`); v != tango.Valid {
+		t.Fatalf("rewind after REJ: %v", v)
+	}
+	if v := analyzeText(t, spec, lapdEstablish+`
+in U DLDATAreq d=5
+out P IFR ns=0 nr=0 d=5
+in P REJ nr=0 pf=0
+in U DLDATAreq d=6
+out P IFR ns=1 nr=0 d=6
+`); v != tango.Invalid {
+		t.Fatalf("V(S) not rewound must be invalid: %v", v)
+	}
+}
+
+func TestLAPDOutOfSequenceIFrameRejected(t *testing.T) {
+	spec := tango.MustCompile("lapd", specs.LAPD)
+	if v := analyzeText(t, spec, lapdEstablish+`
+in P IFR ns=3 nr=0 d=1
+out P REJ nr=0 pf=0
+`); v != tango.Valid {
+		t.Fatalf("REJ on out-of-sequence I frame: %v", v)
+	}
+}
+
+// --- TP0 ------------------------------------------------------------------
+
+func TestTP0BuffersPreserveFIFOOrder(t *testing.T) {
+	spec := tango.MustCompile("tp0", specs.TP0)
+	base := `
+in U TCONreq
+out N CR
+in N CC
+out U TCONconf
+in U TDTreq d=1
+in U TDTreq d=2
+`
+	if v := analyzeText(t, spec, base+"out N DT d=1\nout N DT d=2\n"); v != tango.Valid {
+		t.Fatalf("FIFO order: %v", v)
+	}
+	if v := analyzeText(t, spec, base+"out N DT d=2\nout N DT d=1\n"); v != tango.Invalid {
+		t.Fatalf("reordered buffer drain must be invalid: %v", v)
+	}
+}
+
+func TestTP0DisconnectMayDropBufferedData(t *testing.T) {
+	spec := tango.MustCompile("tp0", specs.TP0)
+	// §4.2: "after receiving a disconnect request, TP0 can output a
+	// disconnect indication at any time, even if data remains in its
+	// buffers" — T17 fireable with data still queued.
+	if v := analyzeText(t, spec, `
+in U TCONreq
+out N CR
+in N CC
+out U TCONconf
+in U TDTreq d=1
+in U TDISreq
+out N DR
+`); v != tango.Valid {
+		t.Fatalf("disconnect with buffered data: %v", v)
+	}
+}
+
+func TestTP0ConnectionRefusal(t *testing.T) {
+	spec := tango.MustCompile("tp0", specs.TP0)
+	if v := analyzeText(t, spec, `
+in U TCONreq
+out N CR
+in N DR
+out U TDISind
+`); v != tango.Valid {
+		t.Fatalf("refusal path: %v", v)
+	}
+}
+
+// --- ABP --------------------------------------------------------------------
+
+func TestABPBitAlternates(t *testing.T) {
+	spec := tango.MustCompile("abp", specs.ABP)
+	// Second frame must carry seq=1.
+	if v := analyzeText(t, spec, `
+in U SDATAreq d=1
+out P DATA seq=0 d=1
+in P ACK seq=0
+out U SDATAconf
+in U SDATAreq d=2
+out P DATA seq=1 d=2
+`); v != tango.Valid {
+		t.Fatalf("alternation: %v", v)
+	}
+	if v := analyzeText(t, spec, `
+in U SDATAreq d=1
+out P DATA seq=0 d=1
+in P ACK seq=0
+out U SDATAconf
+in U SDATAreq d=2
+out P DATA seq=0 d=2
+`); v != tango.Invalid {
+		t.Fatalf("repeated bit must be invalid: %v", v)
+	}
+}
+
+// --- all specs -----------------------------------------------------------------
+
+func TestSpecSourcesHaveComments(t *testing.T) {
+	// Every shipped spec starts with an explanatory comment block.
+	for name, src := range specs.All() {
+		if !strings.HasPrefix(strings.TrimSpace(src), "{") {
+			t.Errorf("%s: missing leading comment", name)
+		}
+	}
+}

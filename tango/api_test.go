@@ -1,0 +1,212 @@
+package tango_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/specs"
+	"repro/tango"
+)
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := tango.Compile("x", "garbage"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := tango.Compile("x", strings.Replace(specs.Ack, "to S1", "to NOWHERE", 1)); err == nil {
+		t.Fatal("expected check error")
+	}
+}
+
+func TestCompileFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ack.estelle")
+	if err := os.WriteFile(path, []byte(specs.Ack), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := tango.CompileFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name() != "ack" {
+		t.Fatalf("name %q", spec.Name())
+	}
+	if _, err := tango.CompileFile(filepath.Join(dir, "missing.estelle")); err == nil {
+		t.Fatal("expected file error")
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tango.MustCompile("bad", "nope")
+}
+
+func TestSpecAccessors(t *testing.T) {
+	spec := tango.MustCompile("tp0", specs.TP0)
+	if spec.Name() != "tp0" {
+		t.Errorf("Name = %q", spec.Name())
+	}
+	if got := spec.States(); len(got) != 4 || got[0] != "idle" {
+		t.Errorf("States = %v", got)
+	}
+	if got := spec.IPs(); len(got) != 2 || got[0] != "U" || got[1] != "N" {
+		t.Errorf("IPs = %v", got)
+	}
+	if spec.TransitionCount() != 19 {
+		t.Errorf("TransitionCount = %d", spec.TransitionCount())
+	}
+	if spec.Internal() == nil {
+		t.Error("Internal() nil")
+	}
+}
+
+func TestParseTraceAndFormat(t *testing.T) {
+	tr, err := tango.ParseTrace("in U TCONreq\nout N CR\neof\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 || !tr.EOF {
+		t.Fatalf("trace: %+v", tr)
+	}
+	if got := tango.FormatTrace(tr); got != "in U TCONreq\nout N CR\neof\n" {
+		t.Fatalf("format: %q", got)
+	}
+	if _, err := tango.ParseTrace("sideways U x\n"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestNormalFormAPI(t *testing.T) {
+	dir := t.TempDir()
+	src := `specification nf;
+channel CH(a, b);
+  by a: m(v : integer);
+  by b: hi; lo;
+module M systemprocess;
+  ip P : CH(b) individual queue;
+end;
+body B for M;
+state S0;
+initialize to S0 begin end;
+trans
+  from S0 to S0 when P.m name branch:
+    begin
+      if v > 0 then output P.hi else output P.lo;
+    end;
+end;
+end.`
+	path := filepath.Join(dir, "nf.estelle")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, stats, err := tango.NormalForm(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.IfsLifted != 1 || stats.After != 2 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	// The transformed spec is behaviourally equivalent.
+	orig := tango.MustCompile("orig", src)
+	nf := tango.MustCompile("nf", out)
+	for _, v := range []string{"-3", "0", "7"} {
+		run := func(s *tango.Spec) string {
+			g, err := s.NewGenerator(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Feed("P", "m", map[string]string{"v": v}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g.Run(5); err != nil {
+				t.Fatal(err)
+			}
+			return tango.FormatTrace(g.Trace())
+		}
+		if run(orig) != run(nf) {
+			t.Fatalf("v=%s: behaviour differs after normal form", v)
+		}
+	}
+	// Format-only mode.
+	out2, stats2, err := tango.NormalForm(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.IfsLifted != 0 || !strings.Contains(out2, "if v > 0") {
+		t.Fatalf("format-only changed the spec: %+v\n%s", stats2, out2)
+	}
+}
+
+func TestAnalyzerVerdictStringAndStats(t *testing.T) {
+	spec := tango.MustCompile("ack", specs.Ack)
+	an, err := spec.NewAnalyzer(tango.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := tango.ParseTrace("in A x\n")
+	res, err := an.AnalyzeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict.String() != "valid" {
+		t.Fatalf("verdict string %q", res.Verdict)
+	}
+	if !res.Verdict.Conclusive() {
+		t.Fatal("valid should be conclusive")
+	}
+	if tango.ValidSoFar.Conclusive() || tango.LikelyInvalid.Conclusive() {
+		t.Fatal("in-progress verdicts must not be conclusive")
+	}
+}
+
+func TestGeneratorFacade(t *testing.T) {
+	spec := tango.MustCompile("tp0", specs.TP0)
+	g, err := spec.NewGenerator(tango.Seeded(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.FSMState() != "idle" {
+		t.Fatalf("initial state %s", g.FSMState())
+	}
+	if err := g.Feed("U", "TCONreq", nil); err != nil {
+		t.Fatal(err)
+	}
+	stepped, err := g.Step()
+	if err != nil || !stepped {
+		t.Fatalf("step: %v %v", stepped, err)
+	}
+	if got := g.Outputs(0); len(got) != 1 || got[0].Interaction != "CR" {
+		t.Fatalf("outputs: %v", got)
+	}
+	if g.Seq() != 2 {
+		t.Fatalf("seq = %d", g.Seq())
+	}
+	stepped, err = g.Step()
+	if err != nil || stepped {
+		t.Fatalf("expected quiescence: %v %v", stepped, err)
+	}
+}
+
+// TestAnalyzerReuse: one analyzer instance handles several traces.
+func TestAnalyzerReuse(t *testing.T) {
+	spec := tango.MustCompile("ack", specs.Ack)
+	an, err := spec.NewAnalyzer(tango.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, _ := tango.ParseTrace("in A x\nin A x\nin B y\nout A ack\n")
+	invalid, _ := tango.ParseTrace("in B y\nout A ack\n")
+	for i := 0; i < 3; i++ {
+		if res, _ := an.AnalyzeTrace(valid); res.Verdict != tango.Valid {
+			t.Fatalf("round %d: valid trace got %v", i, res.Verdict)
+		}
+		if res, _ := an.AnalyzeTrace(invalid); res.Verdict != tango.Invalid {
+			t.Fatalf("round %d: invalid trace got %v", i, res.Verdict)
+		}
+	}
+}
