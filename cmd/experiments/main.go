@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,7 +19,15 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment to run (default: all); one of fig1, fig2, fig3, fig4, tps, fanout, linear")
 	budget := flag.Int64("budget", 2_000_000, "transition budget for the exponential invalid-trace experiments")
+	deadline := flag.Duration("deadline", 0, "wall-clock limit for the whole run (0 = none); interrupted analyses report partial verdicts")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 
 	all := experiments.All(*budget)
 	names := experiments.Names()
@@ -28,7 +37,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want one of %v)\n", *exp, names)
 			os.Exit(1)
 		}
-		if err := run(os.Stdout); err != nil {
+		if err := run(ctx, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -36,7 +45,7 @@ func main() {
 	}
 	for _, name := range names {
 		fmt.Printf("=============================== %s ===============================\n", name)
-		if err := all[name](os.Stdout); err != nil {
+		if err := all[name](ctx, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", name, "failed:", err)
 			os.Exit(1)
 		}

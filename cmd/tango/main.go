@@ -27,6 +27,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,18 +44,64 @@ import (
 	"repro/tango"
 )
 
+// Exit codes. Scripts can branch on the failure category without parsing
+// output; see README "Exit codes".
+const (
+	exitOK       = 0 // trace valid (or valid so far)
+	exitError    = 1 // usage or operational error
+	exitInvalid  = 2 // analysis completed: trace is not valid
+	exitPartial  = 3 // analysis inconclusive: budget, deadline, cancellation or stall
+	exitBadTrace = 4 // malformed or unresolvable trace input
+	exitBadSpec  = 5 // specification does not compile
+)
+
 // errNotValid distinguishes "the analysis ran and the trace is not valid"
 // (exit code 2, nothing printed to stderr) from operational errors (exit 1).
 var errNotValid = fmt.Errorf("trace is not valid")
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		if err == errNotValid {
-			os.Exit(2)
-		}
-		fmt.Fprintln(os.Stderr, "tango:", err)
-		os.Exit(1)
+// errInconclusive reports that the analysis stopped without a verdict (exit
+// code 3); the partial verdict was already printed.
+var errInconclusive = fmt.Errorf("analysis inconclusive")
+
+// codeError carries a specific exit code for an operator-facing failure
+// category (malformed spec, malformed trace).
+type codeError struct {
+	code int
+	err  error
+}
+
+func (e *codeError) Error() string { return e.err.Error() }
+func (e *codeError) Unwrap() error { return e.err }
+
+// exitCode maps a run error to the process exit code.
+func exitCode(err error) int {
+	if err == nil {
+		return exitOK
 	}
+	if errors.Is(err, errNotValid) {
+		return exitInvalid
+	}
+	if errors.Is(err, errInconclusive) {
+		return exitPartial
+	}
+	var ce *codeError
+	if errors.As(err, &ce) {
+		return ce.code
+	}
+	return exitError
+}
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	code := exitCode(err)
+	if code == exitOK {
+		return
+	}
+	// The verdict sentinels already reported themselves on stdout.
+	if !errors.Is(err, errNotValid) && !errors.Is(err, errInconclusive) {
+		fmt.Fprintln(os.Stderr, "tango:", err)
+	}
+	os.Exit(code)
 }
 
 func run(args []string, w io.Writer) error {
@@ -91,21 +139,32 @@ func (usageError) Error() string {
   tango check <spec.estelle>
   tango info  <spec.estelle>
   tango analyze [-order NR|IO|IP|FULL] [-disable ips] [-unobserved ips]
-                [-statesearch] [-hash] [-online] [-budget N] <spec> <trace|->
+                [-statesearch] [-hash] [-online] [-budget N]
+                [-deadline D] [-stall-timeout D] <spec> <trace|->
   tango generate <spec> <script|->
   tango format <spec>            (pretty-print the specification)
   tango normalform <spec>        (§5.3 rewrite: lift if/case into provided clauses)
   tango lint <spec>              (non-progress cycles, unreachable states, ...)
-  tango explore [-max N] <spec>  (bounded closed-system state-space exploration)`
+  tango explore [-max N] <spec>  (bounded closed-system state-space exploration)
+
+exit codes: 0 valid, 1 error, 2 invalid, 3 inconclusive (budget, deadline,
+cancellation or stall), 4 malformed trace, 5 malformed specification`
 }
 
 func compileArg(path string) (*tango.Spec, error) {
 	spec, err := tango.CompileFile(path)
 	if err != nil {
-		return nil, err
+		var pe *os.PathError
+		if errors.As(err, &pe) {
+			return nil, err // file access problem (exit 1), not a spec problem
+		}
+		return nil, &codeError{exitBadSpec, err}
 	}
 	return spec, nil
 }
+
+// traceError classifies an error as malformed trace input (exit 4).
+func traceError(err error) error { return &codeError{exitBadTrace, err} }
 
 func runCheck(args []string, w io.Writer) error {
 	if len(args) != 1 {
@@ -195,6 +254,8 @@ func runAnalyze(args []string, w io.Writer) error {
 	hash := fs.Bool("hash", false, "prune revisited states with a hash table")
 	online := fs.Bool("online", false, "on-line analysis: read the trace incrementally (MDFS)")
 	budget := fs.Int64("budget", 0, "transition budget (0 = default)")
+	deadline := fs.Duration("deadline", 0, "wall-clock analysis budget (0 = none); expiry yields a partial verdict, exit 3")
+	stallTimeout := fs.Duration("stall-timeout", 0, "on-line mode: give up with a partial verdict when the trace source is silent this long (0 = wait forever)")
 	showSolution := fs.Bool("solution", false, "print the accepting transition sequence")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -218,10 +279,18 @@ func runAnalyze(args []string, w io.Writer) error {
 		InitialStateSearch: *stateSearch,
 		StateHashing:       *hash,
 		MaxTransitions:     *budget,
+		StallTimeout:       *stallTimeout,
 	}
 	an, err := spec.NewAnalyzer(opts)
 	if err != nil {
 		return err
+	}
+
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
 	}
 
 	// Several trace files run as a conformance campaign with a summary.
@@ -229,7 +298,7 @@ func runAnalyze(args []string, w io.Writer) error {
 		if *online {
 			return fmt.Errorf("-online accepts a single trace")
 		}
-		return runCampaign(w, an, rest[1:])
+		return runCampaign(ctx, w, an, rest[1:])
 	}
 
 	var in io.Reader = os.Stdin
@@ -244,27 +313,33 @@ func runAnalyze(args []string, w io.Writer) error {
 
 	var res *tango.Result
 	if *online {
-		res, err = an.AnalyzeSource(trace.NewReaderSource(in))
+		res, err = an.AnalyzeSourceContext(ctx, trace.NewReaderSource(in))
 	} else {
 		var tr *trace.Trace
 		tr, err = trace.Read(in)
 		if err != nil {
-			return err
+			return traceError(err)
 		}
-		res, err = an.AnalyzeTrace(tr)
+		res, err = an.AnalyzeTraceContext(ctx, tr)
 	}
 	if err != nil {
-		return err
+		return traceError(err)
 	}
 	fmt.Fprintf(w, "verdict: %s\n", res.Verdict)
 	if res.Reason != "" {
 		fmt.Fprintf(w, "reason: %s\n", res.Reason)
+	}
+	if res.Stop != nil {
+		fmt.Fprintf(w, "stop: %s\n", res.Stop)
 	}
 	s := res.Stats
 	fmt.Fprintf(w, "stats: TE=%d GE=%d RE=%d SA=%d depth=%d cpu=%s (%.0f trans/s)\n",
 		s.TE, s.GE, s.RE, s.SA, s.MaxDepth, s.CPUTime, s.TransitionsPerSecond())
 	if s.PGNodes > 0 || s.Regens > 0 {
 		fmt.Fprintf(w, "mdfs: pg-nodes=%d re-generates=%d\n", s.PGNodes, s.Regens)
+	}
+	if s.Faults > 0 {
+		fmt.Fprintf(w, "faults: %d contained execution faults (faulting branches treated as infeasible)\n", s.Faults)
 	}
 	if *showSolution && res.Verdict == analysis.Valid {
 		fmt.Fprintf(w, "solution: %s\n", res.SolutionString())
@@ -275,11 +350,18 @@ func runAnalyze(args []string, w io.Writer) error {
 		if d.FirstUnexplained != "" {
 			fmt.Fprintf(w, "  first unexplained interaction: %s\n", d.FirstUnexplained)
 		}
+		for _, f := range d.Faults {
+			fmt.Fprintf(w, "  fault: %s\n", f)
+		}
 	}
-	if res.Verdict != analysis.Valid && res.Verdict != analysis.ValidSoFar {
+	switch res.Verdict {
+	case analysis.Valid, analysis.ValidSoFar:
+		return nil
+	case analysis.Exhausted, analysis.Partial:
+		return errInconclusive
+	default:
 		return errNotValid
 	}
-	return nil
 }
 
 func runLint(args []string, w io.Writer) error {
@@ -340,7 +422,11 @@ func runFormat(args []string, w io.Writer, normal bool) error {
 	}
 	out, stats, err := tango.NormalForm(args[0], normal)
 	if err != nil {
-		return err
+		var pe *os.PathError
+		if errors.As(err, &pe) {
+			return err
+		}
+		return &codeError{exitBadSpec, err}
 	}
 	if normal {
 		fmt.Fprintf(os.Stderr, "# normal form: %d -> %d transitions (%d ifs, %d cases lifted, %d passes)\n",
@@ -353,7 +439,7 @@ func runFormat(args []string, w io.Writer, normal bool) error {
 // runCampaign analyzes each trace file as one test case of a conformance
 // campaign and prints a per-case verdict plus a summary, failing (exit 2)
 // when any case is not valid.
-func runCampaign(w io.Writer, an *tango.Analyzer, files []string) error {
+func runCampaign(ctx context.Context, w io.Writer, an *tango.Analyzer, files []string) error {
 	pass, fail := 0, 0
 	for _, file := range files {
 		f, err := os.Open(file)
@@ -363,11 +449,11 @@ func runCampaign(w io.Writer, an *tango.Analyzer, files []string) error {
 		tr, err := trace.Read(f)
 		f.Close()
 		if err != nil {
-			return fmt.Errorf("%s: %w", file, err)
+			return traceError(fmt.Errorf("%s: %w", file, err))
 		}
-		res, err := an.AnalyzeTrace(tr)
+		res, err := an.AnalyzeTraceContext(ctx, tr)
 		if err != nil {
-			return fmt.Errorf("%s: %w", file, err)
+			return traceError(fmt.Errorf("%s: %w", file, err))
 		}
 		status := "PASS"
 		if res.Verdict != analysis.Valid {

@@ -210,6 +210,85 @@ func TestCampaign(t *testing.T) {
 	}
 }
 
+func TestExitCodes(t *testing.T) {
+	if got := exitCode(nil); got != exitOK {
+		t.Fatalf("exitCode(nil) = %d", got)
+	}
+	if got := exitCode(errNotValid); got != exitInvalid {
+		t.Fatalf("exitCode(errNotValid) = %d, want %d", got, exitInvalid)
+	}
+	if got := exitCode(errInconclusive); got != exitPartial {
+		t.Fatalf("exitCode(errInconclusive) = %d, want %d", got, exitPartial)
+	}
+	wrapped := &codeError{exitBadSpec, os.ErrInvalid}
+	if got := exitCode(wrapped); got != exitBadSpec {
+		t.Fatalf("exitCode(codeError 5) = %d, want %d", got, exitBadSpec)
+	}
+	if got := exitCode(os.ErrNotExist); got != exitError {
+		t.Fatalf("exitCode(plain) = %d, want %d", got, exitError)
+	}
+}
+
+func TestMalformedSpecExitCode(t *testing.T) {
+	bad := write(t, "bad.estelle", "specification nope")
+	_, err := runCLI(t, "analyze", bad, write(t, "tr.txt", ""))
+	if got := exitCode(err); got != exitBadSpec {
+		t.Fatalf("exit = %d (err %v), want %d", got, err, exitBadSpec)
+	}
+	// A missing spec file is an operational error, not a spec error.
+	_, err = runCLI(t, "analyze", filepath.Join(t.TempDir(), "nope.estelle"), "x")
+	if got := exitCode(err); got != exitError {
+		t.Fatalf("missing file exit = %d (err %v), want %d", got, err, exitError)
+	}
+}
+
+func TestMalformedTraceExitCode(t *testing.T) {
+	spec := write(t, "tp0.estelle", specs.TP0)
+	bad := write(t, "bad.txt", "sideways U TCONreq\n")
+	_, err := runCLI(t, "analyze", spec, bad)
+	if got := exitCode(err); got != exitBadTrace {
+		t.Fatalf("exit = %d (err %v), want %d", got, err, exitBadTrace)
+	}
+}
+
+func TestInconclusiveExitCode(t *testing.T) {
+	spec := write(t, "tp0.estelle", specs.TP0)
+	// An invalid trace searched with a tiny budget exhausts instead of
+	// concluding.
+	tr := write(t, "tr.txt", "out N CR\nin N CC\nout N CR\nin U TCONreq\n")
+	out, err := runCLI(t, "analyze", "-order", "NR", "-budget", "1", spec, tr)
+	if err != errInconclusive {
+		t.Fatalf("err = %v\n%s", err, out)
+	}
+	if got := exitCode(err); got != exitPartial {
+		t.Fatalf("exit = %d, want %d", got, exitPartial)
+	}
+	if !strings.Contains(out, "stop:") {
+		t.Fatalf("no stop line in output:\n%s", out)
+	}
+}
+
+func TestDeadlineFlagPartialVerdict(t *testing.T) {
+	spec := write(t, "tp0.estelle", specs.TP0)
+	tr := write(t, "tr.txt", "in U TCONreq\nout N CR\n")
+	// A deadline that has effectively already expired forces a partial
+	// verdict regardless of machine speed... unless the analysis wins the
+	// race outright, in which case the verdict must be genuine.
+	out, err := runCLI(t, "analyze", "-deadline", "1ns", spec, tr)
+	switch err {
+	case nil:
+		if !strings.Contains(out, "verdict: valid") {
+			t.Fatalf("output: %s", out)
+		}
+	case errInconclusive:
+		if !strings.Contains(out, "verdict: partial") || !strings.Contains(out, "deadline") {
+			t.Fatalf("output: %s", out)
+		}
+	default:
+		t.Fatalf("err = %v\n%s", err, out)
+	}
+}
+
 func TestExploreCommand(t *testing.T) {
 	spec := write(t, "abp.estelle", specs.ABP)
 	out, err := runCLI(t, "explore", spec)

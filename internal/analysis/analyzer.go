@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -32,9 +34,14 @@ type Analyzer struct {
 	dynamic bool
 	eofSeen bool
 
-	stats Stats
-	seen  map[string]struct{}
+	stats  Stats
+	seen   map[string]struct{}
+	faults []string
 }
+
+// maxRecordedFaults caps how many contained execution faults are kept for the
+// diagnosis; Stats.Faults still counts them all.
+const maxRecordedFaults = 8
 
 // node is one node of the search tree: a saved or live TAM state plus queue
 // cursors (§2.3), its generated transition list, and MDFS bookkeeping.
@@ -124,6 +131,7 @@ func (a *Analyzer) reset(traceLen int) {
 	a.outputs = make([][]int, nIPs)
 	a.eofSeen = false
 	a.stats = Stats{}
+	a.faults = nil
 	a.seen = nil
 	if a.opts.StateHashing {
 		a.seen = make(map[string]struct{})
@@ -156,6 +164,14 @@ func (a *Analyzer) ingest(events []trace.Event) error {
 
 // AnalyzeTrace analyzes a fully loaded (static) trace.
 func (a *Analyzer) AnalyzeTrace(tr *trace.Trace) (*Result, error) {
+	return a.AnalyzeTraceContext(context.Background(), tr)
+}
+
+// AnalyzeTraceContext analyzes a static trace under a context: when ctx is
+// cancelled or its deadline passes, the search stops at the next expansion and
+// returns a Partial verdict carrying the deepest verified prefix (the paper's
+// "die gracefully" requirement) instead of an error.
+func (a *Analyzer) AnalyzeTraceContext(ctx context.Context, tr *trace.Trace) (*Result, error) {
 	a.dynamic = false
 	a.reset(tr.Len())
 	a.eofSeen = true
@@ -163,7 +179,7 @@ func (a *Analyzer) AnalyzeTrace(tr *trace.Trace) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
-	res, err := a.search(nil, a.spec.Prog.InitTo)
+	res, err := a.search(ctx, nil, a.spec.Prog.InitTo)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +193,7 @@ func (a *Analyzer) AnalyzeTrace(tr *trace.Trace) (*Result, error) {
 			if a.seen != nil {
 				a.seen = make(map[string]struct{})
 			}
-			res2, err := a.search(nil, st)
+			res2, err := a.search(ctx, nil, st)
 			if err != nil {
 				return nil, err
 			}
@@ -193,18 +209,37 @@ func (a *Analyzer) AnalyzeTrace(tr *trace.Trace) (*Result, error) {
 
 // AnalyzeSource performs on-line (MDFS) analysis of a dynamic trace source.
 func (a *Analyzer) AnalyzeSource(src trace.Source) (*Result, error) {
+	return a.AnalyzeSourceContext(context.Background(), src)
+}
+
+// AnalyzeSourceContext performs on-line analysis under a context. With
+// Options.StallTimeout set, the source is polled from a dedicated goroutine so
+// that a blocked read cannot hang the analyzer: a source silent for longer
+// than the timeout yields a Partial verdict with reason "stall". Without a
+// stall timeout the source is polled directly on this goroutine (fully
+// deterministic, but a Poll that blocks forever blocks the analysis).
+func (a *Analyzer) AnalyzeSourceContext(ctx context.Context, src trace.Source) (*Result, error) {
 	a.dynamic = true
 	a.reset(0)
-	events, eof, err := src.Poll()
-	if err != nil {
-		return nil, err
-	}
-	if err := a.ingest(events); err != nil {
-		return nil, err
-	}
-	a.eofSeen = eof
+	p := newSourcePoller(src, a.opts.StallTimeout > 0)
+	defer p.close()
 	start := time.Now()
-	res, err := a.search(src, a.spec.Prog.InitTo)
+	r, answered := p.poll(ctx, a.opts.StallTimeout)
+	if !answered {
+		res := a.stopResult(a.spec.Prog.InitTo, nil, a.interruptReason(ctx), Partial,
+			"trace source did not answer the initial poll")
+		a.stats.CPUTime = time.Since(start)
+		res.Stats = a.stats
+		return res, nil
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := a.ingest(r.events); err != nil {
+		return nil, err
+	}
+	a.eofSeen = r.eof
+	res, err := a.search(ctx, p, a.spec.Prog.InitTo)
 	if err != nil {
 		return nil, err
 	}
@@ -213,12 +248,41 @@ func (a *Analyzer) AnalyzeSource(src trace.Source) (*Result, error) {
 	return res, nil
 }
 
+// interruptReason maps a context/stall interruption to its StopReason.
+func (a *Analyzer) interruptReason(ctx context.Context) StopReason {
+	switch {
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		return StopDeadline
+	case ctx.Err() != nil:
+		return StopCancelled
+	default:
+		return StopStall
+	}
+}
+
+// stopResult builds the structured partial verdict for an interrupted search.
+func (a *Analyzer) stopResult(initState int, best *node, reason StopReason, v Verdict, why string) *Result {
+	stop := &StopInfo{Reason: reason, Nodes: a.stats.Nodes, Transitions: a.stats.TE}
+	if best != nil {
+		stop.VerifiedPrefix = a.explained(best)
+	}
+	return &Result{
+		Verdict:      v,
+		InitialState: initState,
+		Reason:       why,
+		Diagnosis:    a.diagnose(best),
+		Stop:         stop,
+	}
+}
+
 // ---------------------------------------------------------------------------
 // The search
 
 // search runs (M)DFS from the given initial FSM state. src is nil in static
-// mode.
-func (a *Analyzer) search(src trace.Source, initState int) (*Result, error) {
+// mode. The context is checked once per expansion, alongside the transition
+// budget; an interrupted search returns a structured Partial result, never an
+// error.
+func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int) (*Result, error) {
 	root, err := a.makeRoot(initState)
 	if err != nil {
 		return nil, err
@@ -254,21 +318,27 @@ func (a *Analyzer) search(src trace.Source, initState int) (*Result, error) {
 	expansions := 0
 	idlePolls := 0
 
-	poll := func() (bool, error) {
+	// poll asks the source for news. wait only matters in async mode (see
+	// sourcePoller.poll); arrived=false covers both "answered empty" (which
+	// counts as an idle poll) and "no answer yet" (which does not).
+	poll := func(wait time.Duration) (bool, error) {
 		if src == nil || a.eofSeen {
 			return false, nil
 		}
-		events, eof, err := src.Poll()
-		if err != nil {
+		r, answered := src.poll(ctx, wait)
+		if !answered {
+			return false, nil
+		}
+		if r.err != nil {
+			return false, r.err
+		}
+		if err := a.ingest(r.events); err != nil {
 			return false, err
 		}
-		if err := a.ingest(events); err != nil {
-			return false, err
-		}
-		if eof {
+		if r.eof {
 			a.eofSeen = true
 		}
-		arrived := len(events) > 0 || eof
+		arrived := len(r.events) > 0 || r.eof
 		if arrived {
 			idlePolls = 0
 			if a.seen != nil {
@@ -297,13 +367,16 @@ func (a *Analyzer) search(src trace.Source, initState int) (*Result, error) {
 
 	for {
 		if a.stats.TE > a.opts.MaxTransitions {
-			return &Result{Verdict: Exhausted, InitialState: initState,
-				Reason:    fmt.Sprintf("transition budget %d exceeded", a.opts.MaxTransitions),
-				Diagnosis: a.diagnose(best)}, nil
+			return a.stopResult(initState, best, StopBudget, Exhausted,
+				fmt.Sprintf("transition budget %d exceeded", a.opts.MaxTransitions)), nil
+		}
+		if ctx.Err() != nil {
+			return a.stopResult(initState, best, a.interruptReason(ctx), Partial,
+				"analysis interrupted: "+ctx.Err().Error()), nil
 		}
 		expansions++
 		if a.dynamic && expansions%a.opts.PollEvery == 0 {
-			if _, err := poll(); err != nil {
+			if _, err := poll(0); err != nil {
 				return nil, err
 			}
 		}
@@ -357,11 +430,32 @@ func (a *Analyzer) search(src trace.Source, initState int) (*Result, error) {
 			if revived {
 				continue
 			}
-			arrived, err := poll()
-			if err != nil {
+			if src != nil && src.async() {
+				// Async mode: wait out the remaining stall budget for an
+				// answer instead of busy-polling; a source silent past the
+				// budget has stalled and the search dies gracefully.
+				wait := a.opts.StallTimeout - src.idleFor()
+				if wait <= 0 {
+					return a.stopResult(initState, best, StopStall, Partial,
+						fmt.Sprintf("trace source stalled for over %v", a.opts.StallTimeout)), nil
+				}
+				arrived, err := poll(wait)
+				if err != nil {
+					return nil, err
+				}
+				if arrived {
+					continue
+				}
+				if ctx.Err() != nil {
+					continue // the loop top reports the interruption
+				}
+				if src.idleFor() >= a.opts.StallTimeout {
+					return a.stopResult(initState, best, StopStall, Partial,
+						fmt.Sprintf("trace source stalled for over %v", a.opts.StallTimeout)), nil
+				}
+			} else if arrived, err := poll(0); err != nil {
 				return nil, err
-			}
-			if arrived {
+			} else if arrived {
 				continue
 			}
 			if idlePolls > a.opts.MaxIdlePolls {
@@ -695,12 +789,31 @@ func (a *Analyzer) computeCandidates(n *node) ([]candidate, bool, error) {
 func (a *Analyzer) provided(st *vm.State, ti *sema.TransInfo, params []vm.Value) (bool, error) {
 	ok, err := a.exec.EvalProvided(st, ti, params)
 	if err != nil {
-		if _, isRTE := err.(*vm.RuntimeError); isRTE {
+		if a.containedErr(err) {
 			return false, nil
 		}
 		return false, err
 	}
 	return ok, nil
+}
+
+// containedErr reports whether err is a per-transition failure that the
+// search absorbs as an infeasible branch: a diagnosed Estelle runtime error,
+// or a contained VM panic (an execution fault). Faults are counted and
+// recorded for the diagnosis; runtime errors are expected search events and
+// are not.
+func (a *Analyzer) containedErr(err error) bool {
+	switch e := err.(type) {
+	case *vm.RuntimeError:
+		return true
+	case *vm.FaultError:
+		a.stats.Faults++
+		if len(a.faults) < maxRecordedFaults {
+			a.faults = append(a.faults, e.Error())
+		}
+		return true
+	}
+	return false
 }
 
 // inputBlocked applies the §2.4.2 order-checking constraints to the front
@@ -794,7 +907,7 @@ func (a *Analyzer) executeCandidate(n *node, c candidate, curOwner **node) (*nod
 		base := a.stateOf(n)
 		results, err := a.exec.ExecuteForked(base, c.ti, cloneParams(c.params))
 		if err != nil {
-			if _, isRTE := err.(*vm.RuntimeError); isRTE {
+			if a.containedErr(err) {
 				return nil, false, nil // branch dies, path fails
 			}
 			return nil, false, err
@@ -842,7 +955,7 @@ func (a *Analyzer) executeCandidate(n *node, c candidate, curOwner **node) (*nod
 	a.stats.TE++
 	outs, err := a.exec.Execute(st, c.ti, cloneParams(c.params))
 	if err != nil {
-		if _, isRTE := err.(*vm.RuntimeError); isRTE {
+		if a.containedErr(err) {
 			return nil, false, nil
 		}
 		return nil, false, err
@@ -1068,6 +1181,7 @@ func (a *Analyzer) diagnose(best *node) *Diagnosis {
 		Explained: a.explained(best),
 		Total:     len(a.events),
 		State:     a.spec.StateName(a.stateOf(best).FSM),
+		Faults:    append([]string(nil), a.faults...),
 	}
 	// Earliest unexplained event across all queues.
 	bestSeq := int(1) << 62

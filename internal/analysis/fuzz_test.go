@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/efsm"
+	"repro/internal/trace"
+	"repro/specs"
+)
+
+// FuzzDynamicReader drives byte corruptions, truncations, stalls and
+// transient errors through the fault-injecting reader into the on-line
+// analyzer. The invariant is the robustness contract of this package: no
+// panic, no hang, and on success a structured verdict (Partial verdicts carry
+// stop info).
+func FuzzDynamicReader(f *testing.F) {
+	spec, err := efsm.Compile("ack", specs.Ack)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := "in A x\nin A x\nin B y\nout A ack\neof\n"
+	f.Add([]byte(valid), uint16(5), uint16(12), byte(0), byte(1), byte('Z'))
+	f.Add([]byte(valid), uint16(0), uint16(3), byte(1), byte(3), byte(0xff))
+	f.Add([]byte("in A x\nout A ack\n"), uint16(2), uint16(9), byte(2), byte(0), byte('\n'))
+	f.Add([]byte("garbage\nin A x\neof\n"), uint16(1), uint16(1), byte(3), byte(3), byte(' '))
+
+	f.Fuzz(func(t *testing.T, data []byte, off1, off2 uint16, k1, k2, cb byte) {
+		span := int64(len(data)) + 1
+		faults := []trace.Fault{
+			{Offset: int64(off1) % span, Kind: trace.FaultKind(k1 % 4), Byte: cb, Stall: time.Millisecond},
+			{Offset: int64(off2) % span, Kind: trace.FaultKind(k2 % 4), Byte: ^cb, Stall: time.Millisecond},
+		}
+		fr := trace.NewFaultReader(bytes.NewReader(data), faults...)
+		fr.Sleep = func(time.Duration) {}
+		rs := trace.NewRetrySource(trace.NewReaderSource(fr))
+		rs.Sleep = func(time.Duration) {}
+
+		a, err := New(spec, Options{
+			MaxTransitions: 50_000,
+			MaxIdlePolls:   4,
+			PollEvery:      1,
+			StallTimeout:   50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		res, err := a.AnalyzeSourceContext(ctx, rs)
+		if err != nil {
+			// Structured failure (parse error, unresolvable event, retry
+			// give-up) is an acceptable outcome for corrupted input.
+			return
+		}
+		if res == nil {
+			t.Fatal("nil result without error")
+		}
+		switch res.Verdict {
+		case Valid, Invalid, ValidSoFar, LikelyInvalid, Exhausted, Partial:
+		default:
+			t.Fatalf("unstructured verdict %v", res.Verdict)
+		}
+		if (res.Verdict == Partial || res.Verdict == Exhausted) && res.Stop == nil {
+			t.Fatalf("verdict %v without stop info", res.Verdict)
+		}
+	})
+}

@@ -135,6 +135,15 @@ type Options struct {
 	// MaxIdlePolls bounds consecutive polls that yield no events before
 	// on-line analysis returns its in-progress verdict (default 64).
 	MaxIdlePolls int
+
+	// StallTimeout bounds how long on-line analysis waits for a dynamic
+	// source that has stopped answering (as opposed to answering "no events
+	// yet", which MaxIdlePolls governs). When set, the source is polled from
+	// a dedicated goroutine so even a Poll blocked inside a read cannot hang
+	// the analyzer: once no answer arrives for this long, the search stops
+	// with a partial verdict whose stop reason is StopStall. Zero disables
+	// stall detection and polls the source directly on the search goroutine.
+	StallTimeout time.Duration
 }
 
 func (o Options) withDefaults(traceLen int) Options {
@@ -167,12 +176,16 @@ type Verdict int
 // PGAV-node exists (every interaction seen so far is explained);
 // LikelyInvalid means only non-AV PG-nodes remain. Exhausted means a resource
 // bound (MaxTransitions/MaxDepth everywhere) stopped the search first.
+// Partial means the run itself was interrupted — deadline, cancellation or a
+// stalled dynamic source — before the search could decide; Result.Stop
+// carries the machine-readable details.
 const (
 	Invalid Verdict = iota
 	Valid
 	ValidSoFar
 	LikelyInvalid
 	Exhausted
+	Partial
 )
 
 // String names the verdict.
@@ -188,6 +201,8 @@ func (v Verdict) String() string {
 		return "likely invalid"
 	case Exhausted:
 		return "search budget exhausted"
+	case Partial:
+		return "partial (analysis interrupted)"
 	default:
 		return fmt.Sprintf("verdict(%d)", int(v))
 	}
@@ -195,6 +210,45 @@ func (v Verdict) String() string {
 
 // Conclusive reports whether the verdict is definitive.
 func (v Verdict) Conclusive() bool { return v == Valid || v == Invalid }
+
+// StopReason says which resource or interruption stopped a search before it
+// reached a conclusive verdict. The values are stable machine-readable
+// strings (part of the CLI's documented output).
+type StopReason string
+
+// The stop reasons.
+const (
+	// StopBudget: the MaxTransitions budget ran out (verdict Exhausted).
+	StopBudget StopReason = "budget"
+	// StopDeadline: the context deadline expired (verdict Partial).
+	StopDeadline StopReason = "deadline"
+	// StopCancelled: the context was cancelled (verdict Partial).
+	StopCancelled StopReason = "cancelled"
+	// StopStall: the dynamic source stopped answering for longer than
+	// Options.StallTimeout (verdict Partial).
+	StopStall StopReason = "stall"
+)
+
+// StopInfo describes an interrupted search: how far it verifiably got and
+// why it stopped. It is the "die gracefully" half of on-line analysis — a run
+// that cannot finish still reports a structured account of its progress
+// instead of an error or a hang.
+type StopInfo struct {
+	Reason StopReason
+	// VerifiedPrefix is the number of trace events explained by the deepest
+	// verified search path found before the stop (the same measure as
+	// Diagnosis.Explained).
+	VerifiedPrefix int
+	// Nodes and Transitions record the search effort spent before the stop.
+	Nodes       int64
+	Transitions int64
+}
+
+// String renders the stop info compactly.
+func (s *StopInfo) String() string {
+	return fmt.Sprintf("reason=%s verified-prefix=%d nodes=%d transitions=%d",
+		s.Reason, s.VerifiedPrefix, s.Nodes, s.Transitions)
+}
 
 // Stats are the search counters reported in the paper's tables (Figure 3/4):
 // transitions executed (TE), generate operations (GE), restores/backtracks
@@ -212,6 +266,7 @@ type Stats struct {
 	Forks    int64 // partial-trace decision forks taken
 	HashHits int64 // visited-state prunes
 	SynthIn  int64 // synthesized undefined inputs consumed
+	Faults   int64 // contained VM execution faults (panics) treated as infeasible
 	CPUTime  time.Duration
 }
 
@@ -271,6 +326,10 @@ type Diagnosis struct {
 	FirstUnexplained string
 	// Path is the best partial transition sequence.
 	Path []Step
+	// Faults lists contained VM execution faults encountered during the
+	// search (capped), so a verdict influenced by a crashing transition is
+	// visibly flagged.
+	Faults []string
 }
 
 // Result is the outcome of one analysis run.
@@ -285,8 +344,12 @@ type Result struct {
 	InitialState int
 	// Reason describes why an inconclusive verdict was returned.
 	Reason string
-	// Diagnosis is set for Invalid (and Exhausted) verdicts.
+	// Diagnosis is set for Invalid (and Exhausted/Partial) verdicts.
 	Diagnosis *Diagnosis
+	// Stop is set when the search stopped early (budget, deadline,
+	// cancellation, stall); it carries the verified-prefix length and a
+	// machine-readable reason.
+	Stop *StopInfo
 }
 
 // SolutionString renders the accepting path compactly.

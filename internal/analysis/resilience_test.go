@@ -1,0 +1,327 @@
+package analysis
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/specs"
+)
+
+// invalidTP0 builds an invalid TP0 trace whose unordered analysis explores a
+// large search tree — enough iterations to interrupt at any point.
+func invalidTP0(t *testing.T) (*Analyzer, *trace.Trace) {
+	t.Helper()
+	spec := compile(t, "tp0", specs.TP0)
+	tr, err := workload.TP0BulkTrace(spec, 2, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err = workload.CorruptLastData(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(spec, Options{Order: OrderNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, tr
+}
+
+func TestBudgetStopInfo(t *testing.T) {
+	spec := compile(t, "tp0", specs.TP0)
+	tr, err := workload.TP0BulkTrace(spec, 2, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err = workload.CorruptLastData(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(spec, Options{Order: OrderNone, MaxTransitions: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.AnalyzeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Exhausted {
+		t.Fatalf("verdict = %v, want exhausted", res.Verdict)
+	}
+	if res.Stop == nil || res.Stop.Reason != StopBudget {
+		t.Fatalf("stop = %+v, want reason %q", res.Stop, StopBudget)
+	}
+	if res.Stop.Transitions <= 100 {
+		t.Fatalf("stop.Transitions = %d, want > budget", res.Stop.Transitions)
+	}
+}
+
+func TestDeadlinePartialVerdict(t *testing.T) {
+	a, tr := invalidTP0(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	res, err := a.AnalyzeTraceContext(ctx, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict == Partial {
+		if res.Stop == nil || res.Stop.Reason != StopDeadline {
+			t.Fatalf("stop = %+v, want reason %q", res.Stop, StopDeadline)
+		}
+		if res.Stop.Nodes <= 0 {
+			t.Fatalf("stop.Nodes = %d, want > 0", res.Stop.Nodes)
+		}
+		return
+	}
+	// A very fast machine may finish inside the deadline; the result must
+	// then be the genuine verdict.
+	if res.Verdict != Invalid {
+		t.Fatalf("verdict = %v, want partial or invalid", res.Verdict)
+	}
+}
+
+// countdownCtx reports cancellation after a fixed number of Err() calls; the
+// search checks Err once per expansion, so the cancel point is deterministic.
+type countdownCtx struct {
+	context.Context
+	left int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	return nil
+}
+
+// TestCancellationDeterminism asserts the partial-verdict guarantees: a
+// cancelled run reports a verified prefix that is monotone in how long the
+// search ran, never exceeds the final run's explained prefix, and an
+// uninterrupted re-run reaches the same verdict as the unbounded analysis.
+func TestCancellationDeterminism(t *testing.T) {
+	a, tr := invalidTP0(t)
+
+	full, err := a.AnalyzeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Verdict != Invalid || full.Diagnosis == nil {
+		t.Fatalf("unbounded verdict = %v (diagnosis %v), want invalid with diagnosis", full.Verdict, full.Diagnosis)
+	}
+	finalPrefix := full.Diagnosis.Explained
+
+	prev := -1
+	for _, n := range []int{1, 10, 100, 1000} {
+		ctx := &countdownCtx{Context: context.Background(), left: n}
+		res, err := a.AnalyzeTraceContext(ctx, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != Partial {
+			t.Fatalf("cancel after %d expansions: verdict = %v, want partial", n, res.Verdict)
+		}
+		if res.Stop == nil || res.Stop.Reason != StopCancelled {
+			t.Fatalf("cancel after %d: stop = %+v, want reason %q", n, res.Stop, StopCancelled)
+		}
+		if res.Stop.VerifiedPrefix < prev {
+			t.Fatalf("verified prefix shrank: %d after more work than %d", res.Stop.VerifiedPrefix, prev)
+		}
+		if res.Stop.VerifiedPrefix > finalPrefix {
+			t.Fatalf("verified prefix %d exceeds final explained prefix %d", res.Stop.VerifiedPrefix, finalPrefix)
+		}
+		prev = res.Stop.VerifiedPrefix
+
+		// Re-running the same cancel point must reproduce the same prefix.
+		ctx2 := &countdownCtx{Context: context.Background(), left: n}
+		res2, err := a.AnalyzeTraceContext(ctx2, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res2.Stop == nil || res2.Stop.VerifiedPrefix != res.Stop.VerifiedPrefix {
+			t.Fatalf("cancel after %d not deterministic: %+v vs %+v", n, res.Stop, res2.Stop)
+		}
+	}
+
+	// Resuming with no interruption reaches the unbounded verdict.
+	again, err := a.AnalyzeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Verdict != full.Verdict || again.Diagnosis.Explained != finalPrefix {
+		t.Fatalf("re-run verdict %v/%d, want %v/%d",
+			again.Verdict, again.Diagnosis.Explained, full.Verdict, finalPrefix)
+	}
+}
+
+// blockingSource answers scripted chunks, then blocks forever.
+type blockingSource struct {
+	chunks [][]trace.Event
+	next   int
+	seq    int
+}
+
+func (s *blockingSource) Poll() ([]trace.Event, bool, error) {
+	if s.next >= len(s.chunks) {
+		select {} // the trace writer hung
+	}
+	chunk := s.chunks[s.next]
+	s.next++
+	out := make([]trace.Event, len(chunk))
+	for i, e := range chunk {
+		e.Seq = s.seq
+		s.seq++
+		out[i] = e
+	}
+	return out, false, nil
+}
+
+func TestStallPartialVerdict(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	src := &blockingSource{chunks: [][]trace.Event{
+		{{Dir: trace.In, IP: "A", Interaction: "x"}},
+	}}
+	a, err := New(spec, Options{StallTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var res *Result
+	go func() {
+		defer close(done)
+		res, err = a.AnalyzeSourceContext(context.Background(), src)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("analysis hung on a stalled source despite StallTimeout")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Partial {
+		t.Fatalf("verdict = %v, want partial", res.Verdict)
+	}
+	if res.Stop == nil || res.Stop.Reason != StopStall {
+		t.Fatalf("stop = %+v, want reason %q", res.Stop, StopStall)
+	}
+	if res.Stop.VerifiedPrefix != 1 {
+		t.Fatalf("verified prefix = %d, want 1 (the consumed x)", res.Stop.VerifiedPrefix)
+	}
+}
+
+func TestStallOnInitialPoll(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	a, err := New(spec, Options{StallTimeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.AnalyzeSourceContext(context.Background(), &blockingSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Partial || res.Stop == nil || res.Stop.Reason != StopStall {
+		t.Fatalf("verdict = %v stop = %+v, want partial/stall", res.Verdict, res.Stop)
+	}
+}
+
+func TestCancelDuringStallWait(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	src := &blockingSource{chunks: [][]trace.Event{
+		{{Dir: trace.In, IP: "A", Interaction: "x"}},
+	}}
+	a, err := New(spec, Options{StallTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan struct{})
+	var res *Result
+	go func() {
+		defer close(done)
+		res, err = a.AnalyzeSourceContext(ctx, src)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not interrupt the stall wait")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Partial || res.Stop == nil || res.Stop.Reason != StopCancelled {
+		t.Fatalf("verdict = %v stop = %+v, want partial/cancelled", res.Verdict, res.Stop)
+	}
+}
+
+// TestFaultContainment injects a panic into the VM's transition execution via
+// the PreTransition hook and asserts the search absorbs it as an infeasible
+// branch: no crash, a structured verdict, and the fault recorded.
+func TestFaultContainment(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	a, err := New(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.exec.PreTransition = func(name string) {
+		if name == "T2" {
+			panic("injected VM fault")
+		}
+	}
+	res, err := a.AnalyzeTrace(mustTrace(t, ackScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T2 is the only producer of ack; with it faulting the trace cannot be
+	// explained.
+	if res.Verdict != Invalid {
+		t.Fatalf("verdict = %v, want invalid", res.Verdict)
+	}
+	if res.Stats.Faults == 0 {
+		t.Fatal("Stats.Faults = 0, want > 0")
+	}
+	if res.Diagnosis == nil || len(res.Diagnosis.Faults) == 0 {
+		t.Fatalf("diagnosis faults missing: %+v", res.Diagnosis)
+	}
+	// With the hook removed the same analyzer must recover completely.
+	a.exec.PreTransition = nil
+	res, err = a.AnalyzeTrace(mustTrace(t, ackScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Valid || res.Stats.Faults != 0 {
+		t.Fatalf("after clearing hook: verdict = %v faults = %d, want valid/0", res.Verdict, res.Stats.Faults)
+	}
+}
+
+// TestFaultInGuardContained: a panic raised while evaluating a provided
+// clause is contained as "guard not enabled".
+func TestFaultInGuardContained(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	a, err := New(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	a.exec.PreTransition = func(name string) {
+		n++
+		if n%2 == 0 {
+			panic("intermittent fault")
+		}
+	}
+	res, err := a.AnalyzeTrace(mustTrace(t, ackScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever the verdict, it must be structured and the run must survive.
+	if res == nil {
+		t.Fatal("nil result")
+	}
+}

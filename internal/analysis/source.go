@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// pollResult is one answer from a dynamic trace source.
+type pollResult struct {
+	events []trace.Event
+	eof    bool
+	err    error
+}
+
+// sourcePoller adapts a trace.Source for the search loop. In direct mode
+// (no stall timeout configured) Poll runs synchronously on the search
+// goroutine, which keeps on-line analysis fully deterministic for scripted
+// sources. In async mode a dedicated goroutine owns the source, so a Poll
+// blocked inside a read can neither hang the search nor escape the stall
+// timeout: the search waits for answers with a bound and gives up gracefully
+// when none arrive.
+type sourcePoller struct {
+	src trace.Source // direct mode; nil in async mode
+
+	req     chan struct{}
+	res     chan pollResult
+	pending bool
+
+	lastAnswer time.Time
+}
+
+func newSourcePoller(src trace.Source, async bool) *sourcePoller {
+	p := &sourcePoller{lastAnswer: time.Now()}
+	if !async {
+		p.src = src
+		return p
+	}
+	p.req = make(chan struct{})
+	// res is buffered so the goroutine can always deliver its final answer
+	// and exit after close(), even if nobody is left to receive it.
+	p.res = make(chan pollResult, 1)
+	go func() {
+		for range p.req {
+			events, eof, err := src.Poll()
+			p.res <- pollResult{events, eof, err}
+		}
+	}()
+	return p
+}
+
+// poll requests (or re-checks) one Poll of the source. wait < 0 blocks until
+// the source answers or ctx is done; wait == 0 is non-blocking; wait > 0
+// bounds the wait. answered=false means the source has not responded yet —
+// the request stays pending and a later call picks the answer up. Direct
+// mode always answers (and may block inside Poll, exactly like polling the
+// source by hand).
+func (p *sourcePoller) poll(ctx context.Context, wait time.Duration) (pollResult, bool) {
+	if p.src != nil {
+		events, eof, err := p.src.Poll()
+		p.lastAnswer = time.Now()
+		return pollResult{events, eof, err}, true
+	}
+	if !p.pending {
+		p.req <- struct{}{}
+		p.pending = true
+	}
+	if wait == 0 {
+		select {
+		case r := <-p.res:
+			p.pending = false
+			p.lastAnswer = time.Now()
+			return r, true
+		default:
+			return pollResult{}, false
+		}
+	}
+	var timeout <-chan time.Time
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case r := <-p.res:
+		p.pending = false
+		p.lastAnswer = time.Now()
+		return r, true
+	case <-timeout:
+		return pollResult{}, false
+	case <-ctx.Done():
+		return pollResult{}, false
+	}
+}
+
+// async reports whether a goroutine owns the source.
+func (p *sourcePoller) async() bool { return p.req != nil }
+
+// idleFor is how long the source has gone without answering a poll.
+func (p *sourcePoller) idleFor() time.Duration { return time.Since(p.lastAnswer) }
+
+// close releases the async goroutine. If the source is blocked inside a read
+// the goroutine survives until that read returns (and then exits); this is
+// the price of not being hostage to it.
+func (p *sourcePoller) close() {
+	if p.req != nil {
+		close(p.req)
+	}
+}

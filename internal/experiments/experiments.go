@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -40,12 +41,12 @@ func optionsFor(mode analysis.OrderOpts, budget int64) analysis.Options {
 	return analysis.Options{Order: mode, MaxTransitions: budget}
 }
 
-func runOnce(spec *efsm.Spec, opts analysis.Options, tr *trace.Trace) (Row, error) {
+func runOnce(ctx context.Context, spec *efsm.Spec, opts analysis.Options, tr *trace.Trace) (Row, error) {
 	a, err := analysis.New(spec, opts)
 	if err != nil {
 		return Row{}, err
 	}
-	res, err := a.AnalyzeTrace(tr)
+	res, err := a.AnalyzeTraceContext(ctx, tr)
 	if err != nil {
 		return Row{}, err
 	}
@@ -83,7 +84,7 @@ var Fig3DIs = []int{5, 10, 15, 25, 50, 75, 100}
 
 // Fig3 reproduces Figure 3: execution statistics of a LAPD TAM on valid
 // traces of increasing size under each order-checking mode.
-func Fig3(w io.Writer) error {
+func Fig3(ctx context.Context, w io.Writer) error {
 	spec, err := efsm.Compile("lapd.estelle", specs.LAPD)
 	if err != nil {
 		return err
@@ -98,7 +99,7 @@ func Fig3(w io.Writer) error {
 			if err != nil {
 				return fmt.Errorf("di=%d: %w", di, err)
 			}
-			row, err := runOnce(spec, analysis.Options{Order: mode}, tr)
+			row, err := runOnce(ctx, spec, analysis.Options{Order: mode}, tr)
 			if err != nil {
 				return err
 			}
@@ -147,7 +148,7 @@ func Fig4InvalidTrace(spec *efsm.Spec, k int) (*trace.Trace, error) {
 }
 
 // Fig4 reproduces Figure 4: execution statistics on invalid TP0 traces.
-func Fig4(w io.Writer, budget int64) error {
+func Fig4(ctx context.Context, w io.Writer, budget int64) error {
 	spec, err := efsm.Compile("tp0.estelle", specs.TP0)
 	if err != nil {
 		return err
@@ -161,7 +162,7 @@ func Fig4(w io.Writer, budget int64) error {
 			return err
 		}
 		opts := analysis.Options{Order: cfg.Mode, MaxTransitions: budget}
-		row, err := runOnce(spec, opts, tr)
+		row, err := runOnce(ctx, spec, opts, tr)
 		if err != nil {
 			return err
 		}
@@ -182,7 +183,7 @@ func Fig4(w io.Writer, budget int64) error {
 	if err != nil {
 		return err
 	}
-	row, err := runOnce(spec, analysis.Options{Order: analysis.OrderNone, MaxTransitions: budget}, full)
+	row, err := runOnce(ctx, spec, analysis.Options{Order: analysis.OrderNone, MaxTransitions: budget}, full)
 	if err != nil {
 		return err
 	}
@@ -239,7 +240,7 @@ type TPSResult struct {
 // specifications of increasing size, as discussed in §4 (simple spec ≈ 250/s,
 // TP0 ≈ 40–60/s, LAPD ≈ 10/s on a SUN 4; absolute numbers differ on modern
 // hardware, the monotone decrease with specification size is the claim).
-func TPS(w io.Writer) error {
+func TPS(ctx context.Context, w io.Writer) error {
 	type target struct {
 		name string
 		spec *efsm.Spec
@@ -302,7 +303,7 @@ func TPS(w io.Writer) error {
 		var te int64
 		var cpu time.Duration
 		for r := 0; r < reps; r++ {
-			row, err := runOnce(tg.spec, analysis.Options{Order: analysis.OrderNone}, tg.tr)
+			row, err := runOnce(ctx, tg.spec, analysis.Options{Order: analysis.OrderNone}, tg.tr)
 			if err != nil {
 				return err
 			}
@@ -335,7 +336,7 @@ func TPS(w io.Writer) error {
 
 // Fanout reports the average search-tree fanout on invalid TP0 traces with
 // and without full order checking (paper: 2.6 vs 1.5).
-func Fanout(w io.Writer, budget int64) error {
+func Fanout(ctx context.Context, w io.Writer, budget int64) error {
 	spec, err := efsm.Compile("tp0.estelle", specs.TP0)
 	if err != nil {
 		return err
@@ -349,7 +350,7 @@ func Fanout(w io.Writer, budget int64) error {
 			return err
 		}
 		for _, mode := range []analysis.OrderOpts{analysis.OrderNone, analysis.OrderFull} {
-			row, err := runOnce(spec, analysis.Options{Order: mode, MaxTransitions: budget}, tr)
+			row, err := runOnce(ctx, spec, analysis.Options{Order: mode, MaxTransitions: budget}, tr)
 			if err != nil {
 				return err
 			}
@@ -367,7 +368,7 @@ func Fanout(w io.Writer, budget int64) error {
 
 // Linear demonstrates the §2.4.2/§4.2 claim: on valid traces with full order
 // checking, TE grows linearly with trace length and RE stays near zero.
-func Linear(w io.Writer) error {
+func Linear(ctx context.Context, w io.Writer) error {
 	tp0, err := efsm.Compile("tp0.estelle", specs.TP0)
 	if err != nil {
 		return err
@@ -380,7 +381,7 @@ func Linear(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		row, err := runOnce(tp0, analysis.Options{Order: analysis.OrderFull}, tr)
+		row, err := runOnce(ctx, tp0, analysis.Options{Order: analysis.OrderFull}, tr)
 		if err != nil {
 			return err
 		}
@@ -401,7 +402,7 @@ func Linear(w io.Writer) error {
 
 // Fig1 demonstrates the §3.1 ack scenario: on-line analysis that requires
 // revisiting PG-nodes.
-func Fig1(w io.Writer) error {
+func Fig1(ctx context.Context, w io.Writer) error {
 	spec, err := efsm.Compile("ack.estelle", specs.Ack)
 	if err != nil {
 		return err
@@ -417,7 +418,7 @@ func Fig1(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := a.AnalyzeSource(src)
+	res, err := a.AnalyzeSourceContext(ctx, src)
 	if err != nil {
 		return err
 	}
@@ -433,7 +434,7 @@ func Fig1(w io.Writer) error {
 
 // Fig2 demonstrates §3.1.2 on ip3': the invalid interaction o is undetected
 // while data keeps flowing at B/C, and detected once the EOF marker arrives.
-func Fig2(w io.Writer) error {
+func Fig2(ctx context.Context, w io.Writer) error {
 	spec, err := efsm.Compile("ip3prime.estelle", specs.IP3Prime)
 	if err != nil {
 		return err
@@ -457,7 +458,7 @@ out B data
 		if err != nil {
 			return err
 		}
-		res, err := a.AnalyzeSource(src)
+		res, err := a.AnalyzeSourceContext(ctx, src)
 		if err != nil {
 			return err
 		}
@@ -473,14 +474,14 @@ out B data
 
 // All maps experiment ids to runners. Budget-bound experiments receive the
 // given transition budget.
-func All(budget int64) map[string]func(io.Writer) error {
-	return map[string]func(io.Writer) error{
+func All(budget int64) map[string]func(context.Context, io.Writer) error {
+	return map[string]func(context.Context, io.Writer) error{
 		"fig1":   Fig1,
 		"fig2":   Fig2,
 		"fig3":   Fig3,
-		"fig4":   func(w io.Writer) error { return Fig4(w, budget) },
+		"fig4":   func(ctx context.Context, w io.Writer) error { return Fig4(ctx, w, budget) },
 		"tps":    TPS,
-		"fanout": func(w io.Writer) error { return Fanout(w, budget) },
+		"fanout": func(ctx context.Context, w io.Writer) error { return Fanout(ctx, w, budget) },
 		"linear": Linear,
 	}
 }

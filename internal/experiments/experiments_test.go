@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 // TestFig1AndFig2 run quickly and assert their narrative output.
 func TestFig1(t *testing.T) {
 	var sb strings.Builder
-	if err := Fig1(&sb); err != nil {
+	if err := Fig1(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -22,7 +23,7 @@ func TestFig1(t *testing.T) {
 
 func TestFig2(t *testing.T) {
 	var sb strings.Builder
-	if err := Fig2(&sb); err != nil {
+	if err := Fig2(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -51,7 +52,7 @@ func TestFig4Shape(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		row, err := runOnce(spec, optionsFor(Modes[cfg.mode], 2_000_000), tr)
+		row, err := runOnce(context.Background(), spec, optionsFor(Modes[cfg.mode], 2_000_000), tr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func TestInflateLAPD(t *testing.T) {
 // internally that every trace is valid).
 func TestLinearRuns(t *testing.T) {
 	var sb strings.Builder
-	if err := Linear(&sb); err != nil {
+	if err := Linear(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "TE/event") {
@@ -99,7 +100,7 @@ func TestLinearRuns(t *testing.T) {
 // TestFanoutRuns exercises the fanout experiment with a small budget.
 func TestFanoutRuns(t *testing.T) {
 	var sb strings.Builder
-	if err := Fanout(&sb, 2_000_000); err != nil {
+	if err := Fanout(context.Background(), &sb, 2_000_000); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "fanout") {
@@ -124,7 +125,7 @@ func TestRegistryComplete(t *testing.T) {
 // and asserts the paper's qualitative orderings on the collected rows.
 func TestFig3Full(t *testing.T) {
 	var sb strings.Builder
-	if err := Fig3(&sb); err != nil {
+	if err := Fig3(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -144,7 +145,7 @@ func TestFig4Full(t *testing.T) {
 		t.Skip("NR row is slow")
 	}
 	var sb strings.Builder
-	if err := Fig4(&sb, 2_000_000); err != nil {
+	if err := Fig4(context.Background(), &sb, 2_000_000); err != nil {
 		t.Fatal(err)
 	}
 	if c := strings.Count(sb.String(), "invalid"); c < 6 {
@@ -158,7 +159,7 @@ func TestTPSRuns(t *testing.T) {
 		t.Skip("inflated-LAPD analysis is slow")
 	}
 	var sb strings.Builder
-	if err := TPS(&sb); err != nil {
+	if err := TPS(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "lapd+800") {

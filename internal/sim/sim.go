@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/efsm"
@@ -22,16 +23,29 @@ type Result struct {
 	Transitions int
 	// Truncated reports whether the bound stopped the exploration.
 	Truncated bool
+	// Interrupted reports whether the context stopped the exploration early;
+	// the counts cover what was explored up to that point.
+	Interrupted bool
 	// FSMStates is the set of FSM control states seen.
 	FSMStates map[int]bool
 	// Deadlocks counts states with no fireable transition.
 	Deadlocks int
+	// Faults counts contained VM execution faults (panics converted to
+	// per-transition failures); faulting edges are skipped, not fatal.
+	Faults int
 }
 
 // Explore runs BFS from the initialized state, firing spontaneous transitions
 // only (a closed system: no environment input), up to maxStates distinct
 // composite states.
 func Explore(spec *efsm.Spec, maxStates int) (*Result, error) {
+	return ExploreContext(context.Background(), spec, maxStates)
+}
+
+// ExploreContext is Explore under a context: cancellation or deadline expiry
+// stops the BFS at the next dequeue and returns the partial Result with
+// Interrupted set, not an error.
+func ExploreContext(ctx context.Context, spec *efsm.Spec, maxStates int) (*Result, error) {
 	if maxStates <= 0 {
 		maxStates = 10_000
 	}
@@ -46,14 +60,31 @@ func Explore(spec *efsm.Spec, maxStates int) (*Result, error) {
 	res.States = 1
 	res.FSMStates[init.FSM] = true
 
+	// contained absorbs per-edge failures: diagnosed runtime errors are
+	// silently infeasible, contained panics are counted as faults.
+	contained := func(err error) bool {
+		switch err.(type) {
+		case *vm.RuntimeError:
+			return true
+		case *vm.FaultError:
+			res.Faults++
+			return true
+		}
+		return false
+	}
+
 	for len(queue) > 0 {
+		if ctx.Err() != nil {
+			res.Interrupted = true
+			return res, nil
+		}
 		st := queue[0]
 		queue = queue[1:]
 		fired := 0
 		for _, ti := range spec.Spontaneous(st.FSM) {
 			ok, err := exec.EvalProvided(st, ti, nil)
 			if err != nil {
-				if _, isRTE := err.(*vm.RuntimeError); isRTE {
+				if contained(err) {
 					continue
 				}
 				return nil, err
@@ -63,7 +94,7 @@ func Explore(spec *efsm.Spec, maxStates int) (*Result, error) {
 			}
 			next := st.Snapshot()
 			if _, err := exec.Execute(next, ti, nil); err != nil {
-				if _, isRTE := err.(*vm.RuntimeError); isRTE {
+				if contained(err) {
 					continue
 				}
 				return nil, err

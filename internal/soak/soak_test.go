@@ -7,10 +7,13 @@
 package soak
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strconv"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/efsm"
@@ -286,4 +289,101 @@ func TestAnalyzerRobustToEventNoise(t *testing.T) {
 		}
 	}
 	_ = fmt.Sprintf // keep fmt for debug convenience
+}
+
+// TestFaultInjectionSoak is the resilience soak: valid generated traces are
+// replayed through the fault-injecting reader (truncations, corruptions,
+// stalls, transient errors at random offsets) into the on-line analyzer, and
+// every injected fault must end in a clean structured outcome — a verdict or
+// an error, never a panic or a hang.
+func TestFaultInjectionSoak(t *testing.T) {
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	kinds := []trace.FaultKind{
+		trace.FaultTruncate, trace.FaultCorrupt, trace.FaultStall, trace.FaultTransient,
+	}
+	for _, name := range soakSpecs {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := efsm.Compile(name, specs.All()[name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(1); seed <= int64(rounds); seed++ {
+				rng := rand.New(rand.NewSource(seed * 52711))
+				g, err := gen.New(spec, gen.NewSeededScheduler(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				randomWorkload(t, spec, g, rng, 10)
+				text := trace.Format(g.Trace())
+				if len(text) == 0 {
+					continue
+				}
+				// A random plan covering every fault kind.
+				var faults []trace.Fault
+				for _, k := range kinds {
+					faults = append(faults, trace.Fault{
+						Offset: rng.Int63n(int64(len(text)) + 1),
+						Kind:   k,
+						Byte:   byte(rng.Intn(256)),
+						Stall:  time.Duration(rng.Intn(40)) * time.Millisecond,
+					})
+				}
+				fr := trace.NewFaultReader(strings.NewReader(text), faults...)
+				fr.Sleep = func(time.Duration) {} // stalls are free in the soak
+				rs := trace.NewRetrySource(trace.NewReaderSource(fr))
+				rs.Sleep = func(time.Duration) {}
+
+				a, err := analysis.New(spec, analysis.Options{
+					Order:          analysis.OrderFull,
+					MaxTransitions: 200_000,
+					MaxIdlePolls:   4,
+					PollEvery:      1,
+					StallTimeout:   100 * time.Millisecond,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				type outcome struct {
+					res *analysis.Result
+					err error
+				}
+				done := make(chan outcome, 1)
+				go func() {
+					res, err := a.AnalyzeSourceContext(ctx, rs)
+					done <- outcome{res, err}
+				}()
+				var out outcome
+				select {
+				case out = <-done:
+				case <-time.After(30 * time.Second):
+					cancel()
+					t.Fatalf("%s seed %d: analysis hung under fault injection", name, seed)
+				}
+				cancel()
+				if out.err != nil {
+					// A structured error (parse failure from corruption,
+					// retry give-up) is a clean outcome.
+					continue
+				}
+				res := out.res
+				if res == nil {
+					t.Fatalf("%s seed %d: nil result and nil error", name, seed)
+				}
+				switch res.Verdict {
+				case analysis.Valid, analysis.ValidSoFar, analysis.Invalid,
+					analysis.LikelyInvalid, analysis.Exhausted, analysis.Partial:
+				default:
+					t.Fatalf("%s seed %d: unstructured verdict %v", name, seed, res.Verdict)
+				}
+				if (res.Verdict == analysis.Partial || res.Verdict == analysis.Exhausted) && res.Stop == nil {
+					t.Fatalf("%s seed %d: verdict %v without stop info", name, seed, res.Verdict)
+				}
+			}
+		})
+	}
 }

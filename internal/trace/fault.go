@@ -1,0 +1,193 @@
+// Fault injection for dynamic-trace reading. The paper's on-line analyzer
+// (§3) reads a trace while the implementation under test is still running, so
+// the trace feed itself is a failure surface: the writer can die mid-line,
+// scramble a record, stall, or hiccup with transient I/O errors. FaultReader
+// fabricates exactly those faults deterministically, and RetrySource gives
+// the analyzer a recovery policy for the transient ones. The soak scenarios
+// and FuzzDynamicReader drive the whole pipeline through these wrappers to
+// prove every fault ends in a structured outcome instead of a crash or hang.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// TransientError wraps an I/O error that is worth retrying: the read failed
+// but the stream is expected to recover (EAGAIN-style hiccups, a temporarily
+// unreachable trace feed).
+type TransientError struct{ Err error }
+
+func (e *TransientError) Error() string { return "transient i/o error: " + e.Err.Error() }
+
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err should be retried: a *TransientError
+// anywhere in its chain, or an error that declares itself temporary in the
+// net.Error style.
+func IsTransient(err error) bool {
+	var te *TransientError
+	if errors.As(err, &te) {
+		return true
+	}
+	var tmp interface{ Temporary() bool }
+	return errors.As(err, &tmp) && tmp.Temporary()
+}
+
+// FaultKind enumerates the injectable read faults.
+type FaultKind int
+
+const (
+	// FaultTruncate ends the stream at the fault offset: every read from
+	// there on returns io.EOF, as if the trace writer died mid-line.
+	FaultTruncate FaultKind = iota
+	// FaultCorrupt replaces the byte at the fault offset with Fault.Byte.
+	FaultCorrupt
+	// FaultStall delays the read that reaches the fault offset by
+	// Fault.Stall.
+	FaultStall
+	// FaultTransient makes the read at the fault offset fail once with a
+	// *TransientError; the next read proceeds normally.
+	FaultTransient
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultTruncate:
+		return "truncate"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultStall:
+		return "stall"
+	case FaultTransient:
+		return "transient"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled fault, keyed by the byte offset of the wrapped
+// stream at which it fires.
+type Fault struct {
+	Offset int64
+	Kind   FaultKind
+	// Byte is the replacement value for FaultCorrupt.
+	Byte byte
+	// Stall is the delay for FaultStall.
+	Stall time.Duration
+}
+
+// FaultReader wraps an io.Reader and injects a fixed, deterministic fault
+// plan: reads never cross the next fault offset, and the fault fires exactly
+// when its offset is reached.
+type FaultReader struct {
+	r      io.Reader
+	faults []Fault
+	off    int64
+	dead   bool
+
+	// Sleep implements FaultStall; injectable so tests and fuzzing can make
+	// stalls free. Defaults to time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// NewFaultReader wraps r with the given fault plan (sorted by offset; the
+// input slice is not modified).
+func NewFaultReader(r io.Reader, faults ...Fault) *FaultReader {
+	fs := append([]Fault(nil), faults...)
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Offset < fs[j].Offset })
+	return &FaultReader{r: r, faults: fs, Sleep: time.Sleep}
+}
+
+// Read implements io.Reader, firing every fault scheduled at or before the
+// current stream offset before delivering bytes.
+func (f *FaultReader) Read(p []byte) (int, error) {
+	if f.dead {
+		return 0, io.EOF
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	corrupt := false
+	var replacement byte
+	for len(f.faults) > 0 && f.faults[0].Offset <= f.off {
+		ft := f.faults[0]
+		f.faults = f.faults[1:]
+		switch ft.Kind {
+		case FaultTruncate:
+			f.dead = true
+			return 0, io.EOF
+		case FaultStall:
+			f.Sleep(ft.Stall)
+		case FaultTransient:
+			return 0, &TransientError{Err: fmt.Errorf("injected fault at offset %d", f.off)}
+		case FaultCorrupt:
+			corrupt, replacement = true, ft.Byte
+		}
+		if corrupt {
+			break // corrupt the next byte delivered
+		}
+	}
+	// Bound the read so the next fault offset is not skipped over.
+	if len(f.faults) > 0 {
+		if room := f.faults[0].Offset - f.off; room > 0 && int64(len(p)) > room {
+			p = p[:room]
+		}
+	}
+	n, err := f.r.Read(p)
+	if n > 0 && corrupt {
+		p[0] = replacement
+	}
+	f.off += int64(n)
+	return n, err
+}
+
+// RetrySource wraps a dynamic trace source, absorbing transient poll errors
+// with capped exponential backoff — the §3 requirement that an on-line
+// analyzer survive a hiccuping live trace feed. Non-transient errors (parse
+// errors, permanent I/O failures) pass through untouched.
+type RetrySource struct {
+	src Source
+	// MaxRetries bounds consecutive transient failures in one Poll before
+	// giving up (default 4).
+	MaxRetries int
+	// Backoff is the first retry delay; it doubles per consecutive failure.
+	Backoff time.Duration
+	// Sleep is injectable for tests. Defaults to time.Sleep.
+	Sleep func(time.Duration)
+
+	// Retries counts retries performed over the source's lifetime.
+	Retries int64
+}
+
+// NewRetrySource wraps src with the default retry policy (4 retries starting
+// at 1ms).
+func NewRetrySource(src Source) *RetrySource {
+	return &RetrySource{src: src, MaxRetries: 4, Backoff: time.Millisecond, Sleep: time.Sleep}
+}
+
+// Poll polls the wrapped source, retrying transient errors. Events decoded
+// before a transient error are delivered immediately (a transient error is by
+// definition safe to retry on the next Poll).
+func (s *RetrySource) Poll() ([]Event, bool, error) {
+	delay := s.Backoff
+	for attempt := 0; ; attempt++ {
+		events, eof, err := s.src.Poll()
+		if err == nil || !IsTransient(err) {
+			return events, eof, err
+		}
+		if len(events) > 0 {
+			return events, eof, nil
+		}
+		if attempt >= s.MaxRetries {
+			return nil, false, fmt.Errorf("dynamic trace source: giving up after %d transient errors: %w", attempt+1, err)
+		}
+		s.Retries++
+		s.Sleep(delay)
+		delay *= 2
+	}
+}

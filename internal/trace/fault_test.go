@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+const faultTrace = "in U a\nout U b\nin U c\neof\n"
+
+func readAll(t *testing.T, r io.Reader) string {
+	t.Helper()
+	b, err := io.ReadAll(r)
+	if err != nil && !IsTransient(err) {
+		t.Fatalf("read: %v", err)
+	}
+	return string(b)
+}
+
+func TestFaultReaderTruncate(t *testing.T) {
+	f := NewFaultReader(strings.NewReader(faultTrace), Fault{Offset: 10, Kind: FaultTruncate})
+	got := readAll(t, f)
+	if got != faultTrace[:10] {
+		t.Fatalf("got %q, want first 10 bytes", got)
+	}
+	// Truncation is permanent.
+	if n, err := f.Read(make([]byte, 8)); n != 0 || err != io.EOF {
+		t.Fatalf("post-truncation read: n=%d err=%v, want 0/EOF", n, err)
+	}
+}
+
+func TestFaultReaderCorrupt(t *testing.T) {
+	f := NewFaultReader(strings.NewReader(faultTrace), Fault{Offset: 3, Kind: FaultCorrupt, Byte: 'X'})
+	got := readAll(t, f)
+	want := faultTrace[:3] + "X" + faultTrace[4:]
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestFaultReaderTransient(t *testing.T) {
+	f := NewFaultReader(strings.NewReader(faultTrace), Fault{Offset: 5, Kind: FaultTransient})
+	buf := make([]byte, 64)
+	n, err := f.Read(buf)
+	if err != nil || string(buf[:n]) != faultTrace[:5] {
+		t.Fatalf("first read: %q, %v", buf[:n], err)
+	}
+	// The fault fires once.
+	if _, err := f.Read(buf); !IsTransient(err) {
+		t.Fatalf("expected transient error, got %v", err)
+	}
+	n, err = f.Read(buf)
+	if err != nil || string(buf[:n]) != faultTrace[5:] {
+		t.Fatalf("recovery read: %q, %v", buf[:n], err)
+	}
+}
+
+func TestFaultReaderStall(t *testing.T) {
+	var slept time.Duration
+	f := NewFaultReader(strings.NewReader(faultTrace), Fault{Offset: 0, Kind: FaultStall, Stall: 250 * time.Millisecond})
+	f.Sleep = func(d time.Duration) { slept += d }
+	if got := readAll(t, f); got != faultTrace {
+		t.Fatalf("got %q", got)
+	}
+	if slept != 250*time.Millisecond {
+		t.Fatalf("slept %v, want 250ms", slept)
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	if !IsTransient(&TransientError{Err: errors.New("x")}) {
+		t.Fatal("TransientError not transient")
+	}
+	if !IsTransient(fmt.Errorf("wrap: %w", &TransientError{Err: errors.New("x")})) {
+		t.Fatal("wrapped TransientError not transient")
+	}
+	if IsTransient(errors.New("plain")) {
+		t.Fatal("plain error transient")
+	}
+}
+
+func TestRetrySourceAbsorbsTransients(t *testing.T) {
+	r := NewFaultReader(strings.NewReader(faultTrace),
+		Fault{Offset: 2, Kind: FaultTransient},
+		Fault{Offset: 9, Kind: FaultTransient})
+	src := NewRetrySource(NewReaderSource(r))
+	src.Sleep = func(time.Duration) {}
+	tr, err := Collect(src, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 || !tr.EOF {
+		t.Fatalf("collected %d events eof=%v, want 3/true", tr.Len(), tr.EOF)
+	}
+	if src.Retries == 0 {
+		t.Fatal("no retries recorded")
+	}
+}
+
+func TestRetrySourceGivesUp(t *testing.T) {
+	// An underlying source that always fails transiently.
+	always := sourceFunc(func() ([]Event, bool, error) {
+		return nil, false, &TransientError{Err: errors.New("down")}
+	})
+	src := NewRetrySource(always)
+	src.Sleep = func(time.Duration) {}
+	src.MaxRetries = 3
+	_, _, err := src.Poll()
+	if err == nil {
+		t.Fatal("want terminal error, got nil")
+	}
+	if !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("error %q does not mention giving up", err)
+	}
+}
+
+type sourceFunc func() ([]Event, bool, error)
+
+func (f sourceFunc) Poll() ([]Event, bool, error) { return f() }
+
+// TestReadLongLine: lines up to MaxLineBytes parse; beyond it, Read reports a
+// positioned diagnostic instead of bufio's opaque "token too long".
+func TestReadLongLine(t *testing.T) {
+	// A 2 MiB comment line (over the old 1 MiB scanner cap) must parse.
+	big := "in U a\n# " + strings.Repeat("x", 2<<20) + "\nout U b\neof\n"
+	tr, err := Read(strings.NewReader(big))
+	if err != nil {
+		t.Fatalf("2MiB line: %v", err)
+	}
+	if tr.Len() != 2 || !tr.EOF {
+		t.Fatalf("got %d events eof=%v", tr.Len(), tr.EOF)
+	}
+}
+
+func TestReadOverlongLineDiagnostic(t *testing.T) {
+	over := "in U a\n# " + strings.Repeat("x", MaxLineBytes+1) + "\n"
+	_, err := Read(strings.NewReader(over))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *ParseError", err, err)
+	}
+	if pe.Line != 2 || !strings.Contains(pe.Msg, "line too long") {
+		t.Fatalf("diagnostic = %v, want line 2 'line too long'", pe)
+	}
+}
+
+func TestReaderSourceOverlongLine(t *testing.T) {
+	over := strings.Repeat("y", MaxLineBytes+2) // no newline: stashed partial
+	src := NewReaderSource(strings.NewReader(over))
+	_, _, err := src.Poll()
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *ParseError", err, err)
+	}
+	if !strings.Contains(pe.Msg, "line too long") {
+		t.Fatalf("diagnostic = %v", pe)
+	}
+}

@@ -20,11 +20,17 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 )
+
+// MaxLineBytes bounds one trace line. Lines beyond it are rejected with a
+// positioned ParseError instead of bufio's opaque "token too long".
+const MaxLineBytes = 16 << 20
 
 // Dir is the direction of an event relative to the IUT.
 type Dir int
@@ -151,7 +157,7 @@ func ParseLine(line string, lineno int) (*Event, bool, error) {
 func Read(r io.Reader) (*Trace, error) {
 	t := &Trace{}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	sc.Buffer(make([]byte, 64*1024), MaxLineBytes)
 	lineno := 0
 	for sc.Scan() {
 		lineno++
@@ -173,6 +179,11 @@ func Read(r io.Reader) (*Trace, error) {
 		t.Events = append(t.Events, *ev)
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The offending line was never delivered, so it is the one after
+			// the last successful scan.
+			return nil, &ParseError{lineno + 1, fmt.Sprintf("line too long (over %d bytes)", MaxLineBytes)}
+		}
 		return nil, err
 	}
 	return t, nil
@@ -266,26 +277,44 @@ func NewReaderSource(r io.Reader) *ReaderSource {
 	return &ReaderSource{r: bufio.NewReader(r)}
 }
 
-// Poll reads as many complete lines as are available without blocking
-// indefinitely; it stops at the first read error or io.EOF of the underlying
-// reader (io.EOF does NOT imply the trace eof marker — only the textual
-// marker does).
+// Poll reads as many complete lines as are available and stops at the first
+// read error or io.EOF of the underlying reader (io.EOF does NOT imply the
+// trace eof marker — only the textual marker does). On a live stream (FIFO,
+// socket) a read may block; Poll only blocks when it has no events to
+// deliver, so interactions already received are never held hostage by a
+// stalled writer.
 func (s *ReaderSource) Poll() ([]Event, bool, error) {
 	if s.eof {
 		return nil, true, nil
 	}
 	var events []Event
 	for {
+		if len(events) > 0 && !s.lineBuffered() {
+			// No complete line left in the buffer: report what we have
+			// instead of issuing another read that may block indefinitely.
+			return events, s.eof, nil
+		}
 		chunk, err := s.r.ReadString('\n')
 		if chunk != "" && !strings.HasSuffix(chunk, "\n") {
-			// Partial line: stash and wait for the rest.
+			// Partial line: stash and wait for the rest. A read error that
+			// arrived with the partial chunk must still be reported — it was
+			// consumed from the buffered reader and would otherwise be lost.
 			s.part.WriteString(chunk)
+			if s.part.Len() > MaxLineBytes {
+				return events, s.eof, &ParseError{s.line + 1, fmt.Sprintf("line too long (over %d bytes)", MaxLineBytes)}
+			}
+			if err != nil && err != io.EOF {
+				return events, s.eof, err
+			}
 			return events, s.eof, nil
 		}
 		if chunk != "" {
 			line := s.part.String() + chunk
 			s.part.Reset()
 			s.line++
+			if len(line) > MaxLineBytes {
+				return events, s.eof, &ParseError{s.line, fmt.Sprintf("line too long (over %d bytes)", MaxLineBytes)}
+			}
 			ev, eof, perr := ParseLine(line, s.line)
 			if perr != nil {
 				return events, s.eof, perr
@@ -307,6 +336,17 @@ func (s *ReaderSource) Poll() ([]Event, bool, error) {
 			return events, s.eof, err
 		}
 	}
+}
+
+// lineBuffered reports whether a complete line can be read without touching
+// the underlying reader.
+func (s *ReaderSource) lineBuffered() bool {
+	n := s.r.Buffered()
+	if n == 0 {
+		return false
+	}
+	buf, err := s.r.Peek(n)
+	return err == nil && bytes.IndexByte(buf, '\n') >= 0
 }
 
 // Collect drains a source completely (polling until EOF) into a static

@@ -180,12 +180,17 @@ type errEOF struct{}
 func (errEOF) Error() string { return "EOF" }
 
 func TestReaderSourceStopsAtReadErrorBoundary(t *testing.T) {
-	// A non-io.EOF error is propagated.
+	// A non-io.EOF error is propagated. Poll answers with buffered events
+	// first (it must not block on a live stream once it has something to
+	// deliver), so the error surfaces no later than the following Poll.
 	pr := &pieceReader{pieces: []string{"in A x\n"}}
 	src := NewReaderSource(pr)
 	evs, _, err := src.Poll()
 	if len(evs) != 1 {
 		t.Fatalf("events: %v", evs)
+	}
+	if err == nil {
+		_, _, err = src.Poll()
 	}
 	if err == nil {
 		t.Fatal("expected propagated read error")

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"repro/internal/estelle/ast"
 	"repro/internal/estelle/sema"
@@ -40,6 +41,10 @@ type Limits struct {
 	// MaxForks bounds decision-vector enumeration per transition in
 	// partial-trace mode (default 64).
 	MaxForks int
+	// MaxHeapCells bounds live dynamic-memory cells per state, so a
+	// specification allocating in a loop cannot run the analyzer out of
+	// memory (default 1<<20).
+	MaxHeapCells int
 }
 
 func (l Limits) withDefaults() Limits {
@@ -51,6 +56,9 @@ func (l Limits) withDefaults() Limits {
 	}
 	if l.MaxForks <= 0 {
 		l.MaxForks = 64
+	}
+	if l.MaxHeapCells <= 0 {
+		l.MaxHeapCells = 1 << 20
 	}
 	return l
 }
@@ -64,6 +72,12 @@ type Exec struct {
 	// conditions fork execution.
 	Partial bool
 	Limits  Limits
+
+	// PreTransition, when non-nil, runs at the start of every transition
+	// body execution with the transition's name. Fault-injection harnesses
+	// use it to simulate VM crashes; a panic it raises is contained like any
+	// other execution fault.
+	PreTransition func(name string)
 
 	state       *State
 	frames      []*frame
@@ -100,6 +114,44 @@ func rte(pos token.Pos, format string, args ...any) error {
 	return &RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
 
+// FaultError is a contained panic from transition execution: a fault the
+// interpreter itself did not anticipate (as opposed to a RuntimeError, which
+// is a diagnosed specification-level error). The analyzer treats the faulted
+// transition as an infeasible branch and records the fault in its diagnosis,
+// so one broken candidate cannot crash a whole analysis.
+type FaultError struct {
+	// Op names what was executing ("transition t_dt", "provided clause of
+	// t_cr", ...).
+	Op    string
+	Panic any
+	// Stack is the goroutine stack captured at the recover point.
+	Stack []byte
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("execution fault in %s: %v", e.Op, e.Panic)
+}
+
+// contain is deferred around VM entry points to convert an escaping panic
+// into a *FaultError. The executor's transient fields are left dirty, but
+// begin() fully resets them on the next entry.
+func contain(op string, err *error) {
+	if r := recover(); r != nil {
+		*err = &FaultError{Op: op, Panic: r, Stack: debug.Stack()}
+	}
+}
+
+// Contained reports whether err is a per-transition execution failure
+// (diagnosed runtime error or contained panic) that a search should treat as
+// an infeasible branch rather than an analysis-level failure.
+func Contained(err error) bool {
+	switch err.(type) {
+	case *RuntimeError, *FaultError:
+		return true
+	}
+	return false
+}
+
 // New returns an executor for prog.
 func New(prog *sema.Program) *Exec {
 	return &Exec{Prog: prog, Limits: Limits{}.withDefaults()}
@@ -118,8 +170,9 @@ func (e *Exec) NewState() *State {
 
 // RunInit creates a fresh state and executes the initialize transition,
 // returning the state and any outputs the initialize block produced.
-func (e *Exec) RunInit() (*State, []Output, error) {
-	st := e.NewState()
+func (e *Exec) RunInit() (st *State, outs []Output, err error) {
+	defer contain("initialize transition", &err)
+	st = e.NewState()
 	e.begin(st, nil, nil)
 	defer e.end()
 	if e.Prog.Init != nil && e.Prog.Init.Body != nil {
@@ -134,10 +187,11 @@ func (e *Exec) RunInit() (*State, []Output, error) {
 // given interaction parameters bound. Undefined results are true in partial
 // mode (§5.1). Provided clauses are required to be side-effect free; any
 // function they call must not assign globals.
-func (e *Exec) EvalProvided(st *State, ti *sema.TransInfo, params []Value) (bool, error) {
+func (e *Exec) EvalProvided(st *State, ti *sema.TransInfo, params []Value) (ok bool, err error) {
 	if ti.Provided == nil {
 		return true, nil
 	}
+	defer contain("provided clause of "+ti.Name, &err)
 	e.begin(st, params, nil)
 	defer e.end()
 	v, err := e.eval(ti.Provided)
@@ -155,9 +209,13 @@ func (e *Exec) EvalProvided(st *State, ti *sema.TransInfo, params []Value) (bool
 // returns the outputs the block produced. The caller must snapshot st first
 // if it needs to backtrack. Execute must not be used in partial mode when the
 // block may fork; use ExecuteForked there.
-func (e *Exec) Execute(st *State, ti *sema.TransInfo, params []Value) ([]Output, error) {
+func (e *Exec) Execute(st *State, ti *sema.TransInfo, params []Value) (outs []Output, err error) {
+	defer contain("transition "+ti.Name, &err)
 	e.begin(st, params, nil)
 	defer e.end()
+	if e.PreTransition != nil {
+		e.PreTransition(ti.Name)
+	}
 	if ti.Decl.Body != nil {
 		if err := e.execBlock(ti.Decl.Body); err != nil {
 			return nil, err
@@ -187,14 +245,22 @@ func (e *Exec) ExecuteForked(st *State, ti *sema.TransInfo, params []Value) ([]T
 				ti.Name, e.Limits.MaxForks)
 		}
 		snap := st.Snapshot()
-		e.begin(snap, params, d)
-		var err error
-		if ti.Decl.Body != nil {
-			err = e.execBlock(ti.Decl.Body)
-		}
-		used := e.decUsed
-		outs := e.takeOutputs()
-		e.end()
+		// Each decision vector executes behind its own panic barrier so a
+		// fault on one branch leaves the siblings explorable.
+		outs, used, err := func() (outs []Output, used int, err error) {
+			defer contain("transition "+ti.Name, &err)
+			e.begin(snap, params, d)
+			defer e.end()
+			if e.PreTransition != nil {
+				e.PreTransition(ti.Name)
+			}
+			if ti.Decl.Body != nil {
+				if err := e.execBlock(ti.Decl.Body); err != nil {
+					return nil, e.decUsed, err
+				}
+			}
+			return e.takeOutputs(), e.decUsed, nil
+		}()
 		// Enqueue the sibling branches discovered during this run: defaults
 		// beyond the provided vector were false, so each position between
 		// len(d) and used has an unexplored true-branch.
@@ -510,6 +576,9 @@ func (e *Exec) execBuiltinStmt(s *ast.CallStmt, b sema.Builtin) error {
 		}
 		if lv.T.Kind != types.Pointer || lv.T.Elem == nil {
 			return rte(s.Pos(), "new on non-pointer")
+		}
+		if max := e.Limits.MaxHeapCells; max > 0 && e.state.Heap.Len() >= max {
+			return rte(s.Pos(), "heap budget exceeded (%d live cells); possible allocation loop", max)
 		}
 		lv.I = e.state.Heap.Alloc(lv.T.Elem, e.Partial)
 		lv.Undef = false

@@ -28,6 +28,7 @@
 package tango
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -56,6 +57,14 @@ type (
 	Result = analysis.Result
 	// Step is one edge of an accepting path.
 	Step = analysis.Step
+	// Diagnosis explains an invalid or interrupted verdict: deepest verified
+	// prefix, first unexplained event, and any contained execution faults.
+	Diagnosis = analysis.Diagnosis
+	// StopInfo describes why an analysis stopped early (budget, deadline,
+	// cancellation, stall) and how far it verified the trace before stopping.
+	StopInfo = analysis.StopInfo
+	// StopReason is the machine-readable early-stop reason in StopInfo.
+	StopReason = analysis.StopReason
 )
 
 // The relative order checking modes of the paper's evaluation.
@@ -73,6 +82,15 @@ const (
 	ValidSoFar    = analysis.ValidSoFar
 	LikelyInvalid = analysis.LikelyInvalid
 	Exhausted     = analysis.Exhausted
+	Partial       = analysis.Partial
+)
+
+// Early-stop reasons carried by Result.Stop.
+const (
+	StopBudget    = analysis.StopBudget
+	StopDeadline  = analysis.StopDeadline
+	StopCancelled = analysis.StopCancelled
+	StopStall     = analysis.StopStall
 )
 
 // Re-exported trace types.
@@ -156,9 +174,24 @@ func (s *Spec) NewAnalyzer(opts Options) (*Analyzer, error) {
 // AnalyzeTrace analyzes a static trace.
 func (a *Analyzer) AnalyzeTrace(tr *Trace) (*Result, error) { return a.inner.AnalyzeTrace(tr) }
 
+// AnalyzeTraceContext analyzes a static trace under a context: on
+// cancellation or deadline expiry the search stops gracefully and returns a
+// Partial verdict whose Stop field records the reason and the deepest
+// verified trace prefix.
+func (a *Analyzer) AnalyzeTraceContext(ctx context.Context, tr *Trace) (*Result, error) {
+	return a.inner.AnalyzeTraceContext(ctx, tr)
+}
+
 // AnalyzeSource performs on-line analysis of a dynamic trace source using
 // multi-threaded depth-first search (§3 of the paper).
 func (a *Analyzer) AnalyzeSource(src Source) (*Result, error) { return a.inner.AnalyzeSource(src) }
+
+// AnalyzeSourceContext is AnalyzeSource under a context. With
+// Options.StallTimeout set, a source that stops answering polls yields a
+// Partial verdict with reason "stall" instead of hanging the analysis.
+func (a *Analyzer) AnalyzeSourceContext(ctx context.Context, src Source) (*Result, error) {
+	return a.inner.AnalyzeSourceContext(ctx, src)
+}
 
 // Scheduler resolves nondeterminism in implementation generation mode.
 type Scheduler = gen.Scheduler
