@@ -17,6 +17,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/efsm"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -406,4 +407,38 @@ func BenchmarkGenerateTrace(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTracerOverhead measures the cost of the observability hooks on a
+// representative MDFS search: nil tracer (every hook skipped by a nil check)
+// against an attached no-op tracer and a full metrics registry. The nil and
+// nop cases must stay within a few percent of each other — the hooks are in
+// the search hot loop, and CI runs this with -benchtime=100x as a smoke test.
+func BenchmarkTracerOverhead(b *testing.B) {
+	spec := compileB(b, "tp0.estelle", specs.TP0)
+	tr, err := workload.TP0Trace(spec, 40, 40, 1, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts func() analysis.Options
+	}{
+		{"nil", func() analysis.Options { return analysis.Options{Order: analysis.OrderFull} }},
+		{"nop", func() analysis.Options {
+			return analysis.Options{Order: analysis.OrderFull, Tracer: obs.Nop}
+		}},
+		{"metrics", func() analysis.Options {
+			return analysis.Options{Order: analysis.OrderFull, Metrics: obs.NewRegistry()}
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var st analysis.Stats
+			for i := 0; i < b.N; i++ {
+				st = analyzeB(b, spec, c.opts(), tr, analysis.Valid)
+			}
+			b.ReportMetric(float64(st.TE), "TE")
+		})
+	}
 }

@@ -20,6 +20,7 @@ func main() {
 	exp := flag.String("exp", "", "experiment to run (default: all); one of fig1, fig2, fig3, fig4, tps, fanout, linear")
 	budget := flag.Int64("budget", 2_000_000, "transition budget for the exponential invalid-trace experiments")
 	deadline := flag.Duration("deadline", 0, "wall-clock limit for the whole run (0 = none); interrupted analyses report partial verdicts")
+	report := flag.String("report", "", "write the measured rows as a machine-readable tango.experiments/1 report to this file")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -27,6 +28,11 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
+	}
+	var rec *experiments.Recorder
+	if *report != "" {
+		rec = &experiments.Recorder{}
+		ctx = experiments.WithRecorder(ctx, rec)
 	}
 
 	all := experiments.All(*budget)
@@ -41,6 +47,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+		writeReport(rec, *report)
 		return
 	}
 	for _, name := range names {
@@ -51,4 +58,17 @@ func main() {
 		}
 		fmt.Println()
 	}
+	writeReport(rec, *report)
+}
+
+// writeReport saves the recorded rows when -report was given.
+func writeReport(rec *experiments.Recorder, path string) {
+	if rec == nil || path == "" {
+		return
+	}
+	if err := rec.Report().WriteFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: write report:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "experiments: wrote %d rows to %s\n", len(rec.Rows), path)
 }

@@ -28,17 +28,20 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/lint"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/tango"
@@ -92,7 +95,7 @@ func exitCode(err error) int {
 }
 
 func main() {
-	err := run(os.Args[1:], os.Stdout)
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
 	code := exitCode(err)
 	if code == exitOK {
 		return
@@ -104,7 +107,9 @@ func main() {
 	os.Exit(code)
 }
 
-func run(args []string, w io.Writer) error {
+// run dispatches a CLI invocation. w is stdout (the machine-parsable result
+// channel); ew is stderr (progress heartbeats, -stats-json, incidental notes).
+func run(args []string, w, ew io.Writer) error {
 	if len(args) < 1 {
 		return usageError{}
 	}
@@ -114,17 +119,17 @@ func run(args []string, w io.Writer) error {
 	case "info":
 		return runInfo(args[1:], w)
 	case "analyze":
-		return runAnalyze(args[1:], w)
+		return runAnalyze(args[1:], w, ew)
 	case "generate":
-		return runGenerate(args[1:], w)
+		return runGenerate(args[1:], w, ew)
 	case "lint":
 		return runLint(args[1:], w)
 	case "explore":
 		return runExplore(args[1:], w)
 	case "format":
-		return runFormat(args[1:], w, false)
+		return runFormat(args[1:], w, ew, false)
 	case "normalform":
-		return runFormat(args[1:], w, true)
+		return runFormat(args[1:], w, ew, true)
 	case "help", "-h", "--help":
 		return usageError{}
 	default:
@@ -140,7 +145,10 @@ func (usageError) Error() string {
   tango info  <spec.estelle>
   tango analyze [-order NR|IO|IP|FULL] [-disable ips] [-unobserved ips]
                 [-statesearch] [-hash] [-online] [-budget N]
-                [-deadline D] [-stall-timeout D] <spec> <trace|->
+                [-deadline D] [-stall-timeout D]
+                [-report out.json] [-stats-json] [-progress]
+                [-trace-jsonl out.jsonl] [-trace-chrome out.json]
+                <spec> <trace|->
   tango generate <spec> <script|->
   tango format <spec>            (pretty-print the specification)
   tango normalform <spec>        (§5.3 rewrite: lift if/case into provided clauses)
@@ -245,7 +253,7 @@ func splitList(s string) []string {
 	return parts
 }
 
-func runAnalyze(args []string, w io.Writer) error {
+func runAnalyze(args []string, w, ew io.Writer) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	order := fs.String("order", "FULL", "relative order checking mode: NR, IO, IP or FULL")
 	disable := fs.String("disable", "", "comma-separated IPs whose outputs are not checked")
@@ -257,6 +265,12 @@ func runAnalyze(args []string, w io.Writer) error {
 	deadline := fs.Duration("deadline", 0, "wall-clock analysis budget (0 = none); expiry yields a partial verdict, exit 3")
 	stallTimeout := fs.Duration("stall-timeout", 0, "on-line mode: give up with a partial verdict when the trace source is silent this long (0 = wait forever)")
 	showSolution := fs.Bool("solution", false, "print the accepting transition sequence")
+	reportPath := fs.String("report", "", "write a machine-readable run report (tango.report/1) to this file")
+	statsJSON := fs.Bool("stats-json", false, "print the final search stats as one JSON line on stderr")
+	progress := fs.Bool("progress", false, "print periodic progress heartbeats on stderr")
+	progressEvery := fs.Duration("progress-every", 0, "heartbeat interval for -progress (default 1s)")
+	traceJSONL := fs.String("trace-jsonl", "", "write structured search events (tango.trace/1 JSONL) to this file")
+	traceChrome := fs.String("trace-chrome", "", "write a Chrome trace_event file (load in chrome://tracing or Perfetto) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -264,6 +278,7 @@ func runAnalyze(args []string, w io.Writer) error {
 	if len(rest) < 2 {
 		return usageError{}
 	}
+	start := time.Now()
 	spec, err := compileArg(rest[0])
 	if err != nil {
 		return err
@@ -281,6 +296,48 @@ func runAnalyze(args []string, w io.Writer) error {
 		MaxTransitions:     *budget,
 		StallTimeout:       *stallTimeout,
 	}
+
+	// Observability wiring: a metrics registry backs the report's transition
+	// histogram, trace sinks stream search events, and -progress heartbeats
+	// go to stderr so stdout stays machine-parsable.
+	var reg *obs.Registry
+	if *reportPath != "" {
+		reg = obs.NewRegistry()
+		opts.Metrics = reg
+	}
+	var tracers []obs.Tracer
+	if *traceJSONL != "" {
+		f, err := os.Create(*traceJSONL)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink := obs.NewJSONLSink(f)
+		defer func() {
+			if err := sink.Err(); err != nil {
+				fmt.Fprintln(ew, "tango: trace-jsonl:", err)
+			}
+		}()
+		tracers = append(tracers, sink)
+	}
+	if *traceChrome != "" {
+		f, err := os.Create(*traceChrome)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink := obs.NewChromeSink(f)
+		defer sink.Close()
+		tracers = append(tracers, sink)
+	}
+	if len(tracers) > 0 {
+		opts.Tracer = obs.Multi(tracers...)
+	}
+	if *progress {
+		opts.OnProgress = func(p analysis.Progress) { fmt.Fprintln(ew, "progress:", p) }
+		opts.ProgressEvery = *progressEvery
+	}
+
 	an, err := spec.NewAnalyzer(opts)
 	if err != nil {
 		return err
@@ -297,6 +354,9 @@ func runAnalyze(args []string, w io.Writer) error {
 	if len(rest) > 2 {
 		if *online {
 			return fmt.Errorf("-online accepts a single trace")
+		}
+		if *reportPath != "" {
+			return fmt.Errorf("-report accepts a single trace")
 		}
 		return runCampaign(ctx, w, an, rest[1:])
 	}
@@ -354,6 +414,19 @@ func runAnalyze(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "  fault: %s\n", f)
 		}
 	}
+	if *statsJSON {
+		b, err := json.Marshal(res.Stats)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(ew, string(b))
+	}
+	if *reportPath != "" {
+		rep := buildReport(rest[0], rest[1], mode.String(), *online, spec, res, reg, time.Since(start))
+		if err := rep.WriteFile(*reportPath); err != nil {
+			return err
+		}
+	}
 	switch res.Verdict {
 	case analysis.Valid, analysis.ValidSoFar:
 		return nil
@@ -362,6 +435,71 @@ func runAnalyze(args []string, w io.Writer) error {
 	default:
 		return errNotValid
 	}
+}
+
+// verdictExit maps a verdict to the CLI exit-code taxonomy, the same mapping
+// runAnalyze's final switch applies through the error sentinels.
+func verdictExit(v analysis.Verdict) int {
+	switch v {
+	case analysis.Valid, analysis.ValidSoFar:
+		return exitOK
+	case analysis.Exhausted, analysis.Partial:
+		return exitPartial
+	default:
+		return exitInvalid
+	}
+}
+
+// buildReport assembles the tango.report/1 record for one analysis run.
+func buildReport(specPath, tracePath, mode string, online bool, spec *tango.Spec,
+	res *tango.Result, reg *obs.Registry, wall time.Duration) *obs.Report {
+	rep := &obs.Report{
+		Tool:            "tango analyze",
+		Spec:            specPath,
+		SpecTransitions: spec.TransitionCount(),
+		Trace:           tracePath,
+		Mode:            mode,
+		Online:          online,
+		Verdict:         res.Verdict.String(),
+		ExitCode:        verdictExit(res.Verdict),
+		Reason:          res.Reason,
+		Timing: obs.Timing{
+			ParseUS:   res.Stats.ParseTime.Microseconds(),
+			CompileUS: res.Stats.CompileTime.Microseconds(),
+			SearchUS:  res.Stats.SearchTime.Microseconds(),
+			WallUS:    wall.Microseconds(),
+		},
+		Search: res.Stats.Report(),
+	}
+	if s := res.Stop; s != nil {
+		rep.Stop = &obs.StopDetail{Reason: string(s.Reason), VerifiedPrefix: s.VerifiedPrefix,
+			Nodes: s.Nodes, Transitions: s.Transitions}
+	}
+	if d := res.Diagnosis; d != nil {
+		rep.Faults = d.Faults
+		if rep.Reason == "" {
+			rep.Reason = fmt.Sprintf("explained %d/%d events", d.Explained, d.Total)
+			if d.FirstUnexplained != "" {
+				rep.Reason += "; first unexplained: " + d.FirstUnexplained
+			}
+		}
+	}
+	if reg != nil {
+		fired := map[string]int64{}
+		metrics := map[string]int64{}
+		for k, v := range reg.Scalars() {
+			if name, ok := strings.CutPrefix(k, "fired."); ok {
+				fired[name] = v
+			} else {
+				metrics[k] = v
+			}
+		}
+		rep.SetTransitions(fired)
+		if len(metrics) > 0 {
+			rep.Metrics = metrics
+		}
+	}
+	return rep
 }
 
 func runLint(args []string, w io.Writer) error {
@@ -416,7 +554,7 @@ func runExplore(args []string, w io.Writer) error {
 	return nil
 }
 
-func runFormat(args []string, w io.Writer, normal bool) error {
+func runFormat(args []string, w, ew io.Writer, normal bool) error {
 	if len(args) != 1 {
 		return usageError{}
 	}
@@ -429,7 +567,7 @@ func runFormat(args []string, w io.Writer, normal bool) error {
 		return &codeError{exitBadSpec, err}
 	}
 	if normal {
-		fmt.Fprintf(os.Stderr, "# normal form: %d -> %d transitions (%d ifs, %d cases lifted, %d passes)\n",
+		fmt.Fprintf(ew, "# normal form: %d -> %d transitions (%d ifs, %d cases lifted, %d passes)\n",
 			stats.Before, stats.After, stats.IfsLifted, stats.CasesLifted, stats.Passes)
 	}
 	_, err = io.WriteString(w, out)
@@ -475,7 +613,7 @@ func runCampaign(ctx context.Context, w io.Writer, an *tango.Analyzer, files []s
 	return nil
 }
 
-func runGenerate(args []string, w io.Writer) error {
+func runGenerate(args []string, w, ew io.Writer) error {
 	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "scheduler seed (0 = deterministic declaration order)")
 	maxSteps := fs.Int("maxsteps", 10000, "maximum transitions per run directive")
@@ -538,7 +676,7 @@ func runGenerate(args []string, w io.Writer) error {
 				return fmt.Errorf("script line %d: %w", lineno, err)
 			}
 		case "state":
-			fmt.Fprintf(os.Stderr, "# state: %s\n", g.FSMState())
+			fmt.Fprintf(ew, "# state: %s\n", g.FSMState())
 		default:
 			return fmt.Errorf("script line %d: unknown directive %q", lineno, fields[0])
 		}

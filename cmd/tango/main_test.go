@@ -22,8 +22,16 @@ func write(t *testing.T, name, content string) string {
 func runCLI(t *testing.T, args ...string) (string, error) {
 	t.Helper()
 	var sb strings.Builder
-	err := run(args, &sb)
+	err := run(args, &sb, &sb)
 	return sb.String(), err
+}
+
+// runCLI2 captures stdout and stderr separately.
+func runCLI2(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errOut strings.Builder
+	err := run(args, &out, &errOut)
+	return out.String(), errOut.String(), err
 }
 
 func TestCheckCommand(t *testing.T) {

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/specs"
+)
+
+const tp0Handshake = "in U TCONreq\nout N CR\n"
+
+// TestReportFlag round-trips `analyze -report` through the typed reader: the
+// written file must parse as a tango.report/1 with the verdict, exit code,
+// timing, and fire histogram filled in.
+func TestReportFlag(t *testing.T) {
+	spec := write(t, "tp0.estelle", specs.TP0)
+	traceFile := write(t, "tr.txt", tp0Handshake)
+	out := filepath.Join(t.TempDir(), "report.json")
+	if _, _, err := runCLI2(t, "analyze", "-report", out, spec, traceFile); err != nil {
+		t.Fatal(err)
+	}
+	r, err := obs.ReadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != "valid" || r.ExitCode != exitOK {
+		t.Errorf("verdict/exit = %q/%d", r.Verdict, r.ExitCode)
+	}
+	if r.Spec == "" || r.Trace == "" || r.Mode != "FULL" || r.SpecTransitions == 0 {
+		t.Errorf("identity fields: %+v", r)
+	}
+	if r.Timing.WallUS <= 0 || r.Timing.SearchUS <= 0 || r.Timing.ParseUS <= 0 {
+		t.Errorf("timing not filled: %+v", r.Timing)
+	}
+	if r.Search.TE == 0 || r.Search.Events != 2 {
+		t.Errorf("search stats: %+v", r.Search)
+	}
+	if len(r.Transitions) == 0 {
+		t.Error("empty fire histogram")
+	}
+	var fired int64
+	for _, tc := range r.Transitions {
+		fired += tc.Fired
+	}
+	if fired != r.Search.TE {
+		t.Errorf("histogram sums to %d, TE = %d", fired, r.Search.TE)
+	}
+}
+
+// TestReportFlagInvalidTrace checks the exit-code taxonomy lands in the
+// report even when the run fails.
+func TestReportFlagInvalidTrace(t *testing.T) {
+	spec := write(t, "tp0.estelle", specs.TP0)
+	traceFile := write(t, "bad.txt", "out N CR\nout N CR\n")
+	out := filepath.Join(t.TempDir(), "report.json")
+	if _, _, err := runCLI2(t, "analyze", "-report", out, spec, traceFile); err != errNotValid {
+		t.Fatalf("err = %v, want errNotValid", err)
+	}
+	r, err := obs.ReadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != "invalid" || r.ExitCode != exitInvalid {
+		t.Errorf("verdict/exit = %q/%d, want invalid/%d", r.Verdict, r.ExitCode, exitInvalid)
+	}
+	if r.Reason == "" {
+		t.Error("invalid report should carry a reason")
+	}
+}
+
+func TestReportRejectsCampaign(t *testing.T) {
+	spec := write(t, "tp0.estelle", specs.TP0)
+	tr := write(t, "tr.txt", tp0Handshake)
+	out := filepath.Join(t.TempDir(), "report.json")
+	_, _, err := runCLI2(t, "analyze", "-report", out, spec, tr, tr)
+	if err == nil || !strings.Contains(err.Error(), "single trace") {
+		t.Fatalf("err = %v, want single-trace rejection", err)
+	}
+}
+
+// TestStatsJSONFlag checks -stats-json emits exactly one JSON object line on
+// stderr that unmarshals back into the search counters.
+func TestStatsJSONFlag(t *testing.T) {
+	spec := write(t, "tp0.estelle", specs.TP0)
+	traceFile := write(t, "tr.txt", tp0Handshake)
+	stdout, stderr, err := runCLI2(t, "analyze", "-stats-json", spec, traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(stdout, `"TE"`) {
+		t.Error("stats JSON leaked to stdout")
+	}
+	var line string
+	for _, l := range strings.Split(stderr, "\n") {
+		if strings.HasPrefix(l, "{") {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatalf("no JSON line on stderr:\n%s", stderr)
+	}
+	var st struct {
+		TE         int64
+		Events     int
+		SearchTime int64
+	}
+	if err := json.Unmarshal([]byte(line), &st); err != nil {
+		t.Fatalf("unmarshal %q: %v", line, err)
+	}
+	if st.TE == 0 || st.Events != 2 || st.SearchTime <= 0 {
+		t.Errorf("stats = %+v from %q", st, line)
+	}
+}
+
+// TestTraceSinkFlags checks both sink flags produce parseable files from one
+// CLI run.
+func TestTraceSinkFlags(t *testing.T) {
+	spec := write(t, "tp0.estelle", specs.TP0)
+	traceFile := write(t, "tr.txt", tp0Handshake)
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "search.jsonl")
+	chrome := filepath.Join(dir, "chrome.json")
+	if _, _, err := runCLI2(t, "analyze", "-trace-jsonl", jsonl, "-trace-chrome", chrome, spec, traceFile); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	var kinds []string
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if k, ok := rec["k"].(string); ok {
+			kinds = append(kinds, k)
+		} else if rec["schema"] != obs.TraceSchema {
+			t.Fatalf("unexpected line %q", sc.Text())
+		}
+	}
+	if len(kinds) == 0 || kinds[0] != "search_start" || kinds[len(kinds)-1] != "search_end" {
+		t.Errorf("JSONL kinds: %v", kinds)
+	}
+
+	b, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(b, &events); err != nil {
+		t.Fatalf("chrome file not a JSON array: %v", err)
+	}
+	if len(events) == 0 || events[0]["name"] != "search" || events[0]["ph"] != "B" {
+		t.Errorf("chrome events start with %v", events[:min(1, len(events))])
+	}
+}
+
+// TestProgressFlag drives a long enough search that the 64-expansion beat
+// throttle fires and heartbeats reach stderr.
+func TestProgressFlag(t *testing.T) {
+	spec := write(t, "tp0.estelle", specs.TP0)
+	var script strings.Builder
+	script.WriteString("feed U TCONreq\nrun\nfeed N CC\nrun\n")
+	for i := 0; i < 80; i++ {
+		fmt.Fprintf(&script, "feed U TDTreq d=%d\nrun\n", i%8)
+	}
+	traceText, err := runCLI(t, "generate", "-seed", "0", spec, write(t, "script.txt", script.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceFile := write(t, "long.txt", traceText)
+	_, stderr, err := runCLI2(t, "analyze", "-progress", "-progress-every", "1ns", spec, traceFile)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stderr)
+	}
+	if !strings.Contains(stderr, "progress:") || !strings.Contains(stderr, "verified=") {
+		t.Fatalf("no heartbeat on stderr:\n%s", stderr)
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/efsm"
 	"repro/internal/estelle/sema"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -37,6 +39,20 @@ type Analyzer struct {
 	stats  Stats
 	seen   map[string]struct{}
 	faults []string
+
+	// Observability (all optional; nil costs nothing on the hot path).
+	tracer obs.Tracer
+	// Pre-resolved metric handles, nil when Options.Metrics is nil, so the
+	// search never does a name lookup.
+	mDepth, mHeap, mLag *obs.Gauge
+	mDepthHist          *obs.Histogram
+	mSnapBytes          *obs.Counter
+	fireCounters        map[*sema.TransInfo]*obs.Counter
+
+	// Heartbeat state. progressBest is the monotone verified prefix across
+	// the whole run, including initial-state-search retries.
+	progressBest       int
+	runStart, lastBeat time.Time
 }
 
 // maxRecordedFaults caps how many contained execution faults are kept for the
@@ -113,6 +129,18 @@ func New(spec *efsm.Spec, opts Options) (*Analyzer, error) {
 		a.unobserved[id] = true
 	}
 	a.exec = vm.New(spec.Prog)
+	a.tracer = opts.Tracer
+	if m := opts.Metrics; m != nil {
+		a.mDepth = m.Gauge("search.depth")
+		a.mDepthHist = m.Histogram("search.depth_hist", 4, 16, 64, 256, 1024)
+		a.mHeap = m.Gauge("vm.heap_cells")
+		a.mLag = m.Gauge("source.queue_lag")
+		a.mSnapBytes = m.Counter("save.snapshot_bytes")
+		a.fireCounters = make(map[*sema.TransInfo]*obs.Counter, len(spec.Prog.Trans))
+		for _, ti := range spec.Prog.Trans {
+			a.fireCounters[ti] = m.Counter("fired." + ti.Name)
+		}
+	}
 	return a, nil
 }
 
@@ -130,11 +158,26 @@ func (a *Analyzer) reset(traceLen int) {
 	a.inputs = make([][]int, nIPs)
 	a.outputs = make([][]int, nIPs)
 	a.eofSeen = false
-	a.stats = Stats{}
+	a.stats = Stats{ParseTime: a.spec.Timing.Parse, CompileTime: a.spec.Timing.Check}
 	a.faults = nil
 	a.seen = nil
 	if a.opts.StateHashing {
 		a.seen = make(map[string]struct{})
+	}
+	a.progressBest = 0
+	a.runStart = time.Now()
+	a.lastBeat = a.runStart
+}
+
+// finishRun is the single place the analysis clock stops: it stamps the
+// search-time split and attaches the final counters to the result (when the
+// run produced one). Deferred from every Analyze entry point.
+func (a *Analyzer) finishRun(start time.Time, res **Result) {
+	a.stats.SearchTime = time.Since(start)
+	a.stats.CPUTime = a.stats.SearchTime
+	a.stats.Events = len(a.events)
+	if *res != nil {
+		(*res).Stats = a.stats
 	}
 }
 
@@ -171,15 +214,15 @@ func (a *Analyzer) AnalyzeTrace(tr *trace.Trace) (*Result, error) {
 // cancelled or its deadline passes, the search stops at the next expansion and
 // returns a Partial verdict carrying the deepest verified prefix (the paper's
 // "die gracefully" requirement) instead of an error.
-func (a *Analyzer) AnalyzeTraceContext(ctx context.Context, tr *trace.Trace) (*Result, error) {
+func (a *Analyzer) AnalyzeTraceContext(ctx context.Context, tr *trace.Trace) (res *Result, err error) {
 	a.dynamic = false
 	a.reset(tr.Len())
 	a.eofSeen = true
 	if err := a.ingest(tr.Events); err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	res, err := a.search(ctx, nil, a.spec.Prog.InitTo)
+	defer a.finishRun(time.Now(), &res)
+	res, err = a.search(ctx, nil, a.spec.Prog.InitTo)
 	if err != nil {
 		return nil, err
 	}
@@ -202,8 +245,6 @@ func (a *Analyzer) AnalyzeTraceContext(ctx context.Context, tr *trace.Trace) (*R
 			}
 		}
 	}
-	a.stats.CPUTime = time.Since(start)
-	res.Stats = a.stats
 	return res, nil
 }
 
@@ -218,19 +259,16 @@ func (a *Analyzer) AnalyzeSource(src trace.Source) (*Result, error) {
 // than the timeout yields a Partial verdict with reason "stall". Without a
 // stall timeout the source is polled directly on this goroutine (fully
 // deterministic, but a Poll that blocks forever blocks the analysis).
-func (a *Analyzer) AnalyzeSourceContext(ctx context.Context, src trace.Source) (*Result, error) {
+func (a *Analyzer) AnalyzeSourceContext(ctx context.Context, src trace.Source) (res *Result, err error) {
 	a.dynamic = true
 	a.reset(0)
 	p := newSourcePoller(src, a.opts.StallTimeout > 0)
 	defer p.close()
-	start := time.Now()
+	defer a.finishRun(time.Now(), &res)
 	r, answered := p.poll(ctx, a.opts.StallTimeout)
 	if !answered {
-		res := a.stopResult(a.spec.Prog.InitTo, nil, a.interruptReason(ctx), Partial,
-			"trace source did not answer the initial poll")
-		a.stats.CPUTime = time.Since(start)
-		res.Stats = a.stats
-		return res, nil
+		return a.stopResult(a.spec.Prog.InitTo, nil, a.interruptReason(ctx), Partial,
+			"trace source did not answer the initial poll"), nil
 	}
 	if r.err != nil {
 		return nil, r.err
@@ -239,13 +277,7 @@ func (a *Analyzer) AnalyzeSourceContext(ctx context.Context, src trace.Source) (
 		return nil, err
 	}
 	a.eofSeen = r.eof
-	res, err := a.search(ctx, p, a.spec.Prog.InitTo)
-	if err != nil {
-		return nil, err
-	}
-	a.stats.CPUTime = time.Since(start)
-	res.Stats = a.stats
-	return res, nil
+	return a.search(ctx, p, a.spec.Prog.InitTo)
 }
 
 // interruptReason maps a context/stall interruption to its StopReason.
@@ -278,11 +310,32 @@ func (a *Analyzer) stopResult(initState int, best *node, reason StopReason, v Ve
 // ---------------------------------------------------------------------------
 // The search
 
-// search runs (M)DFS from the given initial FSM state. src is nil in static
-// mode. The context is checked once per expansion, alongside the transition
-// budget; an interrupted search returns a structured Partial result, never an
-// error.
-func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int) (*Result, error) {
+// search wraps searchLoop with the observability boundary: the whole loop
+// runs under the tango_phase=search pprof label, and the tracer (when set)
+// sees a search_start/search_end pair bracketing the run.
+func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int) (res *Result, err error) {
+	if a.tracer != nil {
+		a.tracer.Event(obs.Event{Kind: obs.KindSearchStart, N: int64(len(a.events)),
+			Detail: a.spec.StateName(initState)})
+		defer func() {
+			detail := "error"
+			if res != nil {
+				detail = res.Verdict.String()
+			}
+			a.tracer.Event(obs.Event{Kind: obs.KindSearchEnd, Detail: detail})
+		}()
+	}
+	pprof.Do(ctx, pprof.Labels("tango_phase", "search"), func(ctx context.Context) {
+		res, err = a.searchLoop(ctx, src, initState)
+	})
+	return res, err
+}
+
+// searchLoop runs (M)DFS from the given initial FSM state. src is nil in
+// static mode. The context is checked once per expansion, alongside the
+// transition budget; an interrupted search returns a structured Partial
+// result, never an error.
+func (a *Analyzer) searchLoop(ctx context.Context, src *sourcePoller, initState int) (*Result, error) {
 	root, err := a.makeRoot(initState)
 	if err != nil {
 		return nil, err
@@ -295,10 +348,13 @@ func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int)
 	// diagnosis attached to invalid verdicts.
 	best := root
 	bestScore := a.explained(root)
+	a.noteProgress(bestScore)
 	note := func(n *node) {
-		if sc := a.explained(n); sc > bestScore {
+		sc := a.explained(n)
+		if sc > bestScore {
 			best, bestScore = n, sc
 		}
+		a.noteProgress(sc)
 	}
 
 	// cur tracks which node's live state the shared mutable state belongs
@@ -314,6 +370,7 @@ func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int)
 		return nil, err
 	}
 	a.maybeSave(root)
+	a.notePush(root)
 
 	expansions := 0
 	idlePolls := 0
@@ -338,6 +395,16 @@ func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int)
 		if r.eof {
 			a.eofSeen = true
 		}
+		if a.tracer != nil {
+			detail := ""
+			if r.eof {
+				detail = "eof"
+			}
+			a.tracer.Event(obs.Event{Kind: obs.KindPoll, N: int64(len(r.events)), Detail: detail})
+		}
+		if a.mLag != nil {
+			a.mLag.Set(int64(len(a.events) - a.progressBest))
+		}
 		arrived := len(r.events) > 0 || r.eof
 		if arrived {
 			idlePolls = 0
@@ -355,6 +422,7 @@ func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int)
 					if err := a.regenerate(n); err != nil {
 						return false, err
 					}
+					a.notePush(n)
 					stack = append(stack, n)
 				}
 				pgSaved = pgSaved[:0]
@@ -375,6 +443,13 @@ func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int)
 				"analysis interrupted: "+ctx.Err().Error()), nil
 		}
 		expansions++
+		if a.opts.OnProgress != nil && expansions&63 == 0 {
+			d := 0
+			if len(stack) > 0 {
+				d = stack[len(stack)-1].depth
+			}
+			a.maybeBeat(d)
+		}
 		if a.dynamic && expansions%a.opts.PollEvery == 0 {
 			if _, err := poll(0); err != nil {
 				return nil, err
@@ -402,6 +477,7 @@ func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int)
 							return nil, err
 						}
 						n.pg = false
+						a.notePush(n)
 						stack = append(stack, n)
 						progressed = true
 						break
@@ -422,6 +498,7 @@ func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int)
 					if err := a.regenerate(n); err != nil {
 						return nil, err
 					}
+					a.notePush(n)
 					stack = append(stack, n)
 					revived = true
 					break
@@ -509,6 +586,8 @@ func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int)
 					pgav = child
 				}
 				if a.opts.PGAVPrune {
+					a.notePrune(child.depth, viaName(child), "pgav")
+					a.notePopAll(stack)
 					stack = stack[:0]
 					pgSaved = pgSaved[:0]
 					a.savePG(child, &pgSaved)
@@ -519,6 +598,7 @@ func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int)
 				return nil, err
 			}
 			a.maybeSave(child)
+			a.notePush(child)
 			curOwner = child
 			stack = append(stack, child)
 			continue
@@ -527,6 +607,7 @@ func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int)
 		if n.next >= len(n.cands) {
 			// Node fully explored for now.
 			stack = stack[:len(stack)-1]
+			a.notePop(n)
 			if a.dynamic && (n.pg || a.complete(n)) && !a.eofSeen {
 				a.savePG(n, &pgSaved)
 			}
@@ -554,6 +635,8 @@ func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int)
 				pgav = child
 			}
 			if a.opts.PGAVPrune {
+				a.notePrune(child.depth, viaName(child), "pgav")
+				a.notePopAll(stack)
 				stack = stack[:0]
 				pgSaved = pgSaved[:0]
 				a.savePG(child, &pgSaved)
@@ -564,6 +647,7 @@ func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int)
 			return nil, err
 		}
 		a.maybeSave(child)
+		a.notePush(child)
 		curOwner = child
 		stack = append(stack, child)
 	}
@@ -636,6 +720,7 @@ func (a *Analyzer) maybeSave(n *node) {
 	if remaining > 1 || n.pg || (a.dynamic && !a.eofSeen) {
 		n.saved = n.live.Snapshot()
 		a.stats.SA++
+		a.noteSave(n)
 	}
 }
 
@@ -643,9 +728,121 @@ func (a *Analyzer) savePG(n *node, pgSaved *[]*node) {
 	if n.saved == nil {
 		n.saved = n.live.Snapshot()
 		a.stats.SA++
+		a.noteSave(n)
 	}
 	a.stats.PGNodes++
 	*pgSaved = append(*pgSaved, n)
+}
+
+// ---------------------------------------------------------------------------
+// Observability hooks. Every helper is nil-safe and inlines to almost nothing
+// when neither a tracer nor a metrics registry is attached.
+
+// viaName is the transition that led to n, empty for the root.
+func viaName(n *node) string {
+	if n.parent == nil {
+		return ""
+	}
+	return n.via.Trans.Name
+}
+
+// notePush records a node entering the search stack (an expand).
+func (a *Analyzer) notePush(n *node) {
+	if a.tracer != nil {
+		a.tracer.Event(obs.Event{Kind: obs.KindExpand, Depth: n.depth, Trans: viaName(n),
+			N: int64(len(n.cands) - n.next + len(n.seeds))})
+	}
+	if a.mDepth != nil {
+		a.mDepth.Set(int64(n.depth))
+		a.mDepthHist.Observe(int64(n.depth))
+		a.mHeap.Set(int64(n.live.Heap.Len()))
+	}
+}
+
+// notePop records a node leaving the stack (a backtrack). The event carries
+// the node's via transition so duration sinks can pair it with the expand.
+func (a *Analyzer) notePop(n *node) {
+	if a.tracer != nil {
+		a.tracer.Event(obs.Event{Kind: obs.KindBacktrack, Depth: n.depth, Trans: viaName(n)})
+	}
+}
+
+// notePopAll unwinds tracer slices for a wholesale stack clear (PGAV prune).
+func (a *Analyzer) notePopAll(stack []*node) {
+	if a.tracer == nil {
+		return
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		a.notePop(stack[i])
+	}
+}
+
+// noteFire records one transition execution.
+func (a *Analyzer) noteFire(n *node, c candidate, seq int) {
+	if a.tracer != nil {
+		a.tracer.Event(obs.Event{Kind: obs.KindFire, Depth: n.depth + 1, Trans: c.ti.Name, EventSeq: seq})
+	}
+	if a.fireCounters != nil {
+		if ctr := a.fireCounters[c.ti]; ctr != nil {
+			ctr.Inc()
+		}
+	}
+}
+
+// notePrune records a rejected search edge with its reason
+// (mismatch/blocked/depth/hash/infeasible/pgav).
+func (a *Analyzer) notePrune(depth int, trans, why string) {
+	if a.tracer != nil {
+		a.tracer.Event(obs.Event{Kind: obs.KindPrune, Depth: depth, Trans: trans, Detail: why})
+	}
+}
+
+// noteSave records a state snapshot and its approximate byte cost.
+func (a *Analyzer) noteSave(n *node) {
+	if a.tracer == nil && a.mSnapBytes == nil {
+		return
+	}
+	b := n.live.ApproxBytes()
+	if a.tracer != nil {
+		a.tracer.Event(obs.Event{Kind: obs.KindSave, Depth: n.depth, N: b})
+	}
+	if a.mSnapBytes != nil {
+		a.mSnapBytes.Add(b)
+	}
+}
+
+// noteProgress advances the monotone verified prefix and the queue-lag gauge.
+func (a *Analyzer) noteProgress(sc int) {
+	if sc > a.progressBest {
+		a.progressBest = sc
+		if a.mLag != nil {
+			a.mLag.Set(int64(len(a.events) - sc))
+		}
+	}
+}
+
+// maybeBeat emits a heartbeat when ProgressEvery has elapsed since the last.
+func (a *Analyzer) maybeBeat(depth int) {
+	now := time.Now()
+	if now.Sub(a.lastBeat) < a.opts.ProgressEvery {
+		return
+	}
+	a.lastBeat = now
+	elapsed := now.Sub(a.runStart)
+	p := Progress{
+		Elapsed:        elapsed,
+		Depth:          depth,
+		MaxDepth:       max(a.stats.MaxDepth, depth),
+		VerifiedPrefix: a.progressBest,
+		TotalEvents:    len(a.events),
+		Nodes:          a.stats.Nodes,
+		TE:             a.stats.TE,
+		EOF:            a.eofSeen,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		p.TPS = float64(a.stats.TE) / s
+	}
+	a.opts.OnProgress(p)
 }
 
 // ---------------------------------------------------------------------------
@@ -811,6 +1008,9 @@ func (a *Analyzer) containedErr(err error) bool {
 		if len(a.faults) < maxRecordedFaults {
 			a.faults = append(a.faults, e.Error())
 		}
+		if a.tracer != nil {
+			a.tracer.Event(obs.Event{Kind: obs.KindFault, Detail: e.Error()})
+		}
 		return true
 	}
 	return false
@@ -892,6 +1092,7 @@ const (
 // stored as seeds on n and (nil, true) is returned.
 func (a *Analyzer) executeCandidate(n *node, c candidate, curOwner **node) (*node, bool, error) {
 	if n.depth+1 > a.opts.MaxDepth {
+		a.notePrune(n.depth+1, c.ti.Name, "depth")
 		return nil, false, nil
 	}
 	via := Step{Trans: c.ti, EventSeq: evSpontaneous}
@@ -904,24 +1105,32 @@ func (a *Analyzer) executeCandidate(n *node, c candidate, curOwner **node) (*nod
 	if a.opts.Partial {
 		// Forked execution: every feasible decision vector yields a seed.
 		a.stats.TE++
+		a.noteFire(n, c, via.EventSeq)
 		base := a.stateOf(n)
 		results, err := a.exec.ExecuteForked(base, c.ti, cloneParams(c.params))
 		if err != nil {
 			if a.containedErr(err) {
+				a.notePrune(n.depth+1, c.ti.Name, "infeasible")
 				return nil, false, nil // branch dies, path fails
 			}
 			return nil, false, err
 		}
 		if len(results) > 1 {
 			a.stats.Forks += int64(len(results) - 1)
+			if a.tracer != nil {
+				a.tracer.Event(obs.Event{Kind: obs.KindFork, Depth: n.depth + 1,
+					Trans: c.ti.Name, N: int64(len(results) - 1)})
+			}
 		}
 		for _, r := range results {
 			inCur, outCur, synth := a.childCursors(n, c)
 			status := a.matchOutputsWith(r.Outputs, inCur, outCur)
 			switch status {
 			case matchFail:
+				a.notePrune(n.depth+1, c.ti.Name, "mismatch")
 				continue
 			case matchBlocked:
+				a.notePrune(n.depth+1, c.ti.Name, "blocked")
 				n.pg = true
 				n.deferred = append(n.deferred, c)
 				continue
@@ -940,22 +1149,29 @@ func (a *Analyzer) executeCandidate(n *node, c candidate, curOwner **node) (*nod
 			// More candidates will need this state later.
 			n.saved = st.Snapshot()
 			a.stats.SA++
+			a.noteSave(n)
 		}
 	} else {
 		if n.saved == nil {
 			// Should not happen: nodes that can be revisited are saved.
 			n.saved = n.live.Snapshot()
 			a.stats.SA++
+			a.noteSave(n)
 		}
 		st = n.saved.Snapshot()
 		a.stats.RE++
+		if a.tracer != nil {
+			a.tracer.Event(obs.Event{Kind: obs.KindRestore, Depth: n.depth})
+		}
 	}
 	*curOwner = nil // state in flux during execution
 
 	a.stats.TE++
+	a.noteFire(n, c, via.EventSeq)
 	outs, err := a.exec.Execute(st, c.ti, cloneParams(c.params))
 	if err != nil {
 		if a.containedErr(err) {
+			a.notePrune(n.depth+1, c.ti.Name, "infeasible")
 			return nil, false, nil
 		}
 		return nil, false, err
@@ -963,8 +1179,10 @@ func (a *Analyzer) executeCandidate(n *node, c candidate, curOwner **node) (*nod
 	inCur, outCur, synth := a.childCursors(n, c)
 	switch a.matchOutputsWith(outs, inCur, outCur) {
 	case matchFail:
+		a.notePrune(n.depth+1, c.ti.Name, "mismatch")
 		return nil, false, nil
 	case matchBlocked:
+		a.notePrune(n.depth+1, c.ti.Name, "blocked")
 		n.pg = true
 		n.deferred = append(n.deferred, c)
 		return nil, false, nil
@@ -983,6 +1201,7 @@ func (a *Analyzer) executeCandidate(n *node, c candidate, curOwner **node) (*nod
 		fp := a.fingerprint(child)
 		if _, dup := a.seen[fp]; dup {
 			a.stats.HashHits++
+			a.notePrune(child.depth, c.ti.Name, "hash")
 			return nil, false, nil
 		}
 		a.seen[fp] = struct{}{}
@@ -1017,6 +1236,7 @@ func (a *Analyzer) adoptSeed(n *node, sd seed) (*node, bool, error) {
 		fp := a.fingerprint(child)
 		if _, dup := a.seen[fp]; dup {
 			a.stats.HashHits++
+			a.notePrune(child.depth, sd.via.Trans.Name, "hash")
 			return nil, false, nil
 		}
 		a.seen[fp] = struct{}{}

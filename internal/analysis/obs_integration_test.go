@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+	"repro/specs"
+)
+
+// TestTracerOnRealSearch replays a backtracking search through a Recorder and
+// checks the event stream has the documented shape: one search_start first,
+// one search_end last, expansion and firing in between, and exactly one fire
+// event per TE counted in Stats.
+func TestTracerOnRealSearch(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	rec := &obs.Recorder{}
+	res := analyze(t, spec, Options{Tracer: rec}, ackScenario)
+	if res.Verdict != Valid {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	kinds := rec.Kinds()
+	if len(kinds) < 4 {
+		t.Fatalf("too few events: %v", kinds)
+	}
+	if kinds[0] != obs.KindSearchStart {
+		t.Errorf("first event = %v, want search_start", kinds[0])
+	}
+	if kinds[len(kinds)-1] != obs.KindSearchEnd {
+		t.Errorf("last event = %v, want search_end", kinds[len(kinds)-1])
+	}
+	count := map[obs.Kind]int64{}
+	for _, k := range kinds {
+		count[k]++
+	}
+	if count[obs.KindSearchStart] != 1 || count[obs.KindSearchEnd] != 1 {
+		t.Errorf("start/end counts = %d/%d, want 1/1",
+			count[obs.KindSearchStart], count[obs.KindSearchEnd])
+	}
+	if count[obs.KindExpand] == 0 || count[obs.KindFire] == 0 {
+		t.Errorf("no expand/fire events in %v", count)
+	}
+	if count[obs.KindFire] != res.Stats.TE {
+		t.Errorf("fire events = %d, Stats.TE = %d", count[obs.KindFire], res.Stats.TE)
+	}
+	// This scenario requires backtracking, so restores must be visible too.
+	if count[obs.KindRestore] != res.Stats.RE {
+		t.Errorf("restore events = %d, Stats.RE = %d", count[obs.KindRestore], res.Stats.RE)
+	}
+	if last := rec.Events[len(rec.Events)-1]; last.Detail != "valid" {
+		t.Errorf("search_end detail = %q, want verdict string", last.Detail)
+	}
+}
+
+// TestJSONLSinkOnRealSearch drives the JSONL sink from a real search and
+// checks the stream parses: a schema header, then events with monotone
+// sequence numbers and known kinds.
+func TestJSONLSinkOnRealSearch(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	analyze(t, spec, Options{Tracer: sink}, ackScenario)
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("empty stream")
+	}
+	var hdr struct {
+		Schema  string `json:"schema"`
+		Started string `json:"started"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if hdr.Schema != obs.TraceSchema || hdr.Started == "" {
+		t.Fatalf("header = %+v", hdr)
+	}
+	var (
+		prevSeq int64
+		kinds   []string
+	)
+	for sc.Scan() {
+		var ev struct {
+			I    int64  `json:"i"`
+			TUS  int64  `json:"t_us"`
+			Kind string `json:"k"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("event line %q: %v", sc.Text(), err)
+		}
+		if ev.I != prevSeq+1 {
+			t.Fatalf("sequence jumped %d -> %d", prevSeq, ev.I)
+		}
+		if ev.TUS < 0 {
+			t.Fatalf("negative timestamp in %q", sc.Text())
+		}
+		prevSeq = ev.I
+		kinds = append(kinds, ev.Kind)
+	}
+	if kinds[0] != "search_start" || kinds[len(kinds)-1] != "search_end" {
+		t.Errorf("kind order: first=%q last=%q", kinds[0], kinds[len(kinds)-1])
+	}
+	joined := strings.Join(kinds, " ")
+	for _, want := range []string{"expand", "fire", "backtrack", "save", "restore"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("stream missing %q events", want)
+		}
+	}
+}
+
+// TestChromeSinkOnRealSearch checks the Chrome trace_event output of a real
+// search is one valid JSON array whose slices bracket correctly: it opens
+// with the "search" Begin event and the expand/backtrack pairs carry matching
+// names.
+func TestChromeSinkOnRealSearch(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	var buf bytes.Buffer
+	sink := obs.NewChromeSink(&buf)
+	analyze(t, spec, Options{Tracer: sink}, ackScenario)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []struct {
+		Name  string `json:"name"`
+		Phase string `json:"ph"`
+		Cat   string `json:"cat"`
+		TS    int64  `json:"ts"`
+		PID   int    `json:"pid"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	if events[0].Name != "search" || events[0].Phase != "B" {
+		t.Errorf("first event = %+v, want search/B", events[0])
+	}
+	phases := map[string]int{}
+	for _, e := range events {
+		if e.Cat != "search" || e.PID != 1 {
+			t.Fatalf("bad common fields: %+v", e)
+		}
+		phases[e.Phase]++
+	}
+	if phases["B"] == 0 || phases["i"] == 0 {
+		t.Errorf("phase mix = %v, want B and i events", phases)
+	}
+	// Every End event must name a previously-begun slice (flame-graph pairing).
+	open := map[string]int{}
+	for _, e := range events {
+		switch e.Phase {
+		case "B":
+			open[e.Name]++
+		case "E":
+			if open[e.Name] == 0 {
+				t.Fatalf("E %q without matching B", e.Name)
+			}
+			open[e.Name]--
+		}
+	}
+}
+
+// TestHeartbeat drives a long search with a tiny heartbeat interval and
+// checks the OnProgress contract: at least one beat, elapsed and verified
+// prefix monotone non-decreasing, and the totals consistent.
+func TestHeartbeat(t *testing.T) {
+	spec := compile(t, "tp0", specs.TP0)
+	// A long linear TP0 trace: hundreds of expansions at near-constant cost,
+	// enough to pass the 64-expansion beat throttle many times over.
+	tr, err := workload.TP0Trace(spec, 60, 60, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var beats []Progress
+	a, err := New(spec, Options{
+		Order:         OrderFull,
+		OnProgress:    func(p Progress) { beats = append(beats, p) },
+		ProgressEvery: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.AnalyzeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Valid {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if len(beats) == 0 {
+		t.Fatal("no heartbeats")
+	}
+	for i, b := range beats {
+		if b.TotalEvents != res.Stats.Events {
+			t.Errorf("beat %d: TotalEvents = %d, want %d", i, b.TotalEvents, res.Stats.Events)
+		}
+		if b.VerifiedPrefix < 0 || b.VerifiedPrefix > b.TotalEvents {
+			t.Errorf("beat %d: VerifiedPrefix %d out of range [0,%d]", i, b.VerifiedPrefix, b.TotalEvents)
+		}
+		if i == 0 {
+			continue
+		}
+		if b.VerifiedPrefix < beats[i-1].VerifiedPrefix {
+			t.Errorf("beat %d: VerifiedPrefix went backwards: %d -> %d",
+				i, beats[i-1].VerifiedPrefix, b.VerifiedPrefix)
+		}
+		if b.Elapsed < beats[i-1].Elapsed {
+			t.Errorf("beat %d: Elapsed went backwards", i)
+		}
+		if b.TE < beats[i-1].TE || b.Nodes < beats[i-1].Nodes {
+			t.Errorf("beat %d: counters went backwards", i)
+		}
+	}
+}
+
+// TestHeartbeatDefaultInterval checks withDefaults installs the 1s interval
+// only when a callback is present, so nil-callback runs never touch the clock.
+func TestHeartbeatDefaultInterval(t *testing.T) {
+	o := Options{OnProgress: func(Progress) {}}.withDefaults(10)
+	if o.ProgressEvery != time.Second {
+		t.Errorf("ProgressEvery = %v, want 1s", o.ProgressEvery)
+	}
+	o = Options{}.withDefaults(10)
+	if o.ProgressEvery != 0 {
+		t.Errorf("ProgressEvery without callback = %v, want 0", o.ProgressEvery)
+	}
+}
+
+// TestMetricsRegistry checks the per-transition fire counters and scalar
+// gauges line up with the search's own Stats.
+func TestMetricsRegistry(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	reg := obs.NewRegistry()
+	res := analyze(t, spec, Options{Metrics: reg}, ackScenario)
+	scalars := reg.Scalars()
+	var fired int64
+	for name, v := range scalars {
+		if strings.HasPrefix(name, "fired.") {
+			fired += v
+		}
+	}
+	if fired != res.Stats.TE {
+		t.Errorf("sum(fired.*) = %d, Stats.TE = %d (scalars %v)", fired, res.Stats.TE, scalars)
+	}
+	if got := scalars["search.depth"]; got != 0 {
+		// The depth gauge tracks the live stack; after the run it is back at
+		// the root unless the search ended mid-stack.
+		t.Logf("search.depth ended at %d", got)
+	}
+	if res.Stats.SA > 0 && scalars["save.snapshot_bytes"] <= 0 {
+		t.Errorf("snapshot bytes not counted: %v", scalars)
+	}
+	if res.Stats.Events != strings.Count(strings.TrimSpace(ackScenario), "\n")+1 {
+		t.Errorf("Stats.Events = %d for scenario %q", res.Stats.Events, ackScenario)
+	}
+}
+
+// TestTimingSplit checks the satellite timing breakdown: parse/compile stamps
+// copied from the spec, a real search time, and the CPUTime alias.
+func TestTimingSplit(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	res := analyze(t, spec, Options{}, ackScenario)
+	if res.Stats.ParseTime <= 0 {
+		t.Errorf("ParseTime = %v, want > 0", res.Stats.ParseTime)
+	}
+	if res.Stats.CompileTime < 0 {
+		t.Errorf("CompileTime = %v", res.Stats.CompileTime)
+	}
+	if res.Stats.SearchTime <= 0 {
+		t.Errorf("SearchTime = %v, want > 0", res.Stats.SearchTime)
+	}
+	if res.Stats.CPUTime != res.Stats.SearchTime {
+		t.Errorf("CPUTime %v != SearchTime %v (alias broken)", res.Stats.CPUTime, res.Stats.SearchTime)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/estelle/sema"
+	"repro/internal/obs"
 )
 
 // OrderOpts selects the relative order checking options of §2.4.2. The order
@@ -144,6 +145,56 @@ type Options struct {
 	// with a partial verdict whose stop reason is StopStall. Zero disables
 	// stall detection and polls the source directly on the search goroutine.
 	StallTimeout time.Duration
+
+	// Tracer, when non-nil, receives a structured event for every search
+	// happening (expand, fire, backtrack, prune, save, restore, fork, fault,
+	// poll) — see package obs for the schema and the JSONL/Chrome sinks. Nil
+	// costs nothing: every hook is guarded by a nil check.
+	Tracer obs.Tracer
+
+	// Metrics, when non-nil, receives live gauges and counters during the
+	// search: current depth, heap cells, queue lag, per-transition fire
+	// counts, and approximate snapshot bytes. The registry can be published
+	// via expvar or embedded in a run report; see obs.Registry.
+	Metrics *obs.Registry
+
+	// OnProgress, when non-nil, receives a periodic heartbeat while the
+	// search runs, so a long backtracking analysis is not a black box. The
+	// callback runs on the search goroutine and must return quickly.
+	OnProgress func(Progress)
+
+	// ProgressEvery is the minimum interval between heartbeats (default 1s
+	// when OnProgress is set).
+	ProgressEvery time.Duration
+}
+
+// Progress is one heartbeat of a running analysis. VerifiedPrefix is
+// monotone non-decreasing over the lifetime of one analysis run (including
+// initial-state-search retries): it only ever reports the best verified
+// prefix seen so far, so a consumer can treat it as committed progress.
+type Progress struct {
+	// Elapsed is the wall time since the analysis started.
+	Elapsed time.Duration
+	// Depth is the depth of the node being expanded; MaxDepth the deepest
+	// expanded so far.
+	Depth, MaxDepth int
+	// VerifiedPrefix counts trace events explained by the best verified
+	// search path so far; TotalEvents counts events ingested. For a static
+	// trace TotalEvents is fixed; on-line it grows.
+	VerifiedPrefix, TotalEvents int
+	// Nodes and TE are the search-effort counters so far.
+	Nodes, TE int64
+	// TPS is the mean transition-execution throughput since the start.
+	TPS float64
+	// EOF reports whether the trace end has been seen (on-line mode).
+	EOF bool
+}
+
+// String renders the heartbeat as the CLI's -progress line.
+func (p Progress) String() string {
+	return fmt.Sprintf("t=%.1fs depth=%d/%d verified=%d/%d nodes=%d TE=%d (%.0f trans/s)",
+		p.Elapsed.Seconds(), p.Depth, p.MaxDepth, p.VerifiedPrefix, p.TotalEvents,
+		p.Nodes, p.TE, p.TPS)
 }
 
 func (o Options) withDefaults(traceLen int) Options {
@@ -164,6 +215,9 @@ func (o Options) withDefaults(traceLen int) Options {
 	}
 	if len(o.UnobservedIPs) > 0 || o.UndefineGlobals {
 		o.Partial = true
+	}
+	if o.OnProgress != nil && o.ProgressEvery <= 0 {
+		o.ProgressEvery = time.Second
 	}
 	return o
 }
@@ -267,7 +321,20 @@ type Stats struct {
 	HashHits int64 // visited-state prunes
 	SynthIn  int64 // synthesized undefined inputs consumed
 	Faults   int64 // contained VM execution faults (panics) treated as infeasible
-	CPUTime  time.Duration
+
+	// Events is the number of trace events ingested (fixed for a static
+	// trace; the final count for an on-line source).
+	Events int
+
+	// The timing breakdown. ParseTime and CompileTime are the tool-generation
+	// phases (copied from efsm.Spec.Timing when the spec was built with
+	// Compile); SearchTime is the analysis run itself. CPUTime is kept as an
+	// alias of SearchTime for backward compatibility with the paper-facing
+	// tables.
+	ParseTime   time.Duration
+	CompileTime time.Duration
+	SearchTime  time.Duration
+	CPUTime     time.Duration
 }
 
 // TransitionsPerSecond is the paper's §4 throughput measure.
@@ -286,6 +353,19 @@ func (s Stats) AverageFanout() float64 {
 		return 0
 	}
 	return float64(s.TE) / float64(s.GE)
+}
+
+// Report converts the counters to the run-report mirror in package obs
+// (obs cannot import this package, so the report schema carries its own
+// struct).
+func (s Stats) Report() obs.SearchStats {
+	return obs.SearchStats{
+		TE: s.TE, GE: s.GE, RE: s.RE, SA: s.SA,
+		MaxDepth: s.MaxDepth, Nodes: s.Nodes, PGNodes: s.PGNodes,
+		Regens: s.Regens, Forks: s.Forks, HashHits: s.HashHits,
+		SynthIn: s.SynthIn, Faults: s.Faults, Events: s.Events,
+		TransPerSec: s.TransitionsPerSecond(), AvgFanout: s.AverageFanout(),
+	}
 }
 
 // Step is one edge of the solution path.

@@ -90,6 +90,55 @@ func TestStatsDerivedMetrics(t *testing.T) {
 	if zero.TransitionsPerSecond() != 0 || zero.AverageFanout() != 0 {
 		t.Error("zero stats must not divide by zero")
 	}
+	// Transitions executed but the clock never advanced (sub-resolution run):
+	// throughput must degrade to 0, not +Inf.
+	fast := Stats{TE: 1000}
+	if got := fast.TransitionsPerSecond(); got != 0 {
+		t.Errorf("zero-CPU TPS = %v, want 0", got)
+	}
+	// TE without GE (all-seed searches): fanout degrades to 0, not +Inf.
+	seeded := Stats{TE: 10, CPUTime: time.Second}
+	if got := seeded.AverageFanout(); got != 0 {
+		t.Errorf("zero-GE fanout = %v, want 0", got)
+	}
+}
+
+func TestProgressString(t *testing.T) {
+	p := Progress{
+		Elapsed:        2500 * time.Millisecond,
+		Depth:          3,
+		MaxDepth:       10,
+		VerifiedPrefix: 7,
+		TotalEvents:    20,
+		Nodes:          41,
+		TE:             99,
+		TPS:            1234.4,
+	}
+	got := p.String()
+	for _, want := range []string{"t=2.5s", "depth=3/10", "verified=7/20", "nodes=41", "TE=99", "1234 trans/s"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Progress.String() = %q, missing %q", got, want)
+		}
+	}
+}
+
+func TestStatsReportConversion(t *testing.T) {
+	s := Stats{
+		TE: 100, GE: 40, RE: 7, SA: 9,
+		MaxDepth: 12, Nodes: 55, PGNodes: 3, Regens: 2, Forks: 1,
+		HashHits: 4, SynthIn: 5, Faults: 6, Events: 20,
+		CPUTime: 2 * time.Second,
+	}
+	r := s.Report()
+	if r.TE != 100 || r.GE != 40 || r.RE != 7 || r.SA != 9 ||
+		r.MaxDepth != 12 || r.Nodes != 55 || r.PGNodes != 3 ||
+		r.Regens != 2 || r.Forks != 1 || r.HashHits != 4 ||
+		r.SynthIn != 5 || r.Faults != 6 || r.Events != 20 {
+		t.Errorf("counters not copied: %+v", r)
+	}
+	if r.TransPerSec != 50 || r.AvgFanout != 2.5 {
+		t.Errorf("derived metrics = %v / %v, want 50 / 2.5", r.TransPerSec, r.AvgFanout)
+	}
 }
 
 func TestStepString(t *testing.T) {

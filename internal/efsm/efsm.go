@@ -9,10 +9,14 @@
 package efsm
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/estelle/ast"
 	"repro/internal/estelle/parser"
 	"repro/internal/estelle/sema"
 	"repro/internal/estelle/types"
@@ -20,9 +24,21 @@ import (
 	"repro/internal/vm"
 )
 
+// Timing records how long each tool-generation phase took when the Spec was
+// built through Compile: Parse is the scanner+parser (Pet's front half),
+// Check covers semantic analysis and search-table indexing (Pet's back half
+// plus Dingo). Specs built directly with New report zero timing.
+type Timing struct {
+	Parse time.Duration
+	Check time.Duration
+}
+
 // Spec is the compiled executable model of one specification.
 type Spec struct {
 	Prog *sema.Program
+
+	// Timing is the tool-generation cost breakdown (set by Compile).
+	Timing Timing
 
 	// when[state][ip] lists the transitions with a when clause on that IP
 	// instance enabled in that FSM state, in declaration order.
@@ -73,17 +89,37 @@ func allStates(n int) []int {
 
 // Compile parses, checks and indexes a specification source text. It is the
 // analogue of running Pet followed by Dingo: the result is directly
-// executable by the analyzer.
+// executable by the analyzer. Each phase runs under a pprof label
+// (tango_phase=parse/compile) and is timed into Spec.Timing, so both CPU
+// profiles and run reports can attribute tool-generation cost.
 func Compile(file, src string) (*Spec, error) {
-	astSpec, err := parser.Parse(file, src)
+	var (
+		astSpec *ast.Spec
+		err     error
+	)
+	t0 := time.Now()
+	pprof.Do(context.Background(), pprof.Labels("tango_phase", "parse"), func(context.Context) {
+		astSpec, err = parser.Parse(file, src)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
-	prog, err := sema.Check(astSpec)
+	parseD := time.Since(t0)
+
+	var s *Spec
+	t1 := time.Now()
+	pprof.Do(context.Background(), pprof.Labels("tango_phase", "compile"), func(context.Context) {
+		var prog *sema.Program
+		prog, err = sema.Check(astSpec)
+		if err == nil {
+			s = New(prog)
+		}
+	})
 	if err != nil {
 		return nil, fmt.Errorf("check: %w", err)
 	}
-	return New(prog), nil
+	s.Timing = Timing{Parse: parseD, Check: time.Since(t1)}
+	return s, nil
 }
 
 // NumStates returns the number of FSM states.

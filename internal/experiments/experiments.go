@@ -15,10 +15,51 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/efsm"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/specs"
 )
+
+// Recorder collects the measured rows of a run as machine-readable data, so
+// the same execution that prints the paper-style tables can also emit a
+// tango.experiments/1 report (cmd/experiments -report). A nil *Recorder is
+// valid and records nothing.
+type Recorder struct {
+	Rows []obs.ExperimentRow
+}
+
+// Record appends one measured cell.
+func (r *Recorder) Record(experiment, label string, verdict analysis.Verdict, stats analysis.Stats) {
+	if r == nil {
+		return
+	}
+	r.Rows = append(r.Rows, obs.ExperimentRow{
+		Experiment: experiment,
+		Label:      label,
+		Verdict:    verdict.String(),
+		Search:     stats.Report(),
+	})
+}
+
+// Report packages the recorded rows.
+func (r *Recorder) Report() *obs.ExperimentsReport {
+	return &obs.ExperimentsReport{Schema: obs.ExperimentsSchema, Rows: r.Rows}
+}
+
+type recorderKey struct{}
+
+// WithRecorder attaches a Recorder to the context passed to experiment
+// runners; the runners' signatures stay uniform.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, recorderKey{}, r)
+}
+
+// recorderFrom returns the context's Recorder, or nil (record nothing).
+func recorderFrom(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recorderKey{}).(*Recorder)
+	return r
+}
 
 // Modes are the four relative-order-checking configurations of the paper's
 // tables, in presentation order.
@@ -105,6 +146,7 @@ func Fig3(ctx context.Context, w io.Writer) error {
 			}
 			row.Label = fmt.Sprint(di)
 			printRow(w, row)
+			recorderFrom(ctx).Record("fig3", fmt.Sprintf("%s/%d", mode, di), row.Verdict, row.Stats)
 			if row.Verdict != analysis.Valid {
 				return fmt.Errorf("fig3: di=%d mode=%s verdict=%s", di, mode, row.Verdict)
 			}
@@ -168,6 +210,7 @@ func Fig4(ctx context.Context, w io.Writer, budget int64) error {
 		}
 		row.Label = fmt.Sprintf("%d/%s", depthOf(cfg.K), cfg.Mode)
 		printRow(w, row)
+		recorderFrom(ctx).Record("fig4", row.Label, row.Verdict, row.Stats)
 	}
 	fmt.Fprintln(w)
 
@@ -190,6 +233,7 @@ func Fig4(ctx context.Context, w io.Writer, budget int64) error {
 	row.Label = "15/NR*"
 	fmt.Fprintln(w, "fully-buffered trace variant (paper row: TE=88329 GE=36687 RE=51642 SA=34440):")
 	printRow(w, row)
+	recorderFrom(ctx).Record("fig4", row.Label, row.Verdict, row.Stats)
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "expected shape (paper): without order checking the search explodes")
 	fmt.Fprintln(w, "(paper: 1469s vs 0.9s at depth 13); under FULL the cost still grows")
@@ -324,6 +368,8 @@ func TPS(ctx context.Context, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "%-12s %8d %10d %12s %14.0f\n",
 			res.Spec, res.Trans, res.TE, fmtDur(res.CPU), res.PerSecond)
+		recorderFrom(ctx).Record("tps", res.Spec, analysis.Valid,
+			analysis.Stats{TE: res.TE, SearchTime: res.CPU, CPUTime: res.CPU})
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "expected shape (paper): throughput decreases as the number of")
@@ -356,6 +402,7 @@ func Fanout(ctx context.Context, w io.Writer, budget int64) error {
 			}
 			fmt.Fprintf(w, "%-8d %-6s %10d %10d %8.2f\n",
 				k, mode, row.Stats.TE, row.Stats.GE, row.Stats.AverageFanout())
+			recorderFrom(ctx).Record("fanout", fmt.Sprintf("%d/%s", k, mode), row.Verdict, row.Stats)
 		}
 	}
 	fmt.Fprintln(w)
@@ -391,6 +438,7 @@ func Linear(ctx context.Context, w io.Writer) error {
 		fmt.Fprintf(w, "%-8d %8d %8d %8d %12.2f\n",
 			tr.Len(), row.Stats.TE, row.Stats.RE, row.Stats.MaxDepth,
 			float64(row.Stats.TE)/float64(tr.Len()))
+		recorderFrom(ctx).Record("linear", fmt.Sprint(tr.Len()), row.Verdict, row.Stats)
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "expected shape (paper): TE/event stays constant; RE stays near zero.")
@@ -429,6 +477,7 @@ func Fig1(ctx context.Context, w io.Writer) error {
 	fmt.Fprintf(w, "stats: TE=%d GE=%d RE=%d SA=%d PG-nodes=%d re-generates=%d\n",
 		res.Stats.TE, res.Stats.GE, res.Stats.RE, res.Stats.SA,
 		res.Stats.PGNodes, res.Stats.Regens)
+	recorderFrom(ctx).Record("fig1", "ack", res.Verdict, res.Stats)
 	return nil
 }
 
@@ -463,6 +512,7 @@ out B data
 			return err
 		}
 		fmt.Fprintf(w, "eof-marker=%-5v -> verdict: %s\n", withEOF, res.Verdict)
+		recorderFrom(ctx).Record("fig2", fmt.Sprintf("eof=%v", withEOF), res.Verdict, res.Stats)
 	}
 	fmt.Fprintln(w, "expected (paper): no conclusive result before the eof marker;")
 	fmt.Fprintln(w, "invalid once the marker forces termination.")

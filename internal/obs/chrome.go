@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ChromeSink renders search events in the Chrome trace_event JSON-array
+// format, so a run can be opened in chrome://tracing or Perfetto and the
+// search examined as a timeline:
+//
+//   - expand/backtrack become duration Begin/End pairs — the DFS stack turns
+//     into a flame graph over wall time, one slice per search-tree node,
+//     named by the transition that reached it;
+//   - search_start/search_end bracket the whole run in an outer slice named
+//     "search";
+//   - everything else (fire, prune, save, restore, fault, fork, poll) becomes
+//     a thread-scoped instant event, so hot backtracking regions show up as
+//     dense bands of instants inside the slice that caused them.
+//
+// Close must be called to terminate the JSON array. A ChromeSink is not safe
+// for concurrent use. Write errors are sticky and reported by Close.
+type ChromeSink struct {
+	w     io.Writer
+	start time.Time
+	first bool
+	open  bool
+	err   error
+}
+
+// NewChromeSink writes a trace_event stream to w.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	return &ChromeSink{w: w, first: true, start: time.Now()}
+}
+
+// chromeEvent is one trace_event record. Tango uses a single pid/tid: the
+// analyzer is single-goroutine, and one timeline is exactly what the search
+// is.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+func (s *ChromeSink) emit(e chromeEvent) {
+	if s.err != nil {
+		return
+	}
+	if !s.open {
+		if _, s.err = io.WriteString(s.w, "[\n"); s.err != nil {
+			return
+		}
+		s.open = true
+	}
+	sep := ",\n"
+	if s.first {
+		sep = ""
+		s.first = false
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		s.err = err
+		return
+	}
+	_, s.err = fmt.Fprintf(s.w, "%s%s", sep, b)
+}
+
+// Event renders e.
+func (s *ChromeSink) Event(e Event) {
+	ts := time.Since(s.start).Microseconds()
+	base := chromeEvent{Cat: "search", TS: ts, PID: 1, TID: 1}
+	switch e.Kind {
+	case KindSearchStart:
+		base.Name, base.Phase = "search", "B"
+		base.Args = map[string]any{"events": e.N, "initial_state": e.Detail}
+	case KindSearchEnd:
+		base.Name, base.Phase = "search", "E"
+		base.Args = map[string]any{"verdict": e.Detail}
+	case KindExpand:
+		name := e.Trans
+		if name == "" {
+			name = "root"
+		}
+		base.Name, base.Phase = name, "B"
+		base.Args = map[string]any{"depth": e.Depth, "candidates": e.N}
+	case KindBacktrack:
+		base.Name, base.Phase = e.Trans, "E"
+	default:
+		base.Name, base.Phase, base.Scope = e.Kind.String(), "i", "t"
+		args := map[string]any{"depth": e.Depth}
+		if e.Trans != "" {
+			args["trans"] = e.Trans
+		}
+		if e.Detail != "" {
+			args["detail"] = e.Detail
+		}
+		if e.N != 0 {
+			args["n"] = e.N
+		}
+		base.Args = args
+	}
+	s.emit(base)
+}
+
+// Close terminates the JSON array and returns the first error encountered.
+func (s *ChromeSink) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	if !s.open {
+		_, s.err = io.WriteString(s.w, "[]")
+		return s.err
+	}
+	_, s.err = io.WriteString(s.w, "\n]\n")
+	return s.err
+}

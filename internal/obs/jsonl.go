@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// JSONLSink writes search events as JSON Lines: a single header object
+// carrying the schema version, then one object per event. The format is the
+// GenTra4CP lesson applied to Tango's own search — a generic, versioned trace
+// any tool can consume with a line-oriented JSON reader.
+//
+// Header line:
+//
+//	{"schema":"tango.trace/1","started":"2026-08-05T12:00:00Z"}
+//
+// Event lines (zero fields omitted):
+//
+//	{"i":12,"t_us":345,"k":"fire","depth":3,"trans":"T7","ev":5}
+//
+// A JSONLSink is not safe for concurrent use, matching the single-goroutine
+// analyzer that feeds it. Write errors are sticky and reported by Err.
+type JSONLSink struct {
+	w     io.Writer
+	enc   *json.Encoder
+	start time.Time
+	seq   int64
+	began bool
+	err   error
+}
+
+// NewJSONLSink writes events to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: w, enc: json.NewEncoder(w), start: time.Now()}
+}
+
+type jsonlHeader struct {
+	Schema  string `json:"schema"`
+	Started string `json:"started"`
+}
+
+type jsonlEvent struct {
+	I      int64  `json:"i"`
+	TUS    int64  `json:"t_us"`
+	Kind   string `json:"k"`
+	Depth  int    `json:"depth,omitempty"`
+	Trans  string `json:"trans,omitempty"`
+	Ev     int    `json:"ev,omitempty"`
+	N      int64  `json:"n,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Event encodes e as one line, lazily emitting the header first.
+func (s *JSONLSink) Event(e Event) {
+	if s.err != nil {
+		return
+	}
+	if !s.began {
+		s.began = true
+		s.err = s.enc.Encode(jsonlHeader{Schema: TraceSchema, Started: s.start.UTC().Format(time.RFC3339)})
+		if s.err != nil {
+			return
+		}
+	}
+	s.seq++
+	s.err = s.enc.Encode(jsonlEvent{
+		I:      s.seq,
+		TUS:    time.Since(s.start).Microseconds(),
+		Kind:   e.Kind.String(),
+		Depth:  e.Depth,
+		Trans:  e.Trans,
+		Ev:     e.EventSeq,
+		N:      e.N,
+		Detail: e.Detail,
+	})
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error { return s.err }

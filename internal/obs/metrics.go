@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a small, zero-dependency metrics registry: named atomic
+// counters, gauges and histograms that the analyzer updates while searching
+// and that anything — the CLI's run report, an expvar HTTP endpoint, a test —
+// can read while the search runs. Metric handles are get-or-create and safe
+// for concurrent use; reads never block writers.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (may go up and down).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Max raises the gauge to n if n is larger (best-effort under concurrency).
+func (g *Gauge) Max(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Histogram counts observations into fixed upper-bound buckets (plus an
+// overflow bucket) and tracks sum and count, enough to read distribution
+// shape and mean without per-observation allocation.
+type Histogram struct {
+	bounds []int64 // sorted inclusive upper bounds
+	counts []atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Buckets returns (bounds, counts); the final count is the overflow bucket
+// (observations above every bound).
+func (h *Histogram) Buckets() ([]int64, []int64) {
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return append([]int64(nil), h.bounds...), counts
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (bounds are sorted; later calls may omit them).
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		sorted := append([]int64(nil), bounds...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		h = &Histogram{bounds: sorted, counts: make([]atomic.Int64, len(sorted)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a point-in-time copy of every metric: counters and gauges
+// as int64, histograms as {"sum","count","buckets","counts"} maps. The result
+// marshals cleanly to JSON.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		bounds, counts := h.Buckets()
+		out[name] = map[string]any{
+			"sum": h.Sum(), "count": h.Count(), "buckets": bounds, "counts": counts,
+		}
+	}
+	return out
+}
+
+// Scalars returns only the counter and gauge values, sorted-key iterable —
+// the flat shape run reports embed.
+func (r *Registry) Scalars() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// published guards expvar names: expvar.Publish panics on duplicates, and
+// registries come and go (one per analysis) while expvar names are global.
+var (
+	publishedMu sync.Mutex
+	published   = map[string]*expvar.Func{}
+	current     = map[string]*Registry{}
+)
+
+// Publish exposes the registry's Snapshot under the given expvar name
+// (readable at /debug/vars when the process serves HTTP). Publishing the same
+// name again rebinds it to the new registry instead of panicking, so each
+// analysis run can take over the name.
+func (r *Registry) Publish(name string) error {
+	if name == "" {
+		return fmt.Errorf("obs: empty expvar name")
+	}
+	publishedMu.Lock()
+	defer publishedMu.Unlock()
+	current[name] = r
+	if _, ok := published[name]; !ok {
+		f := expvar.Func(func() any {
+			publishedMu.Lock()
+			reg := current[name]
+			publishedMu.Unlock()
+			if reg == nil {
+				return nil
+			}
+			return reg.Snapshot()
+		})
+		published[name] = &f
+		expvar.Publish(name, f)
+	}
+	return nil
+}

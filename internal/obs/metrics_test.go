@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("te")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("te") != c {
+		t.Fatal("Counter must be get-or-create")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	g.Max(3)
+	if g.Value() != 5 {
+		t.Fatal("Max must not lower the gauge")
+	}
+	g.Max(11)
+	if g.Value() != 11 {
+		t.Fatal("Max must raise the gauge")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("depth", 8, 2, 4) // unsorted on purpose
+	for _, v := range []int64{1, 2, 3, 5, 9, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 120 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || bounds[0] != 2 || bounds[2] != 8 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// <=2: {1,2}; <=4: {3}; <=8: {5}; overflow: {9,100}.
+	want := []int64{2, 1, 1, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+	if r.Histogram("depth") != h {
+		t.Fatal("Histogram must be get-or-create")
+	}
+}
+
+func TestSnapshotAndScalars(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(-1)
+	r.Histogram("h", 10).Observe(4)
+	snap := r.Snapshot()
+	if snap["c"] != int64(3) || snap["g"] != int64(-1) {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-marshalable: %v", err)
+	}
+	sc := r.Scalars()
+	if len(sc) != 2 || sc["c"] != 3 || sc["g"] != -1 {
+		t.Fatalf("scalars = %v", sc)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Gauge("g").Max(int64(j))
+				r.Histogram("h", 100, 500).Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("n").Value() != 8000 {
+		t.Fatalf("counter = %d", r.Counter("n").Value())
+	}
+	if r.Histogram("h").Count() != 8000 {
+		t.Fatalf("hist count = %d", r.Histogram("h").Count())
+	}
+	if r.Gauge("g").Value() != 999 {
+		t.Fatalf("gauge max = %d", r.Gauge("g").Value())
+	}
+}
+
+func TestPublishRebinds(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("x").Add(1)
+	if err := r1.Publish("tango.test.metrics"); err != nil {
+		t.Fatal(err)
+	}
+	v := expvar.Get("tango.test.metrics")
+	if v == nil {
+		t.Fatal("expvar name not published")
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar output %q: %v", v.String(), err)
+	}
+	if snap["x"] != float64(1) {
+		t.Fatalf("snapshot via expvar = %v", snap)
+	}
+	// Re-publishing the same name must rebind, not panic.
+	r2 := NewRegistry()
+	r2.Counter("x").Add(9)
+	if err := r2.Publish("tango.test.metrics"); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(expvar.Get("tango.test.metrics").String()), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap["x"] != float64(9) {
+		t.Fatalf("rebound snapshot = %v", snap)
+	}
+	if err := NewRegistry().Publish(""); err == nil {
+		t.Fatal("empty name must error")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rep := &Report{
+		Tool: "tango analyze", Spec: "tp0.estelle", SpecTransitions: 19,
+		Mode: "FULL", Verdict: "valid", ExitCode: 0,
+		Timing: Timing{ParseUS: 10, CompileUS: 20, SearchUS: 30, WallUS: 70},
+		Search: SearchStats{TE: 5, GE: 3, Events: 4},
+	}
+	rep.SetTransitions(map[string]int64{"T1": 3, "T2": 3, "T9": 7, "never": 0})
+	path := dir + "/report.json"
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ReportSchema || got.Verdict != "valid" || got.Search.TE != 5 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// Histogram order: most-fired first, ties by name, zero dropped.
+	names := make([]string, len(got.Transitions))
+	for i, tc := range got.Transitions {
+		names[i] = tc.Name
+	}
+	if len(names) != 3 || names[0] != "T9" || names[1] != "T1" || names[2] != "T2" {
+		t.Fatalf("transition order: %v", names)
+	}
+
+	exp := &ExperimentsReport{Rows: []ExperimentRow{{Experiment: "fig3", Label: "5", Verdict: "valid"}}}
+	epath := dir + "/exp.json"
+	if err := exp.WriteFile(epath); err != nil {
+		t.Fatal(err)
+	}
+	egot, err := ReadExperimentsReport(epath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if egot.Schema != ExperimentsSchema || len(egot.Rows) != 1 || egot.Rows[0].Experiment != "fig3" {
+		t.Fatalf("experiments round trip: %+v", egot)
+	}
+	// Cross-reads must fail on schema.
+	if _, err := ReadReport(epath); err == nil {
+		t.Fatal("ReadReport must reject the experiments schema")
+	}
+	if _, err := ReadExperimentsReport(path); err == nil {
+		t.Fatal("ReadExperimentsReport must reject the report schema")
+	}
+}

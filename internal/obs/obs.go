@@ -1,0 +1,151 @@
+// Package obs is Tango's zero-dependency observability layer: a structured
+// tracer for the backtracking search (with JSONL and Chrome trace_event
+// sinks), a registry of atomic counters/gauges/histograms exported through
+// expvar, and machine-readable run reports.
+//
+// The design follows the tracer literature this repo's ISSUE cites: the
+// tracer itself specifies what it traces and in what format (a versioned
+// event schema, below), and the format is generic enough that external tools
+// — jq over the JSONL stream, chrome://tracing or Perfetto over the Chrome
+// sink — can analyze a search without knowing Tango's internals.
+//
+// Everything here is designed to cost nothing when unused: the analyzer
+// guards every hook behind a nil check, sinks stamp their own timestamps so
+// the search loop never calls the clock, and events are small value structs
+// that do not allocate.
+package obs
+
+// TraceSchema versions the search-event schema. It is the first field of
+// every JSONL trace header and must change whenever an event kind or field
+// changes meaning. Consumers should reject majors they do not know.
+const TraceSchema = "tango.trace/1"
+
+// Kind enumerates the search happenings a Tracer can observe. The string
+// forms (see Kind.String) are part of the versioned schema.
+type Kind uint8
+
+// The event kinds. Their meaning, in search terms (paper §2.2/§3.1):
+//
+//	search_start  one (M)DFS run begins; N = trace events known, Detail = initial state
+//	expand        a node was pushed on the search stack; Depth = its depth, N = candidates, Trans = edge taken
+//	fire          a candidate transition executes (the TE counter); Trans, EventSeq = consumed input (-1 none)
+//	backtrack     a fully-explored node was popped; Depth = its depth
+//	prune         an edge died; Detail = reason (mismatch, blocked, depth, hash, infeasible, pgav)
+//	fork          partial-mode forked execution produced N extra outcomes
+//	fault         a contained VM execution fault; Detail = message
+//	save          a state snapshot was taken (the SA counter); N = approx bytes
+//	restore       a saved state was restored (the RE counter); Depth = node depth
+//	poll          a dynamic source answered; N = events delivered (MDFS only)
+//	search_end    the run ended; Detail = verdict
+const (
+	KindSearchStart Kind = iota
+	KindExpand
+	KindFire
+	KindBacktrack
+	KindPrune
+	KindFork
+	KindFault
+	KindSave
+	KindRestore
+	KindPoll
+	KindSearchEnd
+)
+
+var kindNames = [...]string{
+	KindSearchStart: "search_start",
+	KindExpand:      "expand",
+	KindFire:        "fire",
+	KindBacktrack:   "backtrack",
+	KindPrune:       "prune",
+	KindFork:        "fork",
+	KindFault:       "fault",
+	KindSave:        "save",
+	KindRestore:     "restore",
+	KindPoll:        "poll",
+	KindSearchEnd:   "search_end",
+}
+
+// String returns the schema name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one observed search happening. It is a plain value: producing one
+// does not allocate, and unused fields are simply zero. Timestamps are
+// deliberately absent — sinks that need them stamp arrival time themselves,
+// keeping the search loop free of clock calls.
+type Event struct {
+	Kind  Kind
+	Depth int
+	// Trans names the transition involved (fire, expand, prune, fault).
+	Trans string
+	// EventSeq is the global trace position of the consumed input, or -1.
+	EventSeq int
+	// N is a kind-specific count (candidates, bytes, forks, polled events).
+	N int64
+	// Detail carries a kind-specific string (reason, verdict, message).
+	Detail string
+}
+
+// Tracer observes search events. Implementations must be cheap: the analyzer
+// calls Event from its hot loop. A Tracer needs no locking unless it is
+// shared across analyzers (an Analyzer is single-goroutine).
+type Tracer interface {
+	Event(Event)
+}
+
+// Nop is a Tracer that does nothing; it exists so overhead benchmarks can
+// compare an attached no-op tracer against a nil one.
+var Nop Tracer = nopTracer{}
+
+type nopTracer struct{}
+
+func (nopTracer) Event(Event) {}
+
+// Multi fans events out to several tracers in order. Nil entries are
+// skipped, so callers can compose optional sinks without pre-filtering.
+func Multi(ts ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range ts {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return Nop
+	case 1:
+		return live[0]
+	}
+	return multiTracer(live)
+}
+
+type multiTracer []Tracer
+
+func (m multiTracer) Event(e Event) {
+	for _, t := range m {
+		t.Event(e)
+	}
+}
+
+// Recorder is a Tracer that keeps every event in memory, for tests and
+// programmatic post-run analysis.
+type Recorder struct {
+	Events []Event
+}
+
+// Event appends e.
+func (r *Recorder) Event(e Event) { r.Events = append(r.Events, e) }
+
+// Kinds returns the recorded kinds in order, a convenient shape for
+// asserting event sequences.
+func (r *Recorder) Kinds() []Kind {
+	out := make([]Kind, len(r.Events))
+	for i, e := range r.Events {
+		out[i] = e.Kind
+	}
+	return out
+}

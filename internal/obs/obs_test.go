@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindSearchStart: "search_start",
+		KindExpand:      "expand",
+		KindFire:        "fire",
+		KindBacktrack:   "backtrack",
+		KindPrune:       "prune",
+		KindFork:        "fork",
+		KindFault:       "fault",
+		KindSave:        "save",
+		KindRestore:     "restore",
+		KindPoll:        "poll",
+		KindSearchEnd:   "search_end",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Errorf("out-of-range kind: %q", Kind(200).String())
+	}
+}
+
+func TestMultiTracer(t *testing.T) {
+	var a, b Recorder
+	m := Multi(nil, &a, nil, &b)
+	m.Event(Event{Kind: KindFire, Trans: "T1"})
+	if len(a.Events) != 1 || len(b.Events) != 1 {
+		t.Fatalf("fanout: a=%d b=%d", len(a.Events), len(b.Events))
+	}
+	if Multi() != Nop {
+		t.Error("empty Multi should collapse to Nop")
+	}
+	if Multi(&a) != Tracer(&a) {
+		t.Error("single-tracer Multi should collapse to the tracer")
+	}
+	Nop.Event(Event{}) // must not panic
+}
+
+// replay is a small synthetic search: root expands, one transition fires,
+// the child expands and backtracks, a prune, and the verdict.
+var replay = []Event{
+	{Kind: KindSearchStart, N: 4, Detail: "S0"},
+	{Kind: KindExpand, Depth: 0, N: 2},
+	{Kind: KindFire, Depth: 0, Trans: "T1", EventSeq: 0},
+	{Kind: KindSave, Depth: 0, N: 128},
+	{Kind: KindExpand, Depth: 1, Trans: "T1", N: 1},
+	{Kind: KindPrune, Depth: 1, Trans: "T2", Detail: "mismatch"},
+	{Kind: KindBacktrack, Depth: 1, Trans: "T1"},
+	{Kind: KindRestore, Depth: 0},
+	{Kind: KindBacktrack, Depth: 0},
+	{Kind: KindSearchEnd, Detail: "invalid"},
+}
+
+func TestJSONLSinkReplay(t *testing.T) {
+	var sb strings.Builder
+	s := NewJSONLSink(&sb)
+	for _, e := range replay {
+		s.Event(e)
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	if !sc.Scan() {
+		t.Fatal("no header line")
+	}
+	var hdr struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if hdr.Schema != TraceSchema {
+		t.Fatalf("schema %q, want %q", hdr.Schema, TraceSchema)
+	}
+	var kinds []string
+	lastT := int64(-1)
+	for sc.Scan() {
+		var ev struct {
+			I     int64  `json:"i"`
+			TUS   int64  `json:"t_us"`
+			Kind  string `json:"k"`
+			Trans string `json:"trans"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("event line %q: %v", sc.Text(), err)
+		}
+		if ev.TUS < lastT {
+			t.Errorf("timestamps not monotone: %d after %d", ev.TUS, lastT)
+		}
+		lastT = ev.TUS
+		kinds = append(kinds, ev.Kind)
+	}
+	want := make([]string, len(replay))
+	for i, e := range replay {
+		want[i] = e.Kind.String()
+	}
+	if strings.Join(kinds, " ") != strings.Join(want, " ") {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+}
+
+func TestChromeSinkReplay(t *testing.T) {
+	var sb strings.Builder
+	s := NewChromeSink(&sb)
+	for _, e := range replay {
+		s.Event(e)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name  string `json:"name"`
+		Phase string `json:"ph"`
+		PID   int    `json:"pid"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, sb.String())
+	}
+	if len(events) != len(replay) {
+		t.Fatalf("got %d events, want %d", len(events), len(replay))
+	}
+	// Begin/End phases must balance (the flame-graph property).
+	depth := 0
+	for i, ev := range events {
+		switch ev.Phase {
+		case "B":
+			depth++
+		case "E":
+			depth--
+		case "i":
+		default:
+			t.Errorf("event %d: unexpected phase %q", i, ev.Phase)
+		}
+		if depth < 0 {
+			t.Fatalf("event %d: more E than B", i)
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("unbalanced B/E: depth %d at end", depth)
+	}
+	// The expand slice is named by its transition; the root slice "root".
+	if events[1].Name != "root" || events[4].Name != "T1" {
+		t.Errorf("slice names: %q, %q", events[1].Name, events[4].Name)
+	}
+	if events[0].Name != "search" || events[len(events)-1].Name != "search" {
+		t.Errorf("outer slice: %q ... %q", events[0].Name, events[len(events)-1].Name)
+	}
+}
+
+func TestChromeSinkEmpty(t *testing.T) {
+	var sb strings.Builder
+	s := NewChromeSink(&sb)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil || len(events) != 0 {
+		t.Fatalf("empty sink output %q (err %v)", sb.String(), err)
+	}
+}
+
+func TestRecorderKinds(t *testing.T) {
+	var r Recorder
+	r.Event(Event{Kind: KindFire})
+	r.Event(Event{Kind: KindPrune})
+	got := r.Kinds()
+	if len(got) != 2 || got[0] != KindFire || got[1] != KindPrune {
+		t.Fatalf("Kinds() = %v", got)
+	}
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Schema identifiers for the machine-readable run reports. Like TraceSchema,
+// they version the output contract: CI and trajectory tooling assert on these
+// instead of parsing prose.
+const (
+	ReportSchema      = "tango.report/1"
+	ExperimentsSchema = "tango.experiments/1"
+)
+
+// Timing is the wall-clock breakdown of one run in microseconds. WallUS is
+// the end-to-end total (parse + compile + search + I/O overhead); the parts
+// need not sum to it.
+type Timing struct {
+	ParseUS   int64 `json:"parse_us"`
+	CompileUS int64 `json:"compile_us"`
+	SearchUS  int64 `json:"search_us"`
+	WallUS    int64 `json:"wall_us"`
+}
+
+// SearchStats is the report form of the analyzer's search counters (the
+// paper's TE/GE/RE/SA plus this reproduction's extensions). It mirrors
+// analysis.Stats field-for-field but lives here so report consumers need only
+// this package.
+type SearchStats struct {
+	TE       int64 `json:"te"`
+	GE       int64 `json:"ge"`
+	RE       int64 `json:"re"`
+	SA       int64 `json:"sa"`
+	MaxDepth int   `json:"max_depth"`
+	Nodes    int64 `json:"nodes"`
+	PGNodes  int64 `json:"pg_nodes,omitempty"`
+	Regens   int64 `json:"regens,omitempty"`
+	Forks    int64 `json:"forks,omitempty"`
+	HashHits int64 `json:"hash_hits,omitempty"`
+	SynthIn  int64 `json:"synth_in,omitempty"`
+	Faults   int64 `json:"faults,omitempty"`
+	Events   int   `json:"events"`
+
+	TransPerSec float64 `json:"trans_per_sec"`
+	AvgFanout   float64 `json:"avg_fanout"`
+}
+
+// TransitionCount is one row of the per-transition fire histogram.
+type TransitionCount struct {
+	Name  string `json:"name"`
+	Fired int64  `json:"fired"`
+}
+
+// StopDetail is the report form of an early stop (budget, deadline,
+// cancellation, stall).
+type StopDetail struct {
+	Reason         string `json:"reason"`
+	VerifiedPrefix int    `json:"verified_prefix"`
+	Nodes          int64  `json:"nodes"`
+	Transitions    int64  `json:"transitions"`
+}
+
+// Report is the machine-readable record of one analysis run: what ran, what
+// it decided, what it cost, and where the effort went. cmd/tango writes one
+// with `analyze -report out.json`; CI archives them to build a performance
+// trajectory.
+type Report struct {
+	Schema string `json:"schema"`
+	Tool   string `json:"tool"`
+
+	Spec            string `json:"spec"`
+	SpecTransitions int    `json:"spec_transitions"`
+	Trace           string `json:"trace,omitempty"`
+	Mode            string `json:"mode"`
+	Online          bool   `json:"online,omitempty"`
+
+	// Verdict is the machine-readable verdict word; ExitCode is the CLI exit
+	// code taxonomy (0 valid, 2 invalid, 3 inconclusive, ...), so CI can
+	// assert on outcomes without re-deriving them.
+	Verdict  string `json:"verdict"`
+	ExitCode int    `json:"exit_code"`
+	Reason   string `json:"reason,omitempty"`
+
+	Stop *StopDetail `json:"stop,omitempty"`
+
+	Timing Timing      `json:"timing"`
+	Search SearchStats `json:"search"`
+
+	// Transitions is the per-transition fire histogram, most-fired first.
+	Transitions []TransitionCount `json:"transitions,omitempty"`
+	// Faults lists contained VM execution faults (capped upstream).
+	Faults []string `json:"fault_list,omitempty"`
+	// Metrics embeds the flat scalar metrics of the run's Registry.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+}
+
+// SetTransitions fills the per-transition histogram from fire counts,
+// sorting most-fired first (ties by name for determinism) and dropping
+// never-fired transitions.
+func (r *Report) SetTransitions(fired map[string]int64) {
+	r.Transitions = r.Transitions[:0]
+	for name, n := range fired {
+		if n > 0 {
+			r.Transitions = append(r.Transitions, TransitionCount{Name: name, Fired: n})
+		}
+	}
+	sort.Slice(r.Transitions, func(i, j int) bool {
+		a, b := r.Transitions[i], r.Transitions[j]
+		if a.Fired != b.Fired {
+			return a.Fired > b.Fired
+		}
+		return a.Name < b.Name
+	})
+}
+
+// WriteFile marshals the report (indented, trailing newline) to path.
+func (r *Report) WriteFile(path string) error {
+	if r.Schema == "" {
+		r.Schema = ReportSchema
+	}
+	return writeJSON(path, r)
+}
+
+// ReadReport loads and validates a report written by WriteFile.
+func ReadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("obs: parse report %s: %w", path, err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("obs: report %s has schema %q, want %q", path, r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
+// ExperimentRow is one measured row of an experiments run: a (experiment,
+// label) cell with its verdict and search counters — the repo's
+// BENCH_*.json-compatible trajectory datum.
+type ExperimentRow struct {
+	Experiment string      `json:"experiment"`
+	Label      string      `json:"label"`
+	Verdict    string      `json:"verdict"`
+	Search     SearchStats `json:"search"`
+}
+
+// ExperimentsReport is the machine-readable record of a cmd/experiments run.
+type ExperimentsReport struct {
+	Schema string          `json:"schema"`
+	Rows   []ExperimentRow `json:"rows"`
+}
+
+// WriteFile marshals the experiments report to path.
+func (r *ExperimentsReport) WriteFile(path string) error {
+	if r.Schema == "" {
+		r.Schema = ExperimentsSchema
+	}
+	return writeJSON(path, r)
+}
+
+// ReadExperimentsReport loads and validates an experiments report.
+func ReadExperimentsReport(path string) (*ExperimentsReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r ExperimentsReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("obs: parse experiments report %s: %w", path, err)
+	}
+	if r.Schema != ExperimentsSchema {
+		return nil, fmt.Errorf("obs: experiments report %s has schema %q, want %q", path, r.Schema, ExperimentsSchema)
+	}
+	return &r, nil
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

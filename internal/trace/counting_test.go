@@ -1,0 +1,49 @@
+package trace
+
+import "testing"
+
+func TestCountingSource(t *testing.T) {
+	ev := func(ip string) Event { return Event{Dir: In, IP: ip, Interaction: "x"} }
+	cs := NewCountingSource(NewSliceSource([][]Event{
+		{ev("A"), ev("A")},
+		nil,
+		{ev("B")},
+	}, true))
+
+	if cs.Polls() != 0 || cs.Events() != 0 || cs.EOF() {
+		t.Fatalf("fresh source already counted: polls=%d events=%d eof=%v",
+			cs.Polls(), cs.Events(), cs.EOF())
+	}
+
+	wantEvents := []int64{2, 2, 3, 3}
+	for i, want := range wantEvents {
+		evs, eof, err := cs.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Polls() != int64(i+1) {
+			t.Errorf("poll %d: Polls() = %d", i, cs.Polls())
+		}
+		if cs.Events() != want {
+			t.Errorf("poll %d: Events() = %d, want %d", i, cs.Events(), want)
+		}
+		// The last chunk of a markEOF slice source reports eof; the counter
+		// must latch it.
+		if i == len(wantEvents)-1 {
+			if !eof || !cs.EOF() {
+				t.Errorf("poll %d: eof=%v EOF()=%v, want true", i, eof, cs.EOF())
+			}
+			if len(evs) != 0 {
+				t.Errorf("post-eof poll delivered %d events", len(evs))
+			}
+		}
+	}
+
+	// EOF stays latched on further polls.
+	if _, _, err := cs.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if !cs.EOF() || cs.Events() != 3 {
+		t.Errorf("after extra poll: EOF()=%v Events()=%d", cs.EOF(), cs.Events())
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // MaxLineBytes bounds one trace line. Lines beyond it are rejected with a
@@ -405,3 +406,43 @@ func Stats(tr *Trace) string {
 	}
 	return sb.String()
 }
+
+// ---------------------------------------------------------------------------
+// Source instrumentation
+
+// CountingSource wraps a Source and counts its traffic with atomics, so an
+// observer on another goroutine (a progress printer, the metrics registry)
+// can watch queue pressure of an on-line analysis without touching the
+// source itself: polls answered, events delivered, and whether EOF was seen.
+type CountingSource struct {
+	src Source
+
+	polls  atomic.Int64
+	events atomic.Int64
+	eof    atomic.Bool
+}
+
+// NewCountingSource wraps src.
+func NewCountingSource(src Source) *CountingSource {
+	return &CountingSource{src: src}
+}
+
+// Poll delegates to the wrapped source and updates the counters.
+func (c *CountingSource) Poll() ([]Event, bool, error) {
+	events, eof, err := c.src.Poll()
+	c.polls.Add(1)
+	c.events.Add(int64(len(events)))
+	if eof {
+		c.eof.Store(true)
+	}
+	return events, eof, err
+}
+
+// Polls returns how many polls the source has answered.
+func (c *CountingSource) Polls() int64 { return c.polls.Load() }
+
+// Events returns how many events the source has delivered.
+func (c *CountingSource) Events() int64 { return c.events.Load() }
+
+// EOF reports whether the source has reported end-of-trace.
+func (c *CountingSource) EOF() bool { return c.eof.Load() }

@@ -118,6 +118,17 @@ func (s *State) Snapshot() *State {
 	return out
 }
 
+// ApproxBytes estimates how much memory a Snapshot of this state copies:
+// one Value header per global and per live heap cell. Aggregate values
+// (arrays, records, sets) copy more than the header, so this is a floor, but
+// it is computable in O(1) per component and moves with the quantity §3.2.2
+// worries about — the per-Save cost of deep state copying. The observability
+// layer feeds it to the snapshot-bytes metric.
+func (s *State) ApproxBytes() int64 {
+	const valueHeader = 64 // unsafe.Sizeof(Value{}) rounded up to a cache line
+	return int64(1+len(s.Globals)+s.Heap.Len()) * valueHeader
+}
+
 // Fingerprint returns a canonical string for visited-state hashing.
 func (s *State) Fingerprint() string {
 	var sb strings.Builder
