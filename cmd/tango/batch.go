@@ -1,0 +1,170 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/obs"
+	"repro/tango"
+)
+
+// runBatch implements `tango batch`: analyze a corpus of traces concurrently
+// against one compiled specification. The specification is compiled once;
+// each worker owns a private analyzer. Per-trace verdicts print in corpus
+// order whatever the worker count, and the exit code aggregates the per-trace
+// classes (see README "tango batch").
+func runBatch(args []string, w, ew io.Writer) error {
+	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
+	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "worker count (analyzers running concurrently)")
+	order := fs.String("order", "FULL", "relative order checking mode: NR, IO, IP or FULL")
+	disable := fs.String("disable", "", "comma-separated IPs whose outputs are not checked")
+	unobserved := fs.String("unobserved", "", "comma-separated IPs whose inputs are missing (partial trace)")
+	stateSearch := fs.Bool("statesearch", false, "retry from every initial FSM state")
+	hash := fs.Bool("hash", false, "prune revisited states with a hash table")
+	budget := fs.Int64("budget", 0, "per-trace transition budget (0 = default)")
+	deadline := fs.Duration("deadline", 0, "wall-clock budget for the whole batch; expiry drains gracefully (exit 3)")
+	shuffle := fs.Bool("shuffle", false, "randomize dispatch order (results stay in corpus order)")
+	seed := fs.Int64("seed", 1, "dispatch shuffle seed (with -shuffle)")
+	reportPath := fs.String("report", "", "write a machine-readable batch report (tango.batch/1) to this file")
+	progress := fs.Bool("progress", false, "print per-worker heartbeats on stderr")
+	progressEvery := fs.Duration("progress-every", 0, "heartbeat interval for -progress (default 1s)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) < 2 {
+		return usageError{}
+	}
+	spec, err := compileArg(rest[0])
+	if err != nil {
+		return err
+	}
+	mode, err := parseOrder(*order)
+	if err != nil {
+		return err
+	}
+	items, err := batch.Collect(rest[1:])
+	if err != nil {
+		return err
+	}
+	if len(items) == 0 {
+		return fmt.Errorf("no traces found in %v", rest[1:])
+	}
+
+	bopts := batch.Options{
+		Workers: *jobs,
+		Analysis: tango.Options{
+			Order:              mode,
+			DisabledIPs:        splitList(*disable),
+			UnobservedIPs:      splitList(*unobserved),
+			InitialStateSearch: *stateSearch,
+			StateHashing:       *hash,
+			MaxTransitions:     *budget,
+		},
+		Shuffle:        *shuffle,
+		Seed:           *seed,
+		HeartbeatEvery: *progressEvery,
+	}
+	if *progress {
+		bopts.OnHeartbeat = func(hb batch.Heartbeat) { fmt.Fprintln(ew, "progress:", hb) }
+	}
+	if *reportPath != "" {
+		bopts.Metrics = obs.NewRegistry()
+	}
+
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
+	res, err := batch.Run(ctx, spec.Internal(), items, bopts)
+	if err != nil {
+		return err
+	}
+
+	printBatch(w, res)
+	if *reportPath != "" {
+		rep := batch.BuildReport(rest[0], mode.String(), spec.Internal(), bopts, res)
+		if err := rep.WriteFile(*reportPath); err != nil {
+			return err
+		}
+	}
+	return batchExitError(res)
+}
+
+// printBatch renders the per-item lines (corpus order) and the summary.
+func printBatch(w io.Writer, res *batch.Result) {
+	for i := range res.Items {
+		r := &res.Items[i]
+		status := itemStatus(r)
+		switch {
+		case r.Err != nil:
+			fmt.Fprintf(w, "%-5s %-40s %v\n", status, r.Item.Name, r.Err)
+		case r.Skipped:
+			fmt.Fprintf(w, "%-5s %-40s %s\n", status, r.Item.Name, r.Res.Reason)
+		default:
+			fmt.Fprintf(w, "%-5s %-40s %s (TE=%d, %s)\n",
+				status, r.Item.Name, r.Res.Verdict, r.Res.Stats.TE, r.Elapsed.Round(time.Microsecond))
+			if d := r.Res.Diagnosis; d != nil && d.FirstUnexplained != "" && (r.Match == nil || !*r.Match) {
+				fmt.Fprintf(w, "        first unexplained: %s\n", d.FirstUnexplained)
+			}
+		}
+	}
+	c := res.Counts
+	fmt.Fprintf(w, "batch: %d traces, %d workers, %s: %d valid, %d invalid, %d inconclusive, %d bad, %d errors",
+		len(res.Items), res.Workers, res.Wall.Round(time.Millisecond),
+		c.Valid, c.Invalid, c.Inconclusive, c.BadTrace, c.Errors)
+	if c.Skipped > 0 {
+		fmt.Fprintf(w, ", %d skipped", c.Skipped)
+	}
+	if c.Mismatches > 0 {
+		fmt.Fprintf(w, ", %d expectation mismatches", c.Mismatches)
+	}
+	fmt.Fprintf(w, " (exit %d)\n", res.ExitCode)
+}
+
+// itemStatus labels one result line: PASS/FAIL against a manifest
+// expectation, otherwise the verdict class.
+func itemStatus(r *batch.ItemResult) string {
+	if r.Match != nil {
+		if *r.Match {
+			return "PASS"
+		}
+		return "FAIL"
+	}
+	switch r.Class {
+	case batch.ClassOK:
+		return "VALID"
+	case batch.ClassInvalid:
+		return "INVAL"
+	case batch.ClassInconclusive:
+		return "INCON"
+	case batch.ClassBadTrace:
+		return "BAD"
+	default:
+		return "ERROR"
+	}
+}
+
+// batchExitError maps the aggregate exit code to the CLI error taxonomy.
+func batchExitError(res *batch.Result) error {
+	switch res.ExitCode {
+	case batch.ClassOK:
+		return nil
+	case batch.ClassInvalid:
+		return errNotValid
+	case batch.ClassInconclusive:
+		return errInconclusive
+	case batch.ClassBadTrace:
+		return &codeError{exitBadTrace, fmt.Errorf("batch: %d malformed traces", res.Counts.BadTrace)}
+	default:
+		return fmt.Errorf("batch: %d traces failed with operational errors", res.Counts.Errors)
+	}
+}

@@ -8,6 +8,7 @@
 //	tango check <spec.estelle>
 //	tango info  <spec.estelle>
 //	tango analyze [flags] <spec.estelle> <trace file|-->
+//	tango batch   [flags] <spec.estelle> <trace files|dir|manifest>
 //	tango generate [flags] <spec.estelle> <script file|-->
 //
 // Analyze flags select the runtime options of the paper (§2.4): relative
@@ -120,6 +121,8 @@ func run(args []string, w, ew io.Writer) error {
 		return runInfo(args[1:], w)
 	case "analyze":
 		return runAnalyze(args[1:], w, ew)
+	case "batch":
+		return runBatch(args[1:], w, ew)
 	case "generate":
 		return runGenerate(args[1:], w, ew)
 	case "lint":
@@ -133,7 +136,7 @@ func run(args []string, w, ew io.Writer) error {
 	case "help", "-h", "--help":
 		return usageError{}
 	default:
-		return fmt.Errorf("unknown subcommand %q (want check, info, analyze or generate)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want check, info, analyze, batch or generate)", args[0])
 	}
 }
 
@@ -149,6 +152,9 @@ func (usageError) Error() string {
                 [-report out.json] [-stats-json] [-progress]
                 [-trace-jsonl out.jsonl] [-trace-chrome out.json]
                 <spec> <trace|->
+  tango batch   [-j N] [-order ...] [-shuffle] [-seed S] [-deadline D]
+                [-report out.json] [-progress]
+                <spec> <trace ...|dir|manifest>
   tango generate <spec> <script|->
   tango format <spec>            (pretty-print the specification)
   tango normalform <spec>        (§5.3 rewrite: lift if/case into provided clauses)

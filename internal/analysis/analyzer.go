@@ -150,6 +150,11 @@ func (a *Analyzer) Spec() *efsm.Spec { return a.spec }
 // Stats returns the counters of the last analysis.
 func (a *Analyzer) Stats() Stats { return a.stats }
 
+// SetOnProgress replaces the heartbeat callback for subsequent analyses, so a
+// harness reusing one analyzer across traces (the batch engine) can re-target
+// each trace's heartbeats. Must not be called while an analysis is running.
+func (a *Analyzer) SetOnProgress(fn func(Progress)) { a.opts.OnProgress = fn }
+
 func (a *Analyzer) reset(traceLen int) {
 	a.opts = a.opts.withDefaults(traceLen)
 	a.exec.Partial = a.opts.Partial

@@ -1,0 +1,194 @@
+// Property-based mutation tests: generate valid traces from the executable
+// model, apply structural mutations (drop / duplicate / reorder / retag /
+// corrupt), and check the analyzer's verdicts stay sound — a mutant is
+// either still genuinely explainable (some mutations are benign, e.g.
+// swapping events on independent interaction points) or it is flagged
+// invalid WITH a diagnosis naming the violated prefix. A spec whose entire
+// mutant population stays valid would mean the analyzer accepts everything,
+// so each sweep also requires a minimum invalid yield.
+package analysis
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/efsm"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/specs"
+)
+
+// mutationBudget bounds each mutant's search; the traces are small, so a
+// conclusive verdict should never need more.
+const mutationBudget = 500_000
+
+type mutant struct {
+	kind string
+	tr   *trace.Trace
+}
+
+// mutate generates the deterministic mutant population of a trace: every
+// single-event drop and duplication, and every adjacent swap.
+func mutate(t *testing.T, tr *trace.Trace) []mutant {
+	t.Helper()
+	var out []mutant
+	n := len(tr.Events)
+	for i := 0; i < n; i++ {
+		m, err := trace.Drop(tr, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, mutant{fmt.Sprintf("drop@%d", i), m})
+		m, err = trace.Duplicate(tr, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, mutant{fmt.Sprintf("dup@%d", i), m})
+		if i+1 < n {
+			m, err = trace.Swap(tr, i, i+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, mutant{fmt.Sprintf("swap@%d", i), m})
+		}
+	}
+	return out
+}
+
+// sweep analyzes every mutant of every base trace and enforces the soundness
+// properties. Returns (valid, invalid) mutant counts.
+func sweep(t *testing.T, spec *efsm.Spec, bases []*trace.Trace) (int, int) {
+	t.Helper()
+	a, err := New(spec, Options{Order: OrderFull, MaxTransitions: mutationBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nValid, nInvalid := 0, 0
+	for b, base := range bases {
+		res, err := a.AnalyzeTrace(base)
+		if err != nil {
+			t.Fatalf("base %d: %v", b, err)
+		}
+		if res.Verdict != Valid {
+			t.Fatalf("base %d: verdict %v, want valid (generator bug)", b, res.Verdict)
+		}
+		for _, m := range mutate(t, base) {
+			res, err := a.AnalyzeTrace(m.tr)
+			if err != nil {
+				// The mutation produced an unresolvable trace (e.g. an event
+				// the channel cannot carry); that is also a flagged mutant.
+				nInvalid++
+				continue
+			}
+			switch res.Verdict {
+			case Valid:
+				nValid++
+			case Invalid, LikelyInvalid:
+				nInvalid++
+				if res.Diagnosis == nil {
+					t.Errorf("base %d %s: invalid verdict without diagnosis", b, m.kind)
+					continue
+				}
+				d := res.Diagnosis
+				if d.Total != len(m.tr.Events) {
+					t.Errorf("base %d %s: diagnosis total %d, trace has %d events",
+						b, m.kind, d.Total, len(m.tr.Events))
+				}
+				if d.Explained >= d.Total && d.FirstUnexplained != "" {
+					t.Errorf("base %d %s: diagnosis claims full explanation but names unexplained event %q",
+						b, m.kind, d.FirstUnexplained)
+				}
+				if d.Explained < d.Total && d.FirstUnexplained == "" {
+					t.Errorf("base %d %s: %d/%d explained but no violated prefix named",
+						b, m.kind, d.Explained, d.Total)
+				}
+			default:
+				t.Errorf("base %d %s: inconclusive verdict %v under a %d-transition budget",
+					b, m.kind, res.Verdict, int64(mutationBudget))
+			}
+		}
+	}
+	return nValid, nInvalid
+}
+
+func TestMutationSweepEcho(t *testing.T) {
+	spec := compile(t, "echo", specs.Echo)
+	var bases []*trace.Trace
+	for seed := int64(1); seed <= 3; seed++ {
+		tr, err := workload.EchoTrace(spec, 4+int(seed), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases = append(bases, tr)
+	}
+	nValid, nInvalid := sweep(t, spec, bases)
+	if nInvalid == 0 {
+		t.Fatalf("no mutant flagged invalid (%d valid) — analyzer accepts everything?", nValid)
+	}
+	t.Logf("echo: %d mutants valid, %d invalid", nValid, nInvalid)
+}
+
+func TestMutationSweepTP0(t *testing.T) {
+	spec := compile(t, "tp0", specs.TP0)
+	var bases []*trace.Trace
+	for seed := int64(1); seed <= 2; seed++ {
+		tr, err := workload.TP0Trace(spec, 2, 2, seed, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases = append(bases, tr)
+	}
+	nValid, nInvalid := sweep(t, spec, bases)
+	if nInvalid == 0 {
+		t.Fatalf("no mutant flagged invalid (%d valid) — analyzer accepts everything?", nValid)
+	}
+	t.Logf("tp0: %d mutants valid, %d invalid", nValid, nInvalid)
+}
+
+func TestMutationSweepLAPD(t *testing.T) {
+	spec := compile(t, "lapd", specs.LAPD)
+	var bases []*trace.Trace
+	for seed := int64(1); seed <= 2; seed++ {
+		tr, err := workload.LAPDTrace(spec, 2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases = append(bases, tr)
+	}
+	nValid, nInvalid := sweep(t, spec, bases)
+	if nInvalid == 0 {
+		t.Fatalf("no mutant flagged invalid (%d valid) — analyzer accepts everything?", nValid)
+	}
+	t.Logf("lapd: %d mutants valid, %d invalid", nValid, nInvalid)
+}
+
+// TestMutationRetag checks the retag mutation: relabelling an input to a
+// different interaction on the same channel must not stay silently valid
+// when the spec's reaction to the two differs.
+func TestMutationRetag(t *testing.T) {
+	spec := compile(t, "echo", specs.Echo)
+	tr, err := workload.EchoTrace(spec, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// req -> probe: the responder answers a probe with alive, not resp, so
+	// the following resp event becomes unexplainable.
+	m, err := trace.Retag(tr, 0, "probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(spec, Options{Order: OrderFull, MaxTransitions: mutationBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.AnalyzeTrace(m)
+	if err != nil {
+		t.Fatalf("retagged trace should still resolve: %v", err)
+	}
+	if res.Verdict != Invalid {
+		t.Fatalf("verdict %v, want invalid", res.Verdict)
+	}
+	if res.Diagnosis == nil || res.Diagnosis.FirstUnexplained == "" {
+		t.Fatalf("invalid without a named violated prefix: %+v", res.Diagnosis)
+	}
+}

@@ -1,0 +1,53 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/efsm"
+	"repro/internal/workload"
+	"repro/specs"
+)
+
+// BenchmarkBatchScaling measures corpus throughput at increasing worker
+// counts over a fixed 8-trace echo corpus. On a multicore machine the
+// per-iteration time should drop roughly linearly until the worker count
+// reaches the core count; on a single-core machine the curve is flat, which
+// is itself evidence that the pool adds no contention overhead.
+func BenchmarkBatchScaling(b *testing.B) {
+	spec, err := efsm.Compile("echo", specs.Echo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var items []Item
+	for i := 0; i < 8; i++ {
+		tr, err := workload.EchoTrace(spec, 200, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		items = append(items, Item{Name: fmt.Sprintf("echo-%d", i), Trace: tr})
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j%d", workers), func(b *testing.B) {
+			opts := Options{Workers: workers, Analysis: analysis.Options{Order: analysis.OrderFull}}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(context.Background(), spec, items, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.ExitCode != ClassOK {
+					b.Fatalf("exit %d", res.ExitCode)
+				}
+			}
+			var te int64
+			res, _ := Run(context.Background(), spec, items, opts)
+			for _, r := range res.Items {
+				te += r.Res.Stats.TE
+			}
+			b.ReportMetric(float64(te), "trans/op")
+		})
+	}
+}

@@ -1,0 +1,116 @@
+package batch
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Collect expands CLI corpus arguments into items, in argument order:
+//
+//   - a directory is walked recursively for *.trace files (sorted by path);
+//   - a file ending in .trace is a single trace;
+//   - any other file is read as a manifest (see ReadManifest).
+func Collect(args []string) ([]Item, error) {
+	var items []Item
+	for _, arg := range args {
+		st, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case st.IsDir():
+			dirItems, err := collectDir(arg)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, dirItems...)
+		case strings.HasSuffix(arg, ".trace"):
+			items = append(items, Item{Path: arg, Name: arg})
+		default:
+			mItems, err := ReadManifest(arg)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, mItems...)
+		}
+	}
+	return items, nil
+}
+
+func collectDir(dir string) ([]Item, error) {
+	var paths []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".trace") {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	items := make([]Item, len(paths))
+	for i, p := range paths {
+		items[i] = Item{Path: p, Name: p}
+	}
+	return items, nil
+}
+
+// ReadManifest parses a corpus manifest: one trace per line as
+//
+//	<path> [valid|invalid]
+//
+// with '#' comments and blank lines ignored. Relative paths resolve against
+// the manifest's directory. The optional second field is the expected
+// verdict class; batch runs check it and count mismatches (see Aggregate).
+func ReadManifest(path string) ([]Item, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dir := filepath.Dir(path)
+	var items []Item
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) > 2 {
+			return nil, fmt.Errorf("%s:%d: want \"<path> [valid|invalid]\", got %d fields", path, lineno, len(fields))
+		}
+		it := Item{Path: fields[0]}
+		if !filepath.IsAbs(it.Path) {
+			it.Path = filepath.Join(dir, it.Path)
+		}
+		it.Name = fields[0]
+		if len(fields) == 2 {
+			switch fields[1] {
+			case ExpectValid, ExpectInvalid:
+				it.Expect = fields[1]
+			default:
+				return nil, fmt.Errorf("%s:%d: unknown expectation %q (want valid or invalid)", path, lineno, fields[1])
+			}
+		}
+		items = append(items, it)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("%s: empty manifest", path)
+	}
+	return items, nil
+}

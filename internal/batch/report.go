@@ -1,0 +1,58 @@
+package batch
+
+import (
+	"repro/internal/efsm"
+	"repro/internal/obs"
+)
+
+// BuildReport assembles the tango.batch/1 record of one run. Items are in
+// corpus order; run Normalize on the result before comparing reports across
+// worker counts or dispatch orders.
+func BuildReport(specPath, mode string, spec *efsm.Spec, opts Options, res *Result) *obs.BatchReport {
+	rep := &obs.BatchReport{
+		Schema:          obs.BatchSchema,
+		Tool:            "tango batch",
+		Spec:            specPath,
+		SpecTransitions: spec.TransitionCount(),
+		Mode:            mode,
+		Workers:         res.Workers,
+		Shuffle:         opts.Shuffle,
+		Seed:            opts.Seed,
+		ExitCode:        res.ExitCode,
+		WallUS:          res.Wall.Microseconds(),
+		Counts: obs.BatchCounts{
+			Valid:        res.Counts.Valid,
+			Invalid:      res.Counts.Invalid,
+			Inconclusive: res.Counts.Inconclusive,
+			BadTrace:     res.Counts.BadTrace,
+			Errors:       res.Counts.Errors,
+			Skipped:      res.Counts.Skipped,
+			Mismatches:   res.Counts.Mismatches,
+		},
+		Items: make([]obs.BatchItem, len(res.Items)),
+	}
+	for i := range res.Items {
+		r := &res.Items[i]
+		bi := obs.BatchItem{
+			Trace:     r.Item.name(),
+			ExitClass: r.Class,
+			Skipped:   r.Skipped,
+			Expect:    r.Item.Expect,
+			Match:     r.Match,
+			Worker:    r.Worker,
+			WallUS:    r.Elapsed.Microseconds(),
+		}
+		switch {
+		case r.Err != nil:
+			bi.Error = r.Err.Error()
+		case r.Res != nil:
+			bi.Verdict = r.Res.Verdict.String()
+			bi.Search = r.Res.Stats.Report()
+			if s := r.Res.Stop; s != nil {
+				bi.StopReason = string(s.Reason)
+			}
+		}
+		rep.Items[i] = bi
+	}
+	return rep
+}

@@ -34,6 +34,15 @@ type Timing struct {
 }
 
 // Spec is the compiled executable model of one specification.
+//
+// Concurrency contract (compile once, analyze many): a Spec and everything
+// reachable from it — the checked sema.Program, its transition and type
+// tables, and the indexes built by New — is immutable once New (or Compile)
+// returns. No method on Spec or sema.Program mutates shared state, and no
+// lazy caches are populated at analysis time. Any number of goroutines may
+// therefore share one compiled Spec, each driving its own analyzer/VM; the
+// batch engine (package batch) is built on this guarantee, and a -race test
+// in this package's test suite enforces it.
 type Spec struct {
 	Prog *sema.Program
 

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BatchSchema versions the machine-readable record of one batch analysis run
+// (`tango batch`): one compiled specification checked against a corpus of
+// traces by a pool of workers.
+const BatchSchema = "tango.batch/1"
+
+// BatchItem is the per-trace row of a batch report, in corpus order.
+type BatchItem struct {
+	Trace string `json:"trace"`
+	// Verdict is the analyzer's verdict word; ExitClass the CLI exit-code
+	// class it maps to (0 valid, 2 invalid, 3 inconclusive, 4 bad trace,
+	// 1 operational error).
+	Verdict   string `json:"verdict,omitempty"`
+	ExitClass int    `json:"exit_class"`
+	// StopReason is set when the search stopped early (budget, deadline,
+	// cancelled, stall); Skipped marks items drained without analysis after
+	// the shared context ended.
+	StopReason string `json:"stop_reason,omitempty"`
+	Skipped    bool   `json:"skipped,omitempty"`
+	Error      string `json:"error,omitempty"`
+	// Expect and Match report the manifest expectation, when one was given.
+	Expect string `json:"expect,omitempty"`
+	Match  *bool  `json:"match,omitempty"`
+
+	Search SearchStats `json:"search"`
+
+	// Scheduling/timing detail; cleared by Normalize.
+	Worker int   `json:"worker"`
+	WallUS int64 `json:"wall_us"`
+}
+
+// BatchCounts aggregates the per-trace outcomes of a batch run.
+type BatchCounts struct {
+	Valid        int `json:"valid"`
+	Invalid      int `json:"invalid"`
+	Inconclusive int `json:"inconclusive"`
+	BadTrace     int `json:"bad_trace"`
+	Errors       int `json:"errors"`
+	Skipped      int `json:"skipped"`
+	Mismatches   int `json:"mismatches"`
+}
+
+// BatchReport is the machine-readable record of one `tango batch` run. Items
+// are always in corpus (input) order, independent of worker scheduling and of
+// -shuffle, so reports from runs with different -j values diff cleanly once
+// Normalize has cleared the timing fields.
+type BatchReport struct {
+	Schema string `json:"schema"`
+	Tool   string `json:"tool"`
+
+	Spec            string `json:"spec"`
+	SpecTransitions int    `json:"spec_transitions"`
+	Mode            string `json:"mode"`
+
+	Workers int   `json:"workers"`
+	Shuffle bool  `json:"shuffle,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+
+	Items  []BatchItem `json:"items"`
+	Counts BatchCounts `json:"counts"`
+
+	// ExitCode is the aggregate CLI exit code (see README "tango batch" for
+	// the aggregation rules).
+	ExitCode int `json:"exit_code"`
+
+	WallUS int64 `json:"wall_us"`
+}
+
+// Normalize clears every scheduling- and timing-dependent field, leaving only
+// the deterministic content of the run: corpus order, verdicts, exit classes,
+// expectations and search counters. Two batch runs over the same corpus with
+// the same analysis options must be byte-identical after Normalize, whatever
+// their worker counts or dispatch order — the determinism contract the test
+// suite enforces.
+func (r *BatchReport) Normalize() {
+	r.Workers = 0
+	r.Shuffle = false
+	r.Seed = 0
+	r.WallUS = 0
+	for i := range r.Items {
+		it := &r.Items[i]
+		it.Worker = 0
+		it.WallUS = 0
+		it.Search.TransPerSec = 0
+	}
+}
+
+// WriteFile marshals the report (indented, trailing newline) to path.
+func (r *BatchReport) WriteFile(path string) error {
+	if r.Schema == "" {
+		r.Schema = BatchSchema
+	}
+	return writeJSON(path, r)
+}
+
+// ReadBatchReport loads and validates a report written by WriteFile.
+func ReadBatchReport(path string) (*BatchReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BatchReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("obs: parse batch report %s: %w", path, err)
+	}
+	if r.Schema != BatchSchema {
+		return nil, fmt.Errorf("obs: batch report %s has schema %q, want %q", path, r.Schema, BatchSchema)
+	}
+	return &r, nil
+}

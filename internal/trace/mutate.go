@@ -1,0 +1,97 @@
+package trace
+
+import "fmt"
+
+// Structural trace mutations. These are the edits a faulty implementation or
+// a corrupted recording pipeline would introduce into an otherwise valid
+// trace: a lost event, a duplicated event, two events delivered out of order,
+// an event relabelled as a different interaction, or a corrupted parameter
+// value. The conformance test suite uses them to assert that the analyzer
+// actually rejects near-valid traces (an accept-everything analyzer passes
+// every purely positive test).
+//
+// Every mutation returns a fresh Trace with renumbered Seq fields; the input
+// trace is never modified.
+
+// Clone deep-copies a trace.
+func Clone(tr *Trace) *Trace {
+	out := &Trace{Events: make([]Event, len(tr.Events)), EOF: tr.EOF}
+	for i, ev := range tr.Events {
+		ev.Params = append([]Param(nil), ev.Params...)
+		out.Events[i] = ev
+	}
+	return out
+}
+
+// renumber reassigns the global sequence numbers after a structural edit.
+func renumber(tr *Trace) *Trace {
+	for i := range tr.Events {
+		tr.Events[i].Seq = i
+	}
+	return tr
+}
+
+// Drop returns the trace with event i removed (a lost interaction).
+func Drop(tr *Trace, i int) (*Trace, error) {
+	if i < 0 || i >= len(tr.Events) {
+		return nil, fmt.Errorf("trace: drop index %d out of range (%d events)", i, len(tr.Events))
+	}
+	out := Clone(tr)
+	out.Events = append(out.Events[:i], out.Events[i+1:]...)
+	return renumber(out), nil
+}
+
+// Duplicate returns the trace with event i repeated immediately after itself
+// (a duplicated interaction).
+func Duplicate(tr *Trace, i int) (*Trace, error) {
+	if i < 0 || i >= len(tr.Events) {
+		return nil, fmt.Errorf("trace: duplicate index %d out of range (%d events)", i, len(tr.Events))
+	}
+	out := Clone(tr)
+	dup := out.Events[i]
+	dup.Params = append([]Param(nil), dup.Params...)
+	out.Events = append(out.Events[:i+1], append([]Event{dup}, out.Events[i+1:]...)...)
+	return renumber(out), nil
+}
+
+// Swap returns the trace with events i and j exchanged (out-of-order
+// delivery).
+func Swap(tr *Trace, i, j int) (*Trace, error) {
+	n := len(tr.Events)
+	if i < 0 || i >= n || j < 0 || j >= n {
+		return nil, fmt.Errorf("trace: swap indexes %d,%d out of range (%d events)", i, j, n)
+	}
+	out := Clone(tr)
+	out.Events[i], out.Events[j] = out.Events[j], out.Events[i]
+	return renumber(out), nil
+}
+
+// Retag returns the trace with event i relabelled as a different interaction,
+// dropping its parameters (a misrecorded event type).
+func Retag(tr *Trace, i int, interaction string) (*Trace, error) {
+	if i < 0 || i >= len(tr.Events) {
+		return nil, fmt.Errorf("trace: retag index %d out of range (%d events)", i, len(tr.Events))
+	}
+	out := Clone(tr)
+	out.Events[i].Interaction = interaction
+	out.Events[i].Params = nil
+	return out, nil
+}
+
+// SetParam returns the trace with parameter name of event i set to value (a
+// corrupted parameter). The parameter is added when not present.
+func SetParam(tr *Trace, i int, name, value string) (*Trace, error) {
+	if i < 0 || i >= len(tr.Events) {
+		return nil, fmt.Errorf("trace: setparam index %d out of range (%d events)", i, len(tr.Events))
+	}
+	out := Clone(tr)
+	ev := &out.Events[i]
+	for k := range ev.Params {
+		if ev.Params[k].Name == name {
+			ev.Params[k].Value = value
+			return out, nil
+		}
+	}
+	ev.Params = append(ev.Params, Param{Name: name, Value: value})
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package trace
+
+import "testing"
+
+func mustRead(t *testing.T, text string) *Trace {
+	t.Helper()
+	tr, err := ReadString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+const mutateInput = `in  U req  seq=0 d=1
+out U resp seq=0 d=1
+in  U req  seq=1 d=2
+eof
+`
+
+func TestMutationsDoNotAliasInput(t *testing.T) {
+	tr := mustRead(t, mutateInput)
+	orig := Format(tr)
+	ops := []func() (*Trace, error){
+		func() (*Trace, error) { return Drop(tr, 1) },
+		func() (*Trace, error) { return Duplicate(tr, 0) },
+		func() (*Trace, error) { return Swap(tr, 0, 2) },
+		func() (*Trace, error) { return Retag(tr, 1, "alive") },
+		func() (*Trace, error) { return SetParam(tr, 0, "seq", "9") },
+	}
+	for i, op := range ops {
+		if _, err := op(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if got := Format(tr); got != orig {
+			t.Fatalf("op %d mutated its input:\n%s", i, got)
+		}
+	}
+}
+
+func TestMutationShapes(t *testing.T) {
+	tr := mustRead(t, mutateInput)
+
+	d, _ := Drop(tr, 1)
+	if d.Len() != 2 || d.Events[1].Interaction != "req" || d.Events[1].Seq != 1 {
+		t.Fatalf("drop: %v", Format(d))
+	}
+	dup, _ := Duplicate(tr, 0)
+	if dup.Len() != 4 || dup.Events[1].Interaction != "req" || dup.Events[3].Seq != 3 {
+		t.Fatalf("duplicate: %v", Format(dup))
+	}
+	sw, _ := Swap(tr, 0, 2)
+	if sw.Events[0].Params[1].Value != "2" || sw.Events[0].Seq != 0 {
+		t.Fatalf("swap: %v", Format(sw))
+	}
+	rt, _ := Retag(tr, 1, "alive")
+	if rt.Events[1].Interaction != "alive" || len(rt.Events[1].Params) != 0 {
+		t.Fatalf("retag: %v", Format(rt))
+	}
+	sp, _ := SetParam(tr, 0, "seq", "7")
+	if sp.Events[0].Params[0].Value != "7" {
+		t.Fatalf("setparam: %v", Format(sp))
+	}
+
+	for _, err := range []error{
+		errOf(Drop(tr, 3)), errOf(Duplicate(tr, -1)), errOf(Swap(tr, 0, 9)),
+		errOf(Retag(tr, 5, "x")), errOf(SetParam(tr, 3, "a", "b")),
+	} {
+		if err == nil {
+			t.Fatal("out-of-range mutation did not error")
+		}
+	}
+}
+
+func errOf(_ *Trace, err error) error { return err }

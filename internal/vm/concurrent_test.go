@@ -1,0 +1,71 @@
+// The VM half of the compile-once/analyze-many contract: distinct Execs over
+// one shared checked program must be able to run concurrently, because every
+// batch worker drives its own VM against the same compiled specification.
+// This test fails under `go test -race` if transition execution ever writes
+// to the shared program or type tables.
+package vm_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/efsm"
+	"repro/internal/estelle/sema"
+	"repro/internal/vm"
+	"repro/specs"
+)
+
+func TestDistinctExecsShareProgram(t *testing.T) {
+	spec, err := efsm.Compile("echo", specs.Echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := spec.Prog
+	byName := make(map[string]*sema.TransInfo)
+	for _, ti := range prog.Trans {
+		byName[ti.Name] = ti
+	}
+	ping, good := byName["ping"], byName["good"]
+	if ping == nil || good == nil {
+		t.Fatalf("echo transitions not found: %v", byName)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			exec := vm.New(prog)
+			st, _, err := exec.RunInit()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 100; i++ {
+				// waiting -> waiting when S.probe: output S.alive.
+				outs, err := exec.Execute(st, ping, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(outs) != 1 || outs[0].Inter.Name != "alive" {
+					t.Errorf("ping produced %v", outs)
+					return
+				}
+				// Guard evaluation reads the shared program concurrently too.
+				seq := st.Globals[0].Copy()
+				if _, err := exec.EvalProvided(st, good, []vm.Value{seq, seq}); err != nil {
+					t.Error(err)
+					return
+				}
+				// Snapshot/restore while other Execs execute.
+				snap := st.Snapshot()
+				if _, err := exec.Execute(snap, ping, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -64,7 +64,13 @@ func (l Limits) withDefaults() Limits {
 }
 
 // Exec executes transition blocks of one checked program against a State.
-// An Exec is not safe for concurrent use; create one per analysis.
+// An Exec is not safe for concurrent use; create one per analysis. Distinct
+// Execs over one shared *sema.Program are safe to run concurrently: the
+// program is read-only after semantic analysis, and all mutable execution
+// state (the current State, call frames, output buffers, decision vectors)
+// lives in the Exec and in the States it creates, which never alias across
+// Execs. This is the VM half of the compile-once/analyze-many contract that
+// the batch engine relies on; a -race test in this package enforces it.
 type Exec struct {
 	Prog *sema.Program
 	// Partial enables §5 partial-trace semantics: undefined values

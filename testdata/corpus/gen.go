@@ -1,0 +1,331 @@
+//go:build ignore
+
+// Corpus generator: regenerates the golden conformance corpus under
+// testdata/corpus. Every trace is produced by the spec's own executable model
+// (package gen / package workload), mutated where an invalid variant is
+// wanted, and verified against the expected verdict with a full-order
+// analysis before it is written — the generator refuses to emit a corpus the
+// analyzer disagrees with.
+//
+// Usage (from the repository root):
+//
+//	go run testdata/corpus/gen.go
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"repro/internal/analysis"
+	"repro/internal/efsm"
+	"repro/internal/gen"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/specs"
+)
+
+type entry struct {
+	name   string // file name without .trace
+	expect string // "valid" or "invalid"
+	tr     *trace.Trace
+}
+
+func main() {
+	root := filepath.Join("testdata", "corpus")
+	if _, err := os.Stat(root); err != nil {
+		log.Fatalf("run from the repository root: %v", err)
+	}
+	corpora := map[string]func(*efsm.Spec) ([]entry, error){
+		"echo": echoCorpus,
+		"ack":  ackCorpus,
+		"abp":  abpCorpus,
+		"tp0":  tp0Corpus,
+		"lapd": lapdCorpus,
+	}
+	names := make([]string, 0, len(corpora))
+	for n := range corpora {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		spec, err := efsm.Compile(name, specs.All()[name])
+		if err != nil {
+			log.Fatalf("%s: compile: %v", name, err)
+		}
+		entries, err := corpora[name](spec)
+		if err != nil {
+			log.Fatalf("%s: generate: %v", name, err)
+		}
+		if err := writeCorpus(root, name, spec, entries); err != nil {
+			log.Fatalf("%s: write: %v", name, err)
+		}
+		fmt.Printf("%s: %d traces\n", name, len(entries))
+	}
+}
+
+// writeCorpus verifies every entry's verdict and lays out
+// <root>/<spec>/{valid,invalid}/<name>.trace plus manifest.txt.
+func writeCorpus(root, specName string, spec *efsm.Spec, entries []entry) error {
+	a, err := analysis.New(spec, analysis.Options{Order: analysis.OrderFull})
+	if err != nil {
+		return err
+	}
+	dir := filepath.Join(root, specName)
+	for _, sub := range []string{"valid", "invalid"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return err
+		}
+	}
+	manifest := "# Golden conformance corpus for spec \"" + specName + "\".\n" +
+		"# Regenerate with: go run testdata/corpus/gen.go\n"
+	for _, e := range entries {
+		res, err := a.AnalyzeTrace(e.tr)
+		if err != nil {
+			return fmt.Errorf("%s: %v", e.name, err)
+		}
+		valid := res.Verdict == analysis.Valid
+		if valid != (e.expect == "valid") {
+			return fmt.Errorf("%s: verdict %v but corpus expects %s", e.name, res.Verdict, e.expect)
+		}
+		rel := filepath.Join(e.expect, e.name+".trace")
+		if err := os.WriteFile(filepath.Join(dir, rel), []byte(trace.Format(e.tr)), 0o644); err != nil {
+			return err
+		}
+		manifest += rel + " " + e.expect + "\n"
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.txt"), []byte(manifest), 0o644)
+}
+
+func echoCorpus(spec *efsm.Spec) ([]entry, error) {
+	var out []entry
+	for i, n := range []int{2, 6, 12} {
+		tr, err := workload.EchoTrace(spec, n, int64(i+1))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entry{fmt.Sprintf("exchange-%d", n), "valid", tr})
+	}
+	base, err := workload.EchoTrace(spec, 6, 1)
+	if err != nil {
+		return nil, err
+	}
+	drop, err := trace.Drop(base, 1) // response never observed
+	if err != nil {
+		return nil, err
+	}
+	corrupt, err := trace.SetParam(base, 1, "d", "99") // response payload wrong
+	if err != nil {
+		return nil, err
+	}
+	dup, err := trace.Duplicate(base, 1) // response delivered twice
+	if err != nil {
+		return nil, err
+	}
+	return append(out,
+		entry{"dropped-response", "invalid", drop},
+		entry{"corrupt-response", "invalid", corrupt},
+		entry{"duplicated-response", "invalid", dup},
+	), nil
+}
+
+// ackCorpus exercises Figure 1 of the paper: only the schedule T1 T2 T3
+// explains x x y ack, so a greedy analyzer must backtrack.
+func ackCorpus(spec *efsm.Spec) ([]entry, error) {
+	backtrack := func(nRounds int) (*trace.Trace, error) {
+		g, err := gen.New(spec, nil)
+		if err != nil {
+			return nil, err
+		}
+		step := func(prefer, ip, inter string) error {
+			g.SetScheduler(gen.NewPreferScheduler([]string{prefer}, nil))
+			if err := g.Feed(ip, inter, nil); err != nil {
+				return err
+			}
+			_, err := g.Run(4)
+			return err
+		}
+		for i := 0; i < nRounds; i++ {
+			// The paper's schedule: T1 consumes the first x (stay in S1), T2
+			// the second (to S2), T3 the y (ack, back to S1).
+			if err := step("T1", "A", "x"); err != nil {
+				return nil, err
+			}
+			if err := step("T2", "A", "x"); err != nil {
+				return nil, err
+			}
+			if err := step("T3", "B", "y"); err != nil {
+				return nil, err
+			}
+		}
+		if g.Pending() != 0 {
+			return nil, fmt.Errorf("ack: %d inputs unconsumed", g.Pending())
+		}
+		return g.Trace(), nil
+	}
+	var out []entry
+	for _, n := range []int{1, 3} {
+		tr, err := backtrack(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entry{fmt.Sprintf("xxy-ack-%d", n), "valid", tr})
+	}
+	base, err := backtrack(1)
+	if err != nil {
+		return nil, err
+	}
+	// Without the y there is no path to the ack output.
+	noY, err := trace.Drop(base, 2)
+	if err != nil {
+		return nil, err
+	}
+	// A second ack was never produced.
+	dupAck, err := trace.Duplicate(base, 3)
+	if err != nil {
+		return nil, err
+	}
+	return append(out,
+		entry{"ack-without-y", "invalid", noY},
+		entry{"duplicated-ack", "invalid", dupAck},
+	), nil
+}
+
+// abpCorpus scripts the alternating-bit sender: data requests acknowledged
+// in sequence, plus a wrong-sequence ACK forcing a retransmission.
+func abpCorpus(spec *efsm.Spec) ([]entry, error) {
+	session := func(rounds int, withRetransmit bool) (*trace.Trace, error) {
+		g, err := gen.New(spec, nil)
+		if err != nil {
+			return nil, err
+		}
+		bit := 0
+		step := func(ip, inter string, params map[string]string) error {
+			if err := g.Feed(ip, inter, params); err != nil {
+				return err
+			}
+			_, err := g.Run(8)
+			return err
+		}
+		for i := 0; i < rounds; i++ {
+			if err := step("U", "SDATAreq", map[string]string{"d": strconv.Itoa(10 + i)}); err != nil {
+				return nil, err
+			}
+			if withRetransmit && i == rounds-1 {
+				// Wrong-sequence ACK: the sender retransmits the buffered frame.
+				if err := step("P", "ACK", map[string]string{"seq": strconv.Itoa(1 - bit)}); err != nil {
+					return nil, err
+				}
+			}
+			if err := step("P", "ACK", map[string]string{"seq": strconv.Itoa(bit)}); err != nil {
+				return nil, err
+			}
+			bit = 1 - bit
+		}
+		if g.Pending() != 0 {
+			return nil, fmt.Errorf("abp: %d inputs unconsumed", g.Pending())
+		}
+		return g.Trace(), nil
+	}
+	var out []entry
+	plain, err := session(2, false)
+	if err != nil {
+		return nil, err
+	}
+	retrans, err := session(3, true)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out,
+		entry{"two-rounds", "valid", plain},
+		entry{"retransmit", "valid", retrans},
+	)
+	// The sender never emits DATA with the wrong payload. (CorruptLastData
+	// would bump the range-limited seq field; corrupt the payload instead.)
+	lastData := -1
+	for i, ev := range plain.Events {
+		if ev.Dir == trace.Out && ev.Interaction == "DATA" {
+			lastData = i
+		}
+	}
+	if lastData < 0 {
+		return nil, fmt.Errorf("abp: no DATA output to corrupt")
+	}
+	badData, err := trace.SetParam(plain, lastData, "d", "999")
+	if err != nil {
+		return nil, err
+	}
+	// A confirmation without any acknowledgement having arrived.
+	noAck, err := trace.Drop(plain, 2)
+	if err != nil {
+		return nil, err
+	}
+	return append(out,
+		entry{"corrupt-data", "invalid", badData},
+		entry{"conf-without-ack", "invalid", noAck},
+	), nil
+}
+
+func tp0Corpus(spec *efsm.Spec) ([]entry, error) {
+	var out []entry
+	normal, err := workload.TP0Trace(spec, 3, 2, 1, true)
+	if err != nil {
+		return nil, err
+	}
+	bulk, err := workload.TP0BulkTrace(spec, 4, 2, true)
+	if err != nil {
+		return nil, err
+	}
+	full, err := workload.TP0FullBufferTrace(spec, 3, 3, true)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out,
+		entry{"connect-transfer-release", "valid", normal},
+		entry{"bulk-transfer", "valid", bulk},
+		entry{"full-buffer", "valid", full},
+	)
+	corrupt, err := workload.CorruptLastData(normal)
+	if err != nil {
+		return nil, err
+	}
+	// Losing the connect confirmation makes everything after it unexplainable.
+	noConf, err := trace.Drop(normal, 1)
+	if err != nil {
+		return nil, err
+	}
+	return append(out,
+		entry{"corrupt-data", "invalid", corrupt},
+		entry{"lost-connect-step", "invalid", noConf},
+	), nil
+}
+
+func lapdCorpus(spec *efsm.Spec) ([]entry, error) {
+	var out []entry
+	for i, di := range []int{1, 4} {
+		tr, err := workload.LAPDTrace(spec, di, int64(i+1))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entry{fmt.Sprintf("di-%d", di), "valid", tr})
+	}
+	base, err := workload.LAPDTrace(spec, 2, 1)
+	if err != nil {
+		return nil, err
+	}
+	corrupt, err := workload.CorruptLastData(base)
+	if err != nil {
+		return nil, err
+	}
+	noEstab, err := trace.Drop(base, 1)
+	if err != nil {
+		return nil, err
+	}
+	return append(out,
+		entry{"corrupt-data", "invalid", corrupt},
+		entry{"lost-establish-step", "invalid", noEstab},
+	), nil
+}
