@@ -2,14 +2,22 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
+	"syscall"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/batch"
+	"repro/internal/checkpoint"
 	"repro/internal/obs"
+	"repro/internal/supervise"
 	"repro/tango"
 )
 
@@ -18,6 +26,13 @@ import (
 // each worker owns a private analyzer. Per-trace verdicts print in corpus
 // order whatever the worker count, and the exit code aggregates the per-trace
 // classes (see README "tango batch").
+//
+// With -supervise (or any of -job-timeout, -checkpoint, -resume, -throttle)
+// the pool runs under the crash-only supervisor: panicking or wedged workers
+// are torn down and respawned, their jobs requeued with backoff and bounded
+// attempts, and repeat offenders quarantined. -checkpoint journals every
+// sealed row so a killed run can continue with -resume, which restores the
+// finished rows verbatim and exits 6 when the completed run is clean.
 func runBatch(args []string, w, ew io.Writer) error {
 	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
 	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "worker count (analyzers running concurrently)")
@@ -33,6 +48,15 @@ func runBatch(args []string, w, ew io.Writer) error {
 	reportPath := fs.String("report", "", "write a machine-readable batch report (tango.batch/1) to this file")
 	progress := fs.Bool("progress", false, "print per-worker heartbeats on stderr")
 	progressEvery := fs.Duration("progress-every", 0, "heartbeat interval for -progress (default 1s)")
+	traceJSONL := fs.String("trace-jsonl", "", "write structured search events (tango.trace/1 JSONL) to this file")
+	supPool := fs.Bool("supervise", false, "run the pool under the crash-only supervisor")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job watchdog deadline under -supervise (0 = none)")
+	maxAttempts := fs.Int("max-attempts", 0, "dispatch attempts per job under -supervise (default 3)")
+	breaker := fs.Int("breaker", 0, "worker kills before a job is quarantined (default 3)")
+	backoff := fs.Duration("backoff", 0, "base requeue backoff, doubled per attempt (0 = immediate)")
+	throttle := fs.Duration("throttle", 0, "artificial delay before each analysis (crash drills)")
+	ckptDir := fs.String("checkpoint", "", "journal every completed item (tango.ckpt/1) into this directory")
+	resumeDir := fs.String("resume", "", "resume from a -checkpoint directory: restore finished rows, run the rest")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,6 +79,9 @@ func runBatch(args []string, w, ew io.Writer) error {
 	if len(items) == 0 {
 		return fmt.Errorf("no traces found in %v", rest[1:])
 	}
+	if *ckptDir != "" && *resumeDir != "" {
+		return fmt.Errorf("-checkpoint and -resume are mutually exclusive (-resume keeps journaling into its directory)")
+	}
 
 	bopts := batch.Options{
 		Workers: *jobs,
@@ -76,27 +103,163 @@ func runBatch(args []string, w, ew io.Writer) error {
 	if *reportPath != "" {
 		bopts.Metrics = obs.NewRegistry()
 	}
+	if *traceJSONL != "" {
+		f, err := os.Create(*traceJSONL)
+		if err != nil {
+			return err
+		}
+		// Deferred close runs on every exit path — including the graceful
+		// drain after SIGINT/SIGTERM — so the sink is always flushed.
+		defer f.Close()
+		sink := obs.NewJSONLSink(f)
+		defer func() {
+			if err := sink.Err(); err != nil {
+				fmt.Fprintln(ew, "tango: trace-jsonl:", err)
+			}
+		}()
+		bopts.Tracer = sink
+	}
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the shared context: in-flight analyses stop at
+	// their next expansion, remaining items drain as skipped, the journal
+	// keeps every row sealed so far, and the deferred sinks flush.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
 	}
 
-	res, err := batch.Run(ctx, spec.Internal(), items, bopts)
+	supervised := *supPool || *jobTimeout > 0 || *throttle > 0 ||
+		*maxAttempts > 0 || *breaker > 0 || *backoff > 0 ||
+		*ckptDir != "" || *resumeDir != ""
+	if !supervised {
+		res, err := batch.Run(ctx, spec.Internal(), items, bopts)
+		if err != nil {
+			return err
+		}
+		printBatch(w, res)
+		if *reportPath != "" {
+			rep := batch.BuildReport(rest[0], mode.String(), spec.Internal(), bopts, res)
+			if err := rep.WriteFile(*reportPath); err != nil {
+				return err
+			}
+		}
+		return batchExitError(res)
+	}
+
+	// Supervised path: wire the journal (fresh or resumed) and run.
+	meta := checkpoint.BatchMeta{
+		SpecDigest:   analysis.SpecDigest(spec.Internal()),
+		CorpusDigest: corpusDigest(items),
+		Mode:         mode.String(),
+		NumItems:     len(items),
+	}
+	var (
+		journal *checkpoint.Journal
+		done    map[int]obs.BatchItem
+	)
+	resumedRun := false
+	switch {
+	case *resumeDir != "":
+		journal, done, err = openResume(filepath.Join(*resumeDir, checkpoint.JournalFile), meta, len(items), ew)
+		if err != nil {
+			return err
+		}
+		resumedRun = true
+	case *ckptDir != "":
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return err
+		}
+		journal, err = checkpoint.CreateJournal(filepath.Join(*ckptDir, checkpoint.JournalFile))
+		if err != nil {
+			return err
+		}
+		if err := journal.Append(checkpoint.KindBatchMeta, meta); err != nil {
+			journal.Close()
+			return err
+		}
+	}
+	if journal != nil {
+		defer journal.Close()
+	}
+
+	sres, err := supervise.Run(ctx, spec.Internal(), items, supervise.Options{
+		Pool:         bopts,
+		JobTimeout:   *jobTimeout,
+		MaxAttempts:  *maxAttempts,
+		BreakerKills: *breaker,
+		Backoff:      *backoff,
+		Throttle:     *throttle,
+		Journal:      journal,
+		Done:         done,
+	})
 	if err != nil {
 		return err
 	}
-
-	printBatch(w, res)
+	printSupervised(w, sres)
 	if *reportPath != "" {
-		rep := batch.BuildReport(rest[0], mode.String(), spec.Internal(), bopts, res)
+		rep := supervise.BuildReport(rest[0], mode.String(), spec.Internal(),
+			supervise.Options{Pool: bopts}, sres)
 		if err := rep.WriteFile(*reportPath); err != nil {
 			return err
 		}
 	}
-	return batchExitError(res)
+	return supervisedExitError(sres, resumedRun)
+}
+
+// corpusDigest fingerprints the corpus identity (names and expectations, in
+// order) so a resume against a different corpus is rejected.
+func corpusDigest(items []batch.Item) string {
+	h := sha256.New()
+	for _, it := range items {
+		name := it.Name
+		if name == "" {
+			name = it.Path
+		}
+		fmt.Fprintf(h, "%s\x00%s\x00", name, it.Expect)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// openResume replays a batch journal, validates that it belongs to this
+// workload, and reopens it for appending (repairing a torn tail left by a
+// crash). It returns the journal and the verbatim rows of finished items.
+func openResume(path string, meta checkpoint.BatchMeta, n int, ew io.Writer) (*checkpoint.Journal, map[int]obs.BatchItem, error) {
+	j, recs, err := checkpoint.OpenJournalAppend(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("resume: %w", err)
+	}
+	if len(recs) == 0 || recs[0].Kind != checkpoint.KindBatchMeta {
+		j.Close()
+		return nil, nil, fmt.Errorf("resume: %s is not a batch journal", path)
+	}
+	var m checkpoint.BatchMeta
+	if err := recs[0].Decode(&m); err != nil {
+		j.Close()
+		return nil, nil, fmt.Errorf("resume: %w", err)
+	}
+	if m != meta {
+		j.Close()
+		return nil, nil, fmt.Errorf("resume: journal belongs to a different run (specification, corpus or order mode changed)")
+	}
+	done := make(map[int]obs.BatchItem)
+	for _, rec := range recs[1:] {
+		if rec.Kind != checkpoint.KindBatchItem {
+			continue
+		}
+		var e checkpoint.BatchEntry
+		if err := rec.Decode(&e); err != nil {
+			j.Close()
+			return nil, nil, fmt.Errorf("resume: %w", err)
+		}
+		if e.Index >= 0 && e.Index < n {
+			done[e.Index] = e.Item
+		}
+	}
+	fmt.Fprintf(ew, "tango: resume: restored %d finished rows from %s\n", len(done), path)
+	return j, done, nil
 }
 
 // printBatch renders the per-item lines (corpus order) and the summary.
@@ -130,6 +293,54 @@ func printBatch(w io.Writer, res *batch.Result) {
 	fmt.Fprintf(w, " (exit %d)\n", res.ExitCode)
 }
 
+// printSupervised renders a supervised run with the same row format as
+// printBatch, plus the supervision outcomes.
+func printSupervised(w io.Writer, res *supervise.Result) {
+	for i := range res.Rows {
+		r := &res.Rows[i]
+		status := rowStatus(r)
+		line := fmt.Sprintf("%-5s %-40s", status, r.Trace)
+		switch {
+		case r.Error != "":
+			line += " " + r.Error
+		case r.Skipped:
+			line += " skipped: " + r.StopReason
+		default:
+			line += fmt.Sprintf(" %s (TE=%d, %s)", r.Verdict, r.Search.TE,
+				(time.Duration(r.WallUS) * time.Microsecond).Round(time.Microsecond))
+		}
+		if r.Resumed {
+			line += " [resumed]"
+		} else if r.Attempts > 1 {
+			line += fmt.Sprintf(" [attempt %d]", r.Attempts)
+		}
+		fmt.Fprintln(w, line)
+	}
+	c := res.Counts
+	fmt.Fprintf(w, "batch: %d traces, %d workers, %s: %d valid, %d invalid, %d inconclusive, %d bad, %d errors",
+		len(res.Rows), res.Workers, res.Wall.Round(time.Millisecond),
+		c.Valid, c.Invalid, c.Inconclusive, c.BadTrace, c.Errors)
+	if c.Skipped > 0 {
+		fmt.Fprintf(w, ", %d skipped", c.Skipped)
+	}
+	if c.Mismatches > 0 {
+		fmt.Fprintf(w, ", %d expectation mismatches", c.Mismatches)
+	}
+	if c.Resumed > 0 {
+		fmt.Fprintf(w, ", %d resumed", c.Resumed)
+	}
+	if c.Requeued > 0 {
+		fmt.Fprintf(w, ", %d requeued", c.Requeued)
+	}
+	if c.Quarantined > 0 {
+		fmt.Fprintf(w, ", %d quarantined", c.Quarantined)
+	}
+	if res.Restarts > 0 {
+		fmt.Fprintf(w, ", %d worker restarts", res.Restarts)
+	}
+	fmt.Fprintf(w, " (exit %d)\n", res.ExitCode)
+}
+
 // itemStatus labels one result line: PASS/FAIL against a manifest
 // expectation, otherwise the verdict class.
 func itemStatus(r *batch.ItemResult) string {
@@ -139,7 +350,25 @@ func itemStatus(r *batch.ItemResult) string {
 		}
 		return "FAIL"
 	}
-	switch r.Class {
+	return classStatus(r.Class)
+}
+
+// rowStatus is itemStatus for an already-serialized report row.
+func rowStatus(r *obs.BatchItem) string {
+	if r.Quarantined {
+		return "QUAR"
+	}
+	if r.Match != nil {
+		if *r.Match {
+			return "PASS"
+		}
+		return "FAIL"
+	}
+	return classStatus(r.ExitClass)
+}
+
+func classStatus(class int) string {
+	switch class {
 	case batch.ClassOK:
 		return "VALID"
 	case batch.ClassInvalid:
@@ -165,6 +394,30 @@ func batchExitError(res *batch.Result) error {
 	case batch.ClassBadTrace:
 		return &codeError{exitBadTrace, fmt.Errorf("batch: %d malformed traces", res.Counts.BadTrace)}
 	default:
+		return fmt.Errorf("batch: %d traces failed with operational errors", res.Counts.Errors)
+	}
+}
+
+// supervisedExitError is batchExitError for a supervised run; a clean run
+// that restored rows from a resume checkpoint exits 6 instead of 0.
+func supervisedExitError(res *supervise.Result, resumedRun bool) error {
+	switch res.ExitCode {
+	case batch.ClassOK:
+		if resumedRun {
+			return errResumedOK
+		}
+		return nil
+	case batch.ClassInvalid:
+		return errNotValid
+	case batch.ClassInconclusive:
+		return errInconclusive
+	case batch.ClassBadTrace:
+		return &codeError{exitBadTrace, fmt.Errorf("batch: %d malformed traces", res.Counts.BadTrace)}
+	default:
+		if res.Counts.Quarantined > 0 {
+			return fmt.Errorf("batch: %d jobs quarantined, %d operational errors",
+				res.Counts.Quarantined, res.Counts.Errors)
+		}
 		return fmt.Errorf("batch: %d traces failed with operational errors", res.Counts.Errors)
 	}
 }

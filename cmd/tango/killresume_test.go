@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/obs"
+	"repro/specs"
+)
+
+// TestKillResumeBatchEquality is the crash-recovery acceptance test: a
+// supervised batch run is SIGKILLed mid-corpus (no chance to clean up), then
+// resumed from its checkpoint journal, and the resumed run's normalized
+// tango.batch/1 report must be byte-identical to an uninterrupted run's.
+// It builds the real binary and kills the real process — the in-process
+// supervisor tests cannot cover an actual SIGKILL.
+func TestKillResumeBatchEquality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a child process; skipped in -short mode")
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH; cannot build the binary under test")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "tango")
+	build := exec.Command(gobin, "build", "-o", bin, "repro/cmd/tango")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Workload: a directory of valid ack traces of varying length. All are
+	// valid under FULL order checking, so a clean aggregate exits 0 and a
+	// clean resumed aggregate exits 6.
+	specPath := filepath.Join(dir, "ack.estelle")
+	if err := os.WriteFile(specPath, []byte(specs.Ack), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corpusDir := filepath.Join(dir, "corpus")
+	if err := os.Mkdir(corpusDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		text := strings.Repeat("in A x\nin B y\nout A ack\n", 10+i)
+		name := filepath.Join(corpusDir, fmt.Sprintf("ack-%02d.trace", i))
+		if err := os.WriteFile(name, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	common := []string{"batch", "-supervise", "-order", "FULL", "-j", "2"}
+
+	// Reportdir is overridable so CI can collect the reports as artifacts.
+	reportDir := os.Getenv("CRASH_REPORT_DIR")
+	if reportDir == "" {
+		reportDir = dir
+	} else if err := os.MkdirAll(reportDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted reference run.
+	refReport := filepath.Join(reportDir, "kill-resume-reference.json")
+	ref := exec.Command(bin, append(append([]string{}, common...),
+		"-report", refReport, specPath, corpusDir)...)
+	if out, err := ref.CombinedOutput(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, out)
+	}
+
+	// Checkpointed run, SIGKILLed once the journal holds some finished rows.
+	ckDir := filepath.Join(dir, "ck")
+	victim := exec.Command(bin, append(append([]string{}, common...),
+		"-throttle", "200ms", "-checkpoint", ckDir, specPath, corpusDir)...)
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(ckDir, checkpoint.JournalFile)
+	killed := false
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+		recs, _, err := checkpoint.ReplayJournal(jpath)
+		if err == nil && len(recs) >= 2 { // meta + at least one sealed row
+			if err := victim.Process.Signal(syscall.SIGKILL); err == nil {
+				killed = true
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	werr := victim.Wait()
+	if !killed {
+		t.Fatalf("never saw a journaled row to kill over (wait: %v)", werr)
+	}
+	if werr == nil {
+		t.Fatal("victim exited cleanly despite SIGKILL")
+	}
+
+	// Resume. The journal's torn tail (if the kill landed mid-append) must be
+	// repaired, finished rows restored verbatim, and the rest analyzed.
+	gotReport := filepath.Join(reportDir, "kill-resume-resumed.json")
+	res := exec.Command(bin, append(append([]string{}, common...),
+		"-resume", ckDir, "-report", gotReport, specPath, corpusDir)...)
+	out, err := res.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != exitResumedOK {
+		t.Fatalf("resumed run: err=%v, want exit %d\n%s", err, exitResumedOK, out)
+	}
+	if !strings.Contains(string(out), "resumed") {
+		t.Fatalf("resumed run output never mentions restored rows:\n%s", out)
+	}
+
+	want := normalizeReportFile(t, refReport)
+	got := normalizeReportFile(t, gotReport)
+	if want != got {
+		t.Fatalf("resumed report differs from uninterrupted reference:\nwant: %s\ngot:  %s", want, got)
+	}
+}
+
+// normalizeReportFile loads a tango.batch/1 report, strips the run-variant
+// fields (wall time, worker ids, attempts...), and returns canonical JSON.
+func normalizeReportFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.BatchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	rep.Normalize()
+	out, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}

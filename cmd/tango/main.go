@@ -35,12 +35,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"sort"
 
 	"repro/internal/analysis"
+	"repro/internal/checkpoint"
 	"repro/internal/lint"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -51,12 +55,13 @@ import (
 // Exit codes. Scripts can branch on the failure category without parsing
 // output; see README "Exit codes".
 const (
-	exitOK       = 0 // trace valid (or valid so far)
-	exitError    = 1 // usage or operational error
-	exitInvalid  = 2 // analysis completed: trace is not valid
-	exitPartial  = 3 // analysis inconclusive: budget, deadline, cancellation or stall
-	exitBadTrace = 4 // malformed or unresolvable trace input
-	exitBadSpec  = 5 // specification does not compile
+	exitOK        = 0 // trace valid (or valid so far)
+	exitError     = 1 // usage or operational error
+	exitInvalid   = 2 // analysis completed: trace is not valid
+	exitPartial   = 3 // analysis inconclusive: budget, deadline, cancellation or stall
+	exitBadTrace  = 4 // malformed or unresolvable trace input
+	exitBadSpec   = 5 // specification does not compile
+	exitResumedOK = 6 // valid, and the run completed from a -resume checkpoint
 )
 
 // errNotValid distinguishes "the analysis ran and the trace is not valid"
@@ -66,6 +71,11 @@ var errNotValid = fmt.Errorf("trace is not valid")
 // errInconclusive reports that the analysis stopped without a verdict (exit
 // code 3); the partial verdict was already printed.
 var errInconclusive = fmt.Errorf("analysis inconclusive")
+
+// errResumedOK reports a successful run that restored prior progress from a
+// -resume checkpoint (exit code 6): the outcome is as good as exit 0, but
+// scripts driving checkpoint/resume cycles can tell the two apart.
+var errResumedOK = fmt.Errorf("completed from resume")
 
 // codeError carries a specific exit code for an operator-facing failure
 // category (malformed spec, malformed trace).
@@ -88,6 +98,9 @@ func exitCode(err error) int {
 	if errors.Is(err, errInconclusive) {
 		return exitPartial
 	}
+	if errors.Is(err, errResumedOK) {
+		return exitResumedOK
+	}
 	var ce *codeError
 	if errors.As(err, &ce) {
 		return ce.code
@@ -102,7 +115,7 @@ func main() {
 		return
 	}
 	// The verdict sentinels already reported themselves on stdout.
-	if !errors.Is(err, errNotValid) && !errors.Is(err, errInconclusive) {
+	if !errors.Is(err, errNotValid) && !errors.Is(err, errInconclusive) && !errors.Is(err, errResumedOK) {
 		fmt.Fprintln(os.Stderr, "tango:", err)
 	}
 	os.Exit(code)
@@ -151,9 +164,12 @@ func (usageError) Error() string {
                 [-deadline D] [-stall-timeout D]
                 [-report out.json] [-stats-json] [-progress]
                 [-trace-jsonl out.jsonl] [-trace-chrome out.json]
+                [-checkpoint dir] [-checkpoint-interval D] [-resume dir]
                 <spec> <trace|->
   tango batch   [-j N] [-order ...] [-shuffle] [-seed S] [-deadline D]
-                [-report out.json] [-progress]
+                [-report out.json] [-progress] [-trace-jsonl out.jsonl]
+                [-supervise] [-job-timeout D] [-max-attempts N] [-breaker N]
+                [-backoff D] [-throttle D] [-checkpoint dir] [-resume dir]
                 <spec> <trace ...|dir|manifest>
   tango generate <spec> <script|->
   tango format <spec>            (pretty-print the specification)
@@ -162,7 +178,8 @@ func (usageError) Error() string {
   tango explore [-max N] <spec>  (bounded closed-system state-space exploration)
 
 exit codes: 0 valid, 1 error, 2 invalid, 3 inconclusive (budget, deadline,
-cancellation or stall), 4 malformed trace, 5 malformed specification`
+cancellation or stall), 4 malformed trace, 5 malformed specification,
+6 valid after completing from a -resume checkpoint`
 }
 
 func compileArg(path string) (*tango.Spec, error) {
@@ -277,6 +294,9 @@ func runAnalyze(args []string, w, ew io.Writer) error {
 	progressEvery := fs.Duration("progress-every", 0, "heartbeat interval for -progress (default 1s)")
 	traceJSONL := fs.String("trace-jsonl", "", "write structured search events (tango.trace/1 JSONL) to this file")
 	traceChrome := fs.String("trace-chrome", "", "write a Chrome trace_event file (load in chrome://tracing or Perfetto) to this file")
+	ckptDir := fs.String("checkpoint", "", "write crash-safe checkpoints (tango.ckpt/1) to this directory on an interval and on SIGINT/SIGTERM")
+	ckptEvery := fs.Duration("checkpoint-interval", 5*time.Second, "minimum interval between -checkpoint snapshots")
+	resumeDir := fs.String("resume", "", "resume from the checkpoint directory of an interrupted run (exit 6 when the resumed run is valid)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -344,12 +364,36 @@ func runAnalyze(args []string, w, ew io.Writer) error {
 		opts.ProgressEvery = *progressEvery
 	}
 
+	// Checkpointing: the analyzer captures its verified prefix on the
+	// interval (and, forced, when the run is interrupted); every capture is
+	// written to disk atomically, so a SIGKILL at any moment leaves either
+	// the previous or the new snapshot, never a torn one.
+	if *ckptDir != "" {
+		if *online {
+			return fmt.Errorf("-checkpoint is not supported with -online")
+		}
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return err
+		}
+		ckPath := filepath.Join(*ckptDir, checkpoint.SnapshotFile)
+		opts.CheckpointEvery = *ckptEvery
+		opts.OnCheckpoint = func(ck *analysis.CheckpointState) {
+			if err := checkpoint.WriteSnapshot(ckPath, checkpoint.KindAnalysis, ck); err != nil {
+				fmt.Fprintln(ew, "tango: checkpoint:", err)
+			}
+		}
+	}
+
 	an, err := spec.NewAnalyzer(opts)
 	if err != nil {
 		return err
 	}
 
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the context: the analyzer checkpoints its final
+	// progress (when -checkpoint is set), reports a partial verdict, and the
+	// deferred sinks above flush on the way out.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
@@ -363,6 +407,9 @@ func runAnalyze(args []string, w, ew io.Writer) error {
 		}
 		if *reportPath != "" {
 			return fmt.Errorf("-report accepts a single trace")
+		}
+		if *ckptDir != "" || *resumeDir != "" {
+			return fmt.Errorf("-checkpoint/-resume accept a single trace")
 		}
 		return runCampaign(ctx, w, an, rest[1:])
 	}
@@ -378,20 +425,42 @@ func runAnalyze(args []string, w, ew io.Writer) error {
 	}
 
 	var res *tango.Result
+	resumed := false
 	if *online {
 		res, err = an.AnalyzeSourceContext(ctx, trace.NewReaderSource(in))
+		if err != nil {
+			return traceError(err)
+		}
 	} else {
 		var tr *trace.Trace
 		tr, err = trace.Read(in)
 		if err != nil {
 			return traceError(err)
 		}
-		res, err = an.AnalyzeTraceContext(ctx, tr)
-	}
-	if err != nil {
-		return traceError(err)
+		if *resumeDir != "" {
+			// A corrupt or mismatched checkpoint is an operational error
+			// (exit 1), never a partial resume.
+			sess, serr := analysis.NewSession(spec.Internal(), opts)
+			if serr != nil {
+				return serr
+			}
+			res, resumed, err = sess.ResumeFrom(ctx, filepath.Join(*resumeDir, checkpoint.SnapshotFile), tr)
+			if err != nil {
+				return fmt.Errorf("resume: %w", err)
+			}
+		} else {
+			res, err = an.AnalyzeTraceContext(ctx, tr)
+			if err != nil {
+				return traceError(err)
+			}
+		}
 	}
 	fmt.Fprintf(w, "verdict: %s\n", res.Verdict)
+	if resumed {
+		fmt.Fprintf(w, "resumed: search restarted below the checkpointed prefix\n")
+	} else if *resumeDir != "" {
+		fmt.Fprintf(w, "resumed: checkpoint subtree was not accepting; re-ran the full search\n")
+	}
 	if res.Reason != "" {
 		fmt.Fprintf(w, "reason: %s\n", res.Reason)
 	}
@@ -435,6 +504,9 @@ func runAnalyze(args []string, w, ew io.Writer) error {
 	}
 	switch res.Verdict {
 	case analysis.Valid, analysis.ValidSoFar:
+		if *resumeDir != "" {
+			return errResumedOK
+		}
 		return nil
 	case analysis.Exhausted, analysis.Partial:
 		return errInconclusive

@@ -53,6 +53,14 @@ type Analyzer struct {
 	// the whole run, including initial-state-search retries.
 	progressBest       int
 	runStart, lastBeat time.Time
+
+	// Checkpoint state (see checkpoint.go). All inert unless
+	// Options.CheckpointEvery is set.
+	typeTable       *vm.TypeTable
+	lastCkpt        *CheckpointState
+	lastCkptAt      time.Time
+	traceDigest     string
+	specDigestCache string
 }
 
 // maxRecordedFaults caps how many contained execution faults are kept for the
@@ -172,6 +180,9 @@ func (a *Analyzer) reset(traceLen int) {
 	a.progressBest = 0
 	a.runStart = time.Now()
 	a.lastBeat = a.runStart
+	a.lastCkpt = nil
+	a.lastCkptAt = a.runStart
+	a.traceDigest = ""
 }
 
 // finishRun is the single place the analysis clock stops: it stamps the
@@ -223,11 +234,14 @@ func (a *Analyzer) AnalyzeTraceContext(ctx context.Context, tr *trace.Trace) (re
 	a.dynamic = false
 	a.reset(tr.Len())
 	a.eofSeen = true
+	if a.opts.CheckpointEvery > 0 {
+		a.traceDigest = TraceDigest(tr)
+	}
 	if err := a.ingest(tr.Events); err != nil {
 		return nil, err
 	}
 	defer a.finishRun(time.Now(), &res)
-	res, err = a.search(ctx, nil, a.spec.Prog.InitTo)
+	res, err = a.search(ctx, nil, a.spec.Prog.InitTo, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +255,7 @@ func (a *Analyzer) AnalyzeTraceContext(ctx context.Context, tr *trace.Trace) (re
 			if a.seen != nil {
 				a.seen = make(map[string]struct{})
 			}
-			res2, err := a.search(ctx, nil, st)
+			res2, err := a.search(ctx, nil, st, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -282,7 +296,7 @@ func (a *Analyzer) AnalyzeSourceContext(ctx context.Context, src trace.Source) (
 		return nil, err
 	}
 	a.eofSeen = r.eof
-	return a.search(ctx, p, a.spec.Prog.InitTo)
+	return a.search(ctx, p, a.spec.Prog.InitTo, nil)
 }
 
 // interruptReason maps a context/stall interruption to its StopReason.
@@ -317,8 +331,10 @@ func (a *Analyzer) stopResult(initState int, best *node, reason StopReason, v Ve
 
 // search wraps searchLoop with the observability boundary: the whole loop
 // runs under the tango_phase=search pprof label, and the tracer (when set)
-// sees a search_start/search_end pair bracketing the run.
-func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int) (res *Result, err error) {
+// sees a search_start/search_end pair bracketing the run. start, when
+// non-nil, is a pre-built node (with parent chain) to search from instead of
+// a fresh root — the checkpoint-resume entry point.
+func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int, start *node) (res *Result, err error) {
 	if a.tracer != nil {
 		a.tracer.Event(obs.Event{Kind: obs.KindSearchStart, N: int64(len(a.events)),
 			Detail: a.spec.StateName(initState)})
@@ -331,7 +347,7 @@ func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int)
 		}()
 	}
 	pprof.Do(ctx, pprof.Labels("tango_phase", "search"), func(ctx context.Context) {
-		res, err = a.searchLoop(ctx, src, initState)
+		res, err = a.searchLoop(ctx, src, initState, start)
 	})
 	return res, err
 }
@@ -340,10 +356,14 @@ func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int)
 // static mode. The context is checked once per expansion, alongside the
 // transition budget; an interrupted search returns a structured Partial
 // result, never an error.
-func (a *Analyzer) searchLoop(ctx context.Context, src *sourcePoller, initState int) (*Result, error) {
-	root, err := a.makeRoot(initState)
-	if err != nil {
-		return nil, err
+func (a *Analyzer) searchLoop(ctx context.Context, src *sourcePoller, initState int, start *node) (*Result, error) {
+	root := start
+	if root == nil {
+		var err error
+		root, err = a.makeRoot(initState)
+		if err != nil {
+			return nil, err
+		}
 	}
 	stack := []*node{root}
 	var pgSaved []*node // MDFS: fully-explored PG-nodes awaiting new input
@@ -440,20 +460,25 @@ func (a *Analyzer) searchLoop(ctx context.Context, src *sourcePoller, initState 
 
 	for {
 		if a.stats.TE > a.opts.MaxTransitions {
+			a.maybeCheckpoint(initState, best, curOwner, true)
 			return a.stopResult(initState, best, StopBudget, Exhausted,
 				fmt.Sprintf("transition budget %d exceeded", a.opts.MaxTransitions)), nil
 		}
 		if ctx.Err() != nil {
+			a.maybeCheckpoint(initState, best, curOwner, true)
 			return a.stopResult(initState, best, a.interruptReason(ctx), Partial,
 				"analysis interrupted: "+ctx.Err().Error()), nil
 		}
 		expansions++
-		if a.opts.OnProgress != nil && expansions&63 == 0 {
-			d := 0
-			if len(stack) > 0 {
-				d = stack[len(stack)-1].depth
+		if expansions&63 == 0 {
+			if a.opts.OnProgress != nil {
+				d := 0
+				if len(stack) > 0 {
+					d = stack[len(stack)-1].depth
+				}
+				a.maybeBeat(d)
 			}
-			a.maybeBeat(d)
+			a.maybeCheckpoint(initState, best, curOwner, false)
 		}
 		if a.dynamic && expansions%a.opts.PollEvery == 0 {
 			if _, err := poll(0); err != nil {
@@ -1372,8 +1397,13 @@ func (a *Analyzer) matchOne(o vm.Output, inCur, outCur []int) matchStatus {
 	return matchOK
 }
 
-func (a *Analyzer) fingerprint(n *node) string {
-	fp := n.live.Fingerprint()
+func (a *Analyzer) fingerprint(n *node) string { return a.fingerprintState(n.live, n) }
+
+// fingerprintState is fingerprint with an explicit state, for nodes whose
+// live state has moved on but whose snapshot is authoritative (checkpoint
+// capture).
+func (a *Analyzer) fingerprintState(st *vm.State, n *node) string {
+	fp := st.Fingerprint()
 	var extra []byte
 	for p := 0; p < a.spec.NumIPs(); p++ {
 		extra = append(extra, byte('0'+n.inCur[p]%10))

@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/efsm"
+	"repro/specs"
+)
+
+// longAckTrace builds a valid ack trace of n rounds (3n events), long enough
+// that the search crosses several checkpoint-capture boundaries.
+func longAckTrace(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteString("in A x\nin B y\nout A ack\n")
+	}
+	return sb.String()
+}
+
+func ckptOptions() Options {
+	// FULL order checking keeps the two-queue interleaving space linear;
+	// CheckpointEvery of 1ns captures at every 64-expansion boundary.
+	return Options{Order: OrderFull, CheckpointEvery: time.Nanosecond}
+}
+
+func TestCheckpointCapturedDuringSearch(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	a, err := New(spec, ckptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.AnalyzeTrace(mustTrace(t, longAckTrace(40)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Valid {
+		t.Fatalf("verdict = %v, want valid", res.Verdict)
+	}
+	ck := a.LastCheckpoint()
+	if ck == nil {
+		t.Fatal("no checkpoint captured during a 120-event search")
+	}
+	if ck.Verified <= 0 || len(ck.Steps) == 0 || len(ck.VMState) == 0 {
+		t.Fatalf("checkpoint looks empty: verified=%d steps=%d vm=%d bytes",
+			ck.Verified, len(ck.Steps), len(ck.VMState))
+	}
+	if ck.SpecDigest != SpecDigest(spec) {
+		t.Fatal("checkpoint spec digest does not match the spec")
+	}
+}
+
+func TestResumeMatchesUninterruptedVerdict(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	text := longAckTrace(40)
+
+	// Uninterrupted run.
+	plain, err := mustAnalyzer(t, spec, Options{Order: OrderFull}).AnalyzeTrace(mustTrace(t, text))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture a mid-run checkpoint, then resume on a fresh analyzer.
+	a := mustAnalyzer(t, spec, ckptOptions())
+	if _, err := a.AnalyzeTrace(mustTrace(t, text)); err != nil {
+		t.Fatal(err)
+	}
+	ck := a.LastCheckpoint()
+	if ck == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	fresh := mustAnalyzer(t, spec, ckptOptions())
+	res, resumed, err := fresh.ResumeTrace(context.Background(), mustTrace(t, text), ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != plain.Verdict {
+		t.Fatalf("resumed verdict %v != uninterrupted verdict %v", res.Verdict, plain.Verdict)
+	}
+	if !resumed {
+		t.Fatal("resume fell back to a full search on a matching checkpoint")
+	}
+	// The resumed solution must still be a complete accepting path from the
+	// root (the replayed prefix plus the searched suffix).
+	if len(res.Solution) == 0 {
+		t.Fatal("resumed valid result has no solution path")
+	}
+}
+
+func TestResumeFromBudgetInterruptedRun(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	text := longAckTrace(40)
+	opts := ckptOptions()
+	opts.MaxTransitions = 60 // stop mid-search (the full run needs 120 firings)
+	a := mustAnalyzer(t, spec, opts)
+	res, err := a.AnalyzeTrace(mustTrace(t, text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Exhausted {
+		t.Fatalf("interrupted verdict = %v, want exhausted", res.Verdict)
+	}
+	ck := a.LastCheckpoint()
+	if ck == nil {
+		t.Fatal("budget interruption did not force a checkpoint")
+	}
+	fresh := mustAnalyzer(t, spec, ckptOptions())
+	res2, resumed, err := fresh.ResumeTrace(context.Background(), mustTrace(t, text), ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Verdict != Valid {
+		t.Fatalf("resumed verdict = %v, want valid", res2.Verdict)
+	}
+	// The budget usually expires on a dead frontier step; prefix backoff must
+	// still restart below an ancestor instead of falling back to a full run.
+	if !resumed {
+		t.Fatal("budget-interrupted resume fell back to a full search")
+	}
+	if res2.Stats.TE >= 120 {
+		t.Fatalf("resumed search fired %d transitions, want fewer than the full run's 120", res2.Stats.TE)
+	}
+}
+
+func TestResumeRejectsWrongWorkload(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	text := longAckTrace(20)
+	a := mustAnalyzer(t, spec, ckptOptions())
+	if _, err := a.AnalyzeTrace(mustTrace(t, text)); err != nil {
+		t.Fatal(err)
+	}
+	ck := a.LastCheckpoint()
+	if ck == nil {
+		t.Fatal("no checkpoint captured")
+	}
+
+	// Different trace.
+	fresh := mustAnalyzer(t, spec, ckptOptions())
+	if _, _, err := fresh.ResumeTrace(context.Background(), mustTrace(t, longAckTrace(21)), ck); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("different trace: err = %v, want ErrCheckpointMismatch", err)
+	}
+	// Different specification.
+	other := compile(t, "tp0", specs.TP0)
+	b := mustAnalyzer(t, other, ckptOptions())
+	if _, _, err := b.ResumeTrace(context.Background(), mustTrace(t, text), ck); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("different spec: err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+// TestResumeTamperedStateFallsBack: a checkpoint whose serialized VM state
+// was corrupted (but whose container CRC would still pass, e.g. bit rot
+// before the write) must never half-resume — the replay cross-check refuses
+// it and a full fresh search still produces the right verdict.
+func TestResumeTamperedStateFallsBack(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	text := longAckTrace(20)
+	a := mustAnalyzer(t, spec, ckptOptions())
+	if _, err := a.AnalyzeTrace(mustTrace(t, text)); err != nil {
+		t.Fatal(err)
+	}
+	ck := a.LastCheckpoint()
+	if ck == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	tampered := *ck
+	tampered.VMState = append([]byte(nil), ck.VMState...)
+	tampered.VMState[len(tampered.VMState)-1] ^= 0x20
+	fresh := mustAnalyzer(t, spec, ckptOptions())
+	res, resumed, err := fresh.ResumeTrace(context.Background(), mustTrace(t, text), &tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed {
+		t.Fatal("tampered checkpoint was accepted for resume")
+	}
+	if res.Verdict != Valid {
+		t.Fatalf("fallback verdict = %v, want valid", res.Verdict)
+	}
+}
+
+func TestSessionCheckpointFileRoundTrip(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	text := longAckTrace(40)
+	path := filepath.Join(t.TempDir(), checkpoint.SnapshotFile)
+
+	s, err := NewSession(spec, ckptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(path); err == nil {
+		t.Fatal("Checkpoint before any capture should fail")
+	}
+	if _, err := s.Analyze(context.Background(), mustTrace(t, text)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewSession(spec, ckptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, resumed, err := s2.ResumeFrom(context.Background(), path, mustTrace(t, text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Valid || !resumed {
+		t.Fatalf("verdict = %v resumed = %v, want valid/true", res.Verdict, resumed)
+	}
+
+	// A corrupt file surfaces the typed codec error, never a partial resume.
+	s3, err := NewSession(spec, ckptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := writeTruncatedCopy(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s3.ResumeFrom(context.Background(), bad, mustTrace(t, text)); !errors.Is(err, checkpoint.ErrCorruptCheckpoint) {
+		t.Fatalf("corrupt file: err = %v, want ErrCorruptCheckpoint", err)
+	}
+}
+
+func mustAnalyzer(t *testing.T, spec *efsm.Spec, opts Options) *Analyzer {
+	t.Helper()
+	a, err := New(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// writeTruncatedCopy copies src to dst minus its last few bytes.
+func writeTruncatedCopy(src, dst string) error {
+	b, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, b[:len(b)-4], 0o644)
+}

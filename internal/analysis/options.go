@@ -166,6 +166,20 @@ type Options struct {
 	// ProgressEvery is the minimum interval between heartbeats (default 1s
 	// when OnProgress is set).
 	ProgressEvery time.Duration
+
+	// CheckpointEvery enables durable-progress capture during static-trace
+	// analysis: at most once per interval (and always when the search is
+	// interrupted) the analyzer snapshots its deepest verified prefix into a
+	// CheckpointState, retrievable via Analyzer.LastCheckpoint or
+	// Session.Checkpoint and restartable via Session.ResumeFrom. Zero
+	// disables capture entirely; the search loop then never touches the
+	// serializer.
+	CheckpointEvery time.Duration
+
+	// OnCheckpoint, when non-nil, receives every captured CheckpointState on
+	// the search goroutine (so a CLI can write it to disk as it is taken).
+	// Requires CheckpointEvery > 0.
+	OnCheckpoint func(*CheckpointState)
 }
 
 // Progress is one heartbeat of a running analysis. VerifiedPrefix is

@@ -146,6 +146,11 @@ type Options struct {
 	// HeartbeatEvery is the per-analyzer progress interval (default 1s when
 	// OnHeartbeat is set).
 	HeartbeatEvery time.Duration
+
+	// testHook, when non-nil, runs inside AnalyzeItem just before the
+	// analysis starts. Tests use it to inject panics and stalls into the
+	// worker path.
+	testHook func(Item)
 }
 
 // ItemResult is the outcome of one corpus item, in corpus order.
@@ -164,6 +169,10 @@ type ItemResult struct {
 	Class int
 	// Skipped marks items drained without analysis after the context ended.
 	Skipped bool
+	// Panicked marks an item whose analysis panicked; the panic was contained
+	// and reported through Err. A supervisor uses this to decide whether the
+	// worker that ran the item needs to be torn down.
+	Panicked bool
 	// Match reports the manifest expectation check; nil when the item had no
 	// expectation or no verdict to check it against.
 	Match *bool
@@ -255,10 +264,7 @@ func Run(ctx context.Context, spec *efsm.Spec, items []Item, opts Options) (*Res
 
 	// One session per worker, created up front so option errors (unknown IP
 	// names, ...) fail the run before any goroutine starts.
-	var sharedTracer obs.Tracer
-	if opts.Tracer != nil {
-		sharedTracer = &lockedTracer{t: opts.Tracer}
-	}
+	sharedTracer := obs.Locked(opts.Tracer)
 	sessions := make([]*analysis.Session, workers)
 	for w := range sessions {
 		aopts := opts.Analysis
@@ -325,7 +331,6 @@ func (e *engine) work(ctx context.Context, worker int, sess *analysis.Session, j
 func (e *engine) runOne(ctx context.Context, worker int, sess *analysis.Session, idx int) ItemResult {
 	it := e.items[idx]
 	r := ItemResult{Index: idx, Item: it, Worker: worker}
-	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		// Graceful drain: the deadline passed or the run was cancelled before
 		// this item started; report it as inconclusive without touching it.
@@ -347,6 +352,32 @@ func (e *engine) runOne(ctx context.Context, worker int, sess *analysis.Session,
 		sess.Analyzer().SetOnProgress(func(p analysis.Progress) {
 			e.beat(Heartbeat{Worker: worker, Index: idx, Item: it.name(), Progress: p})
 		})
+	}
+	ar := AnalyzeItem(ctx, sess, it, e.opts.testHook)
+	ar.Index, ar.Worker = idx, worker
+	return ar
+}
+
+// AnalyzeItem analyzes one corpus item on the given session, fully contained:
+// a panic in the analyzer (or in hook, the test seam) does not escape — it
+// comes back as an operational-error result ("worker panic: ..."), so one bad
+// item can never take a pool down and still appears exactly once in the
+// report, with its final status. hook, when non-nil, runs just before the
+// analysis. Index and Worker are left zero for the caller to fill in.
+func AnalyzeItem(ctx context.Context, sess *analysis.Session, it Item, hook func(Item)) (r ItemResult) {
+	r = ItemResult{Item: it}
+	start := time.Now()
+	defer func() {
+		if v := recover(); v != nil {
+			r.Elapsed = time.Since(start)
+			r.Res = nil
+			r.Err = fmt.Errorf("worker panic: %v", v)
+			r.Class = ClassError
+			r.Panicked = true
+		}
+	}()
+	if hook != nil {
+		hook(it)
 	}
 	var (
 		res *analysis.Result
@@ -452,18 +483,6 @@ func Aggregate(items []ItemResult) (Counts, int) {
 		exit = worse(exit, eff)
 	}
 	return c, exit
-}
-
-// lockedTracer makes one tracer safe to share across workers.
-type lockedTracer struct {
-	mu sync.Mutex
-	t  obs.Tracer
-}
-
-func (l *lockedTracer) Event(ev obs.Event) {
-	l.mu.Lock()
-	l.t.Event(ev)
-	l.mu.Unlock()
 }
 
 // String renders the heartbeat as the CLI's -progress line.

@@ -376,3 +376,53 @@ func TestShuffleAndWorkerCountDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestWorkerPanicContained: a job that panics its worker must not take the
+// pool (or the process) down, and must appear exactly once in the result set
+// and report with its final status.
+func TestWorkerPanicContained(t *testing.T) {
+	spec := compileSpec(t, "echo", specs.Echo)
+	items := echoCorpus(t, spec, 3)
+	opts := Options{Workers: 2, Analysis: analysis.Options{Order: analysis.OrderFull}}
+	opts.testHook = func(it Item) {
+		if it.Name == "valid-b" {
+			panic("injected analyzer fault")
+		}
+	}
+	res, err := Run(context.Background(), spec, items, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != len(items) {
+		t.Fatalf("got %d results, want %d", len(res.Items), len(items))
+	}
+	seen := 0
+	for i, r := range res.Items {
+		if r.Index != i || r.Item.Name != items[i].Name {
+			t.Fatalf("result %d out of order: %q", i, r.Item.Name)
+		}
+		if r.Item.Name != "valid-b" {
+			if r.Err != nil {
+				t.Fatalf("%s: unexpected error %v", r.Item.Name, r.Err)
+			}
+			continue
+		}
+		seen++
+		if !r.Panicked || r.Class != ClassError || r.Err == nil ||
+			!strings.Contains(r.Err.Error(), "worker panic: injected analyzer fault") {
+			t.Fatalf("panicked item reported wrong: %+v", r)
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("panicked item appeared %d times, want exactly once", seen)
+	}
+	if res.Counts.Errors != 1 || res.ExitCode != ClassError {
+		t.Fatalf("counts %+v exit %d, want one error and exit %d", res.Counts, res.ExitCode, ClassError)
+	}
+	rep := BuildReport("spec", "full", spec, opts, res)
+	row := rep.Items[1]
+	if row.Trace != "valid-b" || row.ExitClass != ClassError ||
+		!strings.Contains(row.Error, "worker panic") || row.Verdict != "" {
+		t.Fatalf("report row for panicked item wrong: %+v", row)
+	}
+}

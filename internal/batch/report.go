@@ -32,27 +32,34 @@ func BuildReport(specPath, mode string, spec *efsm.Spec, opts Options, res *Resu
 		Items: make([]obs.BatchItem, len(res.Items)),
 	}
 	for i := range res.Items {
-		r := &res.Items[i]
-		bi := obs.BatchItem{
-			Trace:     r.Item.name(),
-			ExitClass: r.Class,
-			Skipped:   r.Skipped,
-			Expect:    r.Item.Expect,
-			Match:     r.Match,
-			Worker:    r.Worker,
-			WallUS:    r.Elapsed.Microseconds(),
-		}
-		switch {
-		case r.Err != nil:
-			bi.Error = r.Err.Error()
-		case r.Res != nil:
-			bi.Verdict = r.Res.Verdict.String()
-			bi.Search = r.Res.Stats.Report()
-			if s := r.Res.Stop; s != nil {
-				bi.StopReason = string(s.Reason)
-			}
-		}
-		rep.Items[i] = bi
+		rep.Items[i] = ReportItem(&res.Items[i])
 	}
 	return rep
+}
+
+// ReportItem converts one item result into its tango.batch/1 row. The
+// supervisor reuses it so supervised and plain runs serialize rows
+// identically — the byte-identity contract between resumed and uninterrupted
+// reports depends on there being exactly one serializer.
+func ReportItem(r *ItemResult) obs.BatchItem {
+	bi := obs.BatchItem{
+		Trace:     r.Item.name(),
+		ExitClass: r.Class,
+		Skipped:   r.Skipped,
+		Expect:    r.Item.Expect,
+		Match:     r.Match,
+		Worker:    r.Worker,
+		WallUS:    r.Elapsed.Microseconds(),
+	}
+	switch {
+	case r.Err != nil:
+		bi.Error = r.Err.Error()
+	case r.Res != nil:
+		bi.Verdict = r.Res.Verdict.String()
+		bi.Search = r.Res.Stats.Report()
+		if s := r.Res.Stop; s != nil {
+			bi.StopReason = string(s.Reason)
+		}
+	}
+	return bi
 }

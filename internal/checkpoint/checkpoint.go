@@ -1,0 +1,304 @@
+// Package checkpoint implements Tango's crash-safe on-disk progress format,
+// tango.ckpt/1: a versioned, CRC-guarded container used both for single-run
+// analysis snapshots (one record, written atomically) and for batch progress
+// journals (an append-only record stream that survives SIGKILL mid-write).
+//
+// The file layout is
+//
+//	"tango.ckpt/1\n"                       magic version header
+//	repeat:
+//	  u32le  payload length
+//	  u32le  CRC-32C (Castagnoli) of the payload
+//	  bytes  payload (gob-encoded Record)
+//
+// Snapshot files contain exactly one record and are written with the
+// temp-file-plus-rename idiom, so a reader never observes a half-written
+// snapshot: it either sees the old file or the new one. Journals are appended
+// in place and fsynced per record; the only legal crash artifact is a
+// truncated final record, which replay detects and drops (crash-only design:
+// the corresponding item simply re-runs on resume). Every other anomaly —
+// bad magic, a flipped bit, a record whose CRC does not match — is reported
+// as ErrCorruptCheckpoint and never yields a partial resume.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Magic is the version header every tango.ckpt/1 file starts with. The
+// version component must change whenever the frame layout or the meaning of
+// an existing record kind changes.
+const Magic = "tango.ckpt/1\n"
+
+// maxRecordBytes bounds one record, guarding replay against a corrupt length
+// prefix asking for gigabytes.
+const maxRecordBytes = 1 << 28
+
+// ErrCorruptCheckpoint reports a checkpoint file that cannot be trusted:
+// wrong or missing version header, truncated data, or a CRC mismatch.
+// Resume paths must treat it as "no checkpoint" (start from scratch), never
+// as partial state.
+var ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
+
+// corruptf wraps ErrCorruptCheckpoint with positional detail.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("checkpoint: %w: %s", ErrCorruptCheckpoint, fmt.Sprintf(format, args...))
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one checkpoint entry: a kind tag naming the payload type and the
+// gob encoding of the payload itself. Kinds in use: "analysis" (one
+// AnalysisSnapshot), "batch-meta" (one BatchMeta, the first journal record)
+// and "batch-item" (one BatchEntry per completed corpus item).
+type Record struct {
+	Kind string
+	Data []byte
+}
+
+// Decode gob-decodes the record payload into v.
+func (r *Record) Decode(v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(r.Data)).Decode(v); err != nil {
+		return corruptf("record %q payload: %v", r.Kind, err)
+	}
+	return nil
+}
+
+// encodeRecord frames one record: gob(Record) prefixed by length and CRC.
+func encodeRecord(kind string, payload any) ([]byte, error) {
+	var data bytes.Buffer
+	if err := gob.NewEncoder(&data).Encode(payload); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode %q payload: %w", kind, err)
+	}
+	var rec bytes.Buffer
+	if err := gob.NewEncoder(&rec).Encode(Record{Kind: kind, Data: data.Bytes()}); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode %q record: %w", kind, err)
+	}
+	frame := make([]byte, 8+rec.Len())
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(rec.Len()))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(rec.Bytes(), castagnoli))
+	copy(frame[8:], rec.Bytes())
+	return frame, nil
+}
+
+// readRecord consumes one framed record from b. It distinguishes a cleanly
+// truncated tail (crash artifact: io.ErrUnexpectedEOF) from corruption
+// (ErrCorruptCheckpoint), and returns the remaining bytes.
+func readRecord(b []byte) (rec Record, rest []byte, err error) {
+	if len(b) < 8 {
+		return rec, nil, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	sum := binary.LittleEndian.Uint32(b[4:8])
+	if n == 0 || n > maxRecordBytes {
+		return rec, nil, corruptf("record length %d out of range", n)
+	}
+	if len(b) < 8+int(n) {
+		return rec, nil, io.ErrUnexpectedEOF
+	}
+	payload := b[8 : 8+n]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return rec, nil, corruptf("record CRC mismatch")
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+		return rec, nil, corruptf("record envelope: %v", err)
+	}
+	return rec, b[8+int(n):], nil
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot files (exactly one record, atomic replace)
+
+// WriteSnapshot atomically writes a one-record checkpoint file: the frame is
+// written to a temp file in the same directory, fsynced, and renamed over
+// path, so a concurrent crash leaves either the previous snapshot or the new
+// one — never a torn file.
+func WriteSnapshot(path, kind string, payload any) error {
+	frame, err := encodeRecord(kind, payload)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write([]byte(Magic)); err == nil {
+		_, err = tmp.Write(frame)
+		if err == nil {
+			err = tmp.Sync()
+		}
+	} else {
+		tmp.Close()
+		return err
+	}
+	if err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadSnapshot reads a one-record checkpoint written by WriteSnapshot,
+// validates the version header, frame and CRC, checks the record kind, and
+// decodes the payload into v. Any anomaly — truncation included — yields
+// ErrCorruptCheckpoint; file-access problems pass through unchanged.
+func ReadSnapshot(path, kind string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rest, err := checkMagic(b)
+	if err != nil {
+		return err
+	}
+	rec, rest, err := readRecord(rest)
+	if err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return corruptf("truncated snapshot")
+		}
+		return err
+	}
+	if len(rest) != 0 {
+		return corruptf("%d trailing bytes after snapshot record", len(rest))
+	}
+	if rec.Kind != kind {
+		return corruptf("record kind %q, want %q", rec.Kind, kind)
+	}
+	return rec.Decode(v)
+}
+
+func checkMagic(b []byte) (rest []byte, err error) {
+	if len(b) < len(Magic) || string(b[:len(Magic)]) != Magic {
+		return nil, corruptf("missing or unknown version header (want %q)", Magic[:len(Magic)-1])
+	}
+	return b[len(Magic):], nil
+}
+
+// ---------------------------------------------------------------------------
+// Journals (append-only record stream, crash-tolerant tail)
+
+// Journal is an append-only tango.ckpt/1 record stream. Every Append is
+// fsynced before returning, so a record that Append reported durable survives
+// SIGKILL; a kill mid-Append leaves at most one truncated trailing record,
+// which ReplayJournal drops.
+type Journal struct {
+	f    *os.File
+	path string
+}
+
+// CreateJournal creates (or truncates) a journal at path and writes the
+// version header.
+func CreateJournal(path string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte(Magic)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Append durably appends one record.
+func (j *Journal) Append(kind string, payload any) error {
+	frame, err := encodeRecord(kind, payload)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// ReplayJournal reads every intact record of a journal. A truncated final
+// record — the one legal crash artifact of a kill mid-Append — is dropped and
+// reported via truncated; any earlier anomaly (bad header, CRC mismatch, bad
+// length) is ErrCorruptCheckpoint. File-access problems pass through.
+func ReplayJournal(path string) (recs []Record, truncated bool, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	rest, err := checkMagic(b)
+	if err != nil {
+		return nil, false, err
+	}
+	for len(rest) > 0 {
+		var rec Record
+		rec, rest, err = readRecord(rest)
+		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return recs, true, nil
+			}
+			return nil, false, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, false, nil
+}
+
+// OpenJournalAppend reopens an existing journal for further appends after a
+// resume: it replays the intact prefix, truncates any torn tail record away,
+// and positions the write cursor at the end of the valid data. The replayed
+// records are returned so the caller can rebuild its progress in one pass.
+func OpenJournalAppend(path string) (*Journal, []Record, error) {
+	recs, truncated, err := ReplayJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if truncated {
+		// Re-measure the valid prefix length by re-framing is unnecessary:
+		// replay already told us everything after the last intact record is
+		// torn, so rewrite the file to exactly the intact prefix.
+		valid := int64(len(Magic))
+		b, err := os.ReadFile(path)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		rest := b[len(Magic):]
+		for i := 0; i < len(recs); i++ {
+			n := binary.LittleEndian.Uint32(rest[0:4])
+			valid += int64(8 + n)
+			rest = rest[8+n:]
+		}
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Journal{f: f, path: path}, recs, nil
+}

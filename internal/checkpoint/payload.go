@@ -1,0 +1,44 @@
+package checkpoint
+
+import "repro/internal/obs"
+
+// The record kinds written by Tango. A snapshot file holds exactly one
+// KindAnalysis record; a batch journal holds one KindBatchMeta record
+// followed by one KindBatchItem record per completed corpus item.
+const (
+	KindAnalysis  = "analysis"
+	KindBatchMeta = "batch-meta"
+	KindBatchItem = "batch-item"
+)
+
+// SnapshotFile is the conventional file name of a single-run analysis
+// snapshot inside a checkpoint directory; JournalFile the batch journal's.
+const (
+	SnapshotFile = "session.ckpt"
+	JournalFile  = "batch.ckpt"
+)
+
+// BatchMeta is the first record of a batch journal. It binds the journal to
+// one specification, corpus and option set, so that resuming against a
+// different run is rejected (as corruption of intent, not of bytes) instead
+// of silently splicing verdicts from two different workloads.
+type BatchMeta struct {
+	// SpecDigest fingerprints the compiled specification (see
+	// analysis.SpecDigest); CorpusDigest fingerprints the corpus item names
+	// and expectations in order.
+	SpecDigest   string
+	CorpusDigest string
+	// Mode is the order-checking mode string, part of the verdict contract.
+	Mode     string
+	NumItems int
+}
+
+// BatchEntry records the final report row of one completed corpus item.
+// Restoring the row verbatim on resume is what makes a resumed run's
+// tango.batch/1 report byte-identical (after Normalize) to an uninterrupted
+// run: completed items are never re-analyzed, and the analyzer is
+// deterministic for the rest.
+type BatchEntry struct {
+	Index int
+	Item  obs.BatchItem
+}

@@ -29,11 +29,22 @@ type BatchItem struct {
 	Expect string `json:"expect,omitempty"`
 	Match  *bool  `json:"match,omitempty"`
 
+	// Quarantined marks a job the supervisor's circuit breaker removed after
+	// it killed too many workers; its ExitClass is the error class. Unlike the
+	// scheduling detail below it survives Normalize: quarantine is a verdict,
+	// not an accident of timing.
+	Quarantined bool `json:"quarantined,omitempty"`
+
 	Search SearchStats `json:"search"`
 
 	// Scheduling/timing detail; cleared by Normalize.
 	Worker int   `json:"worker"`
 	WallUS int64 `json:"wall_us"`
+	// Attempts counts supervised dispatches of this job (1 for a clean run);
+	// Resumed marks a row restored verbatim from a checkpoint journal. Both
+	// depend on when crashes and kills happened, so Normalize clears them.
+	Attempts int  `json:"attempts,omitempty"`
+	Resumed  bool `json:"resumed,omitempty"`
 }
 
 // BatchCounts aggregates the per-trace outcomes of a batch run.
@@ -45,6 +56,12 @@ type BatchCounts struct {
 	Errors       int `json:"errors"`
 	Skipped      int `json:"skipped"`
 	Mismatches   int `json:"mismatches"`
+	// Supervision outcomes (`tango batch` under -supervise / -resume).
+	// Quarantined survives Normalize; Resumed and Requeued are artifacts of
+	// where a crash or kill happened, so Normalize clears them.
+	Resumed     int `json:"resumed,omitempty"`
+	Requeued    int `json:"requeued,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
 }
 
 // BatchReport is the machine-readable record of one `tango batch` run. Items
@@ -84,11 +101,15 @@ func (r *BatchReport) Normalize() {
 	r.Shuffle = false
 	r.Seed = 0
 	r.WallUS = 0
+	r.Counts.Resumed = 0
+	r.Counts.Requeued = 0
 	for i := range r.Items {
 		it := &r.Items[i]
 		it.Worker = 0
 		it.WallUS = 0
 		it.Search.TransPerSec = 0
+		it.Attempts = 0
+		it.Resumed = false
 	}
 }
 

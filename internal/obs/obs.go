@@ -15,6 +15,8 @@
 // that do not allocate.
 package obs
 
+import "sync"
+
 // TraceSchema versions the search-event schema. It is the first field of
 // every JSONL trace header and must change whenever an event kind or field
 // changes meaning. Consumers should reject majors they do not know.
@@ -37,6 +39,11 @@ type Kind uint8
 //	restore       a saved state was restored (the RE counter); Depth = node depth
 //	poll          a dynamic source answered; N = events delivered (MDFS only)
 //	search_end    the run ended; Detail = verdict
+//	checkpoint    durable progress was written; N = verified prefix length, Detail = path
+//	resume        a run restarted from a checkpoint; N = restored prefix length
+//	worker_restart a supervised batch worker was torn down and respawned; Detail = cause
+//	requeue       a supervised job went back on the queue; N = attempt number, Detail = cause
+//	quarantine    the circuit breaker removed a job; N = worker kills, Detail = cause
 const (
 	KindSearchStart Kind = iota
 	KindExpand
@@ -49,20 +56,30 @@ const (
 	KindRestore
 	KindPoll
 	KindSearchEnd
+	KindCheckpoint
+	KindResume
+	KindWorkerRestart
+	KindRequeue
+	KindQuarantine
 )
 
 var kindNames = [...]string{
-	KindSearchStart: "search_start",
-	KindExpand:      "expand",
-	KindFire:        "fire",
-	KindBacktrack:   "backtrack",
-	KindPrune:       "prune",
-	KindFork:        "fork",
-	KindFault:       "fault",
-	KindSave:        "save",
-	KindRestore:     "restore",
-	KindPoll:        "poll",
-	KindSearchEnd:   "search_end",
+	KindSearchStart:   "search_start",
+	KindExpand:        "expand",
+	KindFire:          "fire",
+	KindBacktrack:     "backtrack",
+	KindPrune:         "prune",
+	KindFork:          "fork",
+	KindFault:         "fault",
+	KindSave:          "save",
+	KindRestore:       "restore",
+	KindPoll:          "poll",
+	KindSearchEnd:     "search_end",
+	KindCheckpoint:    "checkpoint",
+	KindResume:        "resume",
+	KindWorkerRestart: "worker_restart",
+	KindRequeue:       "requeue",
+	KindQuarantine:    "quarantine",
 }
 
 // String returns the schema name of the kind.
@@ -129,6 +146,26 @@ func (m multiTracer) Event(e Event) {
 	for _, t := range m {
 		t.Event(e)
 	}
+}
+
+// Locked wraps t so concurrent producers (a worker pool) can share it; nil
+// stays nil so callers can wrap optional sinks unconditionally.
+func Locked(t Tracer) Tracer {
+	if t == nil {
+		return nil
+	}
+	return &lockedTracer{t: t}
+}
+
+type lockedTracer struct {
+	mu sync.Mutex
+	t  Tracer
+}
+
+func (l *lockedTracer) Event(e Event) {
+	l.mu.Lock()
+	l.t.Event(e)
+	l.mu.Unlock()
 }
 
 // Recorder is a Tracer that keeps every event in memory, for tests and

@@ -1,0 +1,322 @@
+package supervise
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/batch"
+	"repro/internal/checkpoint"
+	"repro/internal/efsm"
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/specs"
+)
+
+func compileSpec(t testing.TB) *efsm.Spec {
+	t.Helper()
+	s, err := efsm.Compile("echo", specs.Echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// corpus builds nValid valid echo traces plus one structurally invalid one.
+func corpus(t testing.TB, spec *efsm.Spec, nValid int) []batch.Item {
+	t.Helper()
+	var items []batch.Item
+	for i := 0; i < nValid; i++ {
+		tr, err := workload.EchoTrace(spec, 4+i%3, int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, batch.Item{Name: "valid-" + string(rune('a'+i)), Trace: tr, Expect: batch.ExpectValid})
+	}
+	base, err := workload.EchoTrace(spec, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop, err := trace.Drop(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items = append(items, batch.Item{Name: "invalid-drop", Trace: drop, Expect: batch.ExpectInvalid})
+	return items
+}
+
+func fullOrder() batch.Options {
+	return batch.Options{Workers: 3, Analysis: analysis.Options{Order: analysis.OrderFull}}
+}
+
+func normalized(t *testing.T, rep *obs.BatchReport) []byte {
+	t.Helper()
+	rep.Normalize()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSupervisedMatchesPlainBatch: without faults, a supervised run's
+// normalized report is byte-identical to the plain engine's.
+func TestSupervisedMatchesPlainBatch(t *testing.T) {
+	spec := compileSpec(t)
+	items := corpus(t, spec, 4)
+
+	plain, err := batch.Run(context.Background(), spec, items, fullOrder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := Run(context.Background(), spec, items, Options{Pool: fullOrder()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup.ExitCode != plain.ExitCode {
+		t.Fatalf("exit %d != plain %d", sup.ExitCode, plain.ExitCode)
+	}
+	a := normalized(t, batch.BuildReport("spec", "full", spec, fullOrder(), plain))
+	b := normalized(t, BuildReport("spec", "full", spec, Options{Pool: fullOrder()}, sup))
+	if string(a) != string(b) {
+		t.Fatalf("normalized reports differ:\nplain:      %s\nsupervised: %s", a, b)
+	}
+}
+
+// TestQuarantineAfterRepeatedPanics: a job that panics every worker it meets
+// must trip the circuit breaker instead of wedging the pool.
+func TestQuarantineAfterRepeatedPanics(t *testing.T) {
+	spec := compileSpec(t)
+	items := corpus(t, spec, 3)
+	opts := Options{Pool: fullOrder(), MaxAttempts: 10, BreakerKills: 3}
+	opts.FaultHook = func(attempt int, it batch.Item) {
+		if it.Name == "valid-b" {
+			panic("poisoned item")
+		}
+	}
+	res, err := Run(context.Background(), spec, items, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[1]
+	if !row.Quarantined || row.ExitClass != batch.ClassError ||
+		!strings.Contains(row.Error, "quarantined after killing 3 workers") {
+		t.Fatalf("poisoned row not quarantined: %+v", row)
+	}
+	if res.Counts.Quarantined != 1 || res.Counts.Requeued != 2 {
+		t.Fatalf("counts: %+v, want 1 quarantined / 2 requeued", res.Counts)
+	}
+	if res.Restarts < 3 {
+		t.Fatalf("restarts = %d, want >= 3 (one per kill)", res.Restarts)
+	}
+	if res.ExitCode != batch.ClassError {
+		t.Fatalf("exit = %d, want %d", res.ExitCode, batch.ClassError)
+	}
+	// The rest of the corpus still completed normally.
+	for i, r := range res.Rows {
+		if i == 1 {
+			continue
+		}
+		if r.Match == nil || !*r.Match {
+			t.Fatalf("row %d (%s) did not complete: %+v", i, r.Trace, r)
+		}
+	}
+}
+
+// TestRequeueThenSucceed: one crash is a retry, not a verdict.
+func TestRequeueThenSucceed(t *testing.T) {
+	spec := compileSpec(t)
+	items := corpus(t, spec, 3)
+	opts := Options{Pool: fullOrder()}
+	opts.FaultHook = func(attempt int, it batch.Item) {
+		if it.Name == "valid-c" && attempt == 1 {
+			panic("transient fault")
+		}
+	}
+	res, err := Run(context.Background(), spec, items, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[2]
+	if row.Verdict != "valid" || row.Attempts != 2 || row.Quarantined {
+		t.Fatalf("retried row wrong: %+v", row)
+	}
+	if res.Counts.Requeued != 1 || res.Restarts != 1 {
+		t.Fatalf("requeued=%d restarts=%d, want 1/1", res.Counts.Requeued, res.Restarts)
+	}
+	if res.ExitCode != batch.ClassOK {
+		t.Fatalf("exit = %d, want %d", res.ExitCode, batch.ClassOK)
+	}
+}
+
+// TestWedgedWorkerWatchdog: a worker stuck past the job deadline plus grace
+// is abandoned and replaced, and its job is retried on the fresh worker.
+func TestWedgedWorkerWatchdog(t *testing.T) {
+	spec := compileSpec(t)
+	items := corpus(t, spec, 2)
+	opts := Options{
+		Pool:        fullOrder(),
+		JobTimeout:  50 * time.Millisecond,
+		GracePeriod: 50 * time.Millisecond,
+	}
+	opts.FaultHook = func(attempt int, it batch.Item) {
+		if it.Name == "valid-a" && attempt == 1 {
+			time.Sleep(600 * time.Millisecond) // ignores every deadline: wedged
+		}
+	}
+	res, err := Run(context.Background(), spec, items, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row.Verdict != "valid" || row.Attempts != 2 {
+		t.Fatalf("wedged-then-retried row wrong: %+v", row)
+	}
+	if res.Restarts < 1 || res.Counts.Requeued < 1 {
+		t.Fatalf("restarts=%d requeued=%d, want >=1/>=1", res.Restarts, res.Counts.Requeued)
+	}
+}
+
+// TestJournalResumeEquality: a run resumed from a partial journal restores
+// finished rows verbatim, re-runs the rest, and its normalized report is
+// byte-identical to an uninterrupted run's.
+func TestJournalResumeEquality(t *testing.T) {
+	spec := compileSpec(t)
+	items := corpus(t, spec, 5)
+
+	// Uninterrupted reference.
+	ref, err := Run(context.Background(), spec, items, Options{Pool: fullOrder()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := normalized(t, BuildReport("spec", "full", spec, Options{Pool: fullOrder()}, ref))
+
+	// Journaled run.
+	dir := t.TempDir()
+	path := filepath.Join(dir, checkpoint.JournalFile)
+	j, err := checkpoint.CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(context.Background(), spec, items, Options{Pool: fullOrder(), Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if full.Counts.Resumed != 0 {
+		t.Fatalf("fresh journaled run claims %d resumed rows", full.Counts.Resumed)
+	}
+
+	// Replay the journal, keep an arbitrary half as "done", resume the rest.
+	recs, truncated, err := checkpoint.ReplayJournal(path)
+	if err != nil || truncated {
+		t.Fatalf("replay: err=%v truncated=%v", err, truncated)
+	}
+	if len(recs) != len(items) {
+		t.Fatalf("journal has %d rows, want %d", len(recs), len(items))
+	}
+	done := map[int]obs.BatchItem{}
+	for _, rec := range recs[:3] {
+		var e checkpoint.BatchEntry
+		if err := rec.Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		done[e.Index] = e.Item
+	}
+	resumed, err := Run(context.Background(), spec, items, Options{Pool: fullOrder(), Done: done})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Counts.Resumed != 3 {
+		t.Fatalf("resumed count = %d, want 3", resumed.Counts.Resumed)
+	}
+	got := normalized(t, BuildReport("spec", "full", spec, Options{Pool: fullOrder()}, resumed))
+	if string(got) != string(want) {
+		t.Fatalf("resumed report differs from uninterrupted:\nwant: %s\ngot:  %s", want, got)
+	}
+}
+
+// TestDrainedRowsNotJournaled: cancellation drains unfinished items as
+// skipped rows, but those placeholders must not persist — a resume after a
+// graceful shutdown has to re-analyze them, not restore "skipped" forever.
+func TestDrainedRowsNotJournaled(t *testing.T) {
+	spec := compileSpec(t)
+	items := corpus(t, spec, 4)
+	dir := t.TempDir()
+	path := filepath.Join(dir, checkpoint.JournalFile)
+	j, err := checkpoint.CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, spec, items, Options{Pool: fullOrder(), Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Skipped == 0 {
+		t.Fatal("cancelled run sealed no skipped rows; test exercises nothing")
+	}
+	recs, truncated, err := checkpoint.ReplayJournal(path)
+	if err != nil || truncated {
+		t.Fatalf("replay: err=%v truncated=%v", err, truncated)
+	}
+	done := map[int]obs.BatchItem{}
+	for _, rec := range recs {
+		var e checkpoint.BatchEntry
+		if err := rec.Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Item.Skipped {
+			t.Fatalf("skipped row journaled: %+v", e.Item)
+		}
+		done[e.Index] = e.Item
+	}
+
+	// A resume with those rows completes the whole corpus with real verdicts,
+	// matching an uninterrupted run.
+	resumed, err := Run(context.Background(), spec, items, Options{Pool: fullOrder(), Done: done})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(context.Background(), spec, items, Options{Pool: fullOrder()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalized(t, BuildReport("spec", "full", spec, Options{Pool: fullOrder()}, resumed))
+	want := normalized(t, BuildReport("spec", "full", spec, Options{Pool: fullOrder()}, ref))
+	if string(got) != string(want) {
+		t.Fatalf("resume after drain differs from uninterrupted:\nwant: %s\ngot:  %s", want, got)
+	}
+}
+
+// TestDrainOnCancel: cancelling mid-run still yields a complete report.
+func TestDrainOnCancel(t *testing.T) {
+	spec := compileSpec(t)
+	items := corpus(t, spec, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, spec, items, Options{Pool: fullOrder()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(items) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(items))
+	}
+	if res.Counts.Skipped == 0 {
+		t.Fatal("cancelled run reports no skipped rows")
+	}
+	if res.ExitCode != batch.ClassInconclusive {
+		t.Fatalf("exit = %d, want %d", res.ExitCode, batch.ClassInconclusive)
+	}
+}
