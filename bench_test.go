@@ -442,3 +442,35 @@ func BenchmarkTracerOverhead(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDeepBacktrackAllocs is the headline benchmark of the search-core
+// overhaul: the deep-backtracking invalid TP0 trace analyzed without order
+// checking, under the pre-overhaul eager snapshots, the copy-on-write heap,
+// and COW plus the dead-state memo. allocs/op must drop at least 2x from
+// eager to cow+memo (CI tracks the trend through `tango bench`, which runs
+// the same matrix).
+func BenchmarkDeepBacktrackAllocs(b *testing.B) {
+	spec := compileB(b, "tp0.estelle", specs.TP0)
+	tr, err := experiments.Fig4InvalidTrace(spec, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		opts analysis.Options
+	}{
+		{"eager", analysis.Options{Order: analysis.OrderNone, EagerSnapshots: true}},
+		{"cow", analysis.Options{Order: analysis.OrderNone}},
+		{"cow+memo", analysis.Options{Order: analysis.OrderNone, Memo: true}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var st analysis.Stats
+			for i := 0; i < b.N; i++ {
+				st = analyzeB(b, spec, c.opts, tr, analysis.Invalid)
+			}
+			b.ReportMetric(float64(st.TE), "TE")
+			b.ReportMetric(float64(st.PrunedByMemo), "memo-hits")
+		})
+	}
+}

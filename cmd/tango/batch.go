@@ -41,6 +41,8 @@ func runBatch(args []string, w, ew io.Writer) error {
 	unobserved := fs.String("unobserved", "", "comma-separated IPs whose inputs are missing (partial trace)")
 	stateSearch := fs.Bool("statesearch", false, "retry from every initial FSM state")
 	hash := fs.Bool("hash", false, "prune revisited states with a hash table")
+	memo := fs.Bool("memo", false, "memoize refuted (cursor, state) pairs and prune their revisits")
+	memoMB := fs.Int64("memo-mb", 0, "dead-state memo budget in MiB per worker (with -memo; 0 = auto-size)")
 	budget := fs.Int64("budget", 0, "per-trace transition budget (0 = default)")
 	deadline := fs.Duration("deadline", 0, "wall-clock budget for the whole batch; expiry drains gracefully (exit 3)")
 	shuffle := fs.Bool("shuffle", false, "randomize dispatch order (results stay in corpus order)")
@@ -91,6 +93,8 @@ func runBatch(args []string, w, ew io.Writer) error {
 			UnobservedIPs:      splitList(*unobserved),
 			InitialStateSearch: *stateSearch,
 			StateHashing:       *hash,
+			Memo:               *memo,
+			MemoBytes:          *memoMB << 20,
 			MaxTransitions:     *budget,
 		},
 		Shuffle:        *shuffle,

@@ -136,6 +136,8 @@ func run(args []string, w, ew io.Writer) error {
 		return runAnalyze(args[1:], w, ew)
 	case "batch":
 		return runBatch(args[1:], w, ew)
+	case "bench":
+		return runBench(args[1:], w, ew)
 	case "generate":
 		return runGenerate(args[1:], w, ew)
 	case "lint":
@@ -160,13 +162,14 @@ func (usageError) Error() string {
   tango check <spec.estelle>
   tango info  <spec.estelle>
   tango analyze [-order NR|IO|IP|FULL] [-disable ips] [-unobserved ips]
-                [-statesearch] [-hash] [-online] [-budget N]
-                [-deadline D] [-stall-timeout D]
+                [-statesearch] [-hash] [-memo] [-memo-mb N]
+                [-online] [-budget N] [-deadline D] [-stall-timeout D]
                 [-report out.json] [-stats-json] [-progress]
                 [-trace-jsonl out.jsonl] [-trace-chrome out.json]
                 [-checkpoint dir] [-checkpoint-interval D] [-resume dir]
                 <spec> <trace|->
-  tango batch   [-j N] [-order ...] [-shuffle] [-seed S] [-deadline D]
+  tango batch   [-j N] [-order ...] [-memo] [-memo-mb N]
+                [-shuffle] [-seed S] [-deadline D]
                 [-report out.json] [-progress] [-trace-jsonl out.jsonl]
                 [-supervise] [-job-timeout D] [-max-attempts N] [-breaker N]
                 [-backoff D] [-throttle D] [-checkpoint dir] [-resume dir]
@@ -176,6 +179,8 @@ func (usageError) Error() string {
   tango normalform <spec>        (§5.3 rewrite: lift if/case into provided clauses)
   tango lint <spec>              (non-progress cycles, unreachable states, ...)
   tango explore [-max N] <spec>  (bounded closed-system state-space exploration)
+  tango bench [-quick] [-report out.json] [-k N]
+                                 (search-core benchmarks; writes tango.bench/1)
 
 exit codes: 0 valid, 1 error, 2 invalid, 3 inconclusive (budget, deadline,
 cancellation or stall), 4 malformed trace, 5 malformed specification,
@@ -283,6 +288,8 @@ func runAnalyze(args []string, w, ew io.Writer) error {
 	unobserved := fs.String("unobserved", "", "comma-separated IPs whose inputs are missing (partial trace)")
 	stateSearch := fs.Bool("statesearch", false, "retry from every initial FSM state")
 	hash := fs.Bool("hash", false, "prune revisited states with a hash table")
+	memo := fs.Bool("memo", false, "memoize refuted (cursor, state) pairs and prune their revisits")
+	memoMB := fs.Int64("memo-mb", 0, "dead-state memo budget in MiB (with -memo; 0 = auto-size)")
 	online := fs.Bool("online", false, "on-line analysis: read the trace incrementally (MDFS)")
 	budget := fs.Int64("budget", 0, "transition budget (0 = default)")
 	deadline := fs.Duration("deadline", 0, "wall-clock analysis budget (0 = none); expiry yields a partial verdict, exit 3")
@@ -319,6 +326,8 @@ func runAnalyze(args []string, w, ew io.Writer) error {
 		UnobservedIPs:      splitList(*unobserved),
 		InitialStateSearch: *stateSearch,
 		StateHashing:       *hash,
+		Memo:               *memo,
+		MemoBytes:          *memoMB << 20,
 		MaxTransitions:     *budget,
 		StallTimeout:       *stallTimeout,
 	}

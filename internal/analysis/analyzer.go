@@ -37,7 +37,8 @@ type Analyzer struct {
 	eofSeen bool
 
 	stats  Stats
-	seen   map[string]struct{}
+	seen   *vm.FPSet
+	memo   *deadMemo
 	faults []string
 
 	// Observability (all optional; nil costs nothing on the hot path).
@@ -47,6 +48,8 @@ type Analyzer struct {
 	mDepth, mHeap, mLag *obs.Gauge
 	mDepthHist          *obs.Histogram
 	mSnapBytes          *obs.Counter
+	mMemoPrunes         *obs.Counter
+	mMemoEvict          *obs.Counter
 	fireCounters        map[*sema.TransInfo]*obs.Counter
 
 	// Heartbeat state. progressBest is the monotone verified prefix across
@@ -93,6 +96,16 @@ type node struct {
 	pg       bool
 	deferred []candidate
 	genLen   int // len(events) at last (re-)generate
+
+	// Dead-state memo bookkeeping. fp is the node's fingerprint hash (state
+	// + cursors), valid when hashed is set; canon is the canonical string,
+	// kept only in CollisionCheck mode. truncated marks a node whose subtree
+	// was not fully explored — a depth prune, a parked PG descendant — and
+	// which therefore must never be memoized as dead, nor any ancestor.
+	fp        uint64
+	hashed    bool
+	canon     string
+	truncated bool
 }
 
 type candidate struct {
@@ -144,6 +157,8 @@ func New(spec *efsm.Spec, opts Options) (*Analyzer, error) {
 		a.mHeap = m.Gauge("vm.heap_cells")
 		a.mLag = m.Gauge("source.queue_lag")
 		a.mSnapBytes = m.Counter("save.snapshot_bytes")
+		a.mMemoPrunes = m.Counter("memo.prunes")
+		a.mMemoEvict = m.Counter("memo.evictions")
 		a.fireCounters = make(map[*sema.TransInfo]*obs.Counter, len(spec.Prog.Trans))
 		for _, ti := range spec.Prog.Trans {
 			a.fireCounters[ti] = m.Counter("fired." + ti.Name)
@@ -174,8 +189,9 @@ func (a *Analyzer) reset(traceLen int) {
 	a.stats = Stats{ParseTime: a.spec.Timing.Parse, CompileTime: a.spec.Timing.Check}
 	a.faults = nil
 	a.seen = nil
+	a.memo = nil // rebuilt lazily in searchLoop, sized from the root state
 	if a.opts.StateHashing {
-		a.seen = make(map[string]struct{})
+		a.seen = vm.NewFPSet(a.opts.CollisionCheck)
 	}
 	a.progressBest = 0
 	a.runStart = time.Now()
@@ -189,11 +205,29 @@ func (a *Analyzer) reset(traceLen int) {
 // search-time split and attaches the final counters to the result (when the
 // run produced one). Deferred from every Analyze entry point.
 func (a *Analyzer) finishRun(start time.Time, res **Result) {
+	a.foldPruneStats()
 	a.stats.SearchTime = time.Since(start)
 	a.stats.CPUTime = a.stats.SearchTime
 	a.stats.Events = len(a.events)
 	if *res != nil {
 		(*res).Stats = a.stats
+	}
+}
+
+// foldPruneStats moves eviction/collision counters out of the live memo and
+// seen-set into Stats. Called whenever those structures are about to be
+// replaced (initial-state retries) and once at the end of the run.
+func (a *Analyzer) foldPruneStats() {
+	if a.memo != nil {
+		a.stats.MemoEvictions += a.memo.evictions
+		if a.mMemoEvict != nil {
+			a.mMemoEvict.Add(a.memo.evictions)
+		}
+		a.memo.evictions = 0
+	}
+	if a.seen != nil {
+		a.stats.Collisions += a.seen.Collisions
+		a.seen.Collisions = 0
 	}
 }
 
@@ -252,9 +286,14 @@ func (a *Analyzer) AnalyzeTraceContext(ctx context.Context, tr *trace.Trace) (re
 			if st == a.spec.Prog.InitTo {
 				continue
 			}
+			a.foldPruneStats()
 			if a.seen != nil {
-				a.seen = make(map[string]struct{})
+				a.seen = vm.NewFPSet(a.opts.CollisionCheck)
 			}
+			// Dead-state entries are forward-sound across retries, but a
+			// fresh memo keeps each retry's exploration (and therefore its
+			// diagnosis) byte-identical to a standalone run from that state.
+			a.memo = nil
 			res2, err := a.search(ctx, nil, st, nil)
 			if err != nil {
 				return nil, err
@@ -365,6 +404,22 @@ func (a *Analyzer) searchLoop(ctx context.Context, src *sourcePoller, initState 
 			return nil, err
 		}
 	}
+	if a.opts.Memo && !a.opts.Partial && a.memo == nil {
+		// Size the memo from the root state: without an explicit budget,
+		// room for ~4096 states of this spec's footprint, clamped to
+		// [1 MiB, 64 MiB].
+		b := a.opts.MemoBytes
+		if b <= 0 {
+			b = 4096 * a.stateOf(root).ApproxBytes()
+			if b < 1<<20 {
+				b = 1 << 20
+			}
+			if b > 64<<20 {
+				b = 64 << 20
+			}
+		}
+		a.memo = newDeadMemo(b, a.opts.CollisionCheck)
+	}
 	stack := []*node{root}
 	var pgSaved []*node // MDFS: fully-explored PG-nodes awaiting new input
 	var pgav *node      // best PGAV node seen (dynamic mode)
@@ -436,8 +491,11 @@ func (a *Analyzer) searchLoop(ctx context.Context, src *sourcePoller, initState 
 			if a.seen != nil {
 				// New events change what "failure" means; visited-state
 				// pruning must start over (hashing is a static-mode
-				// optimization, kept sound here by clearing).
-				a.seen = make(map[string]struct{})
+				// optimization, kept sound here by clearing). The dead-state
+				// memo needs no clearing: it only ever records nodes proven
+				// dead after EOF, when the event lists are final.
+				a.stats.Collisions += a.seen.Collisions
+				a.seen = vm.NewFPSet(a.opts.CollisionCheck)
 			}
 			if a.opts.Reorder && len(pgSaved) > 0 {
 				// §3.1.3 dynamic node reordering: PG-nodes move to where
@@ -640,6 +698,12 @@ func (a *Analyzer) searchLoop(ctx context.Context, src *sourcePoller, initState 
 			a.notePop(n)
 			if a.dynamic && (n.pg || a.complete(n)) && !a.eofSeen {
 				a.savePG(n, &pgSaved)
+			} else {
+				a.memoizeDead(n)
+			}
+			if n.truncated && n.parent != nil {
+				// A cut-off subtree does not prove the parent dead either.
+				n.parent.truncated = true
 			}
 			continue
 		}
@@ -739,6 +803,16 @@ func (a *Analyzer) complete(n *node) bool {
 	return true
 }
 
+// snapshot is the Save primitive: copy-on-write by default, eager deep copy
+// under Options.EagerSnapshots (the legacy strategy, kept for before/after
+// benchmarking).
+func (a *Analyzer) snapshot(st *vm.State) *vm.State {
+	if a.opts.EagerSnapshots {
+		return st.DeepSnapshot()
+	}
+	return st.Snapshot()
+}
+
 // maybeSave snapshots the node when it may be revisited: more than one
 // pending alternative, or PG status in dynamic mode (§3.1.1: "it is
 // necessary to save the PG-node"). This is the Save operation.
@@ -748,7 +822,7 @@ func (a *Analyzer) maybeSave(n *node) {
 	}
 	remaining := len(n.cands) - n.next + len(n.seeds)
 	if remaining > 1 || n.pg || (a.dynamic && !a.eofSeen) {
-		n.saved = n.live.Snapshot()
+		n.saved = a.snapshot(n.live)
 		a.stats.SA++
 		a.noteSave(n)
 	}
@@ -756,12 +830,29 @@ func (a *Analyzer) maybeSave(n *node) {
 
 func (a *Analyzer) savePG(n *node, pgSaved *[]*node) {
 	if n.saved == nil {
-		n.saved = n.live.Snapshot()
+		n.saved = a.snapshot(n.live)
 		a.stats.SA++
 		a.noteSave(n)
 	}
+	// A parked subtree is unresolved: until it is revived and refuted, no
+	// ancestor's pop proves anything, so poison the chain for the memo.
+	if n.parent != nil {
+		n.parent.truncated = true
+	}
 	a.stats.PGNodes++
 	*pgSaved = append(*pgSaved, n)
+}
+
+// memoizeDead records a popped node as proven non-accepting, when that is
+// actually proven: the node's candidate list was complete for the final
+// trace (post-EOF in dynamic mode), every candidate was explored, and no
+// part of the subtree was truncated, deferred, or parked. See DESIGN.md §10.
+func (a *Analyzer) memoizeDead(n *node) {
+	if a.memo == nil || !n.hashed || n.truncated || n.pg || len(n.deferred) > 0 ||
+		(a.dynamic && !a.eofSeen) || n.genLen != len(a.events) {
+		return
+	}
+	a.memo.insert(n.fp, func() string { return n.canon })
 }
 
 // ---------------------------------------------------------------------------
@@ -867,6 +958,7 @@ func (a *Analyzer) maybeBeat(depth int) {
 		TotalEvents:    len(a.events),
 		Nodes:          a.stats.Nodes,
 		TE:             a.stats.TE,
+		PrunedByMemo:   a.stats.PrunedByMemo,
 		EOF:            a.eofSeen,
 	}
 	if s := elapsed.Seconds(); s > 0 {
@@ -1123,6 +1215,7 @@ const (
 func (a *Analyzer) executeCandidate(n *node, c candidate, curOwner **node) (*node, bool, error) {
 	if n.depth+1 > a.opts.MaxDepth {
 		a.notePrune(n.depth+1, c.ti.Name, "depth")
+		n.truncated = true // the cut-off branch might have accepted
 		return nil, false, nil
 	}
 	via := Step{Trans: c.ti, EventSeq: evSpontaneous}
@@ -1171,24 +1264,28 @@ func (a *Analyzer) executeCandidate(n *node, c candidate, curOwner **node) (*nod
 	}
 
 	// Normal mode: execute on the live state, restoring from the snapshot
-	// when the live state has moved on (§2.2 Restore).
+	// when the live state has moved on (§2.2 Restore). A restored state is
+	// exclusively ours until the child adopts it, so every failure path
+	// below hands it back to the snapshot pool.
 	var st *vm.State
+	restored := false
 	if *curOwner == n && n.live != nil {
 		st = n.live
 		if n.saved == nil && n.next < len(n.cands) {
 			// More candidates will need this state later.
-			n.saved = st.Snapshot()
+			n.saved = a.snapshot(st)
 			a.stats.SA++
 			a.noteSave(n)
 		}
 	} else {
 		if n.saved == nil {
 			// Should not happen: nodes that can be revisited are saved.
-			n.saved = n.live.Snapshot()
+			n.saved = a.snapshot(n.live)
 			a.stats.SA++
 			a.noteSave(n)
 		}
-		st = n.saved.Snapshot()
+		st = a.snapshot(n.saved)
+		restored = true
 		a.stats.RE++
 		if a.tracer != nil {
 			a.tracer.Event(obs.Event{Kind: obs.KindRestore, Depth: n.depth})
@@ -1202,6 +1299,9 @@ func (a *Analyzer) executeCandidate(n *node, c candidate, curOwner **node) (*nod
 	if err != nil {
 		if a.containedErr(err) {
 			a.notePrune(n.depth+1, c.ti.Name, "infeasible")
+			if restored {
+				vm.ReleaseState(st)
+			}
 			return nil, false, nil
 		}
 		return nil, false, err
@@ -1210,11 +1310,17 @@ func (a *Analyzer) executeCandidate(n *node, c candidate, curOwner **node) (*nod
 	switch a.matchOutputsWith(outs, inCur, outCur) {
 	case matchFail:
 		a.notePrune(n.depth+1, c.ti.Name, "mismatch")
+		if restored {
+			vm.ReleaseState(st)
+		}
 		return nil, false, nil
 	case matchBlocked:
 		a.notePrune(n.depth+1, c.ti.Name, "blocked")
 		n.pg = true
 		n.deferred = append(n.deferred, c)
+		if restored {
+			vm.ReleaseState(st)
+		}
 		return nil, false, nil
 	}
 	child := &node{
@@ -1227,16 +1333,67 @@ func (a *Analyzer) executeCandidate(n *node, c candidate, curOwner **node) (*nod
 		depth:  n.depth + 1,
 	}
 	a.stats.Nodes++
-	if a.seen != nil {
-		fp := a.fingerprint(child)
-		if _, dup := a.seen[fp]; dup {
-			a.stats.HashHits++
-			a.notePrune(child.depth, c.ti.Name, "hash")
-			return nil, false, nil
+	if prune, why := a.checkChild(child, st); prune {
+		a.notePrune(child.depth, c.ti.Name, why)
+		if restored {
+			vm.ReleaseState(st)
 		}
-		a.seen[fp] = struct{}{}
+		return nil, false, nil
 	}
 	return child, true, nil
+}
+
+// checkChild applies visited-state (seen) and dead-state (memo) pruning to a
+// freshly created child, computing its fingerprint hash exactly once and
+// caching it on the node for memoization at pop time. It returns whether the
+// child must be pruned and the reason tag for the trace event.
+func (a *Analyzer) checkChild(child *node, st *vm.State) (bool, string) {
+	if a.seen == nil && a.memo == nil {
+		return false, ""
+	}
+	child.fp = a.hashNode(st, child)
+	child.hashed = true
+	canon := func() string { return a.fingerprintState(st, child) }
+	if a.opts.CollisionCheck && a.memo != nil {
+		// The canonical form must outlive st (memoization happens at pop,
+		// when the live state may have moved on), so capture it now.
+		child.canon = canon()
+	}
+	if a.seen != nil && !a.seen.Add(child.fp, canon) {
+		a.stats.HashHits++
+		return true, "hash"
+	}
+	if a.memo != nil && a.memo.dead(child.fp, func() string { return child.canon }) {
+		a.stats.PrunedByMemo++
+		if a.mMemoPrunes != nil {
+			a.mMemoPrunes.Inc()
+		}
+		return true, "memo"
+	}
+	return false, ""
+}
+
+// hashNode extends the state's fingerprint hash with the node's trace
+// cursors and synthesized-input counts — the hashed counterpart of
+// fingerprintState.
+func (a *Analyzer) hashNode(st *vm.State, n *node) uint64 {
+	h := vm.NewHasher()
+	h.Mix64(st.Hash64())
+	for p := 0; p < a.spec.NumIPs(); p++ {
+		h.Byte(':')
+		h.Int(int64(n.inCur[p]))
+		h.Byte(',')
+		h.Int(int64(n.outCur[p]))
+		h.Byte(';')
+	}
+	if n.synth != nil {
+		h.Byte('|')
+		for _, s := range n.synth {
+			h.Int(int64(s))
+			h.Byte(',')
+		}
+	}
+	return h.Sum64()
 }
 
 func cloneParams(ps []vm.Value) []vm.Value {
@@ -1262,14 +1419,10 @@ func (a *Analyzer) adoptSeed(n *node, sd seed) (*node, bool, error) {
 		depth:  n.depth + 1,
 	}
 	a.stats.Nodes++
-	if a.seen != nil {
-		fp := a.fingerprint(child)
-		if _, dup := a.seen[fp]; dup {
-			a.stats.HashHits++
-			a.notePrune(child.depth, sd.via.Trans.Name, "hash")
-			return nil, false, nil
-		}
-		a.seen[fp] = struct{}{}
+	if prune, why := a.checkChild(child, sd.state); prune {
+		a.notePrune(child.depth, sd.via.Trans.Name, why)
+		vm.ReleaseState(sd.state) // forked seed states are exclusively ours
+		return nil, false, nil
 	}
 	return child, true, nil
 }
@@ -1397,11 +1550,10 @@ func (a *Analyzer) matchOne(o vm.Output, inCur, outCur []int) matchStatus {
 	return matchOK
 }
 
-func (a *Analyzer) fingerprint(n *node) string { return a.fingerprintState(n.live, n) }
-
-// fingerprintState is fingerprint with an explicit state, for nodes whose
-// live state has moved on but whose snapshot is authoritative (checkpoint
-// capture).
+// fingerprintState is the canonical string form of a node fingerprint
+// (state + trace cursors + synth counts): collision-free, stable across
+// processes, and therefore what checkpoints and CollisionCheck mode use.
+// The search hot path uses hashNode, the 64-bit digest of the same data.
 func (a *Analyzer) fingerprintState(st *vm.State, n *node) string {
 	fp := st.Fingerprint()
 	var extra []byte

@@ -1,0 +1,112 @@
+package analysis
+
+// deadMemo is the bounded dead-state memo of the search core: a set of
+// (trace-cursor, state-fingerprint) node hashes proven non-accepting. A node
+// is inserted only when its whole subtree was refuted without any truncation
+// (no depth prune, no deferred candidate, no PG status, and — in dynamic mode
+// — only after EOF, when the candidate list can no longer grow), which is
+// what makes consulting the memo verdict- and diagnosis-preserving; DESIGN.md
+// §10 gives the full argument.
+//
+// The byte budget is enforced with two generations: inserts go to cur, and
+// when cur's estimated cost reaches half the budget the old generation is
+// dropped (its entries counted as evictions) and cur becomes old. Hits in
+// old are promoted back into cur, so hot entries survive rotation.
+type deadMemo struct {
+	budget int64
+
+	// Fast mode: 64-bit node hashes.
+	cur, old map[uint64]struct{}
+	// Paranoid (CollisionCheck) mode: canonical strings are authoritative,
+	// making the memo collision-proof at the cost of the string bytes.
+	curS, oldS map[string]struct{}
+
+	curCost   int64
+	evictions int64
+}
+
+// memoEntryCost approximates the per-entry overhead of a map entry (key,
+// bucket share, and header amortization).
+const memoEntryCost = 48
+
+func newDeadMemo(budget int64, paranoid bool) *deadMemo {
+	m := &deadMemo{budget: budget}
+	if paranoid {
+		m.curS = make(map[string]struct{})
+		m.oldS = make(map[string]struct{})
+	} else {
+		m.cur = make(map[uint64]struct{})
+		m.old = make(map[uint64]struct{})
+	}
+	return m
+}
+
+// dead reports whether the node fingerprint was proven non-accepting. canon
+// is only invoked in paranoid mode.
+func (m *deadMemo) dead(h uint64, canon func() string) bool {
+	if m.cur != nil {
+		if _, ok := m.cur[h]; ok {
+			return true
+		}
+		if _, ok := m.old[h]; ok {
+			m.insertFast(h) // promote: hot entries survive rotation
+			return true
+		}
+		return false
+	}
+	c := canon()
+	if _, ok := m.curS[c]; ok {
+		return true
+	}
+	if _, ok := m.oldS[c]; ok {
+		m.insertParanoid(c)
+		return true
+	}
+	return false
+}
+
+// insert records a refuted node fingerprint.
+func (m *deadMemo) insert(h uint64, canon func() string) {
+	if m.cur != nil {
+		m.insertFast(h)
+		return
+	}
+	m.insertParanoid(canon())
+}
+
+func (m *deadMemo) insertFast(h uint64) {
+	if _, ok := m.cur[h]; ok {
+		return
+	}
+	if m.curCost+memoEntryCost > m.budget/2 {
+		m.evictions += int64(len(m.old))
+		m.old = m.cur
+		m.cur = make(map[uint64]struct{})
+		m.curCost = 0
+	}
+	m.cur[h] = struct{}{}
+	m.curCost += memoEntryCost
+}
+
+func (m *deadMemo) insertParanoid(c string) {
+	if _, ok := m.curS[c]; ok {
+		return
+	}
+	cost := int64(memoEntryCost + len(c))
+	if m.curCost+cost > m.budget/2 {
+		m.evictions += int64(len(m.oldS))
+		m.oldS = m.curS
+		m.curS = make(map[string]struct{})
+		m.curCost = 0
+	}
+	m.curS[c] = struct{}{}
+	m.curCost += cost
+}
+
+// len returns the number of live entries across both generations.
+func (m *deadMemo) len() int {
+	if m.cur != nil {
+		return len(m.cur) + len(m.old)
+	}
+	return len(m.curS) + len(m.oldS)
+}

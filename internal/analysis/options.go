@@ -105,6 +105,33 @@ type Options struct {
 	// analysis of the same state twice").
 	StateHashing bool
 
+	// Memo enables the dead-state memo: a bounded set of (trace-cursor,
+	// state-fingerprint) pairs proven non-accepting, consulted before
+	// expanding a node so backtracking never re-explores a refuted subtree.
+	// Unlike StateHashing it is bounded (MemoBytes) and only ever records
+	// fully-refuted subtrees, which keeps verdicts and diagnoses identical
+	// to an unmemoized run (see DESIGN.md §10 for the soundness argument).
+	// Ignored in partial-trace mode, whose synthesized-input budget truncates
+	// subtrees in ways the memo cannot see.
+	Memo bool
+
+	// MemoBytes bounds the dead-state memo's memory. Zero picks an automatic
+	// budget proportional to the root state's ApproxBytes. Entries beyond the
+	// budget are evicted generationally (Stats.MemoEvictions counts them).
+	MemoBytes int64
+
+	// CollisionCheck makes visited-state pruning and the dead-state memo key
+	// by full canonical fingerprint strings instead of their 64-bit hashes,
+	// counting hash collisions in Stats.Collisions. It trades the memory
+	// savings of hashed fingerprints for immunity to collisions — a test and
+	// paranoia mode.
+	CollisionCheck bool
+
+	// EagerSnapshots restores the legacy Save strategy: every snapshot deep
+	// copies the whole state up front instead of sharing the heap
+	// copy-on-write. Kept for before/after benchmarking.
+	EagerSnapshots bool
+
 	// MaxDepth bounds the search-tree depth, protecting against
 	// non-progress cycles (default 4 * trace length + 64).
 	MaxDepth int
@@ -198,6 +225,10 @@ type Progress struct {
 	VerifiedPrefix, TotalEvents int
 	// Nodes and TE are the search-effort counters so far.
 	Nodes, TE int64
+	// PrunedByMemo counts subtrees skipped by the dead-state memo so far, so
+	// heartbeats do not silently understate explored work when the memo is
+	// active.
+	PrunedByMemo int64
 	// TPS is the mean transition-execution throughput since the start.
 	TPS float64
 	// EOF reports whether the trace end has been seen (on-line mode).
@@ -206,9 +237,13 @@ type Progress struct {
 
 // String renders the heartbeat as the CLI's -progress line.
 func (p Progress) String() string {
-	return fmt.Sprintf("t=%.1fs depth=%d/%d verified=%d/%d nodes=%d TE=%d (%.0f trans/s)",
+	s := fmt.Sprintf("t=%.1fs depth=%d/%d verified=%d/%d nodes=%d TE=%d (%.0f trans/s)",
 		p.Elapsed.Seconds(), p.Depth, p.MaxDepth, p.VerifiedPrefix, p.TotalEvents,
 		p.Nodes, p.TE, p.TPS)
+	if p.PrunedByMemo > 0 {
+		s += fmt.Sprintf(" memo-pruned=%d", p.PrunedByMemo)
+	}
+	return s
 }
 
 func (o Options) withDefaults(traceLen int) Options {
@@ -336,6 +371,10 @@ type Stats struct {
 	SynthIn  int64 // synthesized undefined inputs consumed
 	Faults   int64 // contained VM execution faults (panics) treated as infeasible
 
+	PrunedByMemo  int64 // subtrees skipped by the dead-state memo
+	MemoEvictions int64 // dead-state memo entries evicted under the byte budget
+	Collisions    int64 // hash collisions caught in CollisionCheck mode
+
 	// Events is the number of trace events ingested (fixed for a static
 	// trace; the final count for an on-line source).
 	Events int
@@ -378,6 +417,8 @@ func (s Stats) Report() obs.SearchStats {
 		MaxDepth: s.MaxDepth, Nodes: s.Nodes, PGNodes: s.PGNodes,
 		Regens: s.Regens, Forks: s.Forks, HashHits: s.HashHits,
 		SynthIn: s.SynthIn, Faults: s.Faults, Events: s.Events,
+		PrunedByMemo: s.PrunedByMemo, MemoEvictions: s.MemoEvictions,
+		Collisions:  s.Collisions,
 		TransPerSec: s.TransitionsPerSecond(), AvgFanout: s.AverageFanout(),
 	}
 }

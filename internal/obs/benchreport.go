@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchSchema versions the machine-readable benchmark report written by
+// `tango bench` (BENCH_search.json). Like ReportSchema, trajectory tooling
+// asserts on the schema string instead of parsing prose.
+const BenchSchema = "tango.bench/1"
+
+// BenchRow is one measured cell of a benchmark run: a (workload, config)
+// pair with its per-operation costs and search effort. AllocsPerOp is the
+// headline number of the search-core overhaul — the trajectory CI archives
+// these rows to track it across commits.
+type BenchRow struct {
+	// Workload names the benchmarked scenario (e.g. "tp0/deep-backtrack/k=3").
+	Workload string `json:"workload"`
+	// Config names the analyzer configuration (e.g. "eager", "cow", "cow+memo").
+	Config string `json:"config"`
+
+	// Iterations is the b.N the timing below was averaged over.
+	Iterations  int64 `json:"iterations"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+
+	// Verdict is the analysis verdict, identical across configs by the
+	// memoization-soundness invariant; tango bench fails if configs disagree.
+	Verdict string `json:"verdict"`
+	// StatesExplored is the per-run TE counter (transition executions).
+	StatesExplored int64 `json:"states_explored"`
+	// MemoHits counts nodes pruned by the dead-state memo in one run;
+	// MemoHitRate relates them to the nodes created (hits/nodes — pruned
+	// children count as created nodes).
+	MemoHits    int64   `json:"memo_hits,omitempty"`
+	MemoHitRate float64 `json:"memo_hit_rate,omitempty"`
+}
+
+// BenchReport is the machine-readable record of one `tango bench` run.
+type BenchReport struct {
+	Schema string     `json:"schema"`
+	Rows   []BenchRow `json:"rows"`
+}
+
+// WriteFile marshals the bench report (indented, trailing newline) to path.
+func (r *BenchReport) WriteFile(path string) error {
+	if r.Schema == "" {
+		r.Schema = BenchSchema
+	}
+	return writeJSON(path, r)
+}
+
+// ReadBenchReport loads and validates a report written by WriteFile.
+func ReadBenchReport(path string) (*BenchReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("obs: parse bench report %s: %w", path, err)
+	}
+	if r.Schema != BenchSchema {
+		return nil, fmt.Errorf("obs: bench report %s has schema %q, want %q", path, r.Schema, BenchSchema)
+	}
+	return &r, nil
+}

@@ -44,6 +44,10 @@ type SearchStats struct {
 	Faults   int64 `json:"faults,omitempty"`
 	Events   int   `json:"events"`
 
+	PrunedByMemo  int64 `json:"pruned_by_memo,omitempty"`
+	MemoEvictions int64 `json:"memo_evictions,omitempty"`
+	Collisions    int64 `json:"collisions,omitempty"`
+
 	TransPerSec float64 `json:"trans_per_sec"`
 	AvgFanout   float64 `json:"avg_fanout"`
 }

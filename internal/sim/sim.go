@@ -33,6 +33,10 @@ type Result struct {
 	// Faults counts contained VM execution faults (panics converted to
 	// per-transition failures); faulting edges are skipped, not fatal.
 	Faults int
+	// Collisions counts 64-bit fingerprint-hash collisions detected against
+	// the canonical strings. Only ExploreParanoid can populate it; the fast
+	// path stores hashes alone and cannot see collisions.
+	Collisions int64
 }
 
 // Explore runs BFS from the initialized state, firing spontaneous transitions
@@ -44,8 +48,22 @@ func Explore(spec *efsm.Spec, maxStates int) (*Result, error) {
 
 // ExploreContext is Explore under a context: cancellation or deadline expiry
 // stops the BFS at the next dequeue and returns the partial Result with
-// Interrupted set, not an error.
+// Interrupted set, not an error. The visited set stores hashed fingerprints
+// (8 bytes a state); use ExploreParanoid when collisions must be impossible.
 func ExploreContext(ctx context.Context, spec *efsm.Spec, maxStates int) (*Result, error) {
+	return explore(ctx, spec, maxStates, false)
+}
+
+// ExploreParanoid is ExploreContext in collision-paranoia mode: visited
+// states are deduplicated by full canonical fingerprint strings (so a hash
+// collision cannot merge two distinct states) and any collision the hashes
+// would have suffered is counted in Result.Collisions. Tests use it to
+// cross-check the fast path.
+func ExploreParanoid(ctx context.Context, spec *efsm.Spec, maxStates int) (*Result, error) {
+	return explore(ctx, spec, maxStates, true)
+}
+
+func explore(ctx context.Context, spec *efsm.Spec, maxStates int, paranoid bool) (*Result, error) {
 	if maxStates <= 0 {
 		maxStates = 10_000
 	}
@@ -55,7 +73,8 @@ func ExploreContext(ctx context.Context, spec *efsm.Spec, maxStates int) (*Resul
 		return nil, fmt.Errorf("initialize: %w", err)
 	}
 	res := &Result{FSMStates: make(map[int]bool)}
-	seen := map[string]bool{init.Fingerprint(): true}
+	seen := vm.NewFPSet(paranoid)
+	seen.Add(init.Hash64(), init.Fingerprint)
 	queue := []*vm.State{init}
 	res.States = 1
 	res.FSMStates[init.FSM] = true
@@ -101,11 +120,9 @@ func ExploreContext(ctx context.Context, spec *efsm.Spec, maxStates int) (*Resul
 			}
 			fired++
 			res.Transitions++
-			fp := next.Fingerprint()
-			if seen[fp] {
+			if !seen.Add(next.Hash64(), next.Fingerprint) {
 				continue
 			}
-			seen[fp] = true
 			res.States++
 			res.FSMStates[next.FSM] = true
 			if res.States >= maxStates {
@@ -118,6 +135,7 @@ func ExploreContext(ctx context.Context, spec *efsm.Spec, maxStates int) (*Resul
 			res.Deadlocks++
 		}
 	}
+	res.Collisions = seen.Collisions
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/efsm"
@@ -114,5 +115,42 @@ end.`
 	}
 	if res.States != 2 || res.Truncated {
 		t.Fatalf("result: %+v", res)
+	}
+}
+
+// TestExploreParanoidAgreesWithFast runs the same exploration through the
+// fast hashed visited set and the paranoid string-authoritative one: every
+// count must agree and no hash collision may be observed on these corpora.
+func TestExploreParanoidAgreesWithFast(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		src  string
+		max  int
+	}{
+		{"counter", counterSpec, 1000},
+		{"tp0", specs.TP0, 1000},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			spec := compile(t, c.name, c.src)
+			fast, err := Explore(spec, c.max)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := ExploreParanoid(context.Background(), spec, c.max)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Collisions != 0 {
+				t.Fatalf("paranoid exploration observed %d hash collisions", par.Collisions)
+			}
+			if fast.States != par.States || fast.Transitions != par.Transitions ||
+				fast.Truncated != par.Truncated || fast.Deadlocks != par.Deadlocks ||
+				fast.Faults != par.Faults {
+				t.Fatalf("fast %+v != paranoid %+v", fast, par)
+			}
+			if len(fast.FSMStates) != len(par.FSMStates) {
+				t.Fatalf("FSM state sets differ: %v vs %v", fast.FSMStates, par.FSMStates)
+			}
+		})
 	}
 }

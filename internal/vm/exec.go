@@ -827,11 +827,21 @@ func (e *Exec) eval(x ast.Expr) (Value, error) {
 		}
 		return base.Elems[i], nil
 	case *ast.DerefExpr:
-		lv, err := e.lvalue(x)
+		// Read-only dereference: Load avoids the copy-on-write unsharing
+		// that the assignable path (lvalue) performs via Heap.Get, so pure
+		// reads never force a cell copy after a snapshot.
+		pv, err := e.eval(x.X)
 		if err != nil {
 			return Value{}, err
 		}
-		return *lv, nil
+		if pv.Undef {
+			return Value{}, rte(x.Pos(), "dereference of undefined pointer")
+		}
+		cv, err := e.state.Heap.Load(pv.I)
+		if err != nil {
+			return Value{}, rte(x.Pos(), "%v", err)
+		}
+		return *cv, nil
 	case *ast.CallExpr:
 		if b, ok := e.Prog.Info.Builtins[ast.Node(x)]; ok {
 			return e.evalBuiltin(x, b)

@@ -1,0 +1,198 @@
+package vm
+
+import "strconv"
+
+// This file implements zero-allocation 64-bit fingerprint hashing for values,
+// heaps, and states. The hash is FNV-1a over exactly the canonical byte
+// stream that the string Fingerprint methods produce, so equal string
+// fingerprints always imply equal hashes; a property test in hash_test.go
+// enforces the correspondence on randomized states. The string form remains
+// the collision-check fallback (see FPSet's paranoid mode) and the canonical
+// cross-process form used by checkpoints.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hasher is an incremental FNV-1a 64-bit hash over a canonical byte stream.
+// The zero Hasher is not valid; start from NewHasher. All Write methods are
+// allocation-free.
+type Hasher struct{ h uint64 }
+
+// NewHasher returns a Hasher seeded with the FNV-1a offset basis.
+func NewHasher() Hasher { return Hasher{h: fnvOffset64} }
+
+// Byte folds one byte into the hash.
+func (h *Hasher) Byte(b byte) {
+	h.h = (h.h ^ uint64(b)) * fnvPrime64
+}
+
+// Str folds the bytes of s into the hash.
+func (h *Hasher) Str(s string) {
+	x := h.h
+	for i := 0; i < len(s); i++ {
+		x = (x ^ uint64(s[i])) * fnvPrime64
+	}
+	h.h = x
+}
+
+// Int folds the decimal representation of i into the hash, matching the
+// bytes "%d" would produce.
+func (h *Hasher) Int(i int64) {
+	var buf [20]byte
+	b := strconv.AppendInt(buf[:0], i, 10)
+	for _, c := range b {
+		h.h = (h.h ^ uint64(c)) * fnvPrime64
+	}
+}
+
+// Hex folds the lowercase-hex representation of u into the hash,
+// matching the bytes "%x" would produce.
+func (h *Hasher) Hex(u uint64) {
+	var buf [16]byte
+	b := strconv.AppendUint(buf[:0], u, 16)
+	for _, c := range b {
+		h.h = (h.h ^ uint64(c)) * fnvPrime64
+	}
+}
+
+// Mix64 folds u into the hash as 8 raw little-endian bytes. It is used
+// to mix already-hashed components (for example a heap's order-independent
+// digest, or a state hash being extended with trace cursors).
+func (h *Hasher) Mix64(u uint64) {
+	x := h.h
+	for i := 0; i < 8; i++ {
+		x = (x ^ (u & 0xff)) * fnvPrime64
+		u >>= 8
+	}
+	h.h = x
+}
+
+// Sum64 returns the current hash.
+func (h *Hasher) Sum64() uint64 { return h.h }
+
+// hashInto mirrors Value.Fingerprint byte for byte.
+func (v *Value) hashInto(h *Hasher) {
+	if v.Undef {
+		h.Byte('U')
+		return
+	}
+	switch {
+	case v.Elems != nil:
+		h.Byte('(')
+		for i := range v.Elems {
+			v.Elems[i].hashInto(h)
+		}
+		h.Byte(')')
+	case v.Words != nil:
+		h.Byte('s')
+		for _, w := range v.Words {
+			h.Hex(w)
+			h.Byte('.')
+		}
+	default:
+		h.Int(v.I)
+		h.Byte(',')
+	}
+}
+
+// Hash64 returns the value's 64-bit fingerprint hash.
+func (v *Value) Hash64() uint64 {
+	h := NewHasher()
+	v.hashInto(&h)
+	return h.Sum64()
+}
+
+// hash64 returns an order-independent digest of the heap: each live cell is
+// hashed as its own FNV-1a chain over the same "@addr" + payload bytes the
+// string Fingerprint writes, and the per-cell sums are XOR-combined. Because
+// each chain bakes in the cell's address, the digest identifies the cell set
+// without sorting (and therefore without allocating).
+func (h *Heap) hash64() uint64 {
+	var acc uint64
+	for a, c := range h.cells {
+		ch := NewHasher()
+		ch.Byte('@')
+		ch.Int(a)
+		c.v.hashInto(&ch)
+		acc ^= ch.Sum64()
+	}
+	return acc
+}
+
+// Hash64 returns the state's 64-bit fingerprint hash: the FNV-1a chain over
+// the same "F<fsm>|" + globals + "|" prefix the string Fingerprint writes,
+// extended with the heap's order-independent digest. Equal string
+// fingerprints imply equal hashes.
+func (s *State) Hash64() uint64 {
+	h := NewHasher()
+	h.Byte('F')
+	h.Int(int64(s.FSM))
+	h.Byte('|')
+	for i := range s.Globals {
+		s.Globals[i].hashInto(&h)
+	}
+	h.Byte('|')
+	h.Mix64(s.Heap.hash64())
+	return h.Sum64()
+}
+
+// FPSet is a visited-fingerprint set shared by the analyzer's seen-state
+// pruning and the simulator's reachability exploration. In fast mode it
+// stores only 64-bit hashes (8 bytes a state instead of a full canonical
+// string). In paranoid mode — for tests and for callers that cannot tolerate
+// even a 2^-64 collision — the canonical string stays authoritative and the
+// hash is used only to detect and count collisions.
+type FPSet struct {
+	fast     map[uint64]struct{}
+	byString map[string]struct{}
+	byHash   map[uint64]string
+
+	// Collisions counts distinct canonical strings observed with the same
+	// 64-bit hash (paranoid mode only; fast mode cannot see them).
+	Collisions int64
+}
+
+// NewFPSet returns an empty set. With paranoid set, membership is decided by
+// canonical strings and hash collisions are counted instead of trusted.
+func NewFPSet(paranoid bool) *FPSet {
+	if paranoid {
+		return &FPSet{byString: make(map[string]struct{}), byHash: make(map[uint64]string)}
+	}
+	return &FPSet{fast: make(map[uint64]struct{})}
+}
+
+// Add inserts the fingerprint and reports whether it was absent. canon is
+// only invoked in paranoid mode, so fast-mode callers can pass a closure
+// that builds the canonical string lazily.
+func (s *FPSet) Add(h uint64, canon func() string) bool {
+	if s.fast != nil {
+		if _, ok := s.fast[h]; ok {
+			return false
+		}
+		s.fast[h] = struct{}{}
+		return true
+	}
+	c := canon()
+	if prev, ok := s.byHash[h]; ok {
+		if prev != c {
+			s.Collisions++
+		}
+	} else {
+		s.byHash[h] = c
+	}
+	if _, ok := s.byString[c]; ok {
+		return false
+	}
+	s.byString[c] = struct{}{}
+	return true
+}
+
+// Len returns the number of distinct states recorded.
+func (s *FPSet) Len() int {
+	if s.fast != nil {
+		return len(s.fast)
+	}
+	return len(s.byString)
+}

@@ -8,44 +8,110 @@ import (
 	"repro/internal/estelle/types"
 )
 
+// cell is one heap allocation together with the ownership generation of the
+// heap that last wrote it. A heap may mutate a cell in place only when the
+// cell's gen equals the heap's own gen; any other cell is potentially shared
+// with snapshots and must be copied before the first write (copy-on-write).
+type cell struct {
+	v   Value
+	gen uint64
+}
+
 // Heap models Estelle dynamic memory (new/dispose). Addresses are opaque
-// positive integers; 0 is nil. The heap supports deep snapshot/restore, which
-// is what makes backtracking over transitions that allocate memory possible
+// positive integers; 0 is nil. The heap supports snapshot/restore, which is
+// what makes backtracking over transitions that allocate memory possible
 // (§3.2.2 of the paper discusses the cost of exactly this operation).
+//
+// Snapshot is O(1): it shares the cell map between the two heaps and bumps a
+// family-wide generation counter so that neither side owns any existing cell.
+// The first write on either side lazily clones the map container
+// (ensureOwnedMap) and copies just the written cell, so branches that never
+// touch dynamic memory pay nothing for it.
+//
+// Concurrency contract: a heap family — every State descended from one
+// RunInit via Snapshot — must stay confined to a single goroutine, because
+// Snapshot mutates the source heap's ownership fields and the family shares
+// the generation counter. This matches the vm-wide rule (one Exec plus the
+// states it creates per goroutine) that the batch engine already relies on
+// and the -race test in this package enforces.
 type Heap struct {
-	cells map[int64]*Value
+	cells map[int64]*cell
 	next  int64
 
 	// Allocs and Disposes count lifetime operations, for statistics.
 	Allocs, Disposes int64
+
+	gen       uint64  // ownership generation: cells with this gen are exclusively ours
+	genCtr    *uint64 // generation counter shared across the snapshot family
+	mapShared bool    // the cells map may be aliased by other heaps in the family
 }
 
-// NewHeap returns an empty heap.
+// NewHeap returns an empty heap rooting a fresh snapshot family.
 func NewHeap() *Heap {
-	return &Heap{cells: make(map[int64]*Value), next: 1}
+	ctr := new(uint64)
+	*ctr = 1
+	return &Heap{cells: make(map[int64]*cell), next: 1, gen: 1, genCtr: ctr}
+}
+
+// ensureOwnedMap makes the cells map exclusively ours, cloning the container
+// (pointers only, not payloads) if a snapshot may still alias it.
+func (h *Heap) ensureOwnedMap() {
+	if !h.mapShared {
+		return
+	}
+	m := newCellMap(len(h.cells))
+	for a, c := range h.cells {
+		m[a] = c
+	}
+	h.cells = m
+	h.mapShared = false
 }
 
 // Alloc allocates a cell of type t and returns its address. With undef set
 // the new cell's scalars start undefined (partial-trace mode).
 func (h *Heap) Alloc(t *types.Type, undef bool) int64 {
+	h.ensureOwnedMap()
 	addr := h.next
 	h.next++
-	v := Zero(t, undef)
-	h.cells[addr] = &v
+	h.cells[addr] = &cell{v: Zero(t, undef), gen: h.gen}
 	h.Allocs++
 	return addr
 }
 
-// Get returns the cell at addr.
+// Get returns the cell at addr for writing, copying it first if a snapshot
+// may still share it. Use Load for read-only access.
 func (h *Heap) Get(addr int64) (*Value, error) {
+	c, err := h.lookup(addr)
+	if err != nil {
+		return nil, err
+	}
+	if c.gen != h.gen {
+		h.ensureOwnedMap()
+		c = &cell{v: c.v.Copy(), gen: h.gen}
+		h.cells[addr] = c
+	}
+	return &c.v, nil
+}
+
+// Load returns the cell at addr for reading only. The returned value must
+// not be mutated through: it may be shared with snapshots of this heap.
+func (h *Heap) Load(addr int64) (*Value, error) {
+	c, err := h.lookup(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &c.v, nil
+}
+
+func (h *Heap) lookup(addr int64) (*cell, error) {
 	if addr == 0 {
 		return nil, fmt.Errorf("nil pointer dereference")
 	}
-	v, ok := h.cells[addr]
+	c, ok := h.cells[addr]
 	if !ok {
 		return nil, fmt.Errorf("dangling pointer dereference (address %d)", addr)
 	}
-	return v, nil
+	return c, nil
 }
 
 // Dispose frees the cell at addr.
@@ -56,6 +122,7 @@ func (h *Heap) Dispose(addr int64) error {
 	if _, ok := h.cells[addr]; !ok {
 		return fmt.Errorf("dispose of unallocated address %d", addr)
 	}
+	h.ensureOwnedMap()
 	delete(h.cells, addr)
 	h.Disposes++
 	return nil
@@ -64,19 +131,47 @@ func (h *Heap) Dispose(addr int64) error {
 // Len returns the number of live cells.
 func (h *Heap) Len() int { return len(h.cells) }
 
-// Snapshot returns a deep copy of the heap. Allocation counters carry over so
-// that addresses allocated after a restore do not collide with addresses that
-// may still be referenced by other saved states.
+// Snapshot returns a logically independent copy of the heap in O(1): the
+// cell map is shared and both heaps give up ownership of every existing cell
+// by taking fresh generations, so the first write on either side copies just
+// the cell it touches. Allocation counters carry over so that addresses
+// allocated after a restore do not collide with addresses that may still be
+// referenced by other saved states.
 func (h *Heap) Snapshot() *Heap {
+	*h.genCtr++
+	h.gen = *h.genCtr
+	*h.genCtr++
+	out := allocHeap()
+	*out = Heap{
+		cells:     h.cells,
+		next:      h.next,
+		Allocs:    h.Allocs,
+		Disposes:  h.Disposes,
+		gen:       *h.genCtr,
+		genCtr:    h.genCtr,
+		mapShared: true,
+	}
+	h.mapShared = true
+	return out
+}
+
+// DeepSnapshot returns an eagerly deep-copied heap rooting a fresh snapshot
+// family. It is the legacy Save strategy, kept for before/after benchmarking
+// (analysis.Options.EagerSnapshots) and for callers that want a state with
+// no structural sharing at all (checkpointing).
+func (h *Heap) DeepSnapshot() *Heap {
+	ctr := new(uint64)
+	*ctr = 1
 	out := &Heap{
-		cells:    make(map[int64]*Value, len(h.cells)),
+		cells:    make(map[int64]*cell, len(h.cells)),
 		next:     h.next,
 		Allocs:   h.Allocs,
 		Disposes: h.Disposes,
+		gen:      1,
+		genCtr:   ctr,
 	}
-	for a, v := range h.cells {
-		c := v.Copy()
-		out.cells[a] = &c
+	for a, c := range h.cells {
+		out.cells[a] = &cell{v: c.v.Copy(), gen: 1}
 	}
 	return out
 }
@@ -94,7 +189,7 @@ func (h *Heap) Fingerprint(sb *strings.Builder) {
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	for _, a := range addrs {
 		fmt.Fprintf(sb, "@%d", a)
-		h.cells[a].Fingerprint(sb)
+		h.cells[a].v.Fingerprint(sb)
 	}
 }
 
@@ -108,28 +203,62 @@ type State struct {
 	Heap    *Heap
 }
 
-// Snapshot returns a deep copy of the state (the paper's Save operation,
-// minus queue cursors which the analyzer copies itself).
+// Snapshot returns a logically independent copy of the state (the paper's
+// Save operation, minus queue cursors which the analyzer copies itself).
+// Globals are deep-copied into a pooled state; the heap is shared
+// copy-on-write (see Heap.Snapshot). States obtained here may be handed back
+// with ReleaseState once provably unreachable.
 func (s *State) Snapshot() *State {
-	out := &State{FSM: s.FSM, Globals: make([]Value, len(s.Globals)), Heap: s.Heap.Snapshot()}
+	out := allocState(len(s.Globals))
+	out.FSM = s.FSM
+	for i := range s.Globals {
+		copyValueInto(&out.Globals[i], &s.Globals[i])
+	}
+	out.Heap = s.Heap.Snapshot()
+	return out
+}
+
+// DeepSnapshot returns an eagerly deep-copied state with no structural
+// sharing (the legacy Save strategy; see Heap.DeepSnapshot).
+func (s *State) DeepSnapshot() *State {
+	out := &State{FSM: s.FSM, Globals: make([]Value, len(s.Globals)), Heap: s.Heap.DeepSnapshot()}
 	for i := range s.Globals {
 		out.Globals[i] = s.Globals[i].Copy()
 	}
 	return out
 }
 
-// ApproxBytes estimates how much memory a Snapshot of this state copies:
-// one Value header per global and per live heap cell. Aggregate values
-// (arrays, records, sets) copy more than the header, so this is a floor, but
-// it is computable in O(1) per component and moves with the quantity §3.2.2
-// worries about — the per-Save cost of deep state copying. The observability
-// layer feeds it to the snapshot-bytes metric.
+// ApproxBytes estimates how much memory this state's payload occupies: one
+// Value header per global, per heap cell, and per nested element, plus the
+// backing arrays of composites (array/record element headers, set words).
+// It moves with the quantity §3.2.2 worries about — the per-Save cost of
+// deep state copying — and sizes the dead-state memo's byte budget. The
+// observability layer feeds it to the snapshot-bytes metric.
 func (s *State) ApproxBytes() int64 {
 	const valueHeader = 64 // unsafe.Sizeof(Value{}) rounded up to a cache line
-	return int64(1+len(s.Globals)+s.Heap.Len()) * valueHeader
+	total := int64(valueHeader)
+	for i := range s.Globals {
+		total += s.Globals[i].approxBytes()
+	}
+	for _, c := range s.Heap.cells {
+		total += c.v.approxBytes()
+	}
+	return total
 }
 
-// Fingerprint returns a canonical string for visited-state hashing.
+func (v *Value) approxBytes() int64 {
+	const valueHeader = 64
+	total := int64(valueHeader)
+	for i := range v.Elems {
+		total += v.Elems[i].approxBytes()
+	}
+	total += int64(len(v.Words)) * 8
+	return total
+}
+
+// Fingerprint returns a canonical string for visited-state hashing. It is
+// the authoritative collision-free form; Hash64 is the fast 64-bit digest of
+// the same byte stream.
 func (s *State) Fingerprint() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "F%d|", s.FSM)

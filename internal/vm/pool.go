@@ -1,0 +1,107 @@
+package vm
+
+import "sync"
+
+// Snapshot pooling: the MDFS search creates and discards states at every
+// branch point, and the restore path in particular produces short-lived
+// states whose only purpose is to seed one transition attempt. Pooling the
+// State and Heap containers (and reusing Globals backing arrays via
+// copyValueInto) keeps those allocations off the garbage collector's plate.
+//
+// Only containers are pooled — never cell payloads, which may be structurally
+// shared across a snapshot family. A state may be released only when its
+// owner can prove nothing else references it (the analyzer releases exactly
+// the restore-path states whose candidate failed and that were never
+// snapshot). sync.Pool is safe for concurrent use, so distinct goroutines'
+// heap families may share the pools even though each family is confined.
+
+var (
+	statePool = sync.Pool{New: func() any { return new(State) }}
+	heapPool  = sync.Pool{New: func() any { return new(Heap) }}
+	mapPool   = sync.Pool{New: func() any { return make(map[int64]*cell) }}
+)
+
+func allocState(nglobals int) *State {
+	s := statePool.Get().(*State)
+	if cap(s.Globals) >= nglobals {
+		s.Globals = s.Globals[:nglobals]
+	} else {
+		s.Globals = make([]Value, nglobals)
+	}
+	return s
+}
+
+func allocHeap() *Heap {
+	return heapPool.Get().(*Heap)
+}
+
+func newCellMap(size int) map[int64]*cell {
+	m := mapPool.Get().(map[int64]*cell)
+	if len(m) != 0 {
+		for a := range m {
+			delete(m, a)
+		}
+	}
+	_ = size
+	return m
+}
+
+// copyValueInto deep-copies src into dst, reusing dst's Elems and Words
+// backing arrays when they are large enough. dst must be exclusively owned
+// by the caller.
+func copyValueInto(dst, src *Value) {
+	dst.T = src.T
+	dst.Undef = src.Undef
+	dst.I = src.I
+	if src.Elems == nil {
+		dst.Elems = nil
+	} else {
+		if cap(dst.Elems) >= len(src.Elems) {
+			dst.Elems = dst.Elems[:len(src.Elems)]
+		} else {
+			dst.Elems = make([]Value, len(src.Elems))
+		}
+		for i := range src.Elems {
+			copyValueInto(&dst.Elems[i], &src.Elems[i])
+		}
+	}
+	if src.Words == nil {
+		dst.Words = nil
+	} else {
+		if cap(dst.Words) >= len(src.Words) {
+			dst.Words = dst.Words[:len(src.Words)]
+		} else {
+			dst.Words = make([]uint64, len(src.Words))
+		}
+		copy(dst.Words, src.Words)
+	}
+}
+
+// ReleaseState returns a state obtained from Snapshot to the pool. The
+// caller asserts that no other code holds a reference to the state, its
+// globals, or its heap container. Cell payloads are never recycled (they may
+// be shared copy-on-write); only the containers are. Releasing is always
+// optional — an unreleased state is simply garbage-collected.
+func ReleaseState(s *State) {
+	if s == nil {
+		return
+	}
+	if h := s.Heap; h != nil {
+		if h.cells != nil && !h.mapShared {
+			for a := range h.cells {
+				delete(h.cells, a)
+			}
+			mapPool.Put(h.cells)
+		}
+		*h = Heap{}
+		heapPool.Put(h)
+	}
+	s.Heap = nil
+	s.FSM = 0
+	// Globals keep their backing array (that is the point of pooling) but
+	// drop payload references so pooled memory does not pin old values.
+	for i := range s.Globals {
+		s.Globals[i] = Value{Elems: s.Globals[i].Elems[:0], Words: s.Globals[i].Words[:0]}
+	}
+	statePool.Put(s)
+}

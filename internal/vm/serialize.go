@@ -212,7 +212,7 @@ func EncodeState(s *State, tt *TypeTable) ([]byte, error) {
 	e.uvarint(uint64(len(addrs)))
 	for _, a := range addrs {
 		e.uvarint(uint64(a))
-		if err := e.value(h.cells[a]); err != nil {
+		if err := e.value(&h.cells[a].v); err != nil {
 			return nil, err
 		}
 	}
@@ -366,7 +366,8 @@ func DecodeState(b []byte, tt *TypeTable) (*State, error) {
 		if err := d.value(&v); err != nil {
 			return nil, err
 		}
-		s.Heap.cells[int64(addr)] = &v
+		// The fresh heap owns its map and every decoded cell outright.
+		s.Heap.cells[int64(addr)] = &cell{v: v, gen: s.Heap.gen}
 	}
 	if len(d.buf) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadStateEncoding, len(d.buf))

@@ -1,0 +1,108 @@
+// Corpus-wide differential for the dead-state memo: over the whole golden
+// corpus, analysis with the memo enabled must be indistinguishable from
+// analysis without it — identical verdicts and diagnostics per trace, and
+// byte-identical normalized batch reports once the search counters (which
+// legitimately shrink under memoization) are masked out.
+package repro_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/batch"
+	"repro/internal/efsm"
+	"repro/internal/obs"
+	"repro/specs"
+)
+
+// maskSearch zeroes the per-item search counters: the memo's entire effect
+// must be confined to them.
+func maskSearch(rep *obs.BatchReport) {
+	for i := range rep.Items {
+		rep.Items[i].Search = obs.SearchStats{}
+	}
+}
+
+func TestCorpusMemoDifferential(t *testing.T) {
+	for _, name := range corpusSpecs {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := efsm.Compile(name, specs.All()[name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			items, err := batch.Collect([]string{corpusManifest(t, name)})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			run := func(opts analysis.Options) []byte {
+				o := batch.Options{Workers: 4, Analysis: opts}
+				res, err := batch.Run(context.Background(), spec, items, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep := batch.BuildReport("specs/"+name+".estelle", opts.Order.String(), spec, o, res)
+				rep.Normalize()
+				maskSearch(rep)
+				buf, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				return buf
+			}
+
+			base := run(analysis.Options{Order: analysis.OrderFull})
+			for _, cfg := range []struct {
+				label string
+				opts  analysis.Options
+			}{
+				{"memo", analysis.Options{Order: analysis.OrderFull, Memo: true}},
+				{"memo-paranoid", analysis.Options{Order: analysis.OrderFull, Memo: true, CollisionCheck: true}},
+				{"memo-tiny-budget", analysis.Options{Order: analysis.OrderFull, Memo: true, MemoBytes: 4096}},
+			} {
+				if got := run(cfg.opts); string(got) != string(base) {
+					t.Errorf("%s: normalized batch report differs from unmemoized baseline:\n%s\n--- baseline ---\n%s",
+						cfg.label, got, base)
+				}
+			}
+
+			// Per-trace diagnostics through the single-trace path: the memo
+			// must not change the diagnosis of any invalid trace either.
+			plain, err := analysis.NewSession(spec, analysis.Options{Order: analysis.OrderFull})
+			if err != nil {
+				t.Fatal(err)
+			}
+			memo, err := analysis.NewSession(spec, analysis.Options{Order: analysis.OrderFull, Memo: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, it := range items {
+				a, err := plain.AnalyzeFile(context.Background(), it.Path)
+				if err != nil {
+					t.Fatalf("%s: %v", it.Name, err)
+				}
+				b, err := memo.AnalyzeFile(context.Background(), it.Path)
+				if err != nil {
+					t.Fatalf("%s: %v", it.Name, err)
+				}
+				if a.Verdict != b.Verdict {
+					t.Errorf("%s: memo verdict %v != plain %v", it.Name, b.Verdict, a.Verdict)
+				}
+				if (a.Diagnosis == nil) != (b.Diagnosis == nil) {
+					t.Errorf("%s: diagnosis presence differs", it.Name)
+				} else if a.Diagnosis != nil {
+					if a.Diagnosis.FirstUnexplained != b.Diagnosis.FirstUnexplained ||
+						a.Diagnosis.Explained != b.Diagnosis.Explained ||
+						a.Diagnosis.State != b.Diagnosis.State {
+						t.Errorf("%s: diagnosis differs: plain %+v, memo %+v",
+							it.Name, a.Diagnosis, b.Diagnosis)
+					}
+				}
+			}
+		})
+	}
+}
