@@ -7,10 +7,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"runtime"
-	"syscall"
 	"time"
 
 	"repro/internal/analysis"
@@ -126,8 +124,9 @@ func runBatch(args []string, w, ew io.Writer) error {
 
 	// SIGINT/SIGTERM cancel the shared context: in-flight analyses stop at
 	// their next expansion, remaining items drain as skipped, the journal
-	// keeps every row sealed so far, and the deferred sinks flush.
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// keeps every row sealed so far, and the deferred sinks flush. A second
+	// signal forces exit.
+	ctx, stopSignals := shutdownContext(context.Background(), ew)
 	defer stopSignals()
 	if *deadline > 0 {
 		var cancel context.CancelFunc

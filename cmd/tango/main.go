@@ -35,10 +35,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strings"
-	"syscall"
 	"time"
 
 	"sort"
@@ -148,6 +146,10 @@ func run(args []string, w, ew io.Writer) error {
 		return runFormat(args[1:], w, ew, false)
 	case "normalform":
 		return runFormat(args[1:], w, ew, true)
+	case "serve":
+		return runServe(args[1:], w, ew)
+	case "version", "-version", "--version":
+		return runVersion(w)
 	case "help", "-h", "--help":
 		return usageError{}
 	default:
@@ -181,6 +183,11 @@ func (usageError) Error() string {
   tango explore [-max N] <spec>  (bounded closed-system state-space exploration)
   tango bench [-quick] [-report out.json] [-k N]
                                  (search-core benchmarks; writes tango.bench/1)
+  tango serve [-addr host:port] [-j N] [-queue N] [-spec-cache N]
+              [-budget N] [-deadline D] [-max-deadline D] [-stall-timeout D]
+              [-breaker N] [-heartbeat D] [-drain-timeout D] [-metrics-out f]
+                                 (HTTP/JSON analysis daemon; see README "Serving")
+  tango version                  (build identity: version, commit, toolchain)
 
 exit codes: 0 valid, 1 error, 2 invalid, 3 inconclusive (budget, deadline,
 cancellation or stall), 4 malformed trace, 5 malformed specification,
@@ -400,8 +407,8 @@ func runAnalyze(args []string, w, ew io.Writer) error {
 
 	// SIGINT/SIGTERM cancel the context: the analyzer checkpoints its final
 	// progress (when -checkpoint is set), reports a partial verdict, and the
-	// deferred sinks above flush on the way out.
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// deferred sinks above flush on the way out. A second signal forces exit.
+	ctx, stopSignals := shutdownContext(context.Background(), ew)
 	defer stopSignals()
 	if *deadline > 0 {
 		var cancel context.CancelFunc

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a strings.Builder safe to read from the test goroutine while
+// a subcommand goroutine writes to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestVersionCommand(t *testing.T) {
+	out, err := runCLI(t, "version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "tango dev (") {
+		t.Fatalf("version output: %q", out)
+	}
+}
+
+// TestShutdownContextGraceful: the first signal cancels the context (the
+// graceful path) without exiting the process.
+func TestShutdownContextGraceful(t *testing.T) {
+	var ew syncBuffer
+	ctx, stop := shutdownContext(context.Background(), &ew)
+	defer stop()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first signal never cancelled the context")
+	}
+	if !strings.Contains(ew.String(), "shutting down gracefully") {
+		t.Fatalf("stderr: %q", ew.String())
+	}
+}
+
+// TestShutdownContextForcedExit: a second signal during the drain forces an
+// immediate exit with the operational-error code.
+func TestShutdownContextForcedExit(t *testing.T) {
+	exited := make(chan int, 1)
+	orig := exitNow
+	exitNow = func(code int) { exited <- code; select {} }
+	defer func() { exitNow = orig }()
+
+	var ew syncBuffer
+	ctx, stop := shutdownContext(context.Background(), &ew)
+	defer stop()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	<-ctx.Done() // drain in progress; the handler is still listening
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exited:
+		if code != exitError {
+			t.Fatalf("forced exit code %d, want %d", code, exitError)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal never forced an exit")
+	}
+	if !strings.Contains(ew.String(), "forced exit") {
+		t.Fatalf("stderr: %q", ew.String())
+	}
+}
+
+// TestShutdownContextStopUnregisters: after stop(), the handler goroutine is
+// gone and a cancelled context is the only effect that remains.
+func TestShutdownContextStopUnregisters(t *testing.T) {
+	var ew syncBuffer
+	ctx, stop := shutdownContext(context.Background(), &ew)
+	stop()
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("stop must cancel the context")
+	}
+	if ew.String() != "" {
+		t.Fatalf("no signal arrived, but stderr got %q", ew.String())
+	}
+}
+
+var servingLine = regexp.MustCompile(`serving on (http://[^ ]+)`)
+
+// TestServeGracefulShutdown boots the real daemon on a free port, checks
+// /healthz answers with the build identity, sends SIGTERM, and expects a
+// clean exit with a final metrics snapshot on disk.
+func TestServeGracefulShutdown(t *testing.T) {
+	metricsPath := write(t, "metrics.json", "")
+	var out, ew syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- runServe([]string{"-addr", "127.0.0.1:0", "-metrics-out", metricsPath}, &out, &ew)
+	}()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if m := servingLine.FindStringSubmatch(ew.String()); m != nil {
+			base = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stderr: %q", ew.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", resp.StatusCode, h)
+	}
+	if h["tango_version"] != "dev" {
+		t.Fatalf("healthz version %v, want dev", h["tango_version"])
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runServe: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never exited after SIGTERM")
+	}
+	if !strings.Contains(ew.String(), "graceful shutdown complete") {
+		t.Fatalf("stderr: %q", ew.String())
+	}
+
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics snapshot is not JSON: %v\n%s", err, raw)
+	}
+	if _, ok := snap["serve.requests"]; !ok {
+		t.Fatalf("metrics snapshot missing serve.requests: %v", snap)
+	}
+}
+
+func TestServeBadFlags(t *testing.T) {
+	var out, ew syncBuffer
+	if err := runServe([]string{"-no-such-flag"}, &out, &ew); err == nil {
+		t.Fatal("expected usage error")
+	}
+	if err := runServe([]string{"stray-arg"}, &out, &ew); err == nil {
+		t.Fatal("expected usage error for positional args")
+	}
+}
+
+// TestServeAddrInUse: a taken port is an operational error, not a hang.
+func TestServeAddrInUse(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var out, ew syncBuffer
+	err = runServe([]string{"-addr", ln.Addr().String()}, &out, &ew)
+	if err == nil {
+		t.Fatal("expected listen error on an in-use port")
+	}
+	if _, ok := err.(usageError); ok {
+		t.Fatalf("listen failure must not be a usage error: %v", err)
+	}
+}

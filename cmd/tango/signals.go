@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// exitNow is os.Exit behind a seam so tests can observe the forced-exit path
+// without dying.
+var exitNow = os.Exit
+
+// shutdownContext is the one signal-handling policy every long-running
+// subcommand (analyze, batch, serve) shares: the first SIGINT/SIGTERM cancels
+// the returned context — the graceful path, where analyses stop with partial
+// verdicts, batches drain, and the serve daemon answers its in-flight
+// requests — and a second signal during that drain forces an immediate exit
+// with the operational-error code.
+//
+// This replaces signal.NotifyContext, which swallows the second signal: its
+// handler stays registered after the first delivery but the context is
+// already cancelled, so a stuck drain left Ctrl-C dead. Here the handler
+// goroutine survives the first signal precisely to catch the second.
+func shutdownContext(parent context.Context, ew io.Writer) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	done := make(chan struct{})
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(ew, "tango: %v: shutting down gracefully (signal again to force exit)\n", sig)
+			cancel()
+		case <-done:
+			return
+		}
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(ew, "tango: %v: forced exit\n", sig)
+			exitNow(exitError)
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+			cancel()
+		})
+	}
+	return ctx, stop
+}

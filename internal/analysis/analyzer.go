@@ -35,6 +35,12 @@ type Analyzer struct {
 
 	dynamic bool
 	eofSeen bool
+	// autoDepth records that MaxDepth was not set by the caller, so reset
+	// recomputes it from each trace's length (a reused Session must not keep
+	// the first trace's cap) and on-line ingestion grows it as events arrive
+	// (an on-line run starts with zero events, which would otherwise pin the
+	// cap at the floor and refute any deeper stream).
+	autoDepth bool
 
 	stats  Stats
 	seen   *vm.FPSet
@@ -150,6 +156,9 @@ func New(spec *efsm.Spec, opts Options) (*Analyzer, error) {
 		a.unobserved[id] = true
 	}
 	a.exec = vm.New(spec.Prog)
+	if opts.MaxHeapCells > 0 {
+		a.exec.Limits.MaxHeapCells = opts.MaxHeapCells
+	}
 	a.tracer = opts.Tracer
 	if m := opts.Metrics; m != nil {
 		a.mDepth = m.Gauge("search.depth")
@@ -179,6 +188,12 @@ func (a *Analyzer) Stats() Stats { return a.stats }
 func (a *Analyzer) SetOnProgress(fn func(Progress)) { a.opts.OnProgress = fn }
 
 func (a *Analyzer) reset(traceLen int) {
+	if a.opts.MaxDepth <= 0 {
+		a.autoDepth = true
+	}
+	if a.autoDepth {
+		a.opts.MaxDepth = 0 // recompute from this trace's length
+	}
 	a.opts = a.opts.withDefaults(traceLen)
 	a.exec.Partial = a.opts.Partial
 	nIPs := a.spec.NumIPs()
@@ -250,6 +265,14 @@ func (a *Analyzer) ingest(events []trace.Event) error {
 			a.inputs[re.IP] = append(a.inputs[re.IP], idx)
 		} else {
 			a.outputs[re.IP] = append(a.outputs[re.IP], idx)
+		}
+	}
+	// On-line runs start from an empty trace; keep the auto depth cap in
+	// step with what has actually arrived, or a stream deeper than the
+	// zero-length floor would be spuriously refuted at the cap.
+	if a.autoDepth {
+		if d := 4*len(a.events) + 64; d > a.opts.MaxDepth {
+			a.opts.MaxDepth = d
 		}
 	}
 	return nil

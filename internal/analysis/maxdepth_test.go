@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/efsm"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/specs"
+)
+
+// Regression tests for the auto MaxDepth cap. withDefaults computes
+// MaxDepth = 4*traceLen+64 and reset used to persist the first computation
+// into a.opts, which broke two reuse patterns: an on-line run starts from
+// zero events (cap pinned at 64, so any deeper stream was spuriously
+// refuted), and a reused Session kept the first trace's cap for later,
+// longer traces.
+
+func echo300(t *testing.T) (*efsm.Spec, *trace.Trace) {
+	t.Helper()
+	spec, err := efsm.Compile("echo", specs.Echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.EchoTrace(spec, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, tr
+}
+
+// TestOnlineAutoDepthGrows streams a 600-event valid trace: the auto depth
+// cap must grow with ingestion instead of staying at the zero-length floor.
+func TestOnlineAutoDepthGrows(t *testing.T) {
+	spec, tr := echo300(t)
+	an, err := New(spec, Options{Order: OrderFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := [][]trace.Event{tr.Events}
+	res, err := an.AnalyzeSource(trace.NewSliceSource(chunks, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Valid {
+		t.Fatalf("on-line verdict %v, want valid (diagnosis: %+v)", res.Verdict, res.Diagnosis)
+	}
+}
+
+// TestSessionReuseRecomputesDepth analyzes a short trace then a much longer
+// one on the same session: the second run must get its own depth cap.
+func TestSessionReuseRecomputesDepth(t *testing.T) {
+	spec, long := echo300(t)
+	short, err := workload.EchoTrace(spec, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(spec, Options{Order: OrderFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range []*trace.Trace{short, long, short} {
+		res, err := sess.Analyze(context.Background(), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != Valid {
+			t.Fatalf("trace %d (%d events): verdict %v, want valid", i, tr.Len(), res.Verdict)
+		}
+	}
+}
+
+// TestExplicitMaxDepthSticks: a caller-chosen cap is never overridden by the
+// auto-growth path.
+func TestExplicitMaxDepthSticks(t *testing.T) {
+	spec, tr := echo300(t)
+	an, err := New(spec, Options{Order: OrderFull, MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.AnalyzeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict == Valid {
+		t.Fatalf("600-event trace accepted under MaxDepth=10")
+	}
+}

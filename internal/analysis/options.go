@@ -140,6 +140,12 @@ type Options struct {
 	// the search gives up with an Exhausted verdict (default 5,000,000).
 	MaxTransitions int64
 
+	// MaxHeapCells bounds live dynamic-memory cells per VM state (default
+	// 1<<20, vm.Limits). A transition allocating past the bound faults, and
+	// the faulting branch is treated as infeasible — the request-scoped heap
+	// budget the serving layer maps tenant limits onto.
+	MaxHeapCells int
+
 	// SynthInputBudget bounds, per search path and unobserved IP, the number
 	// of synthesized inputs, preventing the infinite-depth trees of §5.4
 	// (default 8).

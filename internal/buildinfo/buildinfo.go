@@ -1,0 +1,71 @@
+// Package buildinfo carries the binary's identity: a version string
+// (overridable at link time) and the VCS revision recorded by the Go
+// toolchain. It is the single source the CLI (`tango version`), the serving
+// daemon (`/healthz`) and the machine-readable reports (`tango.report/1`
+// headers) all quote, so an operator can always tie an artifact back to the
+// build that produced it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Version is the human-facing release version. The default marks an untagged
+// developer build; release builds override it with
+//
+//	go build -ldflags "-X repro/internal/buildinfo.Version=v1.2.3" ./cmd/tango
+var Version = "dev"
+
+var (
+	once   sync.Once
+	commit string
+	dirty  bool
+)
+
+func read() {
+	once.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				commit = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	})
+}
+
+// Commit returns the VCS revision the binary was built from, abbreviated to
+// 12 characters, with a "+dirty" suffix when the working tree was modified.
+// Empty when the toolchain recorded no VCS metadata (e.g. `go test` builds).
+func Commit() string {
+	read()
+	c := commit
+	if len(c) > 12 {
+		c = c[:12]
+	}
+	if dirty && c != "" {
+		c += "+dirty"
+	}
+	return c
+}
+
+// String renders the full identity line printed by `tango version`:
+//
+//	tango dev (commit 1a2b3c4d5e6f, go1.22.0 linux/amd64)
+func String() string {
+	id := Version
+	if c := Commit(); c != "" {
+		id += fmt.Sprintf(" (commit %s, %s %s/%s)", c, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	} else {
+		id += fmt.Sprintf(" (%s %s/%s)", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	}
+	return "tango " + id
+}

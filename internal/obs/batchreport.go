@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"repro/internal/buildinfo"
 )
 
 // BatchSchema versions the machine-readable record of one batch analysis run
@@ -71,6 +73,10 @@ type BatchCounts struct {
 type BatchReport struct {
 	Schema string `json:"schema"`
 	Tool   string `json:"tool"`
+	// Version and Commit identify the build that produced the report
+	// (internal/buildinfo); WriteFile fills them when empty.
+	Version string `json:"tango_version,omitempty"`
+	Commit  string `json:"tango_commit,omitempty"`
 
 	Spec            string `json:"spec"`
 	SpecTransitions int    `json:"spec_transitions"`
@@ -117,6 +123,12 @@ func (r *BatchReport) Normalize() {
 func (r *BatchReport) WriteFile(path string) error {
 	if r.Schema == "" {
 		r.Schema = BatchSchema
+	}
+	if r.Version == "" {
+		r.Version = buildinfo.Version
+	}
+	if r.Commit == "" {
+		r.Commit = buildinfo.Commit()
 	}
 	return writeJSON(path, r)
 }

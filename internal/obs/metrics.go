@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -156,6 +158,17 @@ func (r *Registry) Snapshot() map[string]any {
 		}
 	}
 	return out
+}
+
+// WriteJSON marshals Snapshot (indented, trailing newline) to w — the body
+// of the serving daemon's /metrics endpoint.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
 }
 
 // Scalars returns only the counter and gauge values, sorted-key iterable —

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+
+	"repro/internal/buildinfo"
 )
 
 // Schema identifiers for the machine-readable run reports. Like TraceSchema,
@@ -74,6 +76,10 @@ type StopDetail struct {
 type Report struct {
 	Schema string `json:"schema"`
 	Tool   string `json:"tool"`
+	// Version and Commit identify the build that produced the report
+	// (internal/buildinfo); WriteFile fills them when empty.
+	Version string `json:"tango_version,omitempty"`
+	Commit  string `json:"tango_commit,omitempty"`
 
 	Spec            string `json:"spec"`
 	SpecTransitions int    `json:"spec_transitions"`
@@ -124,6 +130,12 @@ func (r *Report) SetTransitions(fired map[string]int64) {
 func (r *Report) WriteFile(path string) error {
 	if r.Schema == "" {
 		r.Schema = ReportSchema
+	}
+	if r.Version == "" {
+		r.Version = buildinfo.Version
+	}
+	if r.Commit == "" {
+		r.Commit = buildinfo.Commit()
 	}
 	return writeJSON(path, r)
 }

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/specs"
+)
+
+// TestChaosSoak is the acceptance drill of the serving layer: sustained
+// overload (far more concurrent requests than workers+queue), injected worker
+// panics on one poisoned spec, random client disconnects, and budget-starved
+// requests — all at once, under -race. The daemon must never crash, must shed
+// with 429 when saturated, must answer every request that it accepted, must
+// produce deterministic partial verdicts for budget-expired requests, and
+// after BeginDrain/AwaitIdle must be fully idle with no leaked pool slots or
+// goroutines.
+func TestChaosSoak(t *testing.T) {
+	rounds, clients := 6, 24
+	if testing.Short() {
+		rounds, clients = 2, 8
+	}
+
+	poison := SpecDigest(specs.TP0)
+	var injected atomic.Int64
+	s, ts := newTestServer(t, Options{
+		Workers:       2,
+		QueueDepth:    2,
+		BreakerPanics: 1_000_000, // containment under test here, not the breaker
+		RetryAfter:    time.Second,
+		Limits:        Limits{DegradeAt: 1},
+		FaultHook: func(digest string) {
+			if digest == poison {
+				injected.Add(1)
+				panic("chaos: injected worker fault")
+			}
+			// Clean requests dwell on the worker: the echo analysis itself is
+			// microseconds, far too fast to ever back the pool up.
+			time.Sleep(2 * time.Millisecond)
+		},
+	})
+	valid, invalid := echoTraces(t)
+	baseline := runtime.NumGoroutine()
+
+	// Pre-seed both specs so the chaos rounds race on analysis, not compiles.
+	uploadEcho(t, ts.URL)
+	if code, m, _ := postJSON(t, ts.URL+"/v1/specs", map[string]any{"spec": specs.TP0, "spec_name": "tp0"}); code != 200 {
+		t.Fatalf("tp0 upload: %d %v", code, m)
+	}
+
+	var (
+		mu       sync.Mutex
+		statuses = map[int]int{}
+		answered int64
+		sent     int64
+	)
+	post := func(ctx context.Context, body map[string]any) (int, map[string]any) {
+		b, _ := json.Marshal(body)
+		req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/analyze", bytes.NewReader(b))
+		if err != nil {
+			t.Error(err)
+			return 0, nil
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, nil // cancelled client: no answer expected
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		var m map[string]any
+		_ = json.Unmarshal(raw, &m)
+		return resp.StatusCode, m
+	}
+
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(round, c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(round*1000 + c)))
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				var body map[string]any
+				switch c % 4 {
+				case 0:
+					body = map[string]any{"spec": specs.Echo, "trace": valid}
+				case 1:
+					body = map[string]any{"spec": specs.Echo, "trace": invalid}
+				case 2: // budget-starved: deterministic partial verdict
+					body = map[string]any{"spec": specs.Echo, "trace": valid, "budget": 2}
+				case 3: // poisoned spec: contained panic
+					body = map[string]any{"spec": specs.TP0, "trace": valid}
+				}
+				atomic.AddInt64(&sent, 1)
+				if rng.Intn(5) == 0 {
+					// A vanishing client: hang up at a random moment.
+					time.AfterFunc(time.Duration(rng.Intn(3))*time.Millisecond, cancel)
+				}
+				code, m := post(ctx, body)
+				if code == 0 {
+					return // disconnected before the answer
+				}
+				atomic.AddInt64(&answered, 1)
+				mu.Lock()
+				statuses[code]++
+				mu.Unlock()
+				switch code {
+				case http.StatusOK, http.StatusInternalServerError,
+					http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				default:
+					t.Errorf("unexpected status %d: %v", code, m)
+				}
+				if code == http.StatusOK && c%4 == 2 {
+					if m["exit_class"] != float64(3) {
+						t.Errorf("budget-starved request: exit_class %v, want 3", m["exit_class"])
+					}
+					stop, _ := m["stop"].(map[string]any)
+					if stop == nil || stop["reason"] != "budget" {
+						t.Errorf("budget-starved request: stop %v", m["stop"])
+					}
+				}
+			}(round, c)
+		}
+		wg.Wait()
+	}
+
+	mu.Lock()
+	t.Logf("sent=%d answered=%d statuses=%v injected-panics=%d degraded=%d",
+		sent, answered, statuses, injected.Load(), s.Metrics().Counter("serve.degraded").Value())
+	shed := statuses[http.StatusTooManyRequests]
+	mu.Unlock()
+	if shed == 0 {
+		t.Error("sustained overload never produced a 429")
+	}
+	if injected.Load() == 0 {
+		t.Error("fault hook never fired")
+	}
+	if got := s.Metrics().Counter("serve.panics").Value(); got != injected.Load() {
+		t.Errorf("serve.panics = %d, want %d (every injected panic contained and counted)", got, injected.Load())
+	}
+
+	// The daemon survived: it still answers, and a fresh analysis works.
+	code, m, _ := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"spec": specs.Echo, "trace": valid})
+	if code != http.StatusOK || m["verdict"] != "valid" {
+		t.Fatalf("post-chaos analyze: %d %v", code, m)
+	}
+
+	// Deterministic partial verdicts: the same starved request, byte-equal
+	// stop info across runs.
+	var stops []string
+	for i := 0; i < 2; i++ {
+		code, m, _ := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"spec": specs.Echo, "trace": valid, "budget": 2})
+		if code != http.StatusOK {
+			t.Fatalf("starved rerun: %d %v", code, m)
+		}
+		b, _ := json.Marshal(map[string]any{"verdict": m["verdict"], "stop": m["stop"]})
+		stops = append(stops, string(b))
+	}
+	if stops[0] != stops[1] {
+		t.Fatalf("partial verdicts diverged:\n%s\n%s", stops[0], stops[1])
+	}
+
+	// No leaked pool slots: with every client gone, the pool must return to
+	// empty on its own.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pool.inflight() != 0 || s.pool.queued() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("leaked pool slots: inflight=%d queued=%d", s.pool.inflight(), s.pool.queued())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Graceful drain: admission stops, in-flight work finishes. AwaitIdle can
+	// only return nil by claiming every worker slot, so its success IS the
+	// no-leak proof under drain.
+	s.BeginDrain()
+	ctx, cancel := testContext(t, 10*time.Second)
+	defer cancel()
+	if err := s.AwaitIdle(ctx); err != nil {
+		t.Fatalf("AwaitIdle: %v", err)
+	}
+	if code, m, _ := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"spec": specs.Echo, "trace": valid}); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain analyze: %d %v, want 503", code, m)
+	}
+
+	// No leaked goroutines: allow some slack for the HTTP client/server
+	// machinery to wind down (idle keep-alive connections hold a server
+	// goroutine each until the client pool drops them).
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+5 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d now vs %d baseline\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

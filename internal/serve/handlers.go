@@ -1,0 +1,580 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/batch"
+	"repro/internal/buildinfo"
+	"repro/internal/efsm"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Machine-readable error codes in the error envelope. Stable: clients and
+// the CI smoke test branch on them.
+const (
+	CodeBadRequest  = "bad_request"  // malformed JSON, oversized body, missing fields
+	CodeBadSpec     = "bad_spec"     // specification does not compile
+	CodeBadTrace    = "bad_trace"    // trace does not parse or resolve
+	CodeUnknownSpec = "unknown_spec" // spec_digest not in the cache
+	CodeSaturated   = "saturated"    // admission queue full (429)
+	CodeDraining    = "draining"     // server shutting down (503)
+	CodeQuarantined = "quarantined"  // spec tripped the panic breaker (503)
+	CodePanic       = "panic"        // contained analysis panic (500)
+)
+
+// errorResponse is the JSON envelope of every non-200 answer.
+type errorResponse struct {
+	Schema      string `json:"schema"`
+	Version     string `json:"tango_version"`
+	Code        string `json:"code"`
+	Error       string `json:"error"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+}
+
+// analyzeRequest is the body of POST /v1/analyze (and, minus trace fields,
+// POST /v1/specs). Exactly one of Spec (inline source) or SpecDigest (from a
+// prior /v1/specs upload) selects the specification.
+type analyzeRequest struct {
+	Spec       string `json:"spec,omitempty"`
+	SpecName   string `json:"spec_name,omitempty"`
+	SpecDigest string `json:"spec_digest,omitempty"`
+
+	Trace string `json:"trace"`
+
+	Order         string   `json:"order,omitempty"` // NR, IO, IP, FULL (default FULL)
+	DisabledIPs   []string `json:"disable,omitempty"`
+	UnobservedIPs []string `json:"unobserved,omitempty"`
+	StateSearch   bool     `json:"statesearch,omitempty"`
+	Hash          bool     `json:"hash,omitempty"`
+	Memo          bool     `json:"memo,omitempty"`
+
+	// Budget bounds transition executions; DeadlineMS wall time. Both are
+	// clamped by server policy (and shrunk under load); 0 means the server
+	// default. The response reports the effective values.
+	Budget     int64 `json:"budget,omitempty"`
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// diagnosisJSON mirrors analysis.Diagnosis for the wire.
+type diagnosisJSON struct {
+	Explained        int      `json:"explained"`
+	Total            int      `json:"total"`
+	State            string   `json:"state,omitempty"`
+	FirstUnexplained string   `json:"first_unexplained,omitempty"`
+	Faults           []string `json:"faults,omitempty"`
+}
+
+// analyzeResponse is the 200 body of POST /v1/analyze.
+type analyzeResponse struct {
+	Schema     string `json:"schema"`
+	Version    string `json:"tango_version"`
+	SpecDigest string `json:"spec_digest"`
+	SpecCached bool   `json:"spec_cached"`
+
+	Verdict   string `json:"verdict"`
+	ExitClass int    `json:"exit_class"`
+	Reason    string `json:"reason,omitempty"`
+
+	// Degraded marks a request run under the overload clamps; Budget and
+	// DeadlineMS are the effective limits it ran with.
+	Degraded   bool  `json:"degraded,omitempty"`
+	Budget     int64 `json:"budget"`
+	DeadlineMS int64 `json:"deadline_ms"`
+
+	Stop      *obs.StopDetail `json:"stop,omitempty"`
+	Search    obs.SearchStats `json:"search"`
+	Diagnosis *diagnosisJSON  `json:"diagnosis,omitempty"`
+	ElapsedUS int64           `json:"elapsed_us"`
+}
+
+// specsResponse is the 200 body of POST /v1/specs.
+type specsResponse struct {
+	Schema      string `json:"schema"`
+	Version     string `json:"tango_version"`
+	SpecDigest  string `json:"spec_digest"`
+	SpecCached  bool   `json:"spec_cached"`
+	Name        string `json:"name"`
+	States      int    `json:"states"`
+	Transitions int    `json:"transitions"`
+}
+
+// batchRequest is the body of POST /v1/batch.
+type batchRequest struct {
+	Spec       string `json:"spec,omitempty"`
+	SpecName   string `json:"spec_name,omitempty"`
+	SpecDigest string `json:"spec_digest,omitempty"`
+
+	Order         string   `json:"order,omitempty"`
+	DisabledIPs   []string `json:"disable,omitempty"`
+	UnobservedIPs []string `json:"unobserved,omitempty"`
+	Hash          bool     `json:"hash,omitempty"`
+	Memo          bool     `json:"memo,omitempty"`
+	Budget        int64    `json:"budget,omitempty"` // per item
+	DeadlineMS    int64    `json:"deadline_ms,omitempty"`
+
+	Traces []batchTrace `json:"traces"`
+}
+
+type batchTrace struct {
+	Name   string `json:"name,omitempty"`
+	Trace  string `json:"trace"`
+	Expect string `json:"expect,omitempty"` // "", "valid", "invalid"
+}
+
+// batchResponse is the 200 body of POST /v1/batch: per-item rows in request
+// order plus the aggregate counts, the same shapes tango.batch/1 uses.
+type batchResponse struct {
+	Schema     string `json:"schema"`
+	Version    string `json:"tango_version"`
+	SpecDigest string `json:"spec_digest"`
+	Degraded   bool   `json:"degraded,omitempty"`
+	Budget     int64  `json:"budget"`
+	DeadlineMS int64  `json:"deadline_ms"`
+
+	Items     []obs.BatchItem `json:"items"`
+	Counts    obs.BatchCounts `json:"counts"`
+	ExitClass int             `json:"exit_class"`
+	ElapsedUS int64           `json:"elapsed_us"`
+}
+
+// writeJSON writes one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// fail writes the error envelope for one failed request.
+func (s *Server) fail(w http.ResponseWriter, status int, code, msg string) {
+	e := errorResponse{Schema: Schema, Version: buildinfo.Version, Code: code, Error: msg}
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		secs := int((s.opts.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		e.RetryAfterS = secs
+	}
+	switch status {
+	case http.StatusUnprocessableEntity:
+		s.m.badRequests.Inc()
+	case http.StatusTooManyRequests:
+		s.m.shed.Inc()
+	case http.StatusServiceUnavailable:
+		s.m.rejected.Inc()
+	}
+	writeJSON(w, status, e)
+}
+
+// decode reads and unmarshals one bounded JSON body.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(v); err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, "decode request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// resolveSpec turns the spec fields of a request into a ready compiled spec,
+// answering the error response itself on failure. ok=false means the
+// response has been written (or the client is gone).
+func (s *Server) resolveSpec(w http.ResponseWriter, r *http.Request,
+	source, name, digest string) (entry *specEntry, spec *efsm.Spec, cached, ok bool) {
+	switch {
+	case digest != "":
+		entry = s.cache.lookup(digest)
+		if entry == nil {
+			s.fail(w, http.StatusUnprocessableEntity, CodeUnknownSpec,
+				fmt.Sprintf("spec %s is not cached (upload it via POST /v1/specs)", digest))
+			return nil, nil, false, false
+		}
+		cached = true
+	case source != "":
+		if name == "" {
+			name = "request.estelle"
+		}
+		entry, cached = s.cache.get(name, source)
+	default:
+		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, "request names no specification (spec or spec_digest)")
+		return nil, nil, false, false
+	}
+	spec, err := s.cache.wait(r.Context(), entry)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return nil, nil, false, false // client gone; nothing to answer
+		}
+		s.fail(w, http.StatusUnprocessableEntity, CodeBadSpec, "compile: "+err.Error())
+		return nil, nil, false, false
+	}
+	if entry.quarantined(s.opts.BreakerPanics) {
+		s.fail(w, http.StatusServiceUnavailable, CodeQuarantined,
+			fmt.Sprintf("spec %s is quarantined after %d contained panics", entry.digest, entry.panics.Load()))
+		return nil, nil, false, false
+	}
+	s.tenantCounter(entry.digest, "requests").Inc()
+	return entry, spec, cached, true
+}
+
+// tenantCounter returns the per-tenant (per-spec) metric counter
+// serve.tenant.<digest12>.<what>.
+func (s *Server) tenantCounter(digest, what string) *obs.Counter {
+	short := strings.TrimPrefix(digest, "sha256:")
+	if len(short) > 12 {
+		short = short[:12]
+	}
+	return s.reg.Counter("serve.tenant." + short + "." + what)
+}
+
+// admit runs pool admission and answers 429/503 itself. ok=false means the
+// response has been written (or the client is gone).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	err := s.pool.acquire(r.Context())
+	s.gauges()
+	switch {
+	case err == nil:
+		return true
+	case err == ErrSaturated:
+		s.fail(w, http.StatusTooManyRequests, CodeSaturated,
+			fmt.Sprintf("server saturated: %d running, %d queued", s.pool.inflight(), s.pool.queued()))
+	case err == ErrDraining:
+		s.fail(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+	default: // client context ended while queued
+	}
+	return false
+}
+
+// analysisOptions maps request fields onto analysis.Options under the
+// effective limits.
+func analysisOptions(order analysis.OrderOpts, disabled, unobserved []string,
+	stateSearch, hash, memo bool, lim reqLimits, heap int) analysis.Options {
+	return analysis.Options{
+		Order:              order,
+		DisabledIPs:        disabled,
+		UnobservedIPs:      unobserved,
+		InitialStateSearch: stateSearch,
+		StateHashing:       hash,
+		Memo:               memo,
+		MaxTransitions:     lim.Budget,
+		MaxHeapCells:       heap,
+	}
+}
+
+// parseOrder maps the wire order word to the checking mode.
+func parseOrder(s string) (analysis.OrderOpts, error) {
+	switch strings.ToUpper(s) {
+	case "", "FULL":
+		return analysis.OrderFull, nil
+	case "NR", "NONE":
+		return analysis.OrderNone, nil
+	case "IO":
+		return analysis.OrderIO, nil
+	case "IP":
+		return analysis.OrderIP, nil
+	}
+	return analysis.OrderOpts{}, fmt.Errorf("unknown order mode %q (want NR, IO, IP or FULL)", s)
+}
+
+// notePanic attributes one contained panic to a spec and trips the breaker.
+func (s *Server) notePanic(entry *specEntry, what string, err error) {
+	s.m.panics.Inc()
+	s.tenantCounter(entry.digest, "panics").Inc()
+	n := entry.panics.Add(1)
+	fmt.Fprintf(s.opts.Log, "serve: contained panic in %s (%s, panic %d): %v\n",
+		what, entry.digest, n, err)
+	if s.opts.BreakerPanics > 0 && n == s.opts.BreakerPanics {
+		s.m.quarantined.Inc()
+		fmt.Fprintf(s.opts.Log, "serve: spec %s quarantined after %d panics\n", entry.digest, n)
+	}
+}
+
+// handleSpecs implements POST /v1/specs: upload and compile a specification,
+// returning its digest for later by-digest requests.
+func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Inc()
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	}
+	var req analyzeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Spec == "" {
+		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, "request carries no spec source")
+		return
+	}
+	entry, spec, cached, ok := s.resolveSpec(w, r, req.Spec, req.SpecName, "")
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, specsResponse{
+		Schema: Schema, Version: buildinfo.Version,
+		SpecDigest: entry.digest, SpecCached: cached,
+		Name: spec.Prog.Name, States: spec.NumStates(), Transitions: spec.TransitionCount(),
+	})
+}
+
+// handleAnalyze implements POST /v1/analyze: one static trace, one verdict.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Inc()
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	}
+	var req analyzeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	order, err := parseOrder(req.Order)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
+		return
+	}
+	entry, spec, cached, ok := s.resolveSpec(w, r, req.Spec, req.SpecName, req.SpecDigest)
+	if !ok {
+		return
+	}
+	tr, err := trace.ReadString(req.Trace)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, CodeBadTrace, "trace: "+err.Error())
+		return
+	}
+
+	if !s.admit(w, r) {
+		return
+	}
+	defer func() { s.pool.release(); s.gauges() }()
+
+	lim := s.opts.Limits.resolve(time.Duration(req.DeadlineMS)*time.Millisecond, req.Budget, s.pool.queued())
+	if lim.Degraded {
+		s.m.degraded.Inc()
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), lim.Deadline)
+	defer cancel()
+
+	aopts := analysisOptions(order, req.DisabledIPs, req.UnobservedIPs,
+		req.StateSearch, req.Hash, req.Memo, lim, s.opts.Limits.MaxHeapCells)
+	sess, err := analysis.NewSession(spec, aopts)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
+		return
+	}
+	var hook func(batch.Item)
+	if s.opts.FaultHook != nil {
+		hook = func(batch.Item) { s.opts.FaultHook(entry.digest) }
+	}
+	start := time.Now()
+	ir := batch.AnalyzeItem(ctx, sess, batch.Item{Name: "request", Trace: tr}, hook)
+	elapsed := time.Since(start)
+	if ir.Panicked {
+		s.notePanic(entry, "analyze", ir.Err)
+		s.fail(w, http.StatusInternalServerError, CodePanic, "analysis panicked (contained): "+ir.Err.Error())
+		return
+	}
+	if ir.Err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, CodeBadTrace, "trace: "+ir.Err.Error())
+		return
+	}
+	s.m.completed.Inc()
+	s.m.elapsedUS.Observe(elapsed.Microseconds())
+
+	res := ir.Res
+	resp := analyzeResponse{
+		Schema: Schema, Version: buildinfo.Version,
+		SpecDigest: entry.digest, SpecCached: cached,
+		Verdict: res.Verdict.String(), ExitClass: ir.Class, Reason: res.Reason,
+		Degraded: lim.Degraded, Budget: lim.Budget, DeadlineMS: lim.Deadline.Milliseconds(),
+		Search: res.Stats.Report(), ElapsedUS: elapsed.Microseconds(),
+	}
+	if st := res.Stop; st != nil {
+		resp.Stop = &obs.StopDetail{Reason: string(st.Reason), VerifiedPrefix: st.VerifiedPrefix,
+			Nodes: st.Nodes, Transitions: st.Transitions}
+	}
+	if d := res.Diagnosis; d != nil {
+		resp.Diagnosis = &diagnosisJSON{Explained: d.Explained, Total: d.Total, State: d.State,
+			FirstUnexplained: d.FirstUnexplained, Faults: d.Faults}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch implements POST /v1/batch: many traces against one spec,
+// sequentially under a single pool slot (a batch is one tenant's workload;
+// cross-request fairness comes from the pool, not from inside the batch).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Inc()
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	}
+	var req batchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	order, err := parseOrder(req.Order)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
+		return
+	}
+	if len(req.Traces) == 0 {
+		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, "batch carries no traces")
+		return
+	}
+	if len(req.Traces) > s.opts.MaxBatchItems {
+		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest,
+			fmt.Sprintf("batch of %d traces exceeds the %d-item limit", len(req.Traces), s.opts.MaxBatchItems))
+		return
+	}
+	entry, spec, _, ok := s.resolveSpec(w, r, req.Spec, req.SpecName, req.SpecDigest)
+	if !ok {
+		return
+	}
+
+	if !s.admit(w, r) {
+		return
+	}
+	defer func() { s.pool.release(); s.gauges() }()
+
+	// The per-item budget is clamped like a single analyze; the deadline
+	// covers the whole batch, so later items of an expensive batch degrade
+	// to deterministic skipped/partial rows rather than holding the slot.
+	lim := s.opts.Limits.resolve(time.Duration(req.DeadlineMS)*time.Millisecond, req.Budget, s.pool.queued())
+	if lim.Degraded {
+		s.m.degraded.Inc()
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), lim.Deadline)
+	defer cancel()
+
+	aopts := analysisOptions(order, req.DisabledIPs, req.UnobservedIPs,
+		false, req.Hash, req.Memo, lim, s.opts.Limits.MaxHeapCells)
+	var hook func(batch.Item)
+	if s.opts.FaultHook != nil {
+		hook = func(batch.Item) { s.opts.FaultHook(entry.digest) }
+	}
+
+	start := time.Now()
+	resp := batchResponse{
+		Schema: Schema, Version: buildinfo.Version, SpecDigest: entry.digest,
+		Degraded: lim.Degraded, Budget: lim.Budget, DeadlineMS: lim.Deadline.Milliseconds(),
+		Items: make([]obs.BatchItem, 0, len(req.Traces)),
+	}
+	sess, err := analysis.NewSession(spec, aopts)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
+		return
+	}
+	for i, bt := range req.Traces {
+		name := bt.Name
+		if name == "" {
+			name = fmt.Sprintf("trace[%d]", i)
+		}
+		it := batch.Item{Name: name, Expect: bt.Expect}
+		var row obs.BatchItem
+		if tr, terr := trace.ReadString(bt.Trace); terr != nil {
+			row = obs.BatchItem{Trace: name, ExitClass: batch.ClassBadTrace, Error: terr.Error()}
+		} else {
+			it.Trace = tr
+			ir := batch.AnalyzeItem(ctx, sess, it, hook)
+			if ir.Panicked {
+				// Contain, report the row, and continue on a fresh session:
+				// one poisoned trace must not void its batch siblings.
+				s.notePanic(entry, "batch item "+name, ir.Err)
+				if sess, err = analysis.NewSession(spec, aopts); err != nil {
+					s.fail(w, http.StatusInternalServerError, CodePanic, err.Error())
+					return
+				}
+				if entry.quarantined(s.opts.BreakerPanics) {
+					row = batch.ReportItem(&ir)
+					row.Quarantined = true
+					resp.Items = append(resp.Items, row)
+					break // breaker tripped mid-batch: stop feeding it
+				}
+			}
+			row = batch.ReportItem(&ir)
+		}
+		resp.Items = append(resp.Items, row)
+	}
+	s.m.completed.Inc()
+	s.m.elapsedUS.Observe(time.Since(start).Microseconds())
+
+	// Aggregate with the batch engine's severity rules.
+	sev := map[int]int{batch.ClassOK: 0, batch.ClassInvalid: 1,
+		batch.ClassInconclusive: 2, batch.ClassBadTrace: 3, batch.ClassError: 4}
+	for i := range resp.Items {
+		row := &resp.Items[i]
+		switch row.ExitClass {
+		case batch.ClassOK:
+			resp.Counts.Valid++
+		case batch.ClassInvalid:
+			resp.Counts.Invalid++
+		case batch.ClassInconclusive:
+			resp.Counts.Inconclusive++
+		case batch.ClassBadTrace:
+			resp.Counts.BadTrace++
+		default:
+			resp.Counts.Errors++
+		}
+		if row.Match != nil && !*row.Match {
+			resp.Counts.Mismatches++
+		}
+		if sev[row.ExitClass] > sev[resp.ExitClass] {
+			resp.ExitClass = row.ExitClass
+		}
+	}
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz implements GET /healthz: liveness plus build identity and
+// load. 200 while serving, 503 while draining (so balancers stop routing).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Schema   string `json:"schema"`
+		Status   string `json:"status"`
+		Version  string `json:"tango_version"`
+		Commit   string `json:"tango_commit,omitempty"`
+		UptimeS  int64  `json:"uptime_s"`
+		Workers  int    `json:"workers"`
+		Queue    int    `json:"queue_depth"`
+		Inflight int    `json:"inflight"`
+		Queued   int    `json:"queued"`
+		Specs    int    `json:"specs_cached"`
+	}
+	h := health{
+		Schema: Schema, Status: "ok",
+		Version: buildinfo.Version, Commit: buildinfo.Commit(),
+		UptimeS: int64(time.Since(s.started).Seconds()),
+		Workers: s.opts.Workers, Queue: s.opts.QueueDepth,
+		Inflight: s.pool.inflight(), Queued: s.pool.queued(),
+		Specs: s.cache.len(),
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// handleMetrics implements GET /metrics: the registry snapshot plus cache
+// counters, as one JSON object.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reg.Gauge("serve.specs_cached").Set(int64(s.cache.len()))
+	s.reg.Counter("serve.spec_compiles").Add(s.cache.compiles.Swap(0))
+	s.reg.Counter("serve.spec_cache_hits").Add(s.cache.hits.Swap(0))
+	s.reg.Counter("serve.spec_cache_evictions").Add(s.cache.evictions.Swap(0))
+	s.gauges()
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.reg.WriteJSON(w)
+}

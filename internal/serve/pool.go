@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// Admission errors. Handlers map ErrSaturated to 429 (+ Retry-After) and
+// ErrDraining to 503: the load-shedding half of the degradation ladder.
+var (
+	// ErrSaturated: the wait queue is full — the server is past its
+	// configured backlog and sheds the request immediately rather than
+	// queueing it into a timeout.
+	ErrSaturated = errors.New("serve: saturated: queue full")
+	// ErrDraining: the server is shutting down and accepts no new work.
+	ErrDraining = errors.New("serve: draining")
+)
+
+// pool is the admission-controlled worker pool: at most `workers` analyses
+// run at once, at most `depth` further requests wait for a slot, and anything
+// beyond that is shed synchronously with ErrSaturated. It deliberately has no
+// job queue of its own — the waiting HTTP handler goroutine *is* the queue
+// entry, so cancellation, deadlines and backpressure all ride the request
+// context: a client that hangs up while queued releases its queue slot
+// immediately instead of occupying a worker later.
+type pool struct {
+	slots chan struct{} // capacity = workers; holding a token = running
+	queue chan struct{} // capacity = workers+depth; holding a token = admitted
+	drain atomic.Bool
+}
+
+func newPool(workers, depth int) *pool {
+	return &pool{
+		slots: make(chan struct{}, workers),
+		queue: make(chan struct{}, workers+depth),
+	}
+}
+
+// acquire admits one request. It returns ErrDraining when the server is
+// shutting down, ErrSaturated when the backlog is full, the context error
+// when the caller gave up while queued, and nil once a worker slot is held
+// (the caller must release()).
+func (p *pool) acquire(ctx context.Context) error {
+	if p.drain.Load() {
+		return ErrDraining
+	}
+	select {
+	case p.queue <- struct{}{}:
+	default:
+		return ErrSaturated
+	}
+	// Admitted: wait (bounded by the caller's context) for a worker slot.
+	select {
+	case p.slots <- struct{}{}:
+	case <-ctx.Done():
+		<-p.queue
+		return ctx.Err()
+	}
+	if p.drain.Load() {
+		// beginDrain raced in between the flag check and the slot grab; give
+		// the slot back so the drain's slot sweep terminates.
+		<-p.slots
+		<-p.queue
+		return ErrDraining
+	}
+	return nil
+}
+
+// release returns a worker slot after the analysis finished.
+func (p *pool) release() {
+	<-p.slots
+	<-p.queue
+}
+
+// inflight is the number of analyses running; queued the number of admitted
+// requests waiting for a worker. Both are instantaneous gauges.
+func (p *pool) inflight() int { return len(p.slots) }
+func (p *pool) queued() int {
+	q := len(p.queue) - len(p.slots)
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+// beginDrain stops admission. New acquires fail fast with ErrDraining;
+// requests already holding a slot finish normally.
+func (p *pool) beginDrain() { p.drain.Store(true) }
+
+// awaitIdle blocks until every in-flight analysis has released its slot (or
+// ctx expires). It works by taking every worker slot itself, which is safe
+// because beginDrain has stopped new acquires.
+func (p *pool) awaitIdle(ctx context.Context) error {
+	for i := 0; i < cap(p.slots); i++ {
+		select {
+		case p.slots <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+// Package serve turns the one-shot trace analyzer into a fault-tolerant
+// multi-tenant service: a long-running HTTP/JSON daemon that compiles each
+// Estelle specification once, caches it, and analyzes any number of traces
+// against it on a bounded worker pool.
+//
+// The robustness layer is the point:
+//
+//   - an LRU compiled-spec cache with singleflight compilation, so N
+//     concurrent requests for one spec cost one compile (and a cached compile
+//     *error* costs zero);
+//   - admission control: at most Workers analyses run, at most QueueDepth
+//     requests wait, everything beyond is shed synchronously with 429 +
+//     Retry-After — the queue entry is the waiting handler goroutine itself,
+//     so a hung-up client frees its backlog slot immediately;
+//   - graceful degradation: every request runs under a deadline and a
+//     transition budget clamped by server policy, and an overloaded server
+//     shrinks both so expensive requests return deterministic partial
+//     verdicts (the analyzer's StopInfo machinery) instead of camping on
+//     workers. The ladder is: full verdict → partial verdict via budget →
+//     429;
+//   - per-request panic containment: a panicking analysis answers 500
+//     without taking the daemon down, the panic is attributed to its spec,
+//     and a spec that keeps killing workers trips a circuit breaker and is
+//     quarantined (503) — the internal/supervise recipe applied to serving;
+//   - graceful drain: BeginDrain stops admission, running requests finish,
+//     /healthz flips to 503 so load balancers stop routing here.
+//
+// Endpoints: POST /v1/specs (upload+compile), POST /v1/analyze (single
+// trace), POST /v1/batch (many traces), POST /v1/stream (on-line analysis of
+// a streamed trace with incremental verdicts), GET /healthz, GET /metrics.
+// All JSON responses carry the "tango.serve/1" schema and the build version.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Schema identifies the serve response format, like obs.ReportSchema does
+// for run reports.
+const Schema = "tango.serve/1"
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds concurrently running analyses (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker beyond the running
+	// ones (default 4*Workers). Requests past Workers+QueueDepth get 429.
+	QueueDepth int
+	// SpecCacheSize bounds the compiled-spec LRU (default 32 entries).
+	SpecCacheSize int
+	// Limits is the per-request resource policy (defaults in Limits).
+	Limits Limits
+	// MaxBodyBytes bounds one request body (default 8 MiB). Oversized
+	// bodies are rejected with 422 before any compile or parse work.
+	MaxBodyBytes int64
+	// MaxBatchItems bounds traces per /v1/batch request (default 256).
+	MaxBatchItems int
+	// BreakerPanics quarantines a spec after this many contained analysis
+	// panics attributed to it (default 3; 0 disables the breaker).
+	BreakerPanics int64
+	// StreamStallTimeout bounds how long /v1/stream waits for a silent
+	// client before answering with a partial verdict (default 30s).
+	StreamStallTimeout time.Duration
+	// RetryAfter is the Retry-After hint on 429/503 responses (default 1s,
+	// rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+	// Metrics receives serving metrics (serve.* counters and gauges); nil
+	// allocates a private registry. /metrics snapshots it either way.
+	Metrics *obs.Registry
+	// Log receives one-line operational messages (panics, quarantines,
+	// drain progress). Nil discards them.
+	Log io.Writer
+	// HeartbeatEvery emits a periodic one-line load heartbeat to Log while
+	// the server runs (0 disables).
+	HeartbeatEvery time.Duration
+
+	// FaultHook, when non-nil, runs on the worker goroutine just before
+	// each analysis with the spec digest — the chaos tests' panic injection
+	// point, mirroring supervise.Options.FaultHook. Leave nil in production.
+	FaultHook func(digest string)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Workers
+	}
+	if o.SpecCacheSize <= 0 {
+		o.SpecCacheSize = 32
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	if o.MaxBatchItems <= 0 {
+		o.MaxBatchItems = 256
+	}
+	if o.BreakerPanics == 0 {
+		o.BreakerPanics = 3
+	}
+	if o.StreamStallTimeout <= 0 {
+		o.StreamStallTimeout = 30 * time.Second
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	if o.Log == nil {
+		o.Log = io.Discard
+	}
+	o.Limits = o.Limits.withDefaults(o.QueueDepth)
+	return o
+}
+
+// Server is the serving daemon: pool + cache + handlers. Create with New,
+// mount Handler on an http.Server, and call BeginDrain/AwaitIdle on
+// shutdown.
+type Server struct {
+	opts  Options
+	pool  *pool
+	cache *specCache
+	reg   *obs.Registry
+
+	started  time.Time
+	draining atomic.Bool
+	stopBeat chan struct{}
+	beatOnce sync.Once
+
+	m struct {
+		requests    *obs.Counter // every request that reached a handler
+		completed   *obs.Counter // analyses that ran to a verdict
+		shed        *obs.Counter // 429s
+		rejected    *obs.Counter // 503s (draining, quarantined)
+		badRequests *obs.Counter // 422s
+		degraded    *obs.Counter // requests run under degraded limits
+		panics      *obs.Counter // contained analysis panics
+		quarantined *obs.Counter // specs tripped into quarantine
+		streams     *obs.Counter // /v1/stream requests accepted
+		inflight    *obs.Gauge
+		queued      *obs.Gauge
+		elapsedUS   *obs.Histogram
+	}
+}
+
+// New builds a Server. It does not listen; mount Handler().
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:     opts,
+		pool:     newPool(opts.Workers, opts.QueueDepth),
+		cache:    newSpecCache(opts.SpecCacheSize),
+		reg:      opts.Metrics,
+		started:  time.Now(),
+		stopBeat: make(chan struct{}),
+	}
+	s.m.requests = s.reg.Counter("serve.requests")
+	s.m.completed = s.reg.Counter("serve.completed")
+	s.m.shed = s.reg.Counter("serve.shed_429")
+	s.m.rejected = s.reg.Counter("serve.rejected_503")
+	s.m.badRequests = s.reg.Counter("serve.bad_422")
+	s.m.degraded = s.reg.Counter("serve.degraded")
+	s.m.panics = s.reg.Counter("serve.panics")
+	s.m.quarantined = s.reg.Counter("serve.quarantined_specs")
+	s.m.streams = s.reg.Counter("serve.streams")
+	s.m.inflight = s.reg.Gauge("serve.inflight")
+	s.m.queued = s.reg.Gauge("serve.queued")
+	s.m.elapsedUS = s.reg.Histogram("serve.elapsed_us",
+		1_000, 10_000, 100_000, 1_000_000, 10_000_000)
+	if opts.HeartbeatEvery > 0 {
+		go s.heartbeatLoop(opts.HeartbeatEvery)
+	}
+	return s
+}
+
+// Handler returns the daemon's routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/specs", s.handleSpecs)
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/stream", s.handleStream)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// BeginDrain stops admitting work: new analysis requests answer 503,
+// /healthz flips to draining, in-flight requests keep running.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.pool.beginDrain()
+		fmt.Fprintf(s.opts.Log, "serve: drain: admission stopped (%d in flight, %d queued)\n",
+			s.pool.inflight(), s.pool.queued())
+	}
+}
+
+// AwaitIdle blocks until every in-flight analysis finished or ctx expired.
+// Call after BeginDrain; together with http.Server.Shutdown this is the
+// graceful half of SIGTERM handling.
+func (s *Server) AwaitIdle(ctx context.Context) error {
+	err := s.pool.awaitIdle(ctx)
+	s.beatOnce.Do(func() { close(s.stopBeat) })
+	if err != nil {
+		fmt.Fprintf(s.opts.Log, "serve: drain: gave up waiting for in-flight analyses: %v\n", err)
+		return err
+	}
+	fmt.Fprintf(s.opts.Log, "serve: drain: idle\n")
+	return nil
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Metrics exposes the registry (for snapshots and tests).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+func (s *Server) heartbeatLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			fmt.Fprintf(s.opts.Log,
+				"serve: heartbeat up=%s inflight=%d queued=%d specs=%d served=%d shed=%d\n",
+				time.Since(s.started).Round(time.Second), s.pool.inflight(), s.pool.queued(),
+				s.cache.len(), s.m.completed.Value(), s.m.shed.Value())
+		case <-s.stopBeat:
+			return
+		}
+	}
+}
+
+// gauges refreshes the load gauges; called on request entry/exit so the
+// /metrics snapshot tracks the live pool.
+func (s *Server) gauges() {
+	s.m.inflight.Set(int64(s.pool.inflight()))
+	s.m.queued.Set(int64(s.pool.queued()))
+}

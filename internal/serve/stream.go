@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/batch"
+	"repro/internal/buildinfo"
+	"repro/internal/trace"
+)
+
+// streamEvent is one NDJSON line of a /v1/stream response. Event is "hello"
+// (accepted, effective limits), "progress" (periodic incremental verdict:
+// the trace is valid so far through VerifiedPrefix of TotalEvents events),
+// "result" (final verdict, last line) or "error" (terminal failure after the
+// stream started, when the HTTP status is already on the wire).
+type streamEvent struct {
+	Event   string `json:"event"`
+	Schema  string `json:"schema,omitempty"`
+	Version string `json:"tango_version,omitempty"`
+
+	// hello fields
+	SpecDigest string `json:"spec_digest,omitempty"`
+	Degraded   bool   `json:"degraded,omitempty"`
+	Budget     int64  `json:"budget,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+
+	// progress fields
+	VerifiedPrefix int   `json:"verified_prefix,omitempty"`
+	TotalEvents    int   `json:"total_events,omitempty"`
+	Nodes          int64 `json:"nodes,omitempty"`
+	TE             int64 `json:"te,omitempty"`
+	EOF            bool  `json:"eof,omitempty"`
+
+	// result fields
+	Verdict   string         `json:"verdict,omitempty"`
+	ExitClass *int           `json:"exit_class,omitempty"`
+	Reason    string         `json:"reason,omitempty"`
+	Stop      *stopJSON      `json:"stop,omitempty"`
+	Diagnosis *diagnosisJSON `json:"diagnosis,omitempty"`
+	ElapsedUS int64          `json:"elapsed_us,omitempty"`
+
+	// error fields
+	Code  string `json:"code,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+type stopJSON struct {
+	Reason         string `json:"reason"`
+	VerifiedPrefix int    `json:"verified_prefix"`
+	Nodes          int64  `json:"nodes"`
+	Transitions    int64  `json:"transitions"`
+}
+
+// ndjson writes one stream event line and flushes it to the client, so
+// incremental verdicts arrive while the trace is still streaming in.
+func ndjson(w http.ResponseWriter, ev streamEvent) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	_, _ = w.Write(append(b, '\n'))
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handleStream implements POST /v1/stream: on-line analysis of a trace
+// streamed in the request body. The specification is named by query parameter
+// (spec_digest from a prior POST /v1/specs) because the body is the trace.
+// The response is NDJSON: a hello line on admission, periodic progress lines
+// carrying the incremental verdict ("valid so far through N events"), and one
+// final result line. A client that hangs up mid-stream, or a stream that goes
+// silent past the stall timeout, yields a deterministic partial verdict — the
+// on-line reader's own die-gracefully contract.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Inc()
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	}
+	q := r.URL.Query()
+	digest := q.Get("spec_digest")
+	if digest == "" {
+		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest,
+			"stream requests name their spec by ?spec_digest= (upload via POST /v1/specs)")
+		return
+	}
+	order, err := parseOrder(q.Get("order"))
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
+		return
+	}
+	wantBudget, _ := strconv.ParseInt(q.Get("budget"), 10, 64)
+	wantDeadlineMS, _ := strconv.ParseInt(q.Get("deadline_ms"), 10, 64)
+
+	entry, spec, _, ok := s.resolveSpec(w, r, "", "", digest)
+	if !ok {
+		return
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer func() { s.pool.release(); s.gauges() }()
+	s.m.streams.Inc()
+
+	lim := s.opts.Limits.resolve(time.Duration(wantDeadlineMS)*time.Millisecond, wantBudget, s.pool.queued())
+	if lim.Degraded {
+		s.m.degraded.Inc()
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), lim.Deadline)
+	defer cancel()
+
+	aopts := analysisOptions(order, nil, nil, false, q.Get("hash") == "1", q.Get("memo") == "1",
+		lim, s.opts.Limits.MaxHeapCells)
+	aopts.StallTimeout = s.opts.StreamStallTimeout
+	// OnProgress runs on the search goroutine, which is this handler
+	// goroutine — writing to w here is single-threaded.
+	aopts.OnProgress = func(p analysis.Progress) {
+		ndjson(w, streamEvent{
+			Event:          "progress",
+			VerifiedPrefix: p.VerifiedPrefix, TotalEvents: p.TotalEvents,
+			Nodes: p.Nodes, TE: p.TE, EOF: p.EOF,
+			ElapsedUS: p.Elapsed.Microseconds(),
+		})
+	}
+	if s.opts.HeartbeatEvery > 0 {
+		aopts.ProgressEvery = s.opts.HeartbeatEvery
+	}
+	an, err := analysis.New(spec, aopts)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
+		return
+	}
+
+	// Full-duplex HTTP/1.x: the handler keeps reading the trace from the
+	// request body while streaming verdict lines out. Without this the server
+	// closes the unread body at the first response write.
+	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest,
+			"stream transport does not support full-duplex: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	ndjson(w, streamEvent{
+		Event: "hello", Schema: Schema, Version: buildinfo.Version,
+		SpecDigest: entry.digest, Degraded: lim.Degraded,
+		Budget: lim.Budget, DeadlineMS: lim.Deadline.Milliseconds(),
+	})
+
+	start := time.Now()
+	res, err := s.containedStream(ctx, an, r, entry)
+	elapsed := time.Since(start)
+	if err != nil {
+		// Status is already 200 with the hello line out; the terminal error
+		// is an in-band NDJSON event.
+		ndjson(w, streamEvent{Event: "error", Code: CodeBadTrace, Error: err.Error(),
+			ElapsedUS: elapsed.Microseconds()})
+		return
+	}
+	s.m.completed.Inc()
+	s.m.elapsedUS.Observe(elapsed.Microseconds())
+
+	class := batch.VerdictClass(res.Verdict)
+	ev := streamEvent{
+		Event: "result", Verdict: res.Verdict.String(), ExitClass: &class,
+		Reason: res.Reason, ElapsedUS: elapsed.Microseconds(),
+	}
+	if st := res.Stop; st != nil {
+		ev.Stop = &stopJSON{Reason: string(st.Reason), VerifiedPrefix: st.VerifiedPrefix,
+			Nodes: st.Nodes, Transitions: st.Transitions}
+	}
+	if d := res.Diagnosis; d != nil {
+		ev.Diagnosis = &diagnosisJSON{Explained: d.Explained, Total: d.Total, State: d.State,
+			FirstUnexplained: d.FirstUnexplained, Faults: d.Faults}
+	}
+	ndjson(w, ev)
+}
+
+// containedStream runs one on-line analysis with the same panic containment
+// the static path gets from batch.AnalyzeItem: a panicking analysis is
+// attributed to its spec (feeding the quarantine breaker) and surfaces as an
+// error, never as a dead daemon.
+func (s *Server) containedStream(ctx context.Context, an *analysis.Analyzer,
+	r *http.Request, entry *specEntry) (res *analysis.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("worker panic: %v", v)
+			res = nil
+			s.notePanic(entry, "stream", err)
+		}
+	}()
+	if s.opts.FaultHook != nil {
+		s.opts.FaultHook(entry.digest)
+	}
+	return an.AnalyzeSourceContext(ctx, trace.NewReaderSource(r.Body))
+}

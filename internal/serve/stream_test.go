@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/efsm"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/specs"
+)
+
+// uploadEcho uploads the echo spec and returns its digest.
+func uploadEcho(t testing.TB, url string) string {
+	t.Helper()
+	code, m, _ := postJSON(t, url+"/v1/specs", map[string]any{"spec": specs.Echo, "spec_name": "echo"})
+	if code != http.StatusOK {
+		t.Fatalf("upload: status %d: %v", code, m)
+	}
+	return m["spec_digest"].(string)
+}
+
+// echoTraceLines renders a valid n-exchange echo trace as individual event
+// lines. The analyzer emits progress beats only every 64 node expansions, so
+// tests that want to observe incremental verdicts need n large.
+func echoTraceLines(t testing.TB, n int) []string {
+	t.Helper()
+	spec, err := efsm.Compile("echo", specs.Echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.EchoTrace(spec, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(strings.TrimSpace(trace.Format(tr)), "\n")
+}
+
+// readEvents decodes every NDJSON line of a stream response.
+func readEvents(t testing.TB, r io.Reader) []streamEvent {
+	t.Helper()
+	var evs []streamEvent
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read stream: %v", err)
+	}
+	return evs
+}
+
+func TestStreamFinalVerdict(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	digest := uploadEcho(t, ts.URL)
+	body := strings.Join(echoTraceLines(t, 6), "\n") + "\neof\n"
+
+	resp, err := http.Post(ts.URL+"/v1/stream?spec_digest="+digest, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	evs := readEvents(t, resp.Body)
+	if len(evs) < 2 {
+		t.Fatalf("want at least hello+result, got %d events: %+v", len(evs), evs)
+	}
+	if evs[0].Event != "hello" || evs[0].SpecDigest != digest || evs[0].Schema != Schema {
+		t.Fatalf("bad hello: %+v", evs[0])
+	}
+	last := evs[len(evs)-1]
+	if last.Event != "result" || last.Verdict != "valid" || last.ExitClass == nil || *last.ExitClass != 0 {
+		t.Fatalf("bad result: %+v", last)
+	}
+}
+
+// TestStreamIncrementalVerdicts feeds the trace in timed chunks and expects
+// progress events between hello and result: the on-line reader's incremental
+// "valid so far through N events" surfaced over HTTP.
+func TestStreamIncrementalVerdicts(t *testing.T) {
+	_, ts := newTestServer(t, Options{HeartbeatEvery: time.Millisecond})
+	digest := uploadEcho(t, ts.URL)
+	lines := echoTraceLines(t, 300)
+
+	pr, pw := io.Pipe()
+	go func() {
+		for i, ln := range lines {
+			if _, err := io.WriteString(pw, ln+"\n"); err != nil {
+				return
+			}
+			if i%100 == 99 {
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+		io.WriteString(pw, "eof\n")
+		pw.Close()
+	}()
+
+	resp, err := http.Post(ts.URL+"/v1/stream?spec_digest="+digest, "text/plain", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	evs := readEvents(t, resp.Body)
+	var progress int
+	var sawPrefix bool
+	for _, ev := range evs {
+		if ev.Event == "progress" {
+			progress++
+			if ev.VerifiedPrefix > 0 {
+				sawPrefix = true
+			}
+		}
+	}
+	if progress == 0 {
+		t.Fatalf("no progress events in %d-event stream: %+v", len(evs), evs)
+	}
+	if !sawPrefix {
+		t.Fatalf("no progress event carried a verified prefix: %+v", evs)
+	}
+	last := evs[len(evs)-1]
+	if last.Event != "result" || last.Verdict != "valid" {
+		t.Fatalf("bad result: %+v", last)
+	}
+}
+
+func TestStreamRequiresDigest(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Post(ts.URL+"/v1/stream", "text/plain", strings.NewReader("eof\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", resp.StatusCode)
+	}
+	resp2, err := http.Post(ts.URL+"/v1/stream?spec_digest=sha256:unknown", "text/plain", strings.NewReader("eof\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown digest: status %d, want 422", resp2.StatusCode)
+	}
+}
+
+// TestStreamClientDisconnect hangs up mid-stream and checks the worker slot
+// comes back and the daemon keeps serving — the partial-verdict path for a
+// vanished client.
+func TestStreamClientDisconnect(t *testing.T) {
+	s, ts := newTestServer(t, Options{StreamStallTimeout: 50 * time.Millisecond})
+	digest := uploadEcho(t, ts.URL)
+	lines := echoTraceLines(t, 6)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/stream?spec_digest="+digest, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		io.WriteString(pw, lines[0]+"\n"+lines[1]+"\n")
+		// Never send the rest: the client vanishes instead.
+	}()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the hello line, then hang up.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	pw.Close()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pool.inflight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker slot never released after disconnect (inflight=%d)", s.pool.inflight())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The daemon is still healthy.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after disconnect: %d", hr.StatusCode)
+	}
+}

@@ -1,0 +1,148 @@
+package soak
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/efsm"
+	"repro/internal/serve"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/specs"
+)
+
+// TestServeSharedSpecSoak hammers one serving daemon with many goroutines all
+// analyzing against the same spec — the compile-once / serve-many contract
+// under concurrency — with random client disconnects thrown in. Run with
+// -race this is the data-race soak of the serving layer: the compiled spec
+// is shared by every worker, the spec must compile exactly once, and when the
+// dust settles no goroutine and no pool slot may be leaked.
+func TestServeSharedSpecSoak(t *testing.T) {
+	clients, perClient := 16, 30
+	if testing.Short() {
+		clients, perClient = 8, 8
+	}
+
+	srv := serve.New(serve.Options{Workers: 4, QueueDepth: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	baseline := runtime.NumGoroutine()
+
+	spec, err := efsm.Compile("echo", specs.Echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.EchoTrace(spec, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceText := trace.Format(tr)
+
+	var answered, disconnected atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < perClient; i++ {
+				body, _ := json.Marshal(map[string]any{"spec": specs.Echo, "trace": traceText})
+				ctx, cancel := context.WithCancel(context.Background())
+				if rng.Intn(4) == 0 {
+					time.AfterFunc(time.Duration(rng.Intn(2))*time.Millisecond, cancel)
+					disconnected.Add(1)
+				}
+				req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/analyze", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					cancel()
+					continue
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err == nil {
+					raw, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusOK, http.StatusTooManyRequests:
+						answered.Add(1)
+					default:
+						t.Errorf("status %d: %s", resp.StatusCode, raw)
+					}
+				}
+				cancel()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if answered.Load() == 0 {
+		t.Fatal("no request was ever answered")
+	}
+
+	// The shared spec compiled exactly once however many requests raced.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if got := snap["serve.spec_compiles"]; got != float64(1) {
+		t.Fatalf("serve.spec_compiles = %v, want 1", got)
+	}
+
+	// No leaked pool slots: /healthz load gauges return to zero.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		hresp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h map[string]any
+		if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		hresp.Body.Close()
+		if h["inflight"] == float64(0) && h["queued"] == float64(0) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never drained: inflight=%v queued=%v", h["inflight"], h["queued"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Graceful drain still works after the soak, and no goroutines leaked.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.AwaitIdle(ctx); err != nil {
+		t.Fatalf("AwaitIdle: %v", err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+5 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d now vs %d baseline\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Logf("answered=%d disconnect-raced=%d", answered.Load(), disconnected.Load())
+}
