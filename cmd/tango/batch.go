@@ -49,6 +49,8 @@ func runBatch(args []string, w, ew io.Writer) error {
 	progress := fs.Bool("progress", false, "print per-worker heartbeats on stderr")
 	progressEvery := fs.Duration("progress-every", 0, "heartbeat interval for -progress (default 1s)")
 	traceJSONL := fs.String("trace-jsonl", "", "write structured search events (tango.trace/1 JSONL) to this file")
+	coverOut := fs.String("cover", "", "record spec coverage and write the merged tango.cover/1 report to this file")
+	flight := fs.Int("flight", 64, "per-worker flight recorder size; bad verdicts dump the tail into report rows (0 = off)")
 	supPool := fs.Bool("supervise", false, "run the pool under the crash-only supervisor")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job watchdog deadline under -supervise (0 = none)")
 	maxAttempts := fs.Int("max-attempts", 0, "dispatch attempts per job under -supervise (default 3)")
@@ -94,6 +96,8 @@ func runBatch(args []string, w, ew io.Writer) error {
 			Memo:               *memo,
 			MemoBytes:          *memoMB << 20,
 			MaxTransitions:     *budget,
+			Coverage:           *coverOut != "",
+			FlightRecorder:     *flight,
 		},
 		Shuffle:        *shuffle,
 		Seed:           *seed,
@@ -137,6 +141,11 @@ func runBatch(args []string, w, ew io.Writer) error {
 	supervised := *supPool || *jobTimeout > 0 || *throttle > 0 ||
 		*maxAttempts > 0 || *breaker > 0 || *backoff > 0 ||
 		*ckptDir != "" || *resumeDir != ""
+	if *coverOut != "" && supervised {
+		// Coverage folding lives in the plain pool; the supervisor's
+		// restart/requeue machinery would double-count re-attempted traces.
+		return fmt.Errorf("-cover is not supported with -supervise/-checkpoint/-resume (use tango cover, or a plain batch run)")
+	}
 	if !supervised {
 		res, err := batch.Run(ctx, spec.Internal(), items, bopts)
 		if err != nil {
@@ -148,6 +157,22 @@ func runBatch(args []string, w, ew io.Writer) error {
 			if err := rep.WriteFile(*reportPath); err != nil {
 				return err
 			}
+		}
+		if *coverOut != "" && res.Coverage != nil {
+			analyzed := 0
+			for i := range res.Items {
+				if res.Items[i].Res != nil && res.Items[i].Res.Coverage != nil {
+					analyzed++
+				}
+			}
+			cr, err := analysis.BuildCoverReport(rest[0], spec.Internal(), res.Coverage, analyzed)
+			if err != nil {
+				return err
+			}
+			if err := cr.WriteFile(*coverOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "coverage: %s\n", coverSummaryLine(cr))
 		}
 		return batchExitError(res)
 	}

@@ -134,6 +134,8 @@ func run(args []string, w, ew io.Writer) error {
 		return runAnalyze(args[1:], w, ew)
 	case "batch":
 		return runBatch(args[1:], w, ew)
+	case "cover":
+		return runCover(args[1:], w, ew)
 	case "bench":
 		return runBench(args[1:], w, ew)
 	case "generate":
@@ -167,15 +169,22 @@ func (usageError) Error() string {
                 [-statesearch] [-hash] [-memo] [-memo-mb N]
                 [-online] [-budget N] [-deadline D] [-stall-timeout D]
                 [-report out.json] [-stats-json] [-progress]
+                [-cover out.json] [-flight N]
                 [-trace-jsonl out.jsonl] [-trace-chrome out.json]
                 [-checkpoint dir] [-checkpoint-interval D] [-resume dir]
                 <spec> <trace|->
   tango batch   [-j N] [-order ...] [-memo] [-memo-mb N]
                 [-shuffle] [-seed S] [-deadline D]
                 [-report out.json] [-progress] [-trace-jsonl out.jsonl]
+                [-cover out.json] [-flight N]
                 [-supervise] [-job-timeout D] [-max-attempts N] [-breaker N]
                 [-backoff D] [-throttle D] [-checkpoint dir] [-resume dir]
                 <spec> <trace ...|dir|manifest>
+  tango cover   [-j N] [-order ...] [-hash] [-memo] [-budget N]
+                [-report out.json] [-heatmap] [-top N]
+                <spec> <trace ...|dir|manifest>
+  tango cover -merge out.json <in.json ...>
+                                 (merge tango.cover/1 reports from prior runs)
   tango generate <spec> <script|->
   tango format <spec>            (pretty-print the specification)
   tango normalform <spec>        (§5.3 rewrite: lift if/case into provided clauses)
@@ -186,6 +195,7 @@ func (usageError) Error() string {
   tango serve [-addr host:port] [-j N] [-queue N] [-spec-cache N]
               [-budget N] [-deadline D] [-max-deadline D] [-stall-timeout D]
               [-breaker N] [-heartbeat D] [-drain-timeout D] [-metrics-out f]
+              [-pprof]
                                  (HTTP/JSON analysis daemon; see README "Serving")
   tango version                  (build identity: version, commit, toolchain)
 
@@ -308,6 +318,8 @@ func runAnalyze(args []string, w, ew io.Writer) error {
 	progressEvery := fs.Duration("progress-every", 0, "heartbeat interval for -progress (default 1s)")
 	traceJSONL := fs.String("trace-jsonl", "", "write structured search events (tango.trace/1 JSONL) to this file")
 	traceChrome := fs.String("trace-chrome", "", "write a Chrome trace_event file (load in chrome://tracing or Perfetto) to this file")
+	coverOut := fs.String("cover", "", "record spec coverage and write a tango.cover/1 report to this file")
+	flight := fs.Int("flight", 0, "keep the last N search events in a flight recorder; a bad verdict dumps them into the report (0 = off)")
 	ckptDir := fs.String("checkpoint", "", "write crash-safe checkpoints (tango.ckpt/1) to this directory on an interval and on SIGINT/SIGTERM")
 	ckptEvery := fs.Duration("checkpoint-interval", 5*time.Second, "minimum interval between -checkpoint snapshots")
 	resumeDir := fs.String("resume", "", "resume from the checkpoint directory of an interrupted run (exit 6 when the resumed run is valid)")
@@ -337,6 +349,8 @@ func runAnalyze(args []string, w, ew io.Writer) error {
 		MemoBytes:          *memoMB << 20,
 		MaxTransitions:     *budget,
 		StallTimeout:       *stallTimeout,
+		Coverage:           *coverOut != "",
+		FlightRecorder:     *flight,
 	}
 
 	// Observability wiring: a metrics registry backs the report's transition
@@ -424,6 +438,9 @@ func runAnalyze(args []string, w, ew io.Writer) error {
 		if *reportPath != "" {
 			return fmt.Errorf("-report accepts a single trace")
 		}
+		if *coverOut != "" {
+			return fmt.Errorf("-cover accepts a single trace (use tango cover for a corpus)")
+		}
 		if *ckptDir != "" || *resumeDir != "" {
 			return fmt.Errorf("-checkpoint/-resume accept a single trace")
 		}
@@ -505,6 +522,12 @@ func runAnalyze(args []string, w, ew io.Writer) error {
 			fmt.Fprintf(w, "  fault: %s\n", f)
 		}
 	}
+	if len(res.Flight) > 0 {
+		fmt.Fprintf(w, "flight recorder (last %d events before the verdict):\n", *flight)
+		for _, line := range res.Flight {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
 	if *statsJSON {
 		b, err := json.Marshal(res.Stats)
 		if err != nil {
@@ -517,6 +540,16 @@ func runAnalyze(args []string, w, ew io.Writer) error {
 		if err := rep.WriteFile(*reportPath); err != nil {
 			return err
 		}
+	}
+	if *coverOut != "" && res.Coverage != nil {
+		cr, err := analysis.BuildCoverReport(rest[0], spec.Internal(), res.Coverage, 1)
+		if err != nil {
+			return err
+		}
+		if err := cr.WriteFile(*coverOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "coverage: %s\n", coverSummaryLine(cr))
 	}
 	switch res.Verdict {
 	case analysis.Valid, analysis.ValidSoFar:
@@ -591,6 +624,13 @@ func buildReport(specPath, tracePath, mode string, online bool, spec *tango.Spec
 		rep.SetTransitions(fired)
 		if len(metrics) > 0 {
 			rep.Metrics = metrics
+		}
+	}
+	rep.Flight = res.Flight
+	if res.Coverage != nil {
+		if cr, err := analysis.BuildCoverReport(specPath, spec.Internal(), res.Coverage, 1); err == nil {
+			s := cr.Summary()
+			rep.Coverage = &s
 		}
 	}
 	return rep

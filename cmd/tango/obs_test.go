@@ -161,8 +161,11 @@ func TestTraceSinkFlags(t *testing.T) {
 	if err := json.Unmarshal(b, &events); err != nil {
 		t.Fatalf("chrome file not a JSON array: %v", err)
 	}
-	if len(events) == 0 || events[0]["name"] != "search" || events[0]["ph"] != "B" {
-		t.Errorf("chrome events start with %v", events[:min(1, len(events))])
+	// The first two events are the process_name/thread_name metadata pair;
+	// the search slice opens right after.
+	if len(events) < 3 || events[0]["name"] != "process_name" ||
+		events[2]["name"] != "search" || events[2]["ph"] != "B" {
+		t.Errorf("chrome events start with %v", events[:min(3, len(events))])
 	}
 }
 

@@ -43,6 +43,7 @@ func runServe(args []string, w, ew io.Writer) error {
 		heartbeat  = fs.Duration("heartbeat", 0, "emit a load heartbeat to stderr every interval (0 = off)")
 		drainT     = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 		metricsOut = fs.String("metrics-out", "", "write a final /metrics JSON snapshot to this file on shutdown")
+		pprofOn    = fs.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints (exposes goroutine stacks and heap contents)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return usageError{}
@@ -63,6 +64,7 @@ func runServe(args []string, w, ew io.Writer) error {
 		BreakerPanics:      *breaker,
 		StreamStallTimeout: *stall,
 		HeartbeatEvery:     *heartbeat,
+		EnablePprof:        *pprofOn,
 		Log:                ew,
 	})
 

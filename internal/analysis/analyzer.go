@@ -49,6 +49,10 @@ type Analyzer struct {
 
 	// Observability (all optional; nil costs nothing on the hot path).
 	tracer obs.Tracer
+	// cov records spec coverage (Options.Coverage); flight keeps the last-N
+	// search events (Options.FlightRecorder) and is also fanned into tracer.
+	cov    *obs.Coverage
+	flight *obs.FlightRecorder
 	// Pre-resolved metric handles, nil when Options.Metrics is nil, so the
 	// search never does a name lookup.
 	mDepth, mHeap, mLag *obs.Gauge
@@ -160,6 +164,13 @@ func New(spec *efsm.Spec, opts Options) (*Analyzer, error) {
 		a.exec.Limits.MaxHeapCells = opts.MaxHeapCells
 	}
 	a.tracer = opts.Tracer
+	if opts.Coverage {
+		a.cov = obs.NewCoverage(len(spec.Prog.Trans), spec.NumStates(), nIPs)
+	}
+	if opts.FlightRecorder > 0 {
+		a.flight = obs.NewFlightRecorder(opts.FlightRecorder)
+		a.tracer = obs.Multi(a.tracer, a.flight)
+	}
 	if m := opts.Metrics; m != nil {
 		a.mDepth = m.Gauge("search.depth")
 		a.mDepthHist = m.Histogram("search.depth_hist", 4, 16, 64, 256, 1024)
@@ -208,6 +219,12 @@ func (a *Analyzer) reset(traceLen int) {
 	if a.opts.StateHashing {
 		a.seen = vm.NewFPSet(a.opts.CollisionCheck)
 	}
+	if a.cov != nil {
+		a.cov.Reset() // per-run counts, so a reused Session snapshots per trace
+	}
+	if a.flight != nil {
+		a.flight.Reset()
+	}
 	a.progressBest = 0
 	a.runStart = time.Now()
 	a.lastBeat = a.runStart
@@ -226,7 +243,28 @@ func (a *Analyzer) finishRun(start time.Time, res **Result) {
 	a.stats.Events = len(a.events)
 	if *res != nil {
 		(*res).Stats = a.stats
+		if a.cov != nil {
+			(*res).Coverage = a.cov.Snapshot()
+		}
+		if a.flight != nil {
+			switch (*res).Verdict {
+			case Invalid, LikelyInvalid, Exhausted, Partial:
+				(*res).Flight = a.flight.TailStrings()
+			}
+		}
 	}
+}
+
+// FlightTail returns the flight recorder's current rendered tail (oldest
+// first), or nil when Options.FlightRecorder is off. It is what a supervisor
+// dumps when the analyzer dies mid-run — a panicking search never reaches
+// finishRun's verdict-gated attachment, but the ring still holds its last
+// steps.
+func (a *Analyzer) FlightTail() []string {
+	if a.flight == nil {
+		return nil
+	}
+	return a.flight.TailStrings()
 }
 
 // foldPruneStats moves eviction/collision counters out of the live memo and
@@ -776,6 +814,9 @@ func (a *Analyzer) makeRoot(initState int) (*node, error) {
 		return nil, fmt.Errorf("initialize transition: %w", err)
 	}
 	st.FSM = initState
+	if a.cov != nil {
+		a.cov.HitState(initState)
+	}
 	if a.opts.UndefineGlobals {
 		for i, gv := range a.spec.Prog.GlobalVars {
 			st.Globals[i] = vm.Zero(gv.Type, true)
@@ -925,6 +966,12 @@ func (a *Analyzer) notePopAll(stack []*node) {
 func (a *Analyzer) noteFire(n *node, c candidate, seq int) {
 	if a.tracer != nil {
 		a.tracer.Event(obs.Event{Kind: obs.KindFire, Depth: n.depth + 1, Trans: c.ti.Name, EventSeq: seq})
+	}
+	if a.cov != nil {
+		a.cov.HitTrans(c.ti.Index)
+		if c.eventIdx >= 0 {
+			a.cov.HitIP(a.events[c.eventIdx].IP)
+		}
 	}
 	if a.fireCounters != nil {
 		if ctr := a.fireCounters[c.ti]; ctr != nil {
@@ -1371,6 +1418,9 @@ func (a *Analyzer) executeCandidate(n *node, c candidate, curOwner **node) (*nod
 // caching it on the node for memoization at pop time. It returns whether the
 // child must be pruned and the reason tag for the trace event.
 func (a *Analyzer) checkChild(child *node, st *vm.State) (bool, string) {
+	if a.cov != nil {
+		a.cov.HitState(st.FSM) // the state was reached even if pruned below
+	}
 	if a.seen == nil && a.memo == nil {
 		return false, ""
 	}
@@ -1568,6 +1618,9 @@ func (a *Analyzer) matchOne(o vm.Output, inCur, outCur []int) matchStatus {
 			a.events[a.inputs[p][inCur[p]]].Seq < ev.Seq {
 			return matchFail
 		}
+	}
+	if a.cov != nil {
+		a.cov.HitIP(p) // output verified at this interaction point
 	}
 	outCur[p]++
 	return matchOK

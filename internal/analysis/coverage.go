@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/efsm"
+	"repro/internal/obs"
+)
+
+// BuildCoverReport turns a coverage snapshot into the versioned tango.cover/1
+// report: named rows in declaration order, transitions anchored to their
+// source lines (for the heatmap), and the spec digest that gates merges.
+// specName labels the report (typically the spec file path); traces counts
+// the analyzed traces behind the snapshot.
+func BuildCoverReport(specName string, spec *efsm.Spec, counts *obs.CoverageCounts, traces int) (*obs.CoverReport, error) {
+	prog := spec.Prog
+	if len(counts.Trans) != len(prog.Trans) ||
+		len(counts.States) != len(prog.States) ||
+		len(counts.IPs) != spec.NumIPs() {
+		return nil, fmt.Errorf("coverage counts shaped %d/%d/%d do not fit spec %s (%d/%d/%d)",
+			len(counts.Trans), len(counts.States), len(counts.IPs),
+			prog.Name, len(prog.Trans), len(prog.States), spec.NumIPs())
+	}
+	r := &obs.CoverReport{
+		Schema:     obs.CoverSchema,
+		Tool:       "tango",
+		Spec:       specName,
+		SpecDigest: SpecDigest(spec),
+		Traces:     traces,
+	}
+	for i, ti := range prog.Trans {
+		line := 0
+		if ti.Decl != nil {
+			line = ti.Decl.Pos().Line
+		}
+		r.Transitions = append(r.Transitions, obs.CoverRow{Name: ti.Name, Line: line, Hits: counts.Trans[i]})
+	}
+	for i, name := range prog.States {
+		r.States = append(r.States, obs.CoverRow{Name: name, Hits: counts.States[i]})
+	}
+	for i := 0; i < spec.NumIPs(); i++ {
+		r.IPs = append(r.IPs, obs.CoverRow{Name: spec.IPName(i), Hits: counts.IPs[i]})
+	}
+	return r, nil
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/specs"
+)
+
+const ackInvalidScenario = `
+in A x
+in B y
+out A ack
+out A ack
+`
+
+// TestCoverageOnRealSearch: with Options.Coverage on, a valid run records one
+// transition hit per executed transition (sum == Stats.TE), reaches states,
+// and touches the interaction points of the trace.
+func TestCoverageOnRealSearch(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	res := analyze(t, spec, Options{Coverage: true}, ackScenario)
+	if res.Verdict != Valid {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.Coverage == nil {
+		t.Fatal("no coverage snapshot on result")
+	}
+	var fired int64
+	for _, h := range res.Coverage.Trans {
+		fired += h
+	}
+	if fired != res.Stats.TE {
+		t.Errorf("transition hits sum to %d, Stats.TE = %d", fired, res.Stats.TE)
+	}
+	var statesHit, ipsHit int
+	for _, h := range res.Coverage.States {
+		if h > 0 {
+			statesHit++
+		}
+	}
+	for _, h := range res.Coverage.IPs {
+		if h > 0 {
+			ipsHit++
+		}
+	}
+	if statesHit == 0 || ipsHit == 0 {
+		t.Errorf("states hit = %d, ips hit = %d, want both > 0", statesHit, ipsHit)
+	}
+}
+
+// TestCoverageOffByDefault: without the option there is no recorder and no
+// snapshot — the disabled-overhead contract.
+func TestCoverageOffByDefault(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	res := analyze(t, spec, Options{}, ackScenario)
+	if res.Coverage != nil || res.Flight != nil {
+		t.Fatalf("coverage/flight recorded without the options: %+v %+v", res.Coverage, res.Flight)
+	}
+}
+
+// TestCoveragePerTraceSnapshots: a reused analyzer resets its recorder per
+// run, so each result snapshots only its own trace — the invariant batch's
+// sum==merged folding depends on.
+func TestCoveragePerTraceSnapshots(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	a, err := New(spec, Options{Coverage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := a.AnalyzeTrace(mustTrace(t, ackScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := a.AnalyzeTrace(mustTrace(t, ackScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first.Coverage.Trans {
+		if first.Coverage.Trans[i] != second.Coverage.Trans[i] {
+			t.Fatalf("run 2 snapshot differs from run 1 at transition %d: %d vs %d (recorder not reset?)",
+				i, second.Coverage.Trans[i], first.Coverage.Trans[i])
+		}
+	}
+}
+
+// TestFlightRecorderOnInvalid: a bad verdict carries the last events, ending
+// in the search_end that pronounced it; a valid verdict carries none.
+func TestFlightRecorderOnInvalid(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	res := analyze(t, spec, Options{FlightRecorder: 32}, ackInvalidScenario)
+	if res.Verdict != Invalid {
+		t.Fatalf("verdict = %v, want invalid", res.Verdict)
+	}
+	if len(res.Flight) == 0 {
+		t.Fatal("invalid verdict has no flight-recorder tail")
+	}
+	last := res.Flight[len(res.Flight)-1]
+	if !strings.HasPrefix(last, "search_end") {
+		t.Errorf("tail ends with %q, want the search_end event", last)
+	}
+
+	ok := analyze(t, spec, Options{FlightRecorder: 32}, ackScenario)
+	if ok.Verdict != Valid {
+		t.Fatalf("verdict = %v", ok.Verdict)
+	}
+	if len(ok.Flight) != 0 {
+		t.Errorf("valid verdict should not carry a flight tail, got %d lines", len(ok.Flight))
+	}
+}
+
+// TestFlightRecorderComposesWithTracer: the ring must tee off Options.Tracer
+// without stealing its events.
+func TestFlightRecorderComposesWithTracer(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	rec := &recorderTracer{}
+	res := analyze(t, spec, Options{FlightRecorder: 8, Tracer: rec}, ackInvalidScenario)
+	if len(res.Flight) == 0 {
+		t.Fatal("no flight tail")
+	}
+	if rec.n == 0 {
+		t.Fatal("user tracer saw no events")
+	}
+}
+
+// TestBuildCoverReportShape: report rows follow declaration order and a
+// mis-shaped snapshot (different spec) is rejected.
+func TestBuildCoverReport(t *testing.T) {
+	spec := compile(t, "ack", specs.Ack)
+	res := analyze(t, spec, Options{Coverage: true}, ackScenario)
+	rep, err := BuildCoverReport("ack.estelle", spec, res.Coverage, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SpecDigest != SpecDigest(spec) || rep.Traces != 1 {
+		t.Errorf("report header: %+v", rep)
+	}
+	if len(rep.Transitions) != len(spec.Prog.Trans) {
+		t.Fatalf("report has %d transitions, spec %d", len(rep.Transitions), len(spec.Prog.Trans))
+	}
+	for i, row := range rep.Transitions {
+		if row.Name != spec.Prog.Trans[i].Name {
+			t.Errorf("row %d = %q, want declaration order", i, row.Name)
+		}
+		if row.Line <= 0 {
+			t.Errorf("row %q has no source line", row.Name)
+		}
+	}
+	// Rows must carry the recorded hits positionally.
+	for i, row := range rep.Transitions {
+		if row.Hits != res.Coverage.Trans[i] {
+			t.Errorf("row %q hits = %d, snapshot %d", row.Name, row.Hits, res.Coverage.Trans[i])
+		}
+	}
+
+	other := compile(t, "tp0", specs.TP0)
+	if _, err := BuildCoverReport("tp0.estelle", other, res.Coverage, 1); err == nil {
+		t.Error("snapshot from a different spec should be rejected")
+	}
+}
+
+type recorderTracer struct{ n int }
+
+func (r *recorderTracer) Event(obs.Event) { r.n++ }

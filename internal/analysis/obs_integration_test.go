@@ -139,9 +139,16 @@ func TestChromeSinkOnRealSearch(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
 		t.Fatalf("not a JSON array: %v\n%s", err, buf.String())
 	}
-	if len(events) == 0 {
-		t.Fatal("no events")
+	// The metadata preamble (process_name/thread_name, phase M) comes first;
+	// the search events follow.
+	if len(events) < 3 {
+		t.Fatalf("got %d events, want metadata preamble plus search events", len(events))
 	}
+	if events[0].Name != "process_name" || events[0].Phase != "M" ||
+		events[1].Name != "thread_name" || events[1].Phase != "M" {
+		t.Fatalf("missing metadata preamble: %+v, %+v", events[0], events[1])
+	}
+	events = events[2:]
 	if events[0].Name != "search" || events[0].Phase != "B" {
 		t.Errorf("first event = %+v, want search/B", events[0])
 	}

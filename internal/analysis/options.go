@@ -185,6 +185,17 @@ type Options struct {
 	// costs nothing: every hook is guarded by a nil check.
 	Tracer obs.Tracer
 
+	// Coverage records per-spec hit counts (transition/state/interaction-point
+	// ids) during the search; the snapshot lands in Result.Coverage after each
+	// run. Off by default: the fire path then pays only a nil check.
+	Coverage bool
+
+	// FlightRecorder, when positive, keeps the last N search events in a ring
+	// buffer and attaches the rendered tail to Result.Flight whenever the
+	// verdict goes wrong (invalid, likely-invalid, exhausted, partial) — every
+	// bad verdict ships its own last-N-steps explanation. Zero disables it.
+	FlightRecorder int
+
 	// Metrics, when non-nil, receives live gauges and counters during the
 	// search: current depth, heap cells, queue lag, per-transition fire
 	// counts, and approximate snapshot bytes. The registry can be published
@@ -491,6 +502,11 @@ type Result struct {
 	// cancellation, stall); it carries the verified-prefix length and a
 	// machine-readable reason.
 	Stop *StopInfo
+	// Coverage is the run's spec-coverage snapshot (Options.Coverage).
+	Coverage *obs.CoverageCounts
+	// Flight is the flight-recorder tail (Options.FlightRecorder), rendered
+	// oldest-first; set only when the verdict went wrong.
+	Flight []string
 }
 
 // SolutionString renders the accepting path compactly.

@@ -177,6 +177,14 @@ type ItemResult struct {
 	// expectation or no verdict to check it against.
 	Match *bool
 
+	// Flight is the flight-recorder tail captured when the item's analysis
+	// panicked (a clean run's tail, if any, lives in Res.Flight — a panicking
+	// one never produces a Result, so it is rescued here).
+	Flight []string
+	// CoverNew lists the transitions this item covered first in corpus order,
+	// filled by Run when coverage is recorded.
+	CoverNew []string
+
 	Elapsed time.Duration
 }
 
@@ -205,6 +213,9 @@ type Result struct {
 	Counts  Counts
 	// ExitCode is the aggregate exit code (see Aggregate).
 	ExitCode int
+	// Coverage is the corpus-wide coverage sum when Options.Analysis.Coverage
+	// was set: the element-wise sum of every analyzed item's per-trace counts.
+	Coverage *obs.CoverageCounts
 }
 
 // engine carries the per-run shared state of the pool.
@@ -307,7 +318,37 @@ func Run(ctx context.Context, spec *efsm.Spec, items []Item, opts Options) (*Res
 
 	res := &Result{Items: e.results, Workers: workers, Wall: time.Since(start)}
 	res.Counts, res.ExitCode = Aggregate(res.Items)
+	if opts.Analysis.Coverage {
+		res.Coverage = foldCoverage(spec, res.Items)
+	}
 	return res, nil
+}
+
+// foldCoverage sums per-item coverage snapshots into the corpus total and
+// stamps each item's first-covered transitions (CoverNew) in corpus order —
+// the per-trace coverage delta a corpus curator reads to see which traces
+// pull their weight.
+func foldCoverage(spec *efsm.Spec, items []ItemResult) *obs.CoverageCounts {
+	total := &obs.CoverageCounts{
+		Trans:  make([]int64, len(spec.Prog.Trans)),
+		States: make([]int64, len(spec.Prog.States)),
+		IPs:    make([]int64, spec.NumIPs()),
+	}
+	seen := make([]bool, len(spec.Prog.Trans))
+	for i := range items {
+		r := &items[i]
+		if r.Res == nil || r.Res.Coverage == nil {
+			continue
+		}
+		_ = total.Add(r.Res.Coverage) // same spec, shapes always match
+		for id, hits := range r.Res.Coverage.Trans {
+			if hits > 0 && !seen[id] {
+				seen[id] = true
+				r.CoverNew = append(r.CoverNew, spec.Prog.Trans[id].Name)
+			}
+		}
+	}
+	return total
 }
 
 // work is one worker's loop: pull corpus indexes until the channel closes.
@@ -374,6 +415,8 @@ func AnalyzeItem(ctx context.Context, sess *analysis.Session, it Item, hook func
 			r.Err = fmt.Errorf("worker panic: %v", v)
 			r.Class = ClassError
 			r.Panicked = true
+			// The search died mid-run; rescue its last steps for the report.
+			r.Flight = sess.Analyzer().FlightTail()
 		}
 	}()
 	if hook != nil {

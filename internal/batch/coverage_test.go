@@ -1,0 +1,138 @@
+package batch
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/specs"
+)
+
+// TestBatchCoverageMergedEqualsSum is the acceptance invariant of the cover
+// pipeline: the folded corpus-wide counts must equal the element-wise sum of
+// the per-trace snapshots, whatever the worker count.
+func TestBatchCoverageMergedEqualsSum(t *testing.T) {
+	spec := compileSpec(t, "echo", specs.Echo)
+	items := echoCorpus(t, spec, 3)
+	for _, workers := range []int{1, 4} {
+		res, err := Run(context.Background(), spec, items, Options{Workers: workers,
+			Analysis: analysis.Options{Order: analysis.OrderFull, Coverage: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Coverage == nil {
+			t.Fatal("no folded coverage on the batch result")
+		}
+		sum := make([]int64, len(res.Coverage.Trans))
+		for i := range res.Items {
+			r := &res.Items[i]
+			if r.Res == nil || r.Res.Coverage == nil {
+				t.Fatalf("%s: no per-trace snapshot", r.Item.Name)
+			}
+			for id, h := range r.Res.Coverage.Trans {
+				sum[id] += h
+			}
+		}
+		for id := range sum {
+			if res.Coverage.Trans[id] != sum[id] {
+				t.Errorf("workers=%d transition %d: merged %d != per-trace sum %d",
+					workers, id, res.Coverage.Trans[id], sum[id])
+			}
+		}
+	}
+}
+
+// TestBatchCoverNewAttribution: each transition's first coverer is credited
+// once, in corpus order, so per-trace report rows explain what a trace added.
+func TestBatchCoverNew(t *testing.T) {
+	spec := compileSpec(t, "echo", specs.Echo)
+	items := echoCorpus(t, spec, 2)
+	res, err := Run(context.Background(), spec, items, Options{Workers: 2,
+		Analysis: analysis.Options{Order: analysis.OrderFull, Coverage: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	credited := map[string]int{}
+	for i := range res.Items {
+		for _, name := range res.Items[i].CoverNew {
+			credited[name]++
+		}
+	}
+	for name, n := range credited {
+		if n > 1 {
+			t.Errorf("transition %q credited as newly covered %d times", name, n)
+		}
+	}
+	// Every covered transition must be credited to exactly one item.
+	rep := BuildReport("echo", "FULL", spec, Options{Analysis: analysis.Options{Coverage: true}}, res)
+	if rep.Coverage == nil {
+		t.Fatal("report has no coverage section")
+	}
+	covered := 0
+	for _, row := range rep.Coverage.Transitions {
+		if row.Hits > 0 {
+			covered++
+		}
+	}
+	if len(credited) != covered {
+		t.Errorf("%d transitions credited, %d covered", len(credited), covered)
+	}
+}
+
+// TestBatchFlightInInvalidRows is the acceptance criterion for the flight
+// recorder: an invalid verdict's report row must carry a non-empty tail, and
+// valid rows must not.
+func TestBatchFlightInInvalidRows(t *testing.T) {
+	spec := compileSpec(t, "echo", specs.Echo)
+	items := echoCorpus(t, spec, 2)
+	res, err := Run(context.Background(), spec, items, Options{Workers: 2,
+		Analysis: analysis.Options{Order: analysis.OrderFull, FlightRecorder: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawInvalid := false
+	for i := range res.Items {
+		r := &res.Items[i]
+		row := ReportItem(r)
+		switch {
+		case r.Res != nil && r.Res.Verdict == analysis.Invalid:
+			sawInvalid = true
+			if len(row.Flight) == 0 {
+				t.Errorf("%s: invalid row has no flight tail", r.Item.Name)
+			} else if last := row.Flight[len(row.Flight)-1]; !strings.HasPrefix(last, "search_end") {
+				t.Errorf("%s: tail ends with %q", r.Item.Name, last)
+			}
+		case r.Res != nil && r.Res.Verdict == analysis.Valid:
+			if len(row.Flight) != 0 {
+				t.Errorf("%s: valid row carries a flight tail", r.Item.Name)
+			}
+		}
+	}
+	if !sawInvalid {
+		t.Fatal("corpus produced no invalid verdict")
+	}
+}
+
+// TestBatchReportCoverageSection: BuildReport embeds a tango.cover/1 section
+// whose traces count excludes skipped items, and Normalize keeps it.
+func TestBatchReportCoverageSection(t *testing.T) {
+	spec := compileSpec(t, "echo", specs.Echo)
+	items := echoCorpus(t, spec, 2)
+	res, err := Run(context.Background(), spec, items, Options{Workers: 1,
+		Analysis: analysis.Options{Order: analysis.OrderFull, Coverage: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildReport("echo", "FULL", spec, Options{Analysis: analysis.Options{Coverage: true}}, res)
+	if rep.Coverage == nil {
+		t.Fatal("no coverage section")
+	}
+	if rep.Coverage.Traces != len(items) {
+		t.Errorf("coverage traces = %d, want %d", rep.Coverage.Traces, len(items))
+	}
+	rep.Normalize()
+	if rep.Coverage == nil {
+		t.Error("Normalize dropped the coverage section")
+	}
+}

@@ -1,6 +1,7 @@
 package batch
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/efsm"
 	"repro/internal/obs"
 )
@@ -34,6 +35,19 @@ func BuildReport(specPath, mode string, spec *efsm.Spec, opts Options, res *Resu
 	for i := range res.Items {
 		rep.Items[i] = ReportItem(&res.Items[i])
 	}
+	if res.Coverage != nil {
+		// The merged tango.cover/1 section: row counts are the sum of the
+		// per-trace snapshots folded by Run.
+		analyzed := 0
+		for i := range res.Items {
+			if res.Items[i].Res != nil && res.Items[i].Res.Coverage != nil {
+				analyzed++
+			}
+		}
+		if cov, err := analysis.BuildCoverReport(specPath, spec, res.Coverage, analyzed); err == nil {
+			rep.Coverage = cov
+		}
+	}
 	return rep
 }
 
@@ -54,12 +68,15 @@ func ReportItem(r *ItemResult) obs.BatchItem {
 	switch {
 	case r.Err != nil:
 		bi.Error = r.Err.Error()
+		bi.Flight = r.Flight // panic path: the rescued ring tail
 	case r.Res != nil:
 		bi.Verdict = r.Res.Verdict.String()
 		bi.Search = r.Res.Stats.Report()
+		bi.Flight = r.Res.Flight
 		if s := r.Res.Stop; s != nil {
 			bi.StopReason = string(s.Reason)
 		}
 	}
+	bi.CoverNew = r.CoverNew
 	return bi
 }

@@ -39,6 +39,14 @@ type BatchItem struct {
 
 	Search SearchStats `json:"search"`
 
+	// Flight is the flight-recorder tail for rows whose verdict went wrong
+	// (invalid, partial, panic-quarantined) — the per-trace search is
+	// deterministic, so it survives Normalize.
+	Flight []string `json:"flight,omitempty"`
+	// CoverNew lists transitions this trace covered first (corpus order) when
+	// the batch recorded coverage — the per-trace coverage delta.
+	CoverNew []string `json:"cover_new,omitempty"`
+
 	// Scheduling/timing detail; cleared by Normalize.
 	Worker int   `json:"worker"`
 	WallUS int64 `json:"wall_us"`
@@ -88,6 +96,11 @@ type BatchReport struct {
 
 	Items  []BatchItem `json:"items"`
 	Counts BatchCounts `json:"counts"`
+
+	// Coverage is the corpus-wide spec coverage when the run recorded it
+	// (`tango batch -cover`): the merged tango.cover/1 report whose hit counts
+	// equal the sum of the per-trace counts.
+	Coverage *CoverReport `json:"coverage,omitempty"`
 
 	// ExitCode is the aggregate CLI exit code (see README "tango batch" for
 	// the aggregation rules).

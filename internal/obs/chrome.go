@@ -20,19 +20,26 @@ import (
 //     a thread-scoped instant event, so hot backtracking regions show up as
 //     dense bands of instants inside the slice that caused them.
 //
+// The sink opens with process_name/thread_name metadata events (ph "M"), so
+// Perfetto and chrome://tracing label the track by what ran instead of a bare
+// pid — "tango / search" by default, or whatever Label set.
+//
 // Close must be called to terminate the JSON array. A ChromeSink is not safe
 // for concurrent use. Write errors are sticky and reported by Close.
 type ChromeSink struct {
-	w     io.Writer
-	start time.Time
-	first bool
-	open  bool
-	err   error
+	w       io.Writer
+	start   time.Time
+	first   bool
+	open    bool
+	err     error
+	labeled bool
+	process string
+	thread  string
 }
 
 // NewChromeSink writes a trace_event stream to w.
 func NewChromeSink(w io.Writer) *ChromeSink {
-	return &ChromeSink{w: w, first: true, start: time.Now()}
+	return &ChromeSink{w: w, first: true, start: time.Now(), process: "tango", thread: "search"}
 }
 
 // chromeEvent is one trace_event record. Tango uses a single pid/tid: the
@@ -40,7 +47,7 @@ func NewChromeSink(w io.Writer) *ChromeSink {
 // is.
 type chromeEvent struct {
 	Name  string         `json:"name"`
-	Cat   string         `json:"cat"`
+	Cat   string         `json:"cat,omitempty"`
 	Phase string         `json:"ph"`
 	TS    int64          `json:"ts"` // microseconds
 	PID   int            `json:"pid"`
@@ -72,8 +79,31 @@ func (s *ChromeSink) emit(e chromeEvent) {
 	_, s.err = fmt.Fprintf(s.w, "%s%s", sep, b)
 }
 
+// Label names the sink's process/thread tracks (e.g. a phase or worker id).
+// The metadata events are written immediately, so calling Label before the
+// first search event replaces the default "tango"/"search" labels, and
+// calling it later relabels the track mid-stream (last write wins in the
+// trace viewers).
+func (s *ChromeSink) Label(process, thread string) {
+	s.process, s.thread = process, thread
+	s.emitLabels()
+}
+
+// emitLabels writes the process_name/thread_name metadata events for the
+// sink's single pid/tid.
+func (s *ChromeSink) emitLabels() {
+	s.labeled = true
+	s.emit(chromeEvent{Name: "process_name", Phase: "M", PID: 1, TID: 1,
+		Args: map[string]any{"name": s.process}})
+	s.emit(chromeEvent{Name: "thread_name", Phase: "M", PID: 1, TID: 1,
+		Args: map[string]any{"name": s.thread}})
+}
+
 // Event renders e.
 func (s *ChromeSink) Event(e Event) {
+	if !s.labeled {
+		s.emitLabels()
+	}
 	ts := time.Since(s.start).Microseconds()
 	base := chromeEvent{Cat: "search", TS: ts, PID: 1, TID: 1}
 	switch e.Kind {

@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/buildinfo"
+)
+
+// CoverSchema versions the spec-coverage report contract, like ReportSchema
+// for run reports. Reports with the same spec digest merge additively.
+const CoverSchema = "tango.cover/1"
+
+// Coverage is a per-compiled-spec set of hit-count arrays indexed by
+// transition, state, and interaction-point id. The arrays are atomic so a
+// recorder can be shared (batch workers aggregate into per-session recorders,
+// but serve-side readers may snapshot while a search runs), and hits are a
+// single bounds check plus an atomic add — cheap enough for the fire path.
+type Coverage struct {
+	trans  []atomic.Int64
+	states []atomic.Int64
+	ips    []atomic.Int64
+}
+
+// NewCoverage returns a recorder sized to a compiled spec's id spaces.
+func NewCoverage(trans, states, ips int) *Coverage {
+	return &Coverage{
+		trans:  make([]atomic.Int64, trans),
+		states: make([]atomic.Int64, states),
+		ips:    make([]atomic.Int64, ips),
+	}
+}
+
+// HitTrans counts one firing of transition id. Out-of-range ids are ignored
+// rather than panicking the search.
+func (c *Coverage) HitTrans(id int) {
+	if id >= 0 && id < len(c.trans) {
+		c.trans[id].Add(1)
+	}
+}
+
+// HitState counts one entry into state id.
+func (c *Coverage) HitState(id int) {
+	if id >= 0 && id < len(c.states) {
+		c.states[id].Add(1)
+	}
+}
+
+// HitIP counts one interaction (input consumed or output verified) on
+// interaction point id.
+func (c *Coverage) HitIP(id int) {
+	if id >= 0 && id < len(c.ips) {
+		c.ips[id].Add(1)
+	}
+}
+
+// Reset zeroes every array so a reused analyzer's next run snapshots
+// per-trace counts.
+func (c *Coverage) Reset() {
+	for i := range c.trans {
+		c.trans[i].Store(0)
+	}
+	for i := range c.states {
+		c.states[i].Store(0)
+	}
+	for i := range c.ips {
+		c.ips[i].Store(0)
+	}
+}
+
+// Snapshot copies the current counts into a plain, mergeable value.
+func (c *Coverage) Snapshot() *CoverageCounts {
+	s := &CoverageCounts{
+		Trans:  make([]int64, len(c.trans)),
+		States: make([]int64, len(c.states)),
+		IPs:    make([]int64, len(c.ips)),
+	}
+	for i := range c.trans {
+		s.Trans[i] = c.trans[i].Load()
+	}
+	for i := range c.states {
+		s.States[i] = c.states[i].Load()
+	}
+	for i := range c.ips {
+		s.IPs[i] = c.ips[i].Load()
+	}
+	return s
+}
+
+// CoverageCounts is a plain snapshot of coverage arrays, indexed by id.
+// Counts from different runs of the same spec merge by element-wise addition.
+type CoverageCounts struct {
+	Trans  []int64 `json:"trans"`
+	States []int64 `json:"states"`
+	IPs    []int64 `json:"ips"`
+}
+
+// Clone returns an independent copy.
+func (c *CoverageCounts) Clone() *CoverageCounts {
+	return &CoverageCounts{
+		Trans:  append([]int64(nil), c.Trans...),
+		States: append([]int64(nil), c.States...),
+		IPs:    append([]int64(nil), c.IPs...),
+	}
+}
+
+// Add merges o into c element-wise. The shapes must match — counts from a
+// different spec cannot merge.
+func (c *CoverageCounts) Add(o *CoverageCounts) error {
+	if len(c.Trans) != len(o.Trans) || len(c.States) != len(o.States) || len(c.IPs) != len(o.IPs) {
+		return fmt.Errorf("obs: coverage shape mismatch: %d/%d/%d vs %d/%d/%d",
+			len(c.Trans), len(c.States), len(c.IPs), len(o.Trans), len(o.States), len(o.IPs))
+	}
+	for i, v := range o.Trans {
+		c.Trans[i] += v
+	}
+	for i, v := range o.States {
+		c.States[i] += v
+	}
+	for i, v := range o.IPs {
+		c.IPs[i] += v
+	}
+	return nil
+}
+
+// CoverRow is one named, hit-counted entity of a cover report. Line anchors
+// transitions to their declaration line in the spec source (1-based; 0 when
+// unknown), which is what the heatmap renderer keys on.
+type CoverRow struct {
+	Name string `json:"name"`
+	Line int    `json:"line,omitempty"`
+	Hits int64  `json:"hits"`
+}
+
+// CoverSummary is the covered/total roll-up of a report, embedded in batch
+// reports and printed by `tango cover`.
+type CoverSummary struct {
+	TransCovered  int `json:"trans_covered"`
+	TransTotal    int `json:"trans_total"`
+	StatesCovered int `json:"states_covered"`
+	StatesTotal   int `json:"states_total"`
+	IPsCovered    int `json:"ips_covered"`
+	IPsTotal      int `json:"ips_total"`
+}
+
+// CoverReport is the versioned (tango.cover/1) spec-coverage report: named
+// hit counts per transition, state, and interaction point, in declaration
+// order. Reports for the same spec (matching digest and row names) merge
+// additively, so per-trace reports sum to the corpus report.
+type CoverReport struct {
+	Schema string `json:"schema"`
+	Tool   string `json:"tool"`
+	// Version and Commit identify the build (internal/buildinfo); WriteFile
+	// fills them when empty.
+	Version string `json:"tango_version,omitempty"`
+	Commit  string `json:"tango_commit,omitempty"`
+
+	Spec string `json:"spec"`
+	// SpecDigest fingerprints the compiled spec shape; Merge refuses reports
+	// whose digests differ.
+	SpecDigest string `json:"spec_digest"`
+	// Traces counts the analyzed (non-skipped) traces behind the counts.
+	Traces int `json:"traces"`
+
+	Transitions []CoverRow `json:"transitions"`
+	States      []CoverRow `json:"states"`
+	IPs         []CoverRow `json:"ips"`
+}
+
+// Summary rolls the report up to covered/total per dimension.
+func (r *CoverReport) Summary() CoverSummary {
+	covered := func(rows []CoverRow) int {
+		n := 0
+		for _, row := range rows {
+			if row.Hits > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	return CoverSummary{
+		TransCovered: covered(r.Transitions), TransTotal: len(r.Transitions),
+		StatesCovered: covered(r.States), StatesTotal: len(r.States),
+		IPsCovered: covered(r.IPs), IPsTotal: len(r.IPs),
+	}
+}
+
+// NeverFired lists the transitions with zero hits, in declaration order —
+// the corpus gaps a fuzzer (or a test author) should target.
+func (r *CoverReport) NeverFired() []string {
+	var out []string
+	for _, row := range r.Transitions {
+		if row.Hits == 0 {
+			out = append(out, row.Name)
+		}
+	}
+	return out
+}
+
+// Hottest returns up to n transitions sorted most-fired first (ties by
+// declaration order), skipping never-fired ones.
+func (r *CoverReport) Hottest(n int) []CoverRow {
+	rows := append([]CoverRow(nil), r.Transitions...)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Hits > rows[j].Hits })
+	out := rows[:0]
+	for _, row := range rows {
+		if row.Hits > 0 && len(out) < n {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Merge adds o's counts into r. Both reports must describe the same spec:
+// digests (when both set) and row names must match positionally.
+func (r *CoverReport) Merge(o *CoverReport) error {
+	if r.SpecDigest != "" && o.SpecDigest != "" && r.SpecDigest != o.SpecDigest {
+		return fmt.Errorf("obs: cover merge: spec digest %s vs %s", r.SpecDigest, o.SpecDigest)
+	}
+	merge := func(dst, src []CoverRow, what string) error {
+		if len(dst) != len(src) {
+			return fmt.Errorf("obs: cover merge: %d vs %d %s", len(dst), len(src), what)
+		}
+		for i := range dst {
+			if dst[i].Name != src[i].Name {
+				return fmt.Errorf("obs: cover merge: %s %d is %q vs %q", what, i, dst[i].Name, src[i].Name)
+			}
+			dst[i].Hits += src[i].Hits
+		}
+		return nil
+	}
+	if err := merge(r.Transitions, o.Transitions, "transitions"); err != nil {
+		return err
+	}
+	if err := merge(r.States, o.States, "states"); err != nil {
+		return err
+	}
+	if err := merge(r.IPs, o.IPs, "ips"); err != nil {
+		return err
+	}
+	r.Traces += o.Traces
+	return nil
+}
+
+// WriteFile marshals the report (indented, trailing newline) to path.
+func (r *CoverReport) WriteFile(path string) error {
+	if r.Schema == "" {
+		r.Schema = CoverSchema
+	}
+	if r.Tool == "" {
+		r.Tool = "tango"
+	}
+	if r.Version == "" {
+		r.Version = buildinfo.Version
+	}
+	if r.Commit == "" {
+		r.Commit = buildinfo.Commit()
+	}
+	return writeJSON(path, r)
+}
+
+// ReadCoverReport loads and validates a report written by WriteFile.
+func ReadCoverReport(path string) (*CoverReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r CoverReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("obs: parse cover report %s: %w", path, err)
+	}
+	if r.Schema != CoverSchema {
+		return nil, fmt.Errorf("obs: cover report %s has schema %q, want %q", path, r.Schema, CoverSchema)
+	}
+	return &r, nil
+}
+
+// RenderHeatmap annotates the spec source with a hit-count gutter: lines that
+// declare a transition show how often it fired across the corpus, never-fired
+// ones are flagged with '!', and everything else gets a blank gutter. Multiple
+// transitions declared on one line sum.
+func RenderHeatmap(source string, r *CoverReport) string {
+	byLine := make(map[int]int64)
+	onLine := make(map[int]bool)
+	for _, row := range r.Transitions {
+		if row.Line > 0 {
+			byLine[row.Line] += row.Hits
+			onLine[row.Line] = true
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "   hits   │ %s\n", r.Spec)
+	for i, text := range strings.Split(strings.TrimRight(source, "\n"), "\n") {
+		ln := i + 1
+		if onLine[ln] {
+			mark := ' '
+			if byLine[ln] == 0 {
+				mark = '!'
+			}
+			fmt.Fprintf(&b, "%8d%c │ %s\n", byLine[ln], mark, text)
+		} else {
+			fmt.Fprintf(&b, "          │ %s\n", text)
+		}
+	}
+	return b.String()
+}

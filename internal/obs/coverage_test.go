@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testReport(hits ...int64) *CoverReport {
+	r := &CoverReport{
+		Schema: CoverSchema, Spec: "tp0.estelle", SpecDigest: "sha256:abc", Traces: 1,
+		States: []CoverRow{{Name: "closed", Hits: 1}, {Name: "open", Hits: 0}},
+		IPs:    []CoverRow{{Name: "U", Hits: 2}},
+	}
+	for i, h := range hits {
+		r.Transitions = append(r.Transitions, CoverRow{Name: []string{"T1", "T2", "T3"}[i], Line: i + 2, Hits: h})
+	}
+	return r
+}
+
+func TestCoverSummaryAndNeverFired(t *testing.T) {
+	r := testReport(5, 0, 1)
+	s := r.Summary()
+	if s.TransCovered != 2 || s.TransTotal != 3 || s.StatesCovered != 1 || s.StatesTotal != 2 || s.IPsCovered != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if never := r.NeverFired(); len(never) != 1 || never[0] != "T2" {
+		t.Errorf("never fired = %v, want [T2]", never)
+	}
+	hot := r.Hottest(2)
+	if len(hot) != 2 || hot[0].Name != "T1" || hot[1].Name != "T3" {
+		t.Errorf("hottest = %v", hot)
+	}
+}
+
+func TestCoverMerge(t *testing.T) {
+	a := testReport(1, 0, 2)
+	b := testReport(4, 1, 0)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got := []int64{a.Transitions[0].Hits, a.Transitions[1].Hits, a.Transitions[2].Hits}
+	if got[0] != 5 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("merged hits = %v, want [5 1 2]", got)
+	}
+	if a.Traces != 2 {
+		t.Errorf("traces = %d, want 2", a.Traces)
+	}
+}
+
+func TestCoverMergeRejectsMismatch(t *testing.T) {
+	a := testReport(1, 0, 2)
+	b := testReport(1, 0, 2)
+	b.SpecDigest = "sha256:other"
+	if err := a.Merge(b); err == nil {
+		t.Error("merging different spec digests should fail")
+	}
+	c := testReport(1, 0, 2)
+	c.SpecDigest = a.SpecDigest
+	c.Transitions[1].Name = "renamed"
+	if err := a.Merge(c); err == nil {
+		t.Error("merging renamed rows should fail")
+	}
+}
+
+func TestCoverReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cover.json")
+	r := testReport(3, 0, 1)
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCoverReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != CoverSchema || back.SpecDigest != r.SpecDigest || len(back.Transitions) != 3 {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+	if back.Version == "" {
+		t.Error("WriteFile should stamp the build version")
+	}
+}
+
+func TestReadCoverReportRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	r := testReport(1, 1, 1)
+	r.Schema = "tango.report/1"
+	if err := writeJSON(path, r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCoverReport(path); err == nil {
+		t.Error("wrong schema should be rejected")
+	}
+}
+
+func TestRenderHeatmap(t *testing.T) {
+	src := "specification tp0;\n  trans T1\n  trans T2\n  trans T3\nend.\n"
+	out := RenderHeatmap(src, testReport(5, 0, 12))
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "tp0.estelle") {
+		t.Errorf("header %q should name the spec", lines[0])
+	}
+	// Line 2 declares T1 (5 hits), line 3 T2 (0 hits, flagged), line 4 T3.
+	if !strings.Contains(lines[2], "5  │") && !strings.Contains(lines[2], "5 ") {
+		t.Errorf("T1 line %q should show 5 hits", lines[2])
+	}
+	if !strings.Contains(lines[3], "0!") {
+		t.Errorf("never-fired line %q should be flagged with !", lines[3])
+	}
+	if !strings.Contains(lines[4], "12") {
+		t.Errorf("T3 line %q should show 12 hits", lines[4])
+	}
+	if !strings.HasPrefix(lines[1], "          │ ") {
+		t.Errorf("unannotated line %q should have a blank gutter", lines[1])
+	}
+}
+
+// TestCoverageCountsAddMismatch: element-wise Add must refuse shapes from a
+// different spec.
+func TestCoverageCountsAddMismatch(t *testing.T) {
+	a := &CoverageCounts{Trans: make([]int64, 3), States: make([]int64, 2), IPs: make([]int64, 1)}
+	b := &CoverageCounts{Trans: make([]int64, 4), States: make([]int64, 2), IPs: make([]int64, 1)}
+	if err := a.Add(b); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+}
+
+// TestCoverageRecorder exercises the atomic arrays directly: bounds-guarded
+// hits, snapshot, reset.
+func TestCoverageRecorder(t *testing.T) {
+	c := NewCoverage(2, 2, 1)
+	c.HitTrans(0)
+	c.HitTrans(0)
+	c.HitTrans(1)
+	c.HitTrans(99) // out of range: ignored, not a panic
+	c.HitTrans(-1)
+	c.HitState(1)
+	c.HitIP(0)
+	s := c.Snapshot()
+	if s.Trans[0] != 2 || s.Trans[1] != 1 || s.States[1] != 1 || s.IPs[0] != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	c.Reset()
+	s2 := c.Snapshot()
+	if s2.Trans[0] != 0 || s2.States[1] != 0 || s2.IPs[0] != 0 {
+		t.Errorf("reset left counts: %+v", s2)
+	}
+	if s.Trans[0] != 2 {
+		t.Error("snapshot must be independent of the live recorder")
+	}
+}

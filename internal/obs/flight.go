@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// FlightRecorder is a Tracer that keeps the last N search events in a
+// fixed-size ring buffer — a flight recorder for bad verdicts. The analyzer
+// attaches one under Options.FlightRecorder and dumps its tail into reports
+// on invalid, partial, and panic-quarantined outcomes, so every bad verdict
+// ships its own last-N-steps explanation.
+//
+// Writes are lock-light: a single uncontended mutex acquisition guarding one
+// slot store and an index increment, no allocation (Event is a value struct
+// and the ring is preallocated). The lock exists so a tail can be snapshotted
+// from another goroutine (batch's panic path, serve's diagnosis) without
+// tearing a concurrent write.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []Event
+	total uint64 // events ever seen since Reset
+}
+
+// NewFlightRecorder returns a recorder retaining the last size events
+// (minimum 1).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size < 1 {
+		size = 1
+	}
+	return &FlightRecorder{ring: make([]Event, 0, size)}
+}
+
+// Event records e, evicting the oldest retained event when full.
+func (f *FlightRecorder) Event(e Event) {
+	f.mu.Lock()
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, e)
+	} else {
+		f.ring[f.total%uint64(cap(f.ring))] = e
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Reset forgets everything, readying the recorder for the next run.
+func (f *FlightRecorder) Reset() {
+	f.mu.Lock()
+	f.ring = f.ring[:0]
+	f.total = 0
+	f.mu.Unlock()
+}
+
+// Dropped returns how many events aged out of the ring.
+func (f *FlightRecorder) Dropped() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total - uint64(len(f.ring))
+}
+
+// Tail returns the retained events, oldest first.
+func (f *FlightRecorder) Tail() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Event, len(f.ring))
+	if len(f.ring) < cap(f.ring) {
+		copy(out, f.ring)
+		return out
+	}
+	head := int(f.total % uint64(cap(f.ring))) // oldest slot
+	n := copy(out, f.ring[head:])
+	copy(out[n:], f.ring[:head])
+	return out
+}
+
+// TailStrings renders the tail via Event.String — the report-ready form. If
+// events aged out, the first entry says how many.
+func (f *FlightRecorder) TailStrings() []string {
+	tail := f.Tail()
+	dropped := f.Dropped()
+	out := make([]string, 0, len(tail)+1)
+	if dropped > 0 {
+		out = append(out, fmt.Sprintf("... %d earlier events dropped", dropped))
+	}
+	for _, e := range tail {
+		out = append(out, e.String())
+	}
+	return out
+}
+
+// String renders the event as one compact, stable line for flight-recorder
+// tails and log greps: the kind followed by only the fields the kind set,
+// e.g. "fire t=send d=3 ev=7" or "prune t=recv d=4 (mismatch)".
+func (e Event) String() string {
+	var b strings.Builder
+	b.WriteString(e.Kind.String())
+	if e.Trans != "" {
+		fmt.Fprintf(&b, " t=%s", e.Trans)
+	}
+	if e.Depth != 0 || e.Kind == KindExpand || e.Kind == KindBacktrack || e.Kind == KindRestore {
+		fmt.Fprintf(&b, " d=%d", e.Depth)
+	}
+	if e.Kind == KindFire {
+		fmt.Fprintf(&b, " ev=%d", e.EventSeq)
+	}
+	if e.N != 0 {
+		fmt.Fprintf(&b, " n=%d", e.N)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	return b.String()
+}

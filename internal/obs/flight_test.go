@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderUnfilled(t *testing.T) {
+	f := NewFlightRecorder(8)
+	for i := 0; i < 3; i++ {
+		f.Event(Event{Kind: KindExpand, Depth: i})
+	}
+	tail := f.Tail()
+	if len(tail) != 3 || f.Dropped() != 0 {
+		t.Fatalf("tail=%d dropped=%d, want 3, 0", len(tail), f.Dropped())
+	}
+	for i, e := range tail {
+		if e.Depth != i {
+			t.Errorf("tail[%d].Depth = %d, want %d (oldest first)", i, e.Depth, i)
+		}
+	}
+}
+
+func TestFlightRecorderWraps(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Event(Event{Kind: KindExpand, Depth: i})
+	}
+	tail := f.Tail()
+	if len(tail) != 4 {
+		t.Fatalf("tail has %d events, want 4", len(tail))
+	}
+	for i, e := range tail {
+		if e.Depth != 6+i {
+			t.Errorf("tail[%d].Depth = %d, want %d (last 4, oldest first)", i, e.Depth, 6+i)
+		}
+	}
+	if f.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", f.Dropped())
+	}
+	lines := f.TailStrings()
+	if len(lines) != 5 || !strings.Contains(lines[0], "6 earlier events dropped") {
+		t.Errorf("TailStrings = %v, want dropped header + 4 lines", lines)
+	}
+}
+
+func TestFlightRecorderReset(t *testing.T) {
+	f := NewFlightRecorder(2)
+	for i := 0; i < 5; i++ {
+		f.Event(Event{Kind: KindFire})
+	}
+	f.Reset()
+	if len(f.Tail()) != 0 || f.Dropped() != 0 {
+		t.Fatalf("after Reset: tail=%d dropped=%d, want empty", len(f.Tail()), f.Dropped())
+	}
+	f.Event(Event{Kind: KindPrune, Detail: "mismatch"})
+	if got := f.TailStrings(); len(got) != 1 || got[0] != "prune (mismatch)" {
+		t.Fatalf("TailStrings after reuse = %v", got)
+	}
+}
+
+func TestFlightRecorderMinimumSize(t *testing.T) {
+	f := NewFlightRecorder(0)
+	f.Event(Event{Kind: KindFire})
+	f.Event(Event{Kind: KindBacktrack, Depth: 2})
+	tail := f.Tail()
+	if len(tail) != 1 || tail[0].Kind != KindBacktrack {
+		t.Fatalf("tail = %v, want just the last event", tail)
+	}
+}
+
+// TestFlightRecorderConcurrent snapshots the tail while writers hammer the
+// ring (run under -race): the lock must prevent torn reads.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(16)
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 5000; i++ {
+				f.Event(Event{Kind: KindExpand, Depth: i})
+			}
+		}()
+	}
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if n := len(f.Tail()); n > 16 {
+					t.Errorf("tail grew past capacity: %d", n)
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	if f.Dropped() != 4*5000-16 {
+		t.Errorf("dropped = %d, want %d", f.Dropped(), 4*5000-16)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Kind: KindFire, Trans: "send", Depth: 3, EventSeq: 7}, "fire t=send d=3 ev=7"},
+		{Event{Kind: KindPrune, Trans: "recv", Depth: 4, Detail: "mismatch"}, "prune t=recv d=4 (mismatch)"},
+		{Event{Kind: KindBacktrack, Depth: 0}, "backtrack d=0"},
+		{Event{Kind: KindSearchStart, N: 12}, "search_start n=12"},
+		{Event{Kind: KindSearchEnd, Detail: "invalid"}, "search_end (invalid)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.e, got, c.want)
+		}
+	}
+}

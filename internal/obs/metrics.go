@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -15,11 +16,25 @@ import (
 // and that anything — the CLI's run report, an expvar HTTP endpoint, a test —
 // can read while the search runs. Metric handles are get-or-create and safe
 // for concurrent use; reads never block writers.
+//
+// Names are unique across kinds: asking for an existing name as a different
+// kind, or for an existing histogram with different bucket bounds, panics
+// with both call sites named. Silent aliasing would hand one caller another
+// caller's metric and corrupt both series.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	meta     map[string]metricMeta
+}
+
+// metricMeta remembers how (and where) a name was first registered so later
+// conflicting registrations can report both sides.
+type metricMeta struct {
+	kind   string
+	bounds []int64 // histograms only, sorted
+	site   string  // file:line of first registration
 }
 
 // NewRegistry returns an empty registry.
@@ -28,7 +43,33 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		meta:     make(map[string]metricMeta),
 	}
+}
+
+// callerSite names the registration call site two frames up (the caller of
+// Counter/Gauge/Histogram).
+func callerSite() string {
+	if _, file, line, ok := runtime.Caller(2); ok {
+		return fmt.Sprintf("%s:%d", file, line)
+	}
+	return "unknown"
+}
+
+// register records (or checks) a name's kind under r.mu and panics on
+// cross-kind reuse. Returns the existing meta when the name is known.
+func (r *Registry) register(name, kind, site string, bounds []int64) metricMeta {
+	m, ok := r.meta[name]
+	if !ok {
+		m = metricMeta{kind: kind, bounds: bounds, site: site}
+		r.meta[name] = m
+		return m
+	}
+	if m.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q requested as %s at %s but registered as %s at %s",
+			name, kind, site, m.kind, m.site))
+	}
+	return m
 }
 
 // Counter is a monotonically increasing atomic counter.
@@ -99,10 +140,13 @@ func (h *Histogram) Buckets() ([]int64, []int64) {
 	return append([]int64(nil), h.bounds...), counts
 }
 
-// Counter returns the named counter, creating it on first use.
+// Counter returns the named counter, creating it on first use. Panics if the
+// name is already registered as a different kind.
 func (r *Registry) Counter(name string) *Counter {
+	site := callerSite()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.register(name, "counter", site, nil)
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{}
@@ -111,10 +155,13 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Gauge returns the named gauge, creating it on first use.
+// Gauge returns the named gauge, creating it on first use. Panics if the
+// name is already registered as a different kind.
 func (r *Registry) Gauge(name string) *Gauge {
+	site := callerSite()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.register(name, "gauge", site, nil)
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{}
@@ -125,17 +172,40 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns the named histogram, creating it with the given bucket
 // upper bounds on first use (bounds are sorted; later calls may omit them).
+// Panics if the name is already registered as a different kind, or as a
+// histogram with different bounds — both call sites are named, because
+// silently returning the first registration would bucket one caller's
+// observations on another caller's scale.
 func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	site := callerSite()
+	sorted := append([]int64(nil), bounds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	m := r.register(name, "histogram", site, sorted)
 	h, ok := r.hists[name]
 	if !ok {
-		sorted := append([]int64(nil), bounds...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 		h = &Histogram{bounds: sorted, counts: make([]atomic.Int64, len(sorted)+1)}
 		r.hists[name] = h
+		return h
+	}
+	if len(bounds) > 0 && !equalBounds(sorted, m.bounds) {
+		panic(fmt.Sprintf("obs: histogram %q requested with bounds %v at %s but registered with %v at %s",
+			name, sorted, site, m.bounds, m.site))
 	}
 	return h
+}
+
+func equalBounds(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Snapshot returns a point-in-time copy of every metric: counters and gauges

@@ -128,8 +128,13 @@ func TestChromeSinkReplay(t *testing.T) {
 	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
 		t.Fatalf("output is not a JSON array: %v\n%s", err, sb.String())
 	}
-	if len(events) != len(replay) {
-		t.Fatalf("got %d events, want %d", len(events), len(replay))
+	// The sink prepends the process_name/thread_name metadata pair.
+	if len(events) != len(replay)+2 {
+		t.Fatalf("got %d events, want %d", len(events), len(replay)+2)
+	}
+	if events[0].Name != "process_name" || events[0].Phase != "M" ||
+		events[1].Name != "thread_name" || events[1].Phase != "M" {
+		t.Fatalf("missing metadata preamble: %+v, %+v", events[0], events[1])
 	}
 	// Begin/End phases must balance (the flame-graph property).
 	depth := 0
@@ -139,7 +144,7 @@ func TestChromeSinkReplay(t *testing.T) {
 			depth++
 		case "E":
 			depth--
-		case "i":
+		case "i", "M":
 		default:
 			t.Errorf("event %d: unexpected phase %q", i, ev.Phase)
 		}
@@ -151,11 +156,12 @@ func TestChromeSinkReplay(t *testing.T) {
 		t.Fatalf("unbalanced B/E: depth %d at end", depth)
 	}
 	// The expand slice is named by its transition; the root slice "root".
-	if events[1].Name != "root" || events[4].Name != "T1" {
-		t.Errorf("slice names: %q, %q", events[1].Name, events[4].Name)
+	// Index past the two metadata events.
+	if events[3].Name != "root" || events[6].Name != "T1" {
+		t.Errorf("slice names: %q, %q", events[3].Name, events[6].Name)
 	}
-	if events[0].Name != "search" || events[len(events)-1].Name != "search" {
-		t.Errorf("outer slice: %q ... %q", events[0].Name, events[len(events)-1].Name)
+	if events[2].Name != "search" || events[len(events)-1].Name != "search" {
+		t.Errorf("outer slice: %q ... %q", events[2].Name, events[len(events)-1].Name)
 	}
 }
 

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format version this package writes.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName maps a dotted Tango metric name onto the Prometheus name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]* with a tango_ namespace prefix:
+// "serve.queue_wait_us" → "tango_serve_queue_wait_us".
+func promName(name string) string {
+	b := []byte("tango_" + name)
+	for i := 6; i < len(b); i++ {
+		c := b[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as cumulative _bucket{le="..."} series plus _sum and _count. Names are
+// emitted in sorted order so the output is deterministic, and values are
+// read per metric without blocking writers.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.meta))
+	for name := range r.meta {
+		names = append(names, name)
+	}
+	type entry struct {
+		name string
+		meta metricMeta
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
+	}
+	entries := make([]entry, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		entries = append(entries, entry{
+			name: name, meta: r.meta[name],
+			c: r.counters[name], g: r.gauges[name], h: r.hists[name],
+		})
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		pn := promName(e.name)
+		switch e.meta.kind {
+		case "counter":
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, e.c.Value())
+		case "gauge":
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", pn, pn, e.g.Value())
+		case "histogram":
+			bounds, counts := e.h.Buckets()
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+			var cum int64
+			for i, b := range bounds {
+				cum += counts[i]
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", pn, b, cum)
+			}
+			cum += counts[len(bounds)] // overflow bucket
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+			fmt.Fprintf(bw, "%s_sum %d\n", pn, e.h.Sum())
+			fmt.Fprintf(bw, "%s_count %d\n", pn, e.h.Count())
+		}
+	}
+	return bw.Flush()
+}

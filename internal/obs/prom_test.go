@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheus pins the exposition format: sorted names, tango_
+// namespace, # TYPE lines, and cumulative histogram buckets ending in +Inf.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.requests").Add(7)
+	r.Gauge("serve.inflight").Set(3)
+	h := r.Histogram("serve.elapsed_us", 10, 100)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# TYPE tango_serve_elapsed_us histogram
+tango_serve_elapsed_us_bucket{le="10"} 1
+tango_serve_elapsed_us_bucket{le="100"} 2
+tango_serve_elapsed_us_bucket{le="+Inf"} 3
+tango_serve_elapsed_us_sum 555
+tango_serve_elapsed_us_count 3
+# TYPE tango_serve_inflight gauge
+tango_serve_inflight 3
+# TYPE tango_serve_requests counter
+tango_serve_requests 7
+`
+	if got != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusParses runs a minimal line-level validation over a
+// bigger registry — every non-comment line must be "name{labels} value" with
+// a legal metric name, which is what the CI smoke job greps for.
+func TestWritePrometheusParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b-c").Inc() // '-' must be sanitized
+	r.Gauge("x")
+	r.Histogram("h", 1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("line %q is not name value", line)
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unbalanced labels in %q", line)
+			}
+			name = name[:i]
+		}
+		if !strings.HasPrefix(name, "tango_") {
+			t.Fatalf("metric %q not namespaced", name)
+		}
+		for _, c := range name {
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':') {
+				t.Fatalf("illegal character %q in metric name %q", c, name)
+			}
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.queue_wait_us":     "tango_serve_queue_wait_us",
+		"serve.tenant.ab12.sum":   "tango_serve_tenant_ab12_sum",
+		"fired.T1-retry":          "tango_fired_T1_retry",
+		"already_fine:with_colon": "tango_already_fine:with_colon",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

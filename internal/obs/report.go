@@ -105,6 +105,13 @@ type Report struct {
 	Faults []string `json:"fault_list,omitempty"`
 	// Metrics embeds the flat scalar metrics of the run's Registry.
 	Metrics map[string]int64 `json:"metrics,omitempty"`
+
+	// Flight is the flight-recorder tail (oldest first) captured when the
+	// verdict went wrong — the search's last N steps. Empty on clean verdicts.
+	Flight []string `json:"flight,omitempty"`
+	// Coverage summarizes spec coverage when the run recorded it; the full
+	// per-id counts live in the tango.cover/1 report.
+	Coverage *CoverSummary `json:"coverage,omitempty"`
 }
 
 // SetTransitions fills the per-transition histogram from fire counts,

@@ -91,7 +91,10 @@ type analyzeResponse struct {
 	Stop      *obs.StopDetail `json:"stop,omitempty"`
 	Search    obs.SearchStats `json:"search"`
 	Diagnosis *diagnosisJSON  `json:"diagnosis,omitempty"`
-	ElapsedUS int64           `json:"elapsed_us"`
+	// Flight is the flight-recorder tail when the verdict went wrong — the
+	// search's last steps, rendered (see obs.FlightRecorder).
+	Flight    []string `json:"flight,omitempty"`
+	ElapsedUS int64    `json:"elapsed_us"`
 }
 
 // specsResponse is the 200 body of POST /v1/specs.
@@ -227,20 +230,36 @@ func (s *Server) resolveSpec(w http.ResponseWriter, r *http.Request,
 	return entry, spec, cached, true
 }
 
-// tenantCounter returns the per-tenant (per-spec) metric counter
-// serve.tenant.<digest12>.<what>.
-func (s *Server) tenantCounter(digest, what string) *obs.Counter {
+// tenantKey shortens a spec digest to the 12-char tenant label used in
+// per-tenant metric names.
+func tenantKey(digest string) string {
 	short := strings.TrimPrefix(digest, "sha256:")
 	if len(short) > 12 {
 		short = short[:12]
 	}
-	return s.reg.Counter("serve.tenant." + short + "." + what)
+	return short
 }
 
-// admit runs pool admission and answers 429/503 itself. ok=false means the
-// response has been written (or the client is gone).
+// tenantCounter returns the per-tenant (per-spec) metric counter
+// serve.tenant.<digest12>.<what>.
+func (s *Server) tenantCounter(digest, what string) *obs.Counter {
+	return s.reg.Counter("serve.tenant." + tenantKey(digest) + "." + what)
+}
+
+// tenantLatency returns the per-tenant latency histogram
+// serve.tenant.<digest12>.elapsed_us, on the same bucket scale as the
+// server-wide serve.elapsed_us.
+func (s *Server) tenantLatency(digest string) *obs.Histogram {
+	return s.reg.Histogram("serve.tenant."+tenantKey(digest)+".elapsed_us", latencyBoundsUS...)
+}
+
+// admit runs pool admission and answers 429/503 itself, recording how long
+// the request waited for its slot. ok=false means the response has been
+// written (or the client is gone).
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	waited := time.Now()
 	err := s.pool.acquire(r.Context())
+	s.m.queueWaitUS.Observe(time.Since(waited).Microseconds())
 	s.gauges()
 	switch {
 	case err == nil:
@@ -255,6 +274,10 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 	return false
 }
 
+// serveFlightEvents sizes the per-request flight recorder: enough tail to
+// explain a bad verdict, small enough to be free on the hot path.
+const serveFlightEvents = 64
+
 // analysisOptions maps request fields onto analysis.Options under the
 // effective limits.
 func analysisOptions(order analysis.OrderOpts, disabled, unobserved []string,
@@ -268,6 +291,7 @@ func analysisOptions(order analysis.OrderOpts, disabled, unobserved []string,
 		Memo:               memo,
 		MaxTransitions:     lim.Budget,
 		MaxHeapCells:       heap,
+		FlightRecorder:     serveFlightEvents,
 	}
 }
 
@@ -389,6 +413,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.completed.Inc()
 	s.m.elapsedUS.Observe(elapsed.Microseconds())
+	s.tenantLatency(entry.digest).Observe(elapsed.Microseconds())
 
 	res := ir.Res
 	resp := analyzeResponse{
@@ -406,6 +431,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		resp.Diagnosis = &diagnosisJSON{Explained: d.Explained, Total: d.Total, State: d.State,
 			FirstUnexplained: d.FirstUnexplained, Faults: d.Faults}
 	}
+	resp.Flight = res.Flight
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -507,6 +533,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.completed.Inc()
 	s.m.elapsedUS.Observe(time.Since(start).Microseconds())
+	s.tenantLatency(entry.digest).Observe(time.Since(start).Microseconds())
 
 	// Aggregate with the batch engine's severity rules.
 	sev := map[int]int{batch.ClassOK: 0, batch.ClassInvalid: 1,
@@ -568,13 +595,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics implements GET /metrics: the registry snapshot plus cache
-// counters, as one JSON object.
+// counters. The format is content-negotiated: JSON by default (the original
+// contract, so existing scrapers keep working), Prometheus text exposition
+// when the Accept header asks for text/plain or OpenMetrics — which is what
+// a Prometheus scrape sends.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge("serve.specs_cached").Set(int64(s.cache.len()))
 	s.reg.Counter("serve.spec_compiles").Add(s.cache.compiles.Swap(0))
 	s.reg.Counter("serve.spec_cache_hits").Add(s.cache.hits.Swap(0))
 	s.reg.Counter("serve.spec_cache_evictions").Add(s.cache.evictions.Swap(0))
 	s.gauges()
+	if wantsPrometheus(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		_ = s.reg.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = s.reg.WriteJSON(w)
+}
+
+// wantsPrometheus reports whether an Accept header asks for the text
+// exposition format. JSON stays the default on */* and absent headers.
+func wantsPrometheus(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mt {
+		case "text/plain", "application/openmetrics-text":
+			return true
+		case "application/json":
+			return false // explicit JSON preference listed first wins
+		}
+	}
+	return false
 }

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/specs"
+)
+
+func getWithAccept(t *testing.T, url, accept string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+// TestMetricsContentNegotiation: JSON stays the default, text/plain gets the
+// Prometheus exposition, and an explicit application/json first wins even
+// with text/plain later in the list.
+func TestMetricsContentNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	valid, _ := echoTraces(t)
+	if code, m, _ := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"spec": specs.Echo, "trace": valid}); code != 200 {
+		t.Fatalf("analyze: %d %v", code, m)
+	}
+
+	resp, body := getWithAccept(t, ts.URL+"/metrics", "")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default Content-Type = %q, want application/json", ct)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Errorf("default body is not JSON: %.80s", body)
+	}
+
+	resp, body = getWithAccept(t, ts.URL+"/metrics", "text/plain")
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("prometheus Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	for _, want := range []string{
+		"# TYPE tango_serve_requests counter",
+		"tango_serve_elapsed_us_bucket{le=\"+Inf\"}",
+		"tango_serve_queue_wait_us_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition lacks %q:\n%.400s", want, body)
+		}
+	}
+	// Per-tenant latency histogram shows up once a request ran.
+	if !strings.Contains(body, "tango_serve_tenant_") {
+		t.Errorf("exposition lacks per-tenant series:\n%.400s", body)
+	}
+
+	// Prometheus scrapers send a q-valued list; text/plain in it still wins.
+	resp, _ = getWithAccept(t, ts.URL+"/metrics",
+		"application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5,*/*;q=0.1")
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("scraper Accept got %q, want prometheus", ct)
+	}
+
+	// An explicit JSON preference first keeps the JSON body.
+	resp, _ = getWithAccept(t, ts.URL+"/metrics", "application/json, text/plain;q=0.5")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json-first Accept got %q, want application/json", ct)
+	}
+}
+
+// TestPprofGating: /debug/pprof is absent by default and mounted only under
+// Options.EnablePprof.
+func TestPprofGating(t *testing.T) {
+	_, off := newTestServer(t, Options{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without the option: %d, want 404", resp.StatusCode)
+	}
+
+	_, on := newTestServer(t, Options{EnablePprof: true})
+	resp, body := getWithAccept(t, on.URL+"/debug/pprof/", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index does not list profiles: %.200s", body)
+	}
+	resp, _ = getWithAccept(t, on.URL+"/debug/pprof/cmdline", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline: %d", resp.StatusCode)
+	}
+}
+
+// TestAnalyzeResponseFlight: an invalid analysis answer carries the flight
+// tail, a valid one does not.
+func TestAnalyzeResponseFlight(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	valid, invalid := echoTraces(t)
+
+	code, m, _ := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"spec": specs.Echo, "trace": invalid})
+	if code != 200 {
+		t.Fatalf("analyze invalid: %d %v", code, m)
+	}
+	if m["verdict"] != "invalid" {
+		t.Fatalf("verdict = %v", m["verdict"])
+	}
+	tail, ok := m["flight"].([]any)
+	if !ok || len(tail) == 0 {
+		t.Fatalf("invalid answer has no flight tail: %v", m)
+	}
+	if last, _ := tail[len(tail)-1].(string); !strings.HasPrefix(last, "search_end") {
+		t.Errorf("tail ends with %v", tail[len(tail)-1])
+	}
+
+	code, m, _ = postJSON(t, ts.URL+"/v1/analyze", map[string]any{"spec": specs.Echo, "trace": valid})
+	if code != 200 || m["verdict"] != "valid" {
+		t.Fatalf("analyze valid: %d %v", code, m)
+	}
+	if _, present := m["flight"]; present {
+		t.Errorf("valid answer carries a flight tail: %v", m["flight"])
+	}
+}

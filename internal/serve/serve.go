@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -82,6 +83,12 @@ type Options struct {
 	// HeartbeatEvery emits a periodic one-line load heartbeat to Log while
 	// the server runs (0 disables).
 	HeartbeatEvery time.Duration
+
+	// EnablePprof mounts net/http/pprof's profiling endpoints under
+	// /debug/pprof/ on the daemon's own mux. Off by default: the profiler
+	// exposes goroutine stacks and heap contents, so it is opt-in (the
+	// `tango serve -pprof` flag) rather than ambient.
+	EnablePprof bool
 
 	// FaultHook, when non-nil, runs on the worker goroutine just before
 	// each analysis with the spec digest — the chaos tests' panic injection
@@ -151,8 +158,16 @@ type Server struct {
 		inflight    *obs.Gauge
 		queued      *obs.Gauge
 		elapsedUS   *obs.Histogram
+		queueWaitUS *obs.Histogram // time spent waiting for a pool slot
 	}
 }
+
+// Histogram bucket bounds (microseconds). Shared constants so every
+// registration site agrees — the registry panics on bound mismatches.
+var (
+	latencyBoundsUS   = []int64{1_000, 10_000, 100_000, 1_000_000, 10_000_000}
+	queueWaitBoundsUS = []int64{100, 1_000, 10_000, 100_000, 1_000_000}
+)
 
 // New builds a Server. It does not listen; mount Handler().
 func New(opts Options) *Server {
@@ -176,8 +191,8 @@ func New(opts Options) *Server {
 	s.m.streams = s.reg.Counter("serve.streams")
 	s.m.inflight = s.reg.Gauge("serve.inflight")
 	s.m.queued = s.reg.Gauge("serve.queued")
-	s.m.elapsedUS = s.reg.Histogram("serve.elapsed_us",
-		1_000, 10_000, 100_000, 1_000_000, 10_000_000)
+	s.m.elapsedUS = s.reg.Histogram("serve.elapsed_us", latencyBoundsUS...)
+	s.m.queueWaitUS = s.reg.Histogram("serve.queue_wait_us", queueWaitBoundsUS...)
 	if opts.HeartbeatEvery > 0 {
 		go s.heartbeatLoop(opts.HeartbeatEvery)
 	}
@@ -193,6 +208,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/stream", s.handleStream)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opts.EnablePprof {
+		// Mounted explicitly instead of importing net/http/pprof for its
+		// DefaultServeMux side effect: the daemon serves its own mux.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
