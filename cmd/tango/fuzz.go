@@ -1,0 +1,146 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/fuzz"
+	"repro/internal/trace"
+	"repro/tango"
+)
+
+// runFuzz implements `tango fuzz`: a seeded, coverage-guided trace-generation
+// campaign with a built-in differential oracle. The generator walks the
+// compiled spec's own input grammar; every candidate is decided by both the
+// backtracking analyzer and an independent breadth-first oracle; conclusive
+// verdict splits are shrunk to minimal counterexamples and reported.
+//
+// Exit codes grade the campaign, not individual traces: 0 means zero
+// disagreements, 2 means the two deciders split on at least one trace (the
+// report carries the shrunk reproducers).
+func runFuzz(args []string, w, ew io.Writer) error {
+	fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "Estelle specification to fuzz (required)")
+	n := fs.Int("n", 200, "candidate-generation iterations")
+	seed := fs.Int64("seed", 1, "campaign seed; a fixed seed reproduces the report byte for byte")
+	budget := fs.Duration("budget", 0, "wall-clock budget (0 = none; budget-stopped runs are not byte-reproducible)")
+	coverTarget := fs.Float64("cover-target", 0, "stop once this fraction of transitions is covered (0 = off)")
+	order := fs.String("order", "FULL", "checking mode for both deciders: NR, IO, IP or FULL")
+	maxEvents := fs.Int("max-events", 40, "maximum events per generated trace")
+	out := fs.String("out", "", "directory for fuzz.json, cover.json and the surviving corpus")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" || fs.NArg() != 0 {
+		return usageError{}
+	}
+	spec, err := compileArg(*specPath)
+	if err != nil {
+		return err
+	}
+	mode, err := parseOrder(*order)
+	if err != nil {
+		return err
+	}
+
+	f, err := fuzz.New(spec.Internal(), filepath.Base(*specPath), fuzz.Config{
+		Seed:        *seed,
+		N:           *n,
+		Budget:      *budget,
+		CoverTarget: *coverTarget,
+		MaxEvents:   *maxEvents,
+		Order:       mode,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := f.Run()
+	if err != nil {
+		return err
+	}
+	printFuzz(w, res, time.Since(start))
+
+	if *out != "" {
+		if err := writeFuzzOut(*out, *specPath, spec, res); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", filepath.Join(*out, "fuzz.json"))
+	}
+	if len(res.Disagreements) > 0 {
+		return errNotValid
+	}
+	return nil
+}
+
+// printFuzz renders the human campaign summary. The elapsed time goes to the
+// terminal only — the written report is deliberately timing-free so seeded
+// runs compare byte for byte.
+func printFuzz(w io.Writer, res *fuzz.Result, elapsed time.Duration) {
+	r := res.Report
+	fmt.Fprintf(w, "fuzz: %s seed=%d order=%s: %d candidates (%d generated, %d havoc, %d failed walks) in %s\n",
+		r.Spec, r.Seed, r.Order, r.Candidates, r.Generated, r.Havoc, r.GenFailures, elapsed.Round(time.Millisecond))
+	var verdicts []string
+	for _, k := range []string{"valid", "invalid", "exhausted", "partial", "error"} {
+		if r.Verdicts[k] > 0 {
+			verdicts = append(verdicts, fmt.Sprintf("%d %s", r.Verdicts[k], k))
+		}
+	}
+	fmt.Fprintf(w, "verdicts: %s; oracle checked %d, skipped %d\n",
+		strings.Join(verdicts, ", "), r.OracleChecked, r.OracleSkipped)
+	s := r.Coverage
+	fmt.Fprintf(w, "coverage: %d/%d transitions, %d/%d states, %d/%d ips; corpus %d traces; stopped: %s\n",
+		s.TransCovered, s.TransTotal, s.StatesCovered, s.StatesTotal,
+		s.IPsCovered, s.IPsTotal, len(res.Corpus), r.Stopped)
+	for _, d := range res.Disagreements {
+		fmt.Fprintf(w, "DISAGREEMENT %s: analyzer=%s oracle=%s (%d events, shrunk):\n",
+			d.Name, d.Analyzer, d.Oracle, len(d.Trace.Events))
+		for _, line := range strings.Split(strings.TrimRight(trace.Format(d.Trace), "\n"), "\n") {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+}
+
+// writeFuzzOut lays the campaign results out under dir:
+//
+//	fuzz.json                  tango.fuzz/1 report
+//	cover.json                 tango.cover/1 cumulative coverage
+//	corpus/valid/<name>.trace  surviving traces by expected verdict
+//	corpus/invalid/<name>.trace
+//	corpus/manifest.txt        batch.Collect-compatible manifest
+//
+// The manifest lets `tango batch <spec> <out>/corpus/manifest.txt` replay the
+// surviving corpus as a regression suite.
+func writeFuzzOut(dir, specPath string, spec *tango.Spec, res *fuzz.Result) error {
+	corpusDir := filepath.Join(dir, "corpus")
+	for _, sub := range []string{"valid", "invalid"} {
+		if err := os.MkdirAll(filepath.Join(corpusDir, sub), 0o755); err != nil {
+			return err
+		}
+	}
+	var manifest strings.Builder
+	for _, c := range res.Corpus {
+		rel := filepath.Join(c.Expect, c.Name+".trace")
+		if err := os.WriteFile(filepath.Join(corpusDir, rel), []byte(trace.Format(c.Trace)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(&manifest, "%s %s\n", rel, c.Expect)
+	}
+	if err := os.WriteFile(filepath.Join(corpusDir, "manifest.txt"), []byte(manifest.String()), 0o644); err != nil {
+		return err
+	}
+	if err := res.Report.WriteFile(filepath.Join(dir, "fuzz.json")); err != nil {
+		return err
+	}
+	cr, err := analysis.BuildCoverReport(specPath, spec.Internal(), res.Coverage, res.Report.Candidates)
+	if err != nil {
+		return err
+	}
+	return cr.WriteFile(filepath.Join(dir, "cover.json"))
+}

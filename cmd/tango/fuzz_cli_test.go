@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/specs"
+)
+
+// TestFuzzCommand: a seeded campaign on tp0 must run clean (zero
+// disagreements → exit 0), write the tango.fuzz/1 report, the cover report,
+// and a replayable corpus with a manifest.
+func TestFuzzCommand(t *testing.T) {
+	spec := write(t, "tp0.estelle", specs.TP0)
+	out := filepath.Join(t.TempDir(), "fuzzout")
+
+	stdout, err := runCLI(t, "fuzz", "-spec", spec, "-n", "60", "-seed", "42", "-out", out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stdout)
+	}
+	for _, want := range []string{"fuzz: tp0.estelle seed=42", "oracle checked", "coverage:", "corpus"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+
+	rep, err := obs.ReadFuzzReport(filepath.Join(out, "fuzz.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seed != 42 || rep.Spec != "tp0.estelle" || rep.SpecDigest == "" {
+		t.Errorf("report header: %+v", rep)
+	}
+	if rep.Candidates == 0 || rep.OracleChecked == 0 {
+		t.Errorf("empty campaign: %+v", rep)
+	}
+	if len(rep.Disagreements) != 0 {
+		t.Errorf("unexpected disagreements: %+v", rep.Disagreements)
+	}
+	if _, err := obs.ReadCoverReport(filepath.Join(out, "cover.json")); err != nil {
+		t.Errorf("cover.json: %v", err)
+	}
+
+	manifest := filepath.Join(out, "corpus", "manifest.txt")
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != len(rep.Corpus) {
+		t.Errorf("manifest has %d lines, report lists %d corpus entries", len(lines), len(rep.Corpus))
+	}
+	// The emitted corpus must replay cleanly through batch with the manifest
+	// expectations.
+	bout, err := runCLI(t, "batch", spec, manifest)
+	if err != nil {
+		t.Fatalf("batch replay of fuzz corpus failed: %v\n%s", err, bout)
+	}
+}
+
+// TestFuzzCommandDeterminism: two seed-42 runs write byte-identical reports.
+func TestFuzzCommandDeterminism(t *testing.T) {
+	spec := write(t, "abp.estelle", specs.ABP)
+	out1 := filepath.Join(t.TempDir(), "a")
+	out2 := filepath.Join(t.TempDir(), "b")
+	for _, out := range []string{out1, out2} {
+		if stdout, err := runCLI(t, "fuzz", "-spec", spec, "-n", "40", "-seed", "42", "-out", out); err != nil {
+			t.Fatalf("%v\n%s", err, stdout)
+		}
+	}
+	a, err := os.ReadFile(filepath.Join(out1, "fuzz.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(out2, "fuzz.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("seed-42 reports are not byte-identical")
+	}
+}
+
+// TestFuzzCommandUsage: missing -spec is a usage error.
+func TestFuzzCommandUsage(t *testing.T) {
+	if _, err := runCLI(t, "fuzz"); err == nil {
+		t.Fatal("fuzz without -spec succeeded")
+	}
+}

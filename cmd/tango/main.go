@@ -148,6 +148,8 @@ func run(args []string, w, ew io.Writer) error {
 		return runFormat(args[1:], w, ew, false)
 	case "normalform":
 		return runFormat(args[1:], w, ew, true)
+	case "fuzz":
+		return runFuzz(args[1:], w, ew)
 	case "serve":
 		return runServe(args[1:], w, ew)
 	case "version", "-version", "--version":
@@ -190,6 +192,11 @@ func (usageError) Error() string {
   tango normalform <spec>        (§5.3 rewrite: lift if/case into provided clauses)
   tango lint <spec>              (non-progress cycles, unreachable states, ...)
   tango explore [-max N] <spec>  (bounded closed-system state-space exploration)
+  tango fuzz -spec <spec> [-n N] [-seed S] [-budget D] [-cover-target F]
+             [-order NR|IO|IP|FULL] [-max-events N] [-out dir]
+                                 (coverage-guided generation + differential
+                                  oracle; -out writes tango.fuzz/1 report,
+                                  cover.json and the surviving corpus)
   tango bench [-quick] [-report out.json] [-k N]
                                  (search-core benchmarks; writes tango.bench/1)
   tango serve [-addr host:port] [-j N] [-queue N] [-spec-cache N]

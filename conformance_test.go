@@ -24,7 +24,7 @@ import (
 )
 
 // corpusSpecs lists the specs with a golden corpus directory.
-var corpusSpecs = []string{"abp", "ack", "echo", "lapd", "tp0"}
+var corpusSpecs = []string{"abp", "ack", "demux", "echo", "ip3", "ip3prime", "lapd", "tp0"}
 
 func corpusManifest(t *testing.T, spec string) string {
 	t.Helper()

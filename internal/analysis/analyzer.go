@@ -164,7 +164,7 @@ func New(spec *efsm.Spec, opts Options) (*Analyzer, error) {
 		a.exec.Limits.MaxHeapCells = opts.MaxHeapCells
 	}
 	a.tracer = opts.Tracer
-	if opts.Coverage {
+	if opts.Coverage || opts.CoverageSink != nil {
 		a.cov = obs.NewCoverage(len(spec.Prog.Trans), spec.NumStates(), nIPs)
 	}
 	if opts.FlightRecorder > 0 {
@@ -245,6 +245,15 @@ func (a *Analyzer) finishRun(start time.Time, res **Result) {
 		(*res).Stats = a.stats
 		if a.cov != nil {
 			(*res).Coverage = a.cov.Snapshot()
+			if sink := a.opts.CoverageSink; sink != nil {
+				// Fold the run's counts into the caller's campaign recorder
+				// before the next reset zeroes them. A shape mismatch means the
+				// sink was sized to a different spec; surface it loudly rather
+				// than silently dropping coverage.
+				if err := sink.AddCounts((*res).Coverage); err != nil {
+					panic(err)
+				}
+			}
 		}
 		if a.flight != nil {
 			switch (*res).Verdict {

@@ -190,6 +190,14 @@ type Options struct {
 	// run. Off by default: the fire path then pays only a nil check.
 	Coverage bool
 
+	// CoverageSink, when non-nil, accumulates every run's coverage snapshot
+	// into the given long-lived recorder (which must be sized to the same
+	// spec): after each analysis the per-run counts are folded in before the
+	// next run resets them. Implies Coverage. This is the live feedback
+	// channel a coverage-guided fuzzer steers by — it sees cumulative
+	// campaign coverage without re-summing per-trace snapshots itself.
+	CoverageSink *obs.Coverage
+
 	// FlightRecorder, when positive, keeps the last N search events in a ring
 	// buffer and attaches the rendered tail to Result.Flight whenever the
 	// verdict goes wrong (invalid, likely-invalid, exhausted, partial) — every

@@ -1,0 +1,65 @@
+package efsm_test
+
+import (
+	"testing"
+
+	"repro/internal/efsm"
+	"repro/internal/trace"
+	"repro/specs"
+)
+
+// FuzzParseSpec drives the whole front end — parse, check, compile to EFSM
+// programs — on arbitrary source text. Beyond no-panic, a successful compile
+// must yield a spec whose surface invariants hold (non-empty state space,
+// consistent counts) and whose event resolver survives arbitrary probing:
+// the compiled artifact is what every downstream tool trusts blindly.
+func FuzzParseSpec(f *testing.F) {
+	for _, src := range specs.All() {
+		f.Add(src)
+	}
+	f.Add("specification s; end.")
+	f.Add("specification s; channel C(a,b); by a: m; module M systemprocess; ip P : C(b) individual queue; end; body B for M; state s0; initialize to s0 begin end; trans from s0 to s0 when P.m begin end; end; end.")
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := efsm.Compile("fuzz.estelle", src)
+		if err != nil {
+			if spec != nil {
+				t.Fatal("non-nil spec with error")
+			}
+			return
+		}
+		if spec == nil {
+			t.Fatal("nil spec without error")
+		}
+		if spec.NumStates() <= 0 {
+			t.Fatalf("compiled spec has %d states", spec.NumStates())
+		}
+		if spec.TransitionCount() != len(spec.Prog.Trans) {
+			t.Fatalf("TransitionCount %d != len(Trans) %d", spec.TransitionCount(), len(spec.Prog.Trans))
+		}
+		for i := 0; i < spec.NumIPs(); i++ {
+			name := spec.IPName(i)
+			if name == "" {
+				t.Fatalf("IP %d has empty name", i)
+			}
+			if got, ok := spec.IPByName(name); !ok || got != i {
+				t.Fatalf("IPByName(%q) = %d,%v, want %d", name, got, ok, i)
+			}
+		}
+		// The resolver must reject or resolve — never panic — whatever
+		// event shapes a trace file could throw at the compiled spec.
+		probes := []trace.Event{
+			{Dir: trace.In, IP: "P", Interaction: "m"},
+			{Dir: trace.Out, IP: "nosuch", Interaction: "m"},
+		}
+		if spec.NumIPs() > 0 {
+			probes = append(probes,
+				trace.Event{Dir: trace.In, IP: spec.IPName(0), Interaction: "m"},
+				trace.Event{Dir: trace.Out, IP: spec.IPName(0), Interaction: "m",
+					Params: []trace.Param{{Name: "d", Value: "1"}}},
+			)
+		}
+		for _, ev := range probes {
+			_, _ = spec.ResolveEvent(ev)
+		}
+	})
+}

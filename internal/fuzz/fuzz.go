@@ -1,0 +1,438 @@
+// Package fuzz is Tango's adversarial scenario engine: coverage-guided
+// grammar-based trace generation with differential checking and shrinking.
+//
+// The generator walks the compiled specification's own input grammar —
+// feeding syntactically valid environment interactions into the
+// implementation-generation mode (package gen) — so every grammar-walk
+// candidate is a trace some conforming implementation really produced.
+// Havoc rounds then mutate surviving corpus traces with the structural
+// mutation library (package trace), producing near-valid negatives.
+//
+// Every candidate is decided twice: by the backtracking analyzer (package
+// analysis) and by the independent BFS oracle (sim.CheckTrace). Conclusive
+// verdicts must agree; any split is shrunk to a minimal counterexample by
+// event deletion and value simplification and shipped in the report.
+//
+// Steering is live: the analyzer folds each run's coverage into a shared
+// campaign recorder (Options.CoverageSink), and both the environment-input
+// picker and the generator's scheduler prefer whatever lights up transitions,
+// states, or interaction points nothing has covered yet. A candidate joins
+// the surviving corpus exactly when it covered something first.
+//
+// Determinism contract: a fixed Config.Seed (with Budget unset) reproduces
+// the identical corpus and tango.fuzz/1 report byte for byte.
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/efsm"
+	"repro/internal/estelle/sema"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Seed seeds every random choice of the campaign.
+	Seed int64
+	// N bounds candidate-generation iterations (default 200).
+	N int
+	// Budget, when positive, stops the campaign after this much wall time.
+	// A budget-stopped report is NOT byte-reproducible (the stop point
+	// depends on the clock); leave it zero for pinned regression runs.
+	Budget time.Duration
+	// CoverTarget, when positive, stops the campaign once this fraction of
+	// transitions is covered (e.g. 0.9).
+	CoverTarget float64
+	// MaxEvents bounds each generated trace's length (default 40).
+	MaxEvents int
+	// Order is the checking mode for both the analyzer and the oracle. The
+	// zero value means FULL (the strictest mode, and the one generated
+	// traces are valid under by construction).
+	Order analysis.OrderOpts
+	// MaxTransitions bounds the analyzer's search per candidate (default
+	// 200,000); a candidate that exhausts it is skipped by the oracle
+	// comparison, not misreported.
+	MaxTransitions int64
+	// OracleNodes bounds the BFS oracle per candidate (default 200,000).
+	OracleNodes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 200
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 40
+	}
+	if c.Order == (analysis.OrderOpts{}) {
+		c.Order = analysis.OrderFull
+	}
+	if c.MaxTransitions <= 0 {
+		c.MaxTransitions = 200_000
+	}
+	if c.OracleNodes <= 0 {
+		c.OracleNodes = 200_000
+	}
+	return c
+}
+
+// CorpusTrace is one surviving corpus entry: a candidate kept because it was
+// first to cover some spec entity, labeled with its agreed verdict class.
+type CorpusTrace struct {
+	Name   string
+	Expect string // "valid" or "invalid"
+	Trace  *trace.Trace
+	// NewTrans/NewStates/NewIPs name what this trace covered first.
+	NewTrans, NewStates, NewIPs []string
+}
+
+// Disagreement is one analyzer-vs-oracle verdict split with its shrunk
+// minimal counterexample.
+type Disagreement struct {
+	Name     string
+	Analyzer string
+	Oracle   string
+	Trace    *trace.Trace
+}
+
+// Result is the outcome of a campaign.
+type Result struct {
+	Report        *obs.FuzzReport
+	Corpus        []CorpusTrace
+	Disagreements []Disagreement
+	// Coverage is the cumulative campaign coverage snapshot, ready for
+	// analysis.BuildCoverReport.
+	Coverage *obs.CoverageCounts
+}
+
+// envInput is one environment-sendable interaction at one IP instance, with
+// the transitions its arrival can enable (for steering weights).
+type envInput struct {
+	ip     int
+	ipName string
+	inter  *sema.Interaction
+	trans  []int // indexes into spec.Prog.Trans with a matching when clause
+}
+
+// Fuzzer drives one campaign over one compiled spec.
+type Fuzzer struct {
+	spec     *efsm.Spec
+	specName string
+	cfg      Config
+	rng      *rand.Rand
+
+	an  *analysis.Analyzer
+	cov *obs.Coverage // campaign-cumulative sink (Options.CoverageSink)
+
+	envInputs   []envInput
+	transByName map[string]int
+
+	// Campaign-level covered flags, updated from each run's snapshot; the
+	// scheduler and input picker steer by them, and corpus survival means
+	// flipping at least one of them.
+	transCov, stateCov, ipCov []bool
+
+	report        *obs.FuzzReport
+	corpus        []CorpusTrace
+	disagreements []Disagreement
+}
+
+// New builds a fuzzer for one compiled spec. specName labels the report.
+func New(spec *efsm.Spec, specName string, cfg Config) (*Fuzzer, error) {
+	cfg = cfg.withDefaults()
+	f := &Fuzzer{
+		spec:     spec,
+		specName: specName,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		cov:      obs.NewCoverage(len(spec.Prog.Trans), spec.NumStates(), spec.NumIPs()),
+		transCov: make([]bool, len(spec.Prog.Trans)),
+		stateCov: make([]bool, spec.NumStates()),
+		ipCov:    make([]bool, spec.NumIPs()),
+		report: &obs.FuzzReport{
+			Schema:     obs.FuzzSchema,
+			Tool:       "tango",
+			Spec:       specName,
+			SpecDigest: analysis.SpecDigest(spec),
+			Seed:       cfg.Seed,
+			Order:      cfg.Order.String(),
+			Verdicts:   make(map[string]int),
+		},
+	}
+	an, err := analysis.New(spec, analysis.Options{
+		Order:          cfg.Order,
+		StateHashing:   true,
+		MaxTransitions: cfg.MaxTransitions,
+		CoverageSink:   f.cov,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.an = an
+	f.buildEnvInputs()
+	f.transByName = make(map[string]int, len(spec.Prog.Trans))
+	for i, ti := range spec.Prog.Trans {
+		f.transByName[ti.Name] = i
+	}
+	return f, nil
+}
+
+// buildEnvInputs enumerates every (IP instance, interaction) pair the
+// environment may send, in deterministic order: IP id ascending, then
+// interaction name. Interactions with parameters no trace can carry (records,
+// sets, ...) are excluded — the generator could not feed them.
+func (f *Fuzzer) buildEnvInputs() {
+	for ip := 0; ip < f.spec.NumIPs(); ip++ {
+		group := f.spec.Prog.IPs[ip].Group
+		names := make([]string, 0, len(group.Channel.Interactions))
+		for n := range group.Channel.Interactions {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			inter := group.Channel.Interactions[n]
+			if !inter.ByRole[group.PeerRole] || !synthesizable(inter) {
+				continue
+			}
+			in := envInput{ip: ip, ipName: f.spec.Prog.IPs[ip].Name, inter: inter}
+			for ti, t := range f.spec.Prog.Trans {
+				if t.WhenIPIndex == ip && t.WhenInter == inter {
+					in.trans = append(in.trans, ti)
+				}
+			}
+			f.envInputs = append(f.envInputs, in)
+		}
+	}
+}
+
+// Run executes the campaign.
+func (f *Fuzzer) Run() (*Result, error) {
+	start := time.Now()
+	stopped := "n"
+	for iter := 0; iter < f.cfg.N; iter++ {
+		if f.cfg.Budget > 0 && time.Since(start) >= f.cfg.Budget {
+			stopped = "budget"
+			break
+		}
+		if f.coverTargetMet() {
+			stopped = "cover-target"
+			break
+		}
+		var (
+			tr   *trace.Trace
+			name string
+			err  error
+		)
+		if iter%3 == 2 && len(f.corpus) > 0 {
+			name = fmt.Sprintf("havoc-%04d", iter)
+			tr = f.havoc()
+			if tr == nil || len(tr.Events) == 0 {
+				f.report.GenFailures++
+				continue
+			}
+			f.report.Havoc++
+		} else {
+			name = fmt.Sprintf("gen-%04d", iter)
+			tr, err = f.walk()
+			if err != nil || tr == nil || len(tr.Events) == 0 {
+				// The walk died mid-run (e.g. a synthesized input drove a
+				// transition into a runtime error after its consumption was
+				// already recorded) — the partial trace is not trustworthy
+				// as a generated-valid candidate, so abandon it entirely.
+				f.report.GenFailures++
+				continue
+			}
+			f.report.Generated++
+		}
+		f.report.Candidates++
+		if err := f.judge(name, tr); err != nil {
+			return nil, err
+		}
+	}
+	f.report.Stopped = stopped
+	f.report.Disagreements = f.reportDisagreements()
+	f.report.Corpus = f.reportCorpus()
+	f.report.Coverage = f.coverSummary()
+	return &Result{
+		Report:        f.report,
+		Corpus:        f.corpus,
+		Disagreements: f.disagreements,
+		Coverage:      f.cov.Snapshot(),
+	}, nil
+}
+
+func (f *Fuzzer) coverTargetMet() bool {
+	if f.cfg.CoverTarget <= 0 || len(f.transCov) == 0 {
+		return false
+	}
+	n := 0
+	for _, c := range f.transCov {
+		if c {
+			n++
+		}
+	}
+	return float64(n)/float64(len(f.transCov)) >= f.cfg.CoverTarget
+}
+
+// verdictKey maps analyzer verdicts to the stable report histogram keys.
+func verdictKey(v analysis.Verdict) string {
+	switch v {
+	case analysis.Valid:
+		return "valid"
+	case analysis.Invalid:
+		return "invalid"
+	case analysis.Exhausted:
+		return "exhausted"
+	case analysis.Partial:
+		return "partial"
+	case analysis.ValidSoFar:
+		return "valid-so-far"
+	case analysis.LikelyInvalid:
+		return "likely-invalid"
+	default:
+		return "other"
+	}
+}
+
+// decide runs both deciders on a trace. Verdict strings are comparable
+// between the two sides ("valid"/"invalid"); "error" marks a trace either
+// front end refused to resolve, and conclusive reports whether that side's
+// answer is definitive (an error is definitive: the trace is malformed).
+func (f *Fuzzer) decide(tr *trace.Trace) (aV string, aRes *analysis.Result, aConc bool, oV string, oConc bool, err error) {
+	res, aerr := f.an.AnalyzeTrace(tr)
+	if aerr != nil {
+		aV, aConc = "error", true
+	} else {
+		aV, aConc, aRes = verdictKey(res.Verdict), res.Verdict.Conclusive(), res
+	}
+	or, oerr := sim.CheckTrace(f.spec, tr, sim.OracleOptions{
+		Order:    sim.Order(f.cfg.Order),
+		MaxNodes: f.cfg.OracleNodes,
+	})
+	if oerr != nil {
+		oV, oConc = "error", true
+	} else {
+		oV, oConc = or.Verdict.String(), or.Verdict != sim.OracleExhausted
+	}
+	return aV, aRes, aConc, oV, oConc, nil
+}
+
+// judge analyzes one candidate, cross-checks it against the oracle, shrinks
+// any disagreement, and applies the corpus-survival rule.
+func (f *Fuzzer) judge(name string, tr *trace.Trace) error {
+	aV, res, aConc, oV, oConc, err := f.decide(tr)
+	if err != nil {
+		return err
+	}
+	f.report.Verdicts[aV]++
+
+	if !aConc || !oConc {
+		// One side hit a resource bound — no comparison possible.
+		f.report.OracleSkipped++
+	} else {
+		f.report.OracleChecked++
+		if aV != oV {
+			shrunk := f.shrink(tr)
+			sa, _, _, so, _, _ := f.decide(shrunk)
+			f.disagreements = append(f.disagreements, Disagreement{
+				Name: name, Analyzer: sa, Oracle: so, Trace: shrunk,
+			})
+		}
+	}
+
+	// Corpus survival: conclusive verdict + first coverage of something.
+	if res == nil || res.Coverage == nil || !aConc || aV == "error" {
+		return nil
+	}
+	newT, newS, newI := f.noteCoverage(res.Coverage)
+	if len(newT)+len(newS)+len(newI) == 0 {
+		return nil
+	}
+	f.corpus = append(f.corpus, CorpusTrace{
+		Name: name, Expect: aV, Trace: tr,
+		NewTrans: newT, NewStates: newS, NewIPs: newI,
+	})
+	return nil
+}
+
+// noteCoverage folds one run's counts into the campaign covered flags,
+// returning the names of entities covered for the first time.
+func (f *Fuzzer) noteCoverage(c *obs.CoverageCounts) (newT, newS, newI []string) {
+	for i, v := range c.Trans {
+		if v > 0 && i < len(f.transCov) && !f.transCov[i] {
+			f.transCov[i] = true
+			newT = append(newT, f.spec.Prog.Trans[i].Name)
+		}
+	}
+	for i, v := range c.States {
+		if v > 0 && i < len(f.stateCov) && !f.stateCov[i] {
+			f.stateCov[i] = true
+			newS = append(newS, f.spec.StateName(i))
+		}
+	}
+	for i, v := range c.IPs {
+		if v > 0 && i < len(f.ipCov) && !f.ipCov[i] {
+			f.ipCov[i] = true
+			newI = append(newI, f.spec.IPName(i))
+		}
+	}
+	return newT, newS, newI
+}
+
+func (f *Fuzzer) coverSummary() obs.CoverSummary {
+	count := func(bs []bool) int {
+		n := 0
+		for _, b := range bs {
+			if b {
+				n++
+			}
+		}
+		return n
+	}
+	return obs.CoverSummary{
+		TransCovered: count(f.transCov), TransTotal: len(f.transCov),
+		StatesCovered: count(f.stateCov), StatesTotal: len(f.stateCov),
+		IPsCovered: count(f.ipCov), IPsTotal: len(f.ipCov),
+	}
+}
+
+func (f *Fuzzer) reportDisagreements() []obs.FuzzDisagreement {
+	out := make([]obs.FuzzDisagreement, 0, len(f.disagreements))
+	for _, d := range f.disagreements {
+		out = append(out, obs.FuzzDisagreement{
+			Name: d.Name, Analyzer: d.Analyzer, Oracle: d.Oracle,
+			Events: len(d.Trace.Events), Trace: traceLines(d.Trace),
+		})
+	}
+	return out
+}
+
+func (f *Fuzzer) reportCorpus() []obs.FuzzCorpusEntry {
+	out := make([]obs.FuzzCorpusEntry, 0, len(f.corpus))
+	for _, c := range f.corpus {
+		out = append(out, obs.FuzzCorpusEntry{
+			Name: c.Name, Expect: c.Expect, Events: len(c.Trace.Events),
+			NewTrans: c.NewTrans, NewStates: c.NewStates, NewIPs: c.NewIPs,
+		})
+	}
+	return out
+}
+
+// traceLines renders a trace as its file lines (including the eof marker).
+func traceLines(tr *trace.Trace) []string {
+	var out []string
+	for _, ev := range tr.Events {
+		out = append(out, ev.String())
+	}
+	if tr.EOF {
+		out = append(out, "eof")
+	}
+	return out
+}

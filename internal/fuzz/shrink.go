@@ -1,0 +1,69 @@
+package fuzz
+
+import (
+	"repro/internal/trace"
+)
+
+// shrinkEvalBudget bounds predicate evaluations per shrink: each evaluation
+// runs the analyzer and the oracle once, so an unbounded ddmin on a
+// pathological trace could dwarf the campaign itself.
+const shrinkEvalBudget = 200
+
+// shrink reduces a disagreement-provoking trace to a (locally) minimal
+// counterexample: ddmin-style chunked event deletion down to single events,
+// then per-parameter value simplification. The invariant preserved is "the
+// two deciders still conclusively disagree"; if the budget runs out the best
+// reduction so far is returned.
+func (f *Fuzzer) shrink(tr *trace.Trace) *trace.Trace {
+	evals := 0
+	disagrees := func(t *trace.Trace) bool {
+		if evals >= shrinkEvalBudget {
+			return false
+		}
+		evals++
+		aV, _, aConc, oV, oConc, err := f.decide(t)
+		return err == nil && aConc && oConc && aV != oV
+	}
+
+	cur := trace.Clone(tr)
+	// Phase 1: delete event runs, halving the chunk size down to 1. Restart
+	// the scan after any successful deletion at the same granularity.
+	for chunk := (len(cur.Events) + 1) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(cur.Events); {
+			cand := withoutRange(cur, start, chunk)
+			if disagrees(cand) {
+				cur = cand
+			} else {
+				start += chunk
+			}
+		}
+	}
+	// Phase 2: simplify parameter values to "0" one at a time.
+	for i := 0; i < len(cur.Events); i++ {
+		for _, p := range cur.Events[i].Params {
+			if p.Value == "0" {
+				continue
+			}
+			cand, err := trace.SetParam(cur, i, p.Name, "0")
+			if err == nil && disagrees(cand) {
+				cur = cand
+			}
+		}
+	}
+	return cur
+}
+
+// withoutRange returns a copy of tr with k events removed starting at start,
+// resequenced from zero.
+func withoutRange(tr *trace.Trace, start, k int) *trace.Trace {
+	out := &trace.Trace{EOF: tr.EOF}
+	for i, ev := range tr.Events {
+		if i >= start && i < start+k {
+			continue
+		}
+		e := ev
+		e.Seq = len(out.Events)
+		out.Events = append(out.Events, e)
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package fuzz
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func mustTrace(t *testing.T, s string) *trace.Trace {
+	t.Helper()
+	tr, err := trace.ReadString(s)
+	if err != nil {
+		t.Fatalf("parse trace: %v", err)
+	}
+	return tr
+}
+
+// TestWithoutRange checks the chunk-deletion primitive renumbers correctly.
+func TestWithoutRange(t *testing.T) {
+	tr := mustTrace(t, "in S req seq=0 d=0\nout S resp seq=0 d=0\nin S probe\nout S alive\neof\n")
+	got := withoutRange(tr, 1, 2)
+	if len(got.Events) != 2 {
+		t.Fatalf("len = %d, want 2", len(got.Events))
+	}
+	if got.Events[0].Interaction != "req" || got.Events[1].Interaction != "alive" {
+		t.Fatalf("wrong events kept: %s", trace.Format(got))
+	}
+	for i, ev := range got.Events {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d after deletion", i, ev.Seq)
+		}
+	}
+	if !got.EOF {
+		t.Fatalf("eof marker lost")
+	}
+	// Original must be untouched.
+	if len(tr.Events) != 4 {
+		t.Fatalf("withoutRange mutated its input")
+	}
+}
+
+// TestShrinkPreservesPredicate: seed an artificial "disagreement" predicate
+// by shrinking a trace that the analyzer conclusively rejects while the
+// oracle conclusively rejects too — shrink's real predicate (conclusive
+// disagreement) never fires, so it must return the input unchanged-or-smaller
+// without crashing, and the result must still parse/resolve.
+func TestShrinkNoDisagreementIsStable(t *testing.T) {
+	f, err := New(compileSpec(t, "echo"), "echo", Config{Seed: 1, N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := mustTrace(t, "in S req seq=0 d=1\nin S req seq=0 d=2\neof\n")
+	got := f.shrink(tr)
+	if got == nil {
+		t.Fatalf("shrink returned nil")
+	}
+	if len(got.Events) > len(tr.Events) {
+		t.Fatalf("shrink grew the trace: %d > %d", len(got.Events), len(tr.Events))
+	}
+}
+
+// TestShrinkMinimizesAgainstCustomOracle: drive the ddmin machinery through a
+// fuzzer whose config is normal but evaluate minimality structurally — a
+// trace whose disagreement (simulated by checking a parity property of the
+// trace itself) depends on one event must shrink to few events. We simulate
+// by temporarily checking that repeated deletion reaches a fixpoint.
+func TestShrinkFixpoint(t *testing.T) {
+	f, err := New(compileSpec(t, "echo"), "echo", Config{Seed: 1, N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := mustTrace(t, "in S probe\nout S alive\nin S probe\nout S alive\neof\n")
+	once := f.shrink(tr)
+	twice := f.shrink(once)
+	if trace.Format(once) != trace.Format(twice) {
+		t.Fatalf("shrink is not a fixpoint:\n%s\nvs\n%s", trace.Format(once), trace.Format(twice))
+	}
+}

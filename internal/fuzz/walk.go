@@ -1,0 +1,234 @@
+package fuzz
+
+import (
+	"strconv"
+
+	"repro/internal/estelle/sema"
+	"repro/internal/estelle/types"
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+// covScheduler steers the generator's nondeterministic choice: among the
+// fireable transitions offered, prefer (uniformly at random) one the campaign
+// has never covered; otherwise choose uniformly among all.
+type covScheduler struct {
+	f *Fuzzer
+	// offered holds the most recent Offer callback, parallel to Pick's range.
+	offered []string
+}
+
+func (s *covScheduler) Offer(names []string) { s.offered = names }
+
+func (s *covScheduler) Pick(n int) int {
+	if len(s.offered) == n {
+		var fresh []int
+		for i, name := range s.offered {
+			if ti, ok := s.f.transByName[name]; ok && !s.f.transCov[ti] {
+				fresh = append(fresh, i)
+			}
+		}
+		if len(fresh) > 0 {
+			return fresh[s.f.rng.Intn(len(fresh))]
+		}
+	}
+	return s.f.rng.Intn(n)
+}
+
+// walk synthesizes one candidate by driving the spec's implementation-
+// generation mode: feed syntactically valid environment inputs (values drawn
+// from each parameter's own type), let the machine run, and return the
+// recorded trace. Any generator error abandons the whole candidate — by then
+// an input consumption may already be recorded without its consequences, so
+// the partial trace is not a trustworthy generated-valid specimen.
+func (f *Fuzzer) walk() (*trace.Trace, error) {
+	if len(f.envInputs) == 0 {
+		return nil, nil
+	}
+	g, err := gen.New(f.spec, &covScheduler{f: f})
+	if err != nil {
+		return nil, err
+	}
+	target := 4 + f.rng.Intn(f.cfg.MaxEvents-3)
+	for round := 0; round < f.cfg.MaxEvents*2; round++ {
+		if g.Seq() >= target {
+			break
+		}
+		// Feed a small burst so several inputs can be pending at once —
+		// single-input feeding would never exercise queue interleavings.
+		burst := 1 + f.rng.Intn(3)
+		for b := 0; b < burst; b++ {
+			in := f.pickInput()
+			params := f.synthParams(in.inter)
+			if err := g.Feed(in.ipName, in.inter.Name, params); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := g.Run(8); err != nil {
+			return nil, err
+		}
+	}
+	// Drain whatever the final burst enabled.
+	if _, err := g.Run(f.cfg.MaxEvents); err != nil {
+		return nil, err
+	}
+	return g.Trace(), nil
+}
+
+// pickInput draws an environment input, weighted toward ones whose IP or
+// enabled transitions the campaign has not covered yet.
+func (f *Fuzzer) pickInput() envInput {
+	weights := make([]int, len(f.envInputs))
+	total := 0
+	for i, in := range f.envInputs {
+		w := 1
+		if !f.ipCov[in.ip] {
+			w += 4
+		}
+		for _, ti := range in.trans {
+			if !f.transCov[ti] {
+				w += 8
+				break
+			}
+		}
+		weights[i] = w
+		total += w
+	}
+	r := f.rng.Intn(total)
+	for i, w := range weights {
+		if r < w {
+			return f.envInputs[i]
+		}
+		r -= w
+	}
+	return f.envInputs[len(f.envInputs)-1]
+}
+
+// synthParams draws a trace-text value for every declared parameter of an
+// interaction (gen.Feed requires all of them).
+func (f *Fuzzer) synthParams(inter *sema.Interaction) map[string]string {
+	if len(inter.Params) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(inter.Params))
+	for _, p := range inter.Params {
+		out[p.Name] = f.synthValue(p.Type)
+	}
+	return out
+}
+
+// synthesizable reports whether every parameter of the interaction has a type
+// the generator can draw trace-text values for.
+func synthesizable(inter *sema.Interaction) bool {
+	for _, p := range inter.Params {
+		if !synthType(p.Type) {
+			return false
+		}
+	}
+	return true
+}
+
+func synthType(t *types.Type) bool {
+	switch t.Root().Kind {
+	case types.Integer, types.Boolean, types.Enum:
+		return true
+	case types.Char:
+		lo, hi := t.OrdinalRange()
+		// Need at least one printable, quotable character in range.
+		return hi >= 33 && lo <= 126
+	default:
+		return false
+	}
+}
+
+// synthValue draws one trace-text value from a parameter type. Small ordinal
+// ranges are sampled uniformly (full boundary coverage); wide integer ranges
+// are biased toward small naturals, which is where interesting spec behavior
+// (sequence numbers, modulo arithmetic) lives.
+func (f *Fuzzer) synthValue(t *types.Type) string {
+	root := t.Root()
+	lo, hi := t.OrdinalRange()
+	switch root.Kind {
+	case types.Boolean:
+		if f.rng.Intn(2) == 0 {
+			return "false"
+		}
+		return "true"
+	case types.Enum:
+		return root.EnumNames[lo+f.rng.Int63n(hi-lo+1)]
+	case types.Char:
+		clo, chi := lo, hi
+		if clo < 33 {
+			clo = 33
+		}
+		if chi > 126 {
+			chi = 126
+		}
+		return string(rune(clo + f.rng.Int63n(chi-clo+1)))
+	default: // Integer (possibly a subrange)
+		span := hi - lo + 1
+		if span <= 16 && span > 0 {
+			return itoa(lo + f.rng.Int63n(span))
+		}
+		if lo <= 0 && hi >= 9 {
+			return itoa(f.rng.Int63n(10))
+		}
+		width := span
+		if width > 10 || width <= 0 {
+			width = 10
+		}
+		return itoa(lo + f.rng.Int63n(width))
+	}
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+// havoc mutates a random surviving corpus trace with 1–3 structural
+// mutations, producing near-valid candidates that probe the boundary between
+// the two deciders.
+func (f *Fuzzer) havoc() *trace.Trace {
+	base := f.corpus[f.rng.Intn(len(f.corpus))].Trace
+	tr := trace.Clone(base)
+	muts := 1 + f.rng.Intn(3)
+	for m := 0; m < muts; m++ {
+		if len(tr.Events) == 0 {
+			return nil
+		}
+		i := f.rng.Intn(len(tr.Events))
+		var (
+			nt  *trace.Trace
+			err error
+		)
+		switch f.rng.Intn(5) {
+		case 0:
+			nt, err = trace.Drop(tr, i)
+		case 1:
+			nt, err = trace.Duplicate(tr, i)
+		case 2:
+			nt, err = trace.Swap(tr, i, f.rng.Intn(len(tr.Events)))
+		case 3:
+			if len(tr.Events[i].Params) > 0 {
+				p := tr.Events[i].Params[f.rng.Intn(len(tr.Events[i].Params))]
+				pool := []string{"0", "1", "2", "true", "?"}
+				nt, err = trace.SetParam(tr, i, p.Name, pool[f.rng.Intn(len(pool))])
+			}
+		case 4:
+			if alt := f.randomInteraction(); alt != "" {
+				nt, err = trace.Retag(tr, i, alt)
+			}
+		}
+		if err == nil && nt != nil {
+			tr = nt
+		}
+	}
+	return tr
+}
+
+// randomInteraction picks an interaction name uniformly from the env-input
+// alphabet (deterministic order, so seeded runs reproduce).
+func (f *Fuzzer) randomInteraction() string {
+	if len(f.envInputs) == 0 {
+		return ""
+	}
+	return f.envInputs[f.rng.Intn(len(f.envInputs))].inter.Name
+}

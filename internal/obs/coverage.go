@@ -72,6 +72,33 @@ func (c *Coverage) Reset() {
 	}
 }
 
+// AddCounts folds a snapshot back into the recorder element-wise. It is the
+// accumulation half of the CoverageSink contract: an analyzer resets its
+// per-run recorder for every trace, and folds each run's snapshot into the
+// caller's long-lived sink so a fuzzing campaign sees cumulative coverage.
+func (c *Coverage) AddCounts(s *CoverageCounts) error {
+	if len(s.Trans) != len(c.trans) || len(s.States) != len(c.states) || len(s.IPs) != len(c.ips) {
+		return fmt.Errorf("obs: coverage shape mismatch: %d/%d/%d vs %d/%d/%d",
+			len(s.Trans), len(s.States), len(s.IPs), len(c.trans), len(c.states), len(c.ips))
+	}
+	for i, v := range s.Trans {
+		if v != 0 {
+			c.trans[i].Add(v)
+		}
+	}
+	for i, v := range s.States {
+		if v != 0 {
+			c.states[i].Add(v)
+		}
+	}
+	for i, v := range s.IPs {
+		if v != 0 {
+			c.ips[i].Add(v)
+		}
+	}
+	return nil
+}
+
 // Snapshot copies the current counts into a plain, mergeable value.
 func (c *Coverage) Snapshot() *CoverageCounts {
 	s := &CoverageCounts{

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// randCoverReport draws a report of a fixed shape (same digest and row names,
+// so any two are mergeable) with random hit counts.
+func randCoverReport(rng *rand.Rand) *CoverReport {
+	rows := func(prefix string, n int) []CoverRow {
+		out := make([]CoverRow, n)
+		for i := range out {
+			out[i] = CoverRow{Name: fmt.Sprintf("%s%d", prefix, i), Line: i + 1, Hits: rng.Int63n(1000)}
+		}
+		return out
+	}
+	return &CoverReport{
+		Schema:      CoverSchema,
+		Spec:        "prop.estelle",
+		SpecDigest:  "sha256:prop",
+		Traces:      rng.Intn(50),
+		Transitions: rows("t", 7),
+		States:      rows("s", 3),
+		IPs:         rows("ip", 2),
+	}
+}
+
+// cloneCoverReport deep-copies a report so Merge (which mutates its receiver)
+// can be applied to independent copies.
+func cloneCoverReport(r *CoverReport) *CoverReport {
+	c := *r
+	c.Transitions = append([]CoverRow(nil), r.Transitions...)
+	c.States = append([]CoverRow(nil), r.States...)
+	c.IPs = append([]CoverRow(nil), r.IPs...)
+	return &c
+}
+
+// countsOf projects a report onto the merge-relevant state: hit counts and
+// the trace tally. Header fields (tool version etc.) are receiver-owned and
+// deliberately outside the algebra.
+func countsOf(r *CoverReport) [][]CoverRow {
+	return [][]CoverRow{r.Transitions, r.States, r.IPs,
+		{{Name: "traces", Hits: int64(r.Traces)}}}
+}
+
+// TestCoverMergeCommutative: a⊕b = b⊕a on hit counts, for random reports.
+func TestCoverMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a, b := randCoverReport(rng), randCoverReport(rng)
+		ab := cloneCoverReport(a)
+		if err := ab.Merge(cloneCoverReport(b)); err != nil {
+			t.Fatal(err)
+		}
+		ba := cloneCoverReport(b)
+		if err := ba.Merge(cloneCoverReport(a)); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(countsOf(ab), countsOf(ba)) {
+			t.Fatalf("iteration %d: a⊕b != b⊕a:\n%+v\nvs\n%+v", i, countsOf(ab), countsOf(ba))
+		}
+	}
+}
+
+// TestCoverMergeAssociative: (a⊕b)⊕c = a⊕(b⊕c) on hit counts.
+func TestCoverMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		a, b, c := randCoverReport(rng), randCoverReport(rng), randCoverReport(rng)
+
+		left := cloneCoverReport(a)
+		if err := left.Merge(cloneCoverReport(b)); err != nil {
+			t.Fatal(err)
+		}
+		if err := left.Merge(cloneCoverReport(c)); err != nil {
+			t.Fatal(err)
+		}
+
+		bc := cloneCoverReport(b)
+		if err := bc.Merge(cloneCoverReport(c)); err != nil {
+			t.Fatal(err)
+		}
+		right := cloneCoverReport(a)
+		if err := right.Merge(bc); err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(countsOf(left), countsOf(right)) {
+			t.Fatalf("iteration %d: (a⊕b)⊕c != a⊕(b⊕c)", i)
+		}
+	}
+}
+
+// TestCoverMergeEmptyIdentity: merging an all-zero report of the same shape
+// changes nothing, in either direction.
+func TestCoverMergeEmptyIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		a := randCoverReport(rng)
+		empty := cloneCoverReport(a)
+		for _, rows := range [][]CoverRow{empty.Transitions, empty.States, empty.IPs} {
+			for j := range rows {
+				rows[j].Hits = 0
+			}
+		}
+		empty.Traces = 0
+
+		got := cloneCoverReport(a)
+		if err := got.Merge(empty); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(countsOf(got), countsOf(a)) {
+			t.Fatalf("iteration %d: a⊕0 != a", i)
+		}
+
+		got2 := cloneCoverReport(empty)
+		if err := got2.Merge(cloneCoverReport(a)); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(countsOf(got2), countsOf(a)) {
+			t.Fatalf("iteration %d: 0⊕a != a", i)
+		}
+	}
+}
+
+// TestCoverMergeRejectsShapeMismatch: the algebra is only defined for same-
+// spec reports; digest and shape mismatches must error, not corrupt.
+func TestCoverMergeRejectsShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randCoverReport(rng)
+
+	other := randCoverReport(rng)
+	other.SpecDigest = "sha256:other"
+	if err := cloneCoverReport(a).Merge(other); err == nil {
+		t.Error("merge across digests succeeded")
+	}
+
+	short := cloneCoverReport(a)
+	short.Transitions = short.Transitions[:len(short.Transitions)-1]
+	short.SpecDigest = a.SpecDigest
+	if err := cloneCoverReport(a).Merge(short); err == nil {
+		t.Error("merge across row counts succeeded")
+	}
+
+	renamed := cloneCoverReport(a)
+	renamed.Transitions[0].Name = "zzz"
+	if err := cloneCoverReport(a).Merge(renamed); err == nil {
+		t.Error("merge across row names succeeded")
+	}
+}
+
+// TestCoverageAddCountsConcurrent: folding snapshots into a shared recorder
+// from many goroutines (the CoverageSink contract under a parallel fuzzing
+// or batch campaign) must total exactly, and must be race-clean under -race.
+func TestCoverageAddCountsConcurrent(t *testing.T) {
+	const workers, rounds = 8, 50
+	rec := NewCoverage(5, 3, 2)
+	snap := &CoverageCounts{
+		Trans:  []int64{1, 0, 2, 0, 3},
+		States: []int64{1, 1, 0},
+		IPs:    []int64{0, 4},
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := rec.AddCounts(snap); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got := rec.Snapshot()
+	n := int64(workers * rounds)
+	want := &CoverageCounts{
+		Trans:  []int64{n, 0, 2 * n, 0, 3 * n},
+		States: []int64{n, n, 0},
+		IPs:    []int64{0, 4 * n},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("concurrent AddCounts lost updates:\n got %+v\nwant %+v", got, want)
+	}
+	if err := rec.AddCounts(&CoverageCounts{Trans: []int64{1}}); err == nil {
+		t.Error("shape-mismatched AddCounts succeeded")
+	}
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/buildinfo"
+)
+
+// FuzzSchema versions the fuzzing-campaign report contract (tango.fuzz/1).
+// The report is fully deterministic for a fixed seed: it carries no wall-clock
+// timings, only counts, names, and the shrunk counterexamples themselves, so
+// CI can compare two seeded runs byte for byte.
+const FuzzSchema = "tango.fuzz/1"
+
+// FuzzDisagreement is one analyzer-vs-oracle verdict split, shipped with its
+// shrunk minimal counterexample inline (trace-file lines) so the report alone
+// reproduces the bug.
+type FuzzDisagreement struct {
+	// Name identifies the originating candidate (e.g. "gen-0042").
+	Name string `json:"name"`
+	// Analyzer and Oracle are the two conclusive verdicts that split.
+	Analyzer string `json:"analyzer"`
+	Oracle   string `json:"oracle"`
+	// Events counts the events of the shrunk trace; Trace is its full text,
+	// one trace-file line per element (including the eof marker).
+	Events int      `json:"events"`
+	Trace  []string `json:"trace"`
+}
+
+// FuzzCorpusEntry describes one surviving corpus trace: a candidate kept
+// because it covered a spec entity nothing before it had covered.
+type FuzzCorpusEntry struct {
+	Name string `json:"name"`
+	// Expect is the agreed verdict class the trace lands in ("valid" or
+	// "invalid"), i.e. its manifest expectation.
+	Expect string `json:"expect"`
+	Events int    `json:"events"`
+	// NewTrans/NewStates/NewIPs name the spec entities this trace covered
+	// first, in declaration order — the reason it survived.
+	NewTrans  []string `json:"new_trans,omitempty"`
+	NewStates []string `json:"new_states,omitempty"`
+	NewIPs    []string `json:"new_ips,omitempty"`
+}
+
+// FuzzReport is the versioned tango.fuzz/1 campaign report.
+type FuzzReport struct {
+	Schema string `json:"schema"`
+	Tool   string `json:"tool"`
+	// Version and Commit identify the build; WriteFile fills them when empty.
+	Version string `json:"tango_version,omitempty"`
+	Commit  string `json:"tango_commit,omitempty"`
+
+	Spec       string `json:"spec"`
+	SpecDigest string `json:"spec_digest"`
+	Seed       int64  `json:"seed"`
+	Order      string `json:"order"`
+
+	// Candidates counts every trace submitted to the analyzer; Generated of
+	// those came from grammar walks, Havoc from mutation rounds, and
+	// GenFailures counts walks abandoned before yielding a usable trace
+	// (e.g. a synthesized input crashed the generator's forward run).
+	Candidates  int `json:"candidates"`
+	Generated   int `json:"generated"`
+	Havoc       int `json:"havoc"`
+	GenFailures int `json:"gen_failures"`
+
+	// Verdicts histograms the analyzer verdict per candidate.
+	Verdicts map[string]int `json:"verdicts"`
+
+	// OracleChecked counts candidates cross-checked against the BFS oracle;
+	// OracleSkipped counts those skipped because either side was inconclusive
+	// (resource-bounded Exhausted/Partial outcomes).
+	OracleChecked int `json:"oracle_checked"`
+	OracleSkipped int `json:"oracle_skipped"`
+
+	Disagreements []FuzzDisagreement `json:"disagreements"`
+	Corpus        []FuzzCorpusEntry  `json:"corpus"`
+
+	// Coverage is the cumulative campaign coverage roll-up.
+	Coverage CoverSummary `json:"coverage"`
+
+	// Stopped records why the campaign ended: "n" (candidate budget),
+	// "budget" (wall-clock), or "cover-target" (coverage goal reached).
+	Stopped string `json:"stopped"`
+}
+
+// WriteFile marshals the report (indented, trailing newline) to path.
+func (r *FuzzReport) WriteFile(path string) error {
+	if r.Schema == "" {
+		r.Schema = FuzzSchema
+	}
+	if r.Tool == "" {
+		r.Tool = "tango"
+	}
+	if r.Version == "" {
+		r.Version = buildinfo.Version
+	}
+	if r.Commit == "" {
+		r.Commit = buildinfo.Commit()
+	}
+	return writeJSON(path, r)
+}
+
+// ReadFuzzReport loads and validates a report written by WriteFile.
+func ReadFuzzReport(path string) (*FuzzReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r FuzzReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("obs: parse fuzz report %s: %w", path, err)
+	}
+	if r.Schema != FuzzSchema {
+		return nil, fmt.Errorf("obs: fuzz report %s has schema %q, want %q", path, r.Schema, FuzzSchema)
+	}
+	return &r, nil
+}

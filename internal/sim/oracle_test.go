@@ -1,0 +1,150 @@
+package sim_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/batch"
+	"repro/internal/efsm"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/specs"
+)
+
+func compileSpec(t *testing.T, name string) *efsm.Spec {
+	t.Helper()
+	src, ok := specs.All()[name]
+	if !ok {
+		t.Fatalf("unknown spec %q", name)
+	}
+	spec, err := efsm.Compile(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func readTrace(t *testing.T, path string) *trace.Trace {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestOracleCorpusAgreement replays every golden corpus trace through both
+// the backtracking analyzer and the BFS oracle under FULL order checking;
+// conclusive verdicts must agree trace by trace.
+func TestOracleCorpusAgreement(t *testing.T) {
+	for _, name := range []string{"abp", "ack", "demux", "echo", "ip3", "ip3prime", "lapd", "tp0"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec := compileSpec(t, name)
+			manifest := filepath.Join("..", "..", "testdata", "corpus", name, "manifest.txt")
+			if _, err := os.Stat(manifest); err != nil {
+				t.Skipf("no corpus for %s: %v", name, err)
+			}
+			items, err := batch.Collect([]string{manifest})
+			if err != nil {
+				t.Fatal(err)
+			}
+			an, err := analysis.New(spec, analysis.Options{Order: analysis.OrderFull})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, it := range items {
+				tr := readTrace(t, it.Path)
+				res, err := an.AnalyzeTrace(tr)
+				if err != nil {
+					t.Fatalf("%s: analyzer: %v", it.Name, err)
+				}
+				or, err := sim.CheckTrace(spec, tr, sim.OracleOptions{Order: sim.FullOrder})
+				if err != nil {
+					t.Fatalf("%s: oracle: %v", it.Name, err)
+				}
+				if or.Verdict == sim.OracleExhausted {
+					t.Logf("%s: oracle exhausted (nodes=%d), skipping", it.Name, or.Nodes)
+					continue
+				}
+				switch res.Verdict {
+				case analysis.Valid:
+					if or.Verdict != sim.OracleValid {
+						t.Errorf("%s: analyzer valid, oracle %v", it.Name, or.Verdict)
+					}
+				case analysis.Invalid:
+					if or.Verdict != sim.OracleInvalid {
+						t.Errorf("%s: analyzer invalid, oracle %v", it.Name, or.Verdict)
+					}
+				default:
+					t.Logf("%s: analyzer inconclusive (%v), skipping", it.Name, res.Verdict)
+				}
+			}
+		})
+	}
+}
+
+// TestOracleEmptyTrace: the empty trace is valid for a spec whose initialize
+// block emits nothing (tp0 idles), and the oracle must say so immediately.
+func TestOracleEmptyTrace(t *testing.T) {
+	spec := compileSpec(t, "tp0")
+	tr := &trace.Trace{EOF: true}
+	res, err := sim.CheckTrace(spec, tr, sim.OracleOptions{Order: sim.FullOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != sim.OracleValid {
+		t.Fatalf("empty trace: %v, want valid", res.Verdict)
+	}
+}
+
+// TestOracleRejectsGarbage: an input interaction that no transition consumes
+// in the initial state must be refuted, not erred.
+func TestOracleRejectsGarbage(t *testing.T) {
+	spec := compileSpec(t, "echo")
+	// After the first in-sequence req the responder owes a resp before it can
+	// consume another; a trace with two reqs and no resp is unexplainable.
+	tr, err := trace.ReadString("in S req seq=0 d=1\nin S req seq=0 d=2\neof\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.CheckTrace(spec, tr, sim.OracleOptions{Order: sim.FullOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != sim.OracleInvalid {
+		t.Fatalf("garbage trace: %v, want invalid", res.Verdict)
+	}
+}
+
+// TestOracleBounds: a tiny node budget must yield Exhausted, never a bogus
+// conclusive verdict.
+func TestOracleBounds(t *testing.T) {
+	spec := compileSpec(t, "tp0")
+	manifest := filepath.Join("..", "..", "testdata", "corpus", "tp0", "manifest.txt")
+	items, err := batch.Collect([]string{manifest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		tr := readTrace(t, it.Path)
+		if len(tr.Events) < 4 {
+			continue
+		}
+		res, err := sim.CheckTrace(spec, tr, sim.OracleOptions{Order: sim.FullOrder, MaxNodes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict == sim.OracleValid && res.Nodes > 1 {
+			t.Fatalf("%s: budget of 1 node expanded %d", it.Name, res.Nodes)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package trace
 
-import "testing"
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
 
 // FuzzRead exercises the trace codec on arbitrary text: no panics, and any
 // trace that parses must re-parse identically after formatting.
@@ -19,6 +23,66 @@ func FuzzRead(f *testing.F) {
 		}
 		if Format(tr2) != Format(tr) {
 			t.Fatalf("format not stable:\n%s\nvs\n%s", Format(tr), Format(tr2))
+		}
+	})
+}
+
+// FuzzTraceReader cross-checks the two trace front ends on arbitrary input:
+// the off-line Read and the incremental ReaderSource implement the same
+// protocol, so on any newline-terminated input Read accepts, the incremental
+// reader must deliver the same events and eof flag. Divergence here would
+// mean off-line and on-line analysis of the same file could disagree.
+func FuzzTraceReader(f *testing.F) {
+	f.Add("in A x\nout B y d=1\neof\n")
+	f.Add("# comment\n\nin U TCONreq\n")
+	f.Add("eof\n")
+	f.Add("in N[2] DT seq=0 d=?\n")
+	f.Add("out A ack\nin A x\n")
+	f.Add("in A x d=1 d=2\nnot a direction\n")
+	f.Add("in A x")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, rerr := ReadString(data)
+
+		// Drain the incremental reader; it must never panic. The iteration
+		// bound covers the worst case of one event per poll.
+		src := NewReaderSource(strings.NewReader(data))
+		var sEvents []Event
+		sEOF := false
+		var sErr error
+		for i := 0; i <= len(data)+1; i++ {
+			evs, eof, perr := src.Poll()
+			sEvents = append(sEvents, evs...)
+			if eof {
+				sEOF = true
+			}
+			if perr != nil {
+				sErr = perr
+				break
+			}
+			if len(evs) == 0 {
+				break
+			}
+		}
+
+		// A final line without a newline is complete for Read (Scanner
+		// semantics) but still pending for ReaderSource; only fully
+		// terminated inputs are comparable.
+		if rerr != nil || !strings.HasSuffix(data, "\n") {
+			return
+		}
+		if sErr != nil {
+			t.Fatalf("Read accepted but ReaderSource errored: %v", sErr)
+		}
+		if sEOF != tr.EOF {
+			t.Fatalf("eof flag: Read %v, ReaderSource %v", tr.EOF, sEOF)
+		}
+		if len(sEvents) != len(tr.Events) {
+			t.Fatalf("event count: Read %d, ReaderSource %d", len(tr.Events), len(sEvents))
+		}
+		for i := range sEvents {
+			if !reflect.DeepEqual(tr.Events[i], sEvents[i]) {
+				t.Fatalf("event %d: Read %+v, ReaderSource %+v", i, tr.Events[i], sEvents[i])
+			}
 		}
 	})
 }

@@ -22,7 +22,9 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/efsm"
+	"repro/internal/fuzz"
 	"repro/internal/gen"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/specs"
@@ -45,6 +47,11 @@ func main() {
 		"abp":  abpCorpus,
 		"tp0":  tp0Corpus,
 		"lapd": lapdCorpus,
+		// Fuzz-generated corpora: seeded coverage-guided campaigns, so the
+		// traces are whatever first lit up each transition/state/IP.
+		"demux":    func(s *efsm.Spec) ([]entry, error) { return fuzzCorpus(s, "demux", 7) },
+		"ip3":      func(s *efsm.Spec) ([]entry, error) { return fuzzCorpus(s, "ip3", 11) },
+		"ip3prime": func(s *efsm.Spec) ([]entry, error) { return fuzzCorpus(s, "ip3prime", 13) },
 	}
 	names := make([]string, 0, len(corpora))
 	for n := range corpora {
@@ -90,6 +97,15 @@ func writeCorpus(root, specName string, spec *efsm.Spec, entries []entry) error 
 		valid := res.Verdict == analysis.Valid
 		if valid != (e.expect == "valid") {
 			return fmt.Errorf("%s: verdict %v but corpus expects %s", e.name, res.Verdict, e.expect)
+		}
+		// Second opinion: the independent BFS oracle must agree too, so a
+		// corpus entry cannot encode an analyzer bug as an expectation.
+		or, err := sim.CheckTrace(spec, e.tr, sim.OracleOptions{Order: sim.FullOrder})
+		if err != nil {
+			return fmt.Errorf("%s: oracle: %v", e.name, err)
+		}
+		if (or.Verdict == sim.OracleValid) != valid {
+			return fmt.Errorf("%s: analyzer says %v but oracle says %v", e.name, res.Verdict, or.Verdict)
 		}
 		rel := filepath.Join(e.expect, e.name+".trace")
 		if err := os.WriteFile(filepath.Join(dir, rel), []byte(trace.Format(e.tr)), 0o644); err != nil {
@@ -328,4 +344,84 @@ func lapdCorpus(spec *efsm.Spec) ([]entry, error) {
 		entry{"corrupt-data", "invalid", corrupt},
 		entry{"lost-establish-step", "invalid", noEstab},
 	), nil
+}
+
+// fuzzCorpus generates a corpus with a seeded coverage-guided fuzzing
+// campaign: the surviving traces (each the first to cover some transition,
+// state or IP) become the corpus, classified by the agreed verdict. If the
+// campaign's survivors lack invalid specimens, deterministic mutations of the
+// longest valid survivor — classified by the independent BFS oracle — top
+// them up, so every corpus exercises the rejecting path too.
+func fuzzCorpus(spec *efsm.Spec, name string, seed int64) ([]entry, error) {
+	f, err := fuzz.New(spec, name, fuzz.Config{Seed: seed, N: 150, MaxEvents: 12})
+	if err != nil {
+		return nil, err
+	}
+	res, err := f.Run()
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Disagreements) > 0 {
+		return nil, fmt.Errorf("%s: fuzz campaign found %d analyzer/oracle disagreements", name, len(res.Disagreements))
+	}
+	var out []entry
+	invalid := 0
+	var longestValid *trace.Trace
+	for _, c := range res.Corpus {
+		out = append(out, entry{c.Name, c.Expect, c.Trace})
+		if c.Expect == "invalid" {
+			invalid++
+		} else if longestValid == nil || len(c.Trace.Events) > len(longestValid.Events) {
+			longestValid = c.Trace
+		}
+	}
+	if longestValid == nil {
+		return nil, fmt.Errorf("%s: fuzz campaign produced no valid survivor", name)
+	}
+	for _, mc := range mutationCandidates(longestValid) {
+		if invalid >= 2 && len(out) >= 4 {
+			break
+		}
+		or, err := sim.CheckTrace(spec, mc.tr, sim.OracleOptions{Order: sim.FullOrder})
+		if err != nil || or.Verdict != sim.OracleInvalid {
+			continue
+		}
+		out = append(out, entry{fmt.Sprintf("mut-%s", mc.name), "invalid", mc.tr})
+		invalid++
+	}
+	if invalid < 2 || len(out) < 4 {
+		return nil, fmt.Errorf("%s: corpus too small (%d entries, %d invalid)", name, len(out), invalid)
+	}
+	return out, nil
+}
+
+type mutCand struct {
+	name string
+	tr   *trace.Trace
+}
+
+// mutationCandidates enumerates deterministic single mutations of tr: drop
+// each event, duplicate each output, corrupt each first parameter.
+func mutationCandidates(tr *trace.Trace) []mutCand {
+	var out []mutCand
+	for i := range tr.Events {
+		if mt, err := trace.Drop(tr, i); err == nil {
+			out = append(out, mutCand{fmt.Sprintf("drop-%d", i), mt})
+		}
+	}
+	for i, ev := range tr.Events {
+		if ev.Dir == trace.Out {
+			if mt, err := trace.Duplicate(tr, i); err == nil {
+				out = append(out, mutCand{fmt.Sprintf("dup-%d", i), mt})
+			}
+		}
+	}
+	for i, ev := range tr.Events {
+		if len(ev.Params) > 0 {
+			if mt, err := trace.SetParam(tr, i, ev.Params[0].Name, "99"); err == nil {
+				out = append(out, mutCand{fmt.Sprintf("corrupt-%d", i), mt})
+			}
+		}
+	}
+	return out
 }
