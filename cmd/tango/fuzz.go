@@ -34,6 +34,7 @@ func runFuzz(args []string, w, ew io.Writer) error {
 	order := fs.String("order", "FULL", "checking mode for both deciders: NR, IO, IP or FULL")
 	maxEvents := fs.Int("max-events", 40, "maximum events per generated trace")
 	out := fs.String("out", "", "directory for fuzz.json, cover.json and the surviving corpus")
+	minimize := fs.String("minimize", "", "skip the campaign: ddmin-shrink this trace file if the deciders disagree on it (exit 2 with the minimized artifact)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +60,9 @@ func runFuzz(args []string, w, ew io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *minimize != "" {
+		return runMinimize(f, *minimize, *out, w)
 	}
 	start := time.Now()
 	res, err := f.Run()
@@ -143,4 +147,49 @@ func writeFuzzOut(dir, specPath string, spec *tango.Spec, res *fuzz.Result) erro
 		return err
 	}
 	return cr.WriteFile(filepath.Join(dir, "cover.json"))
+}
+
+// runMinimize implements `tango fuzz -minimize <trace>`: decide one
+// externally supplied trace with both deciders and, if they conclusively
+// disagree, shrink it to a minimal counterexample. The minimized artifact is
+// written next to the input (<trace>.min, or minimized.tr under -out) and
+// the run exits 2 — the same "disagreement found" grade a campaign uses.
+// Agreement (or an inconclusive side) exits 0.
+func runMinimize(f *fuzz.Fuzzer, tracePath, out string, w io.Writer) error {
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.ReadString(string(raw))
+	if err != nil {
+		return fmt.Errorf("minimize: %s: %w", tracePath, err)
+	}
+	res, err := f.Minimize(tr)
+	if err != nil {
+		return err
+	}
+	switch {
+	case !res.Conclusive:
+		fmt.Fprintf(w, "minimize: inconclusive (analyzer=%s oracle=%s): no comparison possible\n",
+			res.Analyzer, res.Oracle)
+		return nil
+	case !res.Disagrees:
+		fmt.Fprintf(w, "minimize: deciders agree (%s) on %d events: nothing to shrink\n",
+			res.Analyzer, len(tr.Events))
+		return nil
+	}
+	dst := tracePath + ".min"
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		dst = filepath.Join(out, "minimized.tr")
+	}
+	if err := os.WriteFile(dst, []byte(trace.Format(res.Trace)), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "minimize: deciders disagree (analyzer=%s oracle=%s); shrunk %d -> %d events\n",
+		res.Analyzer, res.Oracle, len(tr.Events), len(res.Trace.Events))
+	fmt.Fprintf(w, "wrote %s\n", dst)
+	return errNotValid
 }

@@ -90,3 +90,45 @@ func TestFuzzCommandUsage(t *testing.T) {
 		t.Fatal("fuzz without -spec succeeded")
 	}
 }
+
+// TestFuzzMinimizeAgreement: when both deciders agree on the supplied trace
+// (here: one the spec clearly accepts, and one it clearly rejects), -minimize
+// exits 0, says so, and writes no artifact.
+func TestFuzzMinimizeAgreement(t *testing.T) {
+	spec := write(t, "ack.estelle", specs.Ack)
+	for name, body := range map[string]string{
+		"valid":   strings.Repeat("in A x\nin B y\nout A ack\n", 3),
+		"invalid": "out A ack\nout A ack\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			tr := write(t, name+".trace", body)
+			stdout, err := runCLI(t, "fuzz", "-spec", spec, "-minimize", tr)
+			if err != nil {
+				t.Fatalf("%v\n%s", err, stdout)
+			}
+			if !strings.Contains(stdout, "deciders agree") {
+				t.Errorf("output missing agreement verdict:\n%s", stdout)
+			}
+			if _, err := os.Stat(tr + ".min"); !os.IsNotExist(err) {
+				t.Errorf("agreement run left a %s.min artifact (stat err: %v)", tr, err)
+			}
+		})
+	}
+}
+
+// TestFuzzMinimizeBadInput: a missing or unparseable trace file is a hard
+// error naming the file, not a silent exit.
+func TestFuzzMinimizeBadInput(t *testing.T) {
+	spec := write(t, "ack.estelle", specs.Ack)
+	if out, err := runCLI(t, "fuzz", "-spec", spec, "-minimize", filepath.Join(t.TempDir(), "absent.trace")); err == nil {
+		t.Fatalf("minimize of a missing trace succeeded:\n%s", out)
+	}
+	garbled := write(t, "garbled.trace", "this is not a trace\n")
+	_, err := runCLI(t, "fuzz", "-spec", spec, "-minimize", garbled)
+	if err == nil {
+		t.Fatal("minimize of a garbled trace succeeded")
+	}
+	if !strings.Contains(err.Error(), "garbled.trace") {
+		t.Errorf("error does not name the offending file: %v", err)
+	}
+}

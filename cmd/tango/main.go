@@ -194,16 +194,23 @@ func (usageError) Error() string {
   tango explore [-max N] <spec>  (bounded closed-system state-space exploration)
   tango fuzz -spec <spec> [-n N] [-seed S] [-budget D] [-cover-target F]
              [-order NR|IO|IP|FULL] [-max-events N] [-out dir]
+             [-minimize trace]
                                  (coverage-guided generation + differential
                                   oracle; -out writes tango.fuzz/1 report,
-                                  cover.json and the surviving corpus)
+                                  cover.json and the surviving corpus;
+                                  -minimize ddmin-shrinks one disagreeing
+                                  trace and exits 2 with the artifact)
   tango bench [-quick] [-report out.json] [-k N]
                                  (search-core benchmarks; writes tango.bench/1)
   tango serve [-addr host:port] [-j N] [-queue N] [-spec-cache N]
               [-budget N] [-deadline D] [-max-deadline D] [-stall-timeout D]
               [-breaker N] [-heartbeat D] [-drain-timeout D] [-metrics-out f]
-              [-pprof]
-                                 (HTTP/JSON analysis daemon; see README "Serving")
+              [-pprof] [-store dir] [-tenants file.json]
+                                 (HTTP/JSON analysis daemon; -store makes it
+                                  crash-only: specs persist, killed batches
+                                  hand off to the next generation; -tenants
+                                  sets per-tenant quotas + fair queuing;
+                                  see README "Serving" and "Hardening")
   tango version                  (build identity: version, commit, toolchain)
 
 exit codes: 0 valid, 1 error, 2 invalid, 3 inconclusive (budget, deadline,

@@ -44,12 +44,29 @@ func runServe(args []string, w, ew io.Writer) error {
 		drainT     = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 		metricsOut = fs.String("metrics-out", "", "write a final /metrics JSON snapshot to this file on shutdown")
 		pprofOn    = fs.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints (exposes goroutine stacks and heap contents)")
+		storeDir   = fs.String("store", "", "durable state directory: persisted specs + batch work journal (crash-only restart/handoff)")
+		tenantsCfg = fs.String("tenants", "", "per-tenant admission policy JSON file (rate/burst/max_inflight/max_queue/weight)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return usageError{}
 	}
 	if fs.NArg() != 0 {
 		return usageError{}
+	}
+
+	var store *serve.Store
+	if *storeDir != "" {
+		var err error
+		if store, err = serve.OpenStore(*storeDir); err != nil {
+			return fmt.Errorf("serve: open store: %w", err)
+		}
+	}
+	var tenants serve.TenantConfig
+	if *tenantsCfg != "" {
+		var err error
+		if tenants, err = serve.LoadTenantConfig(*tenantsCfg); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
 	}
 
 	srv := serve.New(serve.Options{
@@ -65,6 +82,8 @@ func runServe(args []string, w, ew io.Writer) error {
 		StreamStallTimeout: *stall,
 		HeartbeatEvery:     *heartbeat,
 		EnablePprof:        *pprofOn,
+		Store:              store,
+		Tenants:            tenants,
 		Log:                ew,
 	})
 

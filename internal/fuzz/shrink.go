@@ -67,3 +67,36 @@ func withoutRange(tr *trace.Trace, start, k int) *trace.Trace {
 	}
 	return out
 }
+
+// MinimizeResult is the outcome of Minimize: both deciders' verdicts on the
+// (possibly shrunk) trace, whether they conclusively disagree, and the trace
+// itself — the original when the deciders agree, the ddmin-shrunk minimal
+// counterexample when they split.
+type MinimizeResult struct {
+	Analyzer   string
+	Oracle     string
+	Conclusive bool // both deciders reached a conclusive verdict
+	Disagrees  bool
+	Trace      *trace.Trace
+}
+
+// Minimize runs both deciders on an externally supplied trace and, when they
+// conclusively disagree, shrinks it with the campaign shrinker (ddmin event
+// deletion + parameter zeroing under the usual evaluation budget). This is
+// the `tango fuzz -minimize` entry point: a disagreement found in the field
+// (or by an earlier campaign) is reduced without rerunning a campaign.
+func (f *Fuzzer) Minimize(tr *trace.Trace) (*MinimizeResult, error) {
+	aV, _, aConc, oV, oConc, err := f.decide(tr)
+	if err != nil {
+		return nil, err
+	}
+	out := &MinimizeResult{Analyzer: aV, Oracle: oV, Conclusive: aConc && oConc, Trace: tr}
+	if !out.Conclusive || aV == oV {
+		return out, nil
+	}
+	out.Disagrees = true
+	out.Trace = f.shrink(tr)
+	// Report the verdicts of the artifact actually returned.
+	out.Analyzer, _, _, out.Oracle, _, _ = f.decide(out.Trace)
+	return out, nil
+}

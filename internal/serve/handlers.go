@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"net/http"
 	"strings"
 	"time"
@@ -19,14 +21,17 @@ import (
 // Machine-readable error codes in the error envelope. Stable: clients and
 // the CI smoke test branch on them.
 const (
-	CodeBadRequest  = "bad_request"  // malformed JSON, oversized body, missing fields
-	CodeBadSpec     = "bad_spec"     // specification does not compile
-	CodeBadTrace    = "bad_trace"    // trace does not parse or resolve
-	CodeUnknownSpec = "unknown_spec" // spec_digest not in the cache
-	CodeSaturated   = "saturated"    // admission queue full (429)
-	CodeDraining    = "draining"     // server shutting down (503)
-	CodeQuarantined = "quarantined"  // spec tripped the panic breaker (503)
-	CodePanic       = "panic"        // contained analysis panic (500)
+	CodeBadRequest   = "bad_request"   // malformed JSON, oversized body, missing fields
+	CodeBadSpec      = "bad_spec"      // specification does not compile
+	CodeBadTrace     = "bad_trace"     // trace does not parse or resolve
+	CodeUnknownSpec  = "unknown_spec"  // spec_digest not in the cache or store
+	CodeUnknownBatch = "unknown_batch" // no stored report under that batch id
+	CodeSaturated    = "saturated"     // admission queue full (429)
+	CodeThrottled    = "throttled"     // tenant over its token-bucket rate (429)
+	CodeDraining     = "draining"      // server shutting down (503)
+	CodeNotReady     = "not_ready"     // store re-warm / journal replay in progress (503)
+	CodeQuarantined  = "quarantined"   // spec tripped the panic breaker (503)
+	CodePanic        = "panic"         // contained analysis panic (500)
 )
 
 // errorResponse is the JSON envelope of every non-200 answer.
@@ -114,6 +119,12 @@ type batchRequest struct {
 	SpecName   string `json:"spec_name,omitempty"`
 	SpecDigest string `json:"spec_digest,omitempty"`
 
+	// BatchID names the batch in the work journal and the stored report
+	// (GET /v1/batches/{id}). Optional: a store-backed server derives a
+	// deterministic content hash when absent, which makes blind client
+	// retries idempotent. Ignored without a store.
+	BatchID string `json:"batch_id,omitempty"`
+
 	Order         string   `json:"order,omitempty"`
 	DisabledIPs   []string `json:"disable,omitempty"`
 	UnobservedIPs []string `json:"unobserved,omitempty"`
@@ -136,6 +147,7 @@ type batchTrace struct {
 type batchResponse struct {
 	Schema     string `json:"schema"`
 	Version    string `json:"tango_version"`
+	BatchID    string `json:"batch_id,omitempty"`
 	SpecDigest string `json:"spec_digest"`
 	Degraded   bool   `json:"degraded,omitempty"`
 	Budget     int64  `json:"budget"`
@@ -156,15 +168,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// retryAfterSeconds turns the configured base hint into the wire value for
+// one request: whole seconds in [base, 2*base], jittered deterministically
+// from the request's identity (tenant, path, peer). Deterministic jitter
+// desynchronizes a fleet of shed clients — they back off by *different*
+// amounts, so the retry wave does not arrive in lockstep — while staying
+// reproducible for tests and for any single retrying client.
+func retryAfterSeconds(base time.Duration, r *http.Request) int {
+	secs := int((base + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if r == nil {
+		return secs
+	}
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, r.Header.Get(TenantHeader))
+	_, _ = io.WriteString(h, "\x00"+r.URL.Path)
+	_, _ = io.WriteString(h, "\x00"+r.RemoteAddr)
+	return secs + int(h.Sum64()%uint64(secs+1)) // [base, 2*base]
+}
+
 // fail writes the error envelope for one failed request.
-func (s *Server) fail(w http.ResponseWriter, status int, code, msg string) {
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
 	e := errorResponse{Schema: Schema, Version: buildinfo.Version, Code: code, Error: msg}
 	switch status {
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-		secs := int((s.opts.RetryAfter + time.Second - 1) / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
+		secs := retryAfterSeconds(s.opts.RetryAfter, r)
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 		e.RetryAfterS = secs
 	}
@@ -184,22 +214,58 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	dec := json.NewDecoder(body)
 	if err := dec.Decode(v); err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, "decode request: "+err.Error())
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadRequest, "decode request: "+err.Error())
 		return false
 	}
 	return true
 }
 
+// gate rejects analysis requests while the server is not admitting: booting
+// (store re-warm / journal replay) or draining. ok=false means the 503 is
+// written.
+func (s *Server) gate(w http.ResponseWriter, r *http.Request) bool {
+	switch {
+	case s.draining.Load():
+		s.fail(w, r, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return false
+	case !s.Ready():
+		s.fail(w, r, http.StatusServiceUnavailable, CodeNotReady,
+			"server is booting: "+bootReason(s.phase.Load()))
+		return false
+	}
+	return true
+}
+
+// bootReason names a not-yet-ready phase for the JSON error envelope and the
+// readiness probe.
+func bootReason(phase int32) string {
+	switch phase {
+	case phaseWarming:
+		return "re-warming spec store"
+	case phaseReplaying:
+		return "replaying work journal"
+	}
+	return "ready"
+}
+
 // resolveSpec turns the spec fields of a request into a ready compiled spec,
 // answering the error response itself on failure. ok=false means the
-// response has been written (or the client is gone).
+// response has been written (or the client is gone). By-digest requests fall
+// back from the LRU to the durable store — an uploaded spec survives both
+// cache eviction and daemon restarts. Inline sources are persisted to the
+// store once compiled.
 func (s *Server) resolveSpec(w http.ResponseWriter, r *http.Request,
 	source, name, digest string) (entry *specEntry, spec *efsm.Spec, cached, ok bool) {
 	switch {
 	case digest != "":
 		entry = s.cache.lookup(digest)
+		if entry == nil && s.store != nil {
+			if sname, ssource, err := s.store.GetSpec(digest); err == nil {
+				entry, _ = s.cache.get(sname, ssource)
+			}
+		}
 		if entry == nil {
-			s.fail(w, http.StatusUnprocessableEntity, CodeUnknownSpec,
+			s.fail(w, r, http.StatusUnprocessableEntity, CodeUnknownSpec,
 				fmt.Sprintf("spec %s is not cached (upload it via POST /v1/specs)", digest))
 			return nil, nil, false, false
 		}
@@ -210,7 +276,7 @@ func (s *Server) resolveSpec(w http.ResponseWriter, r *http.Request,
 		}
 		entry, cached = s.cache.get(name, source)
 	default:
-		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, "request names no specification (spec or spec_digest)")
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadRequest, "request names no specification (spec or spec_digest)")
 		return nil, nil, false, false
 	}
 	spec, err := s.cache.wait(r.Context(), entry)
@@ -218,21 +284,26 @@ func (s *Server) resolveSpec(w http.ResponseWriter, r *http.Request,
 		if r.Context().Err() != nil {
 			return nil, nil, false, false // client gone; nothing to answer
 		}
-		s.fail(w, http.StatusUnprocessableEntity, CodeBadSpec, "compile: "+err.Error())
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadSpec, "compile: "+err.Error())
 		return nil, nil, false, false
 	}
+	if s.store != nil && source != "" {
+		if perr := s.store.PutSpec(name, source); perr != nil {
+			s.storeError("put spec "+entry.digest, perr)
+		}
+	}
 	if entry.quarantined(s.opts.BreakerPanics) {
-		s.fail(w, http.StatusServiceUnavailable, CodeQuarantined,
+		s.fail(w, r, http.StatusServiceUnavailable, CodeQuarantined,
 			fmt.Sprintf("spec %s is quarantined after %d contained panics", entry.digest, entry.panics.Load()))
 		return nil, nil, false, false
 	}
-	s.tenantCounter(entry.digest, "requests").Inc()
+	s.specCounter(entry.digest, "requests").Inc()
 	return entry, spec, cached, true
 }
 
-// tenantKey shortens a spec digest to the 12-char tenant label used in
-// per-tenant metric names.
-func tenantKey(digest string) string {
+// specKey shortens a spec digest to the 12-char label used in per-spec
+// metric names.
+func specKey(digest string) string {
 	short := strings.TrimPrefix(digest, "sha256:")
 	if len(short) > 12 {
 		short = short[:12]
@@ -240,38 +311,58 @@ func tenantKey(digest string) string {
 	return short
 }
 
-// tenantCounter returns the per-tenant (per-spec) metric counter
-// serve.tenant.<digest12>.<what>.
-func (s *Server) tenantCounter(digest, what string) *obs.Counter {
-	return s.reg.Counter("serve.tenant." + tenantKey(digest) + "." + what)
+// specCounter returns the per-spec metric counter
+// serve.spec.<digest12>.<what>.
+func (s *Server) specCounter(digest, what string) *obs.Counter {
+	return s.reg.Counter("serve.spec." + specKey(digest) + "." + what)
 }
 
-// tenantLatency returns the per-tenant latency histogram
-// serve.tenant.<digest12>.elapsed_us, on the same bucket scale as the
+// specLatency returns the per-spec latency histogram
+// serve.spec.<digest12>.elapsed_us, on the same bucket scale as the
 // server-wide serve.elapsed_us.
-func (s *Server) tenantLatency(digest string) *obs.Histogram {
-	return s.reg.Histogram("serve.tenant."+tenantKey(digest)+".elapsed_us", latencyBoundsUS...)
+func (s *Server) specLatency(digest string) *obs.Histogram {
+	return s.reg.Histogram("serve.spec."+specKey(digest)+".elapsed_us", latencyBoundsUS...)
 }
 
-// admit runs pool admission and answers 429/503 itself, recording how long
-// the request waited for its slot. ok=false means the response has been
-// written (or the client is gone).
-func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+// tenantOf extracts the request's tenant identity and canonicalizes it:
+// absent headers and names the config does not know resolve to "default", so
+// metrics stay bounded however many names a hostile client invents.
+func (s *Server) tenantOf(r *http.Request) string {
+	name := r.Header.Get(TenantHeader)
+	if name == "" {
+		return DefaultTenant
+	}
+	return s.pool.canonical(name)
+}
+
+// admit runs pool admission for the request's tenant and answers 429/503
+// itself, recording how long the request waited for its slot. ok=false means
+// the response has been written (or the client is gone). The returned tenant
+// is the canonical name to release() with.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (tenant string, ok bool) {
+	tenant = s.tenantOf(r)
+	mt := metricTenant(tenant)
 	waited := time.Now()
-	err := s.pool.acquire(r.Context())
+	err := s.pool.acquire(r.Context(), tenant)
 	s.m.queueWaitUS.Observe(time.Since(waited).Microseconds())
 	s.gauges()
 	switch {
 	case err == nil:
-		return true
+		s.reg.Counter("serve.tenant." + mt + ".admitted").Inc()
+		return tenant, true
 	case err == ErrSaturated:
-		s.fail(w, http.StatusTooManyRequests, CodeSaturated,
-			fmt.Sprintf("server saturated: %d running, %d queued", s.pool.inflight(), s.pool.queued()))
+		s.reg.Counter("serve.tenant." + mt + ".shed_429").Inc()
+		s.fail(w, r, http.StatusTooManyRequests, CodeSaturated,
+			fmt.Sprintf("tenant %s saturated: %d running, %d queued", tenant, s.pool.inflight(), s.pool.queued()))
+	case err == ErrThrottled:
+		s.reg.Counter("serve.tenant." + mt + ".throttled_429").Inc()
+		s.fail(w, r, http.StatusTooManyRequests, CodeThrottled,
+			fmt.Sprintf("tenant %s is over its admission rate", tenant))
 	case err == ErrDraining:
-		s.fail(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		s.fail(w, r, http.StatusServiceUnavailable, CodeDraining, "server is draining")
 	default: // client context ended while queued
 	}
-	return false
+	return tenant, false
 }
 
 // serveFlightEvents sizes the per-request flight recorder: enough tail to
@@ -313,7 +404,7 @@ func parseOrder(s string) (analysis.OrderOpts, error) {
 // notePanic attributes one contained panic to a spec and trips the breaker.
 func (s *Server) notePanic(entry *specEntry, what string, err error) {
 	s.m.panics.Inc()
-	s.tenantCounter(entry.digest, "panics").Inc()
+	s.specCounter(entry.digest, "panics").Inc()
 	n := entry.panics.Add(1)
 	fmt.Fprintf(s.opts.Log, "serve: contained panic in %s (%s, panic %d): %v\n",
 		what, entry.digest, n, err)
@@ -324,11 +415,11 @@ func (s *Server) notePanic(entry *specEntry, what string, err error) {
 }
 
 // handleSpecs implements POST /v1/specs: upload and compile a specification,
-// returning its digest for later by-digest requests.
+// returning its digest for later by-digest requests. With a store configured
+// the upload is durable — the digest keeps resolving across daemon restarts.
 func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Inc()
-	if s.draining.Load() {
-		s.fail(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+	if !s.gate(w, r) {
 		return
 	}
 	var req analyzeRequest
@@ -336,7 +427,7 @@ func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Spec == "" {
-		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, "request carries no spec source")
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadRequest, "request carries no spec source")
 		return
 	}
 	entry, spec, cached, ok := s.resolveSpec(w, r, req.Spec, req.SpecName, "")
@@ -353,8 +444,7 @@ func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
 // handleAnalyze implements POST /v1/analyze: one static trace, one verdict.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Inc()
-	if s.draining.Load() {
-		s.fail(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+	if !s.gate(w, r) {
 		return
 	}
 	var req analyzeRequest
@@ -363,7 +453,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	order, err := parseOrder(req.Order)
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
 		return
 	}
 	entry, spec, cached, ok := s.resolveSpec(w, r, req.Spec, req.SpecName, req.SpecDigest)
@@ -372,14 +462,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	tr, err := trace.ReadString(req.Trace)
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, CodeBadTrace, "trace: "+err.Error())
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadTrace, "trace: "+err.Error())
 		return
 	}
 
-	if !s.admit(w, r) {
+	tenant, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
-	defer func() { s.pool.release(); s.gauges() }()
+	defer func() { s.pool.release(tenant); s.gauges() }()
 
 	lim := s.opts.Limits.resolve(time.Duration(req.DeadlineMS)*time.Millisecond, req.Budget, s.pool.queued())
 	if lim.Degraded {
@@ -392,7 +483,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		req.StateSearch, req.Hash, req.Memo, lim, s.opts.Limits.MaxHeapCells)
 	sess, err := analysis.NewSession(spec, aopts)
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
 		return
 	}
 	var hook func(batch.Item)
@@ -404,16 +495,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	if ir.Panicked {
 		s.notePanic(entry, "analyze", ir.Err)
-		s.fail(w, http.StatusInternalServerError, CodePanic, "analysis panicked (contained): "+ir.Err.Error())
+		s.fail(w, r, http.StatusInternalServerError, CodePanic, "analysis panicked (contained): "+ir.Err.Error())
 		return
 	}
 	if ir.Err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, CodeBadTrace, "trace: "+ir.Err.Error())
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadTrace, "trace: "+ir.Err.Error())
 		return
 	}
 	s.m.completed.Inc()
 	s.m.elapsedUS.Observe(elapsed.Microseconds())
-	s.tenantLatency(entry.digest).Observe(elapsed.Microseconds())
+	s.specLatency(entry.digest).Observe(elapsed.Microseconds())
 
 	res := ir.Res
 	resp := analyzeResponse{
@@ -438,10 +529,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // handleBatch implements POST /v1/batch: many traces against one spec,
 // sequentially under a single pool slot (a batch is one tenant's workload;
 // cross-request fairness comes from the pool, not from inside the batch).
+//
+// With a store configured the batch is journaled at admission and every row
+// as it finishes, so a daemon killed mid-batch hands the tail to its
+// successor (see journal.go); the normalized report persists under the batch
+// id for GET /v1/batches/{id}, and re-submitting an already-finished id
+// answers from the stored report without re-analyzing.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Inc()
-	if s.draining.Load() {
-		s.fail(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+	if !s.gate(w, r) {
 		return
 	}
 	var req batchRequest
@@ -450,16 +546,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	order, err := parseOrder(req.Order)
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
 		return
 	}
 	if len(req.Traces) == 0 {
-		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, "batch carries no traces")
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadRequest, "batch carries no traces")
 		return
 	}
 	if len(req.Traces) > s.opts.MaxBatchItems {
-		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest,
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadRequest,
 			fmt.Sprintf("batch of %d traces exceeds the %d-item limit", len(req.Traces), s.opts.MaxBatchItems))
+		return
+	}
+	if req.BatchID != "" && !validBatchID(req.BatchID) {
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadRequest,
+			"batch_id must be 1-128 chars of [a-zA-Z0-9_.-] and not start with '.'")
 		return
 	}
 	entry, spec, _, ok := s.resolveSpec(w, r, req.Spec, req.SpecName, req.SpecDigest)
@@ -467,10 +568,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if !s.admit(w, r) {
+	tenant, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
-	defer func() { s.pool.release(); s.gauges() }()
+	defer func() { s.pool.release(tenant); s.gauges() }()
 
 	// The per-item budget is clamped like a single analyze; the deadline
 	// covers the whole batch, so later items of an expensive batch degrade
@@ -484,91 +586,99 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	aopts := analysisOptions(order, req.DisabledIPs, req.UnobservedIPs,
 		false, req.Hash, req.Memo, lim, s.opts.Limits.MaxHeapCells)
-	var hook func(batch.Item)
-	if s.opts.FaultHook != nil {
-		hook = func(batch.Item) { s.opts.FaultHook(entry.digest) }
+
+	// Journal the accepted batch (with the limits it was admitted under)
+	// before running it — from here on a crash hands the work to the next
+	// generation instead of losing it. Journal faults degrade durability,
+	// never availability.
+	var batchID string
+	var onRow func(int, obs.BatchItem)
+	if s.store != nil {
+		batchID = req.BatchID
+		if batchID == "" {
+			batchID = deriveBatchID(entry.digest, &req, lim)
+		}
+		if data, rerr := s.store.GetReport(batchID); rerr == nil {
+			// Idempotent retry: this batch already ran to completion (possibly
+			// by a predecessor daemon); answer the stored normalized report.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(data)
+			return
+		}
+		rec := workBatchRec{
+			ID: batchID, Tenant: tenant, SpecDigest: entry.digest,
+			Order: req.Order, DisabledIPs: req.DisabledIPs, UnobservedIPs: req.UnobservedIPs,
+			Hash: req.Hash, Memo: req.Memo,
+			Budget: lim.Budget, DeadlineMS: lim.Deadline.Milliseconds(), Degraded: lim.Degraded,
+			Traces: req.Traces,
+		}
+		if jerr := s.wj.append(KindWorkBatch, rec); jerr != nil {
+			s.storeError("journal batch "+batchID, jerr)
+		} else {
+			onRow = func(i int, row obs.BatchItem) {
+				if jerr := s.wj.appendRow(batchID, i, row); jerr != nil {
+					s.storeError("journal row "+batchID, jerr)
+				}
+			}
+		}
 	}
 
 	start := time.Now()
-	resp := batchResponse{
-		Schema: Schema, Version: buildinfo.Version, SpecDigest: entry.digest,
-		Degraded: lim.Degraded, Budget: lim.Budget, DeadlineMS: lim.Deadline.Milliseconds(),
-		Items: make([]obs.BatchItem, 0, len(req.Traces)),
-	}
-	sess, err := analysis.NewSession(spec, aopts)
+	items, err := s.runBatchRows(ctx, entry, spec, aopts, req.Traces, nil, onRow)
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
+		s.fail(w, r, http.StatusInternalServerError, CodePanic, err.Error())
 		return
-	}
-	for i, bt := range req.Traces {
-		name := bt.Name
-		if name == "" {
-			name = fmt.Sprintf("trace[%d]", i)
-		}
-		it := batch.Item{Name: name, Expect: bt.Expect}
-		var row obs.BatchItem
-		if tr, terr := trace.ReadString(bt.Trace); terr != nil {
-			row = obs.BatchItem{Trace: name, ExitClass: batch.ClassBadTrace, Error: terr.Error()}
-		} else {
-			it.Trace = tr
-			ir := batch.AnalyzeItem(ctx, sess, it, hook)
-			if ir.Panicked {
-				// Contain, report the row, and continue on a fresh session:
-				// one poisoned trace must not void its batch siblings.
-				s.notePanic(entry, "batch item "+name, ir.Err)
-				if sess, err = analysis.NewSession(spec, aopts); err != nil {
-					s.fail(w, http.StatusInternalServerError, CodePanic, err.Error())
-					return
-				}
-				if entry.quarantined(s.opts.BreakerPanics) {
-					row = batch.ReportItem(&ir)
-					row.Quarantined = true
-					resp.Items = append(resp.Items, row)
-					break // breaker tripped mid-batch: stop feeding it
-				}
-			}
-			row = batch.ReportItem(&ir)
-		}
-		resp.Items = append(resp.Items, row)
 	}
 	s.m.completed.Inc()
 	s.m.elapsedUS.Observe(time.Since(start).Microseconds())
-	s.tenantLatency(entry.digest).Observe(time.Since(start).Microseconds())
+	s.specLatency(entry.digest).Observe(time.Since(start).Microseconds())
 
-	// Aggregate with the batch engine's severity rules.
-	sev := map[int]int{batch.ClassOK: 0, batch.ClassInvalid: 1,
-		batch.ClassInconclusive: 2, batch.ClassBadTrace: 3, batch.ClassError: 4}
-	for i := range resp.Items {
-		row := &resp.Items[i]
-		switch row.ExitClass {
-		case batch.ClassOK:
-			resp.Counts.Valid++
-		case batch.ClassInvalid:
-			resp.Counts.Invalid++
-		case batch.ClassInconclusive:
-			resp.Counts.Inconclusive++
-		case batch.ClassBadTrace:
-			resp.Counts.BadTrace++
-		default:
-			resp.Counts.Errors++
-		}
-		if row.Match != nil && !*row.Match {
-			resp.Counts.Mismatches++
-		}
-		if sev[row.ExitClass] > sev[resp.ExitClass] {
-			resp.ExitClass = row.ExitClass
-		}
+	resp := batchResponse{
+		Schema: Schema, Version: buildinfo.Version,
+		BatchID: batchID, SpecDigest: entry.digest,
+		Degraded: lim.Degraded, Budget: lim.Budget, DeadlineMS: lim.Deadline.Milliseconds(),
+		Items: items,
 	}
+	aggregateBatch(&resp)
+	s.persistBatch(batchID, resp)
 	resp.ElapsedUS = time.Since(start).Microseconds()
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleBatchReport implements GET /v1/batches/{id}: the stored normalized
+// report of a finished batch — the pickup point for clients whose daemon
+// died mid-batch and whose work a successor finished.
+func (s *Server) handleBatchReport(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.Inc()
+	id := r.PathValue("id")
+	if s.store == nil {
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadRequest, "server runs without a store")
+		return
+	}
+	if !validBatchID(id) {
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadRequest, "malformed batch id")
+		return
+	}
+	data, err := s.store.GetReport(id)
+	if err != nil {
+		s.fail(w, r, http.StatusNotFound, CodeUnknownBatch,
+			fmt.Sprintf("no stored report for batch %s", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
 // handleHealthz implements GET /healthz: liveness plus build identity and
-// load. 200 while serving, 503 while draining (so balancers stop routing).
+// load. 200 while serving, 503 while booting or draining (so balancers stop
+// routing). The split probes are /healthz/live and /healthz/ready.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
 		Schema   string `json:"schema"`
 		Status   string `json:"status"`
+		Reason   string `json:"reason,omitempty"`
 		Version  string `json:"tango_version"`
 		Commit   string `json:"tango_commit,omitempty"`
 		UptimeS  int64  `json:"uptime_s"`
@@ -577,6 +687,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Inflight int    `json:"inflight"`
 		Queued   int    `json:"queued"`
 		Specs    int    `json:"specs_cached"`
+		Store    string `json:"store,omitempty"`
 	}
 	h := health{
 		Schema: Schema, Status: "ok",
@@ -586,12 +697,49 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Inflight: s.pool.inflight(), Queued: s.pool.queued(),
 		Specs: s.cache.len(),
 	}
+	if s.store != nil {
+		h.Store = s.store.Dir()
+	}
 	status := http.StatusOK
-	if s.draining.Load() {
+	switch {
+	case s.draining.Load():
 		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case !s.Ready():
+		h.Status = "booting"
+		h.Reason = bootReason(s.phase.Load())
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, h)
+}
+
+// handleLive implements GET /healthz/live: pure liveness. 200 whenever the
+// process can answer HTTP at all — a booting or draining daemon is alive; a
+// deadlocked or dead one is not. Restart-deciders watch this, not readiness.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"schema": Schema, "status": "alive", "tango_version": buildinfo.Version,
+	})
+}
+
+// handleReady implements GET /healthz/ready: admission readiness. 503 with a
+// machine-readable reason while the store re-warms or the journal replays
+// (and while draining); 200 exactly when new work is being admitted.
+// Load balancers route on this.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	type readiness struct {
+		Schema string `json:"schema"`
+		Status string `json:"status"`
+		Reason string `json:"reason,omitempty"`
+	}
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, readiness{Schema: Schema, Status: "draining", Reason: "server is draining"})
+	case !s.Ready():
+		writeJSON(w, http.StatusServiceUnavailable, readiness{Schema: Schema, Status: "booting", Reason: bootReason(s.phase.Load())})
+	default:
+		writeJSON(w, http.StatusOK, readiness{Schema: Schema, Status: "ready"})
+	}
 }
 
 // handleMetrics implements GET /metrics: the registry snapshot plus cache

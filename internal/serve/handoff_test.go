@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/obs"
+	"repro/specs"
+)
+
+// getBody fetches one URL and returns status + raw body.
+func getBody(t testing.TB, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// tornTail appends a frame whose length prefix promises more bytes than
+// follow — the exact artifact of a SIGKILL mid-append.
+func tornTail(t testing.TB, path string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte{100, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalReplayAndCompact(t *testing.T) {
+	path := t.TempDir() + "/work.ckpt"
+	j, err := checkpoint.CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(id string, i int, name string) {
+		data, err := json.Marshal(obs.BatchItem{Trace: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(KindWorkRow, workRowRec{ID: id, Index: i, RowJSON: data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must := func(kind string, v any) {
+		if err := j.Append(kind, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(KindWorkBatch, workBatchRec{ID: "b1", Tenant: "default", SpecDigest: "sha256:x", Budget: 10, DeadlineMS: 1000})
+	must(KindWorkBatch, workBatchRec{ID: "b2", Tenant: "gold", SpecDigest: "sha256:y", Budget: 20, DeadlineMS: 2000})
+	row("b1", 0, "r0")
+	row("b1", 1, "r1")
+	row("b2", 0, "first")
+	row("b2", 0, "duplicate-must-lose") // exactly-once: first occurrence wins
+	must(KindWorkDone, workDoneRec{ID: "b1"})
+	must(KindWorkBatch, workBatchRec{ID: "b2", Tenant: "imposter"}) // duplicate admission: first wins
+	must(KindWorkRow, workRowRec{ID: "ghost", Index: 0})            // row for an unknown batch: dropped
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tornTail(t, path)
+
+	order, batches, truncated, err := replayWork(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Fatal("torn tail not reported")
+	}
+	if len(order) != 2 || order[0] != "b1" || order[1] != "b2" {
+		t.Fatalf("order %v", order)
+	}
+	if !batches["b1"].done || batches["b2"].done {
+		t.Fatalf("done flags: b1=%v b2=%v", batches["b1"].done, batches["b2"].done)
+	}
+	if batches["b2"].rec.Tenant != "gold" {
+		t.Fatalf("duplicate admission won: %+v", batches["b2"].rec)
+	}
+	if got := batches["b2"].rows[0].Trace; got != "first" {
+		t.Fatalf("duplicate row won: %q", got)
+	}
+	pending := unfinished(order, batches)
+	if len(pending) != 1 || pending[0].rec.ID != "b2" {
+		t.Fatalf("unfinished %v", pending)
+	}
+
+	// Compaction drops the finished batch entirely and survives a re-replay.
+	j2, err := compactWork(path, order, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	order, batches, truncated, err = replayWork(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("compacted journal reports a torn tail")
+	}
+	if len(order) != 1 || order[0] != "b2" || len(batches["b2"].rows) != 1 {
+		t.Fatalf("after compact: order %v rows %v", order, batches["b2"].rows)
+	}
+
+	// A missing journal is an empty plan, not an error.
+	order, batches, truncated, err = replayWork(path + ".does-not-exist")
+	if err != nil || truncated || len(order) != 0 || len(batches) != 0 {
+		t.Fatalf("missing journal: %v %v %v %v", order, batches, truncated, err)
+	}
+}
+
+func TestDeriveBatchIDDeterministic(t *testing.T) {
+	req := &batchRequest{Order: "FULL", Traces: []batchTrace{{Name: "a", Trace: "x"}, {Trace: "y"}}}
+	lim := reqLimits{Budget: 100, Deadline: 5000 * 1e6}
+	id1 := deriveBatchID("sha256:abc", req, lim)
+	id2 := deriveBatchID("sha256:abc", req, lim)
+	if id1 != id2 {
+		t.Fatalf("same request, different ids: %s vs %s", id1, id2)
+	}
+	if !validBatchID(id1) {
+		t.Fatalf("derived id %q is not a valid batch id", id1)
+	}
+	other := *req
+	other.Traces = []batchTrace{{Name: "a", Trace: "x"}, {Trace: "z"}}
+	if deriveBatchID("sha256:abc", &other, lim) == id1 {
+		t.Fatal("different traces, same id")
+	}
+	if deriveBatchID("sha256:other", req, lim) == id1 {
+		t.Fatal("different spec, same id")
+	}
+}
+
+// TestHandoffByteIdenticalReport is the handoff acceptance test in-process: a
+// predecessor daemon is "SIGKILLed" mid-batch (simulated by fabricating its
+// store: the spec, the admission record, the first rows, and a torn journal
+// tail), a successor boots on the store, finishes the tail during replay, and
+// the stored merged report is byte-identical to an uninterrupted run's.
+func TestHandoffByteIdenticalReport(t *testing.T) {
+	valid, invalid := echoTraces(t)
+	traces := []batchTrace{
+		{Name: "ok-1", Trace: valid, Expect: "valid"},
+		{Name: "bad-1", Trace: invalid, Expect: "valid"},
+		{Name: "ok-2", Trace: valid},
+		{Name: "mangled", Trace: "?? not a trace"},
+		{Name: "ok-3", Trace: valid, Expect: "valid"},
+	}
+	wire := make([]map[string]any, len(traces))
+	for i, bt := range traces {
+		wire[i] = map[string]any{"name": bt.Name, "trace": bt.Trace, "expect": bt.Expect}
+	}
+
+	// Reference: one daemon runs the batch start to finish.
+	stRef, _ := OpenStore(t.TempDir())
+	sRef, tsRef := newTestServer(t, Options{Store: stRef})
+	if err := sRef.AwaitReady(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	code, m, _ := postJSON(t, tsRef.URL+"/v1/batch", map[string]any{
+		"spec": specs.Echo, "batch_id": "handoff-case", "budget": 10000, "deadline_ms": 5000,
+		"traces": wire,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("reference batch: %d %v", code, m)
+	}
+	code, refBytes := getBody(t, tsRef.URL+"/v1/batches/handoff-case")
+	if code != http.StatusOK {
+		t.Fatalf("reference report: %d %s", code, refBytes)
+	}
+	var ref batchResponse
+	if err := json.Unmarshal(refBytes, &ref); err != nil {
+		t.Fatal(err)
+	}
+	if ref.ElapsedUS != 0 {
+		t.Fatalf("stored report not normalized: elapsed_us=%d", ref.ElapsedUS)
+	}
+
+	// Crash scene: a second store holding the spec, the batch admission record
+	// with the *resolved* limits, the first two finished rows, and a torn
+	// journal tail from the fatal append.
+	dir := t.TempDir()
+	stC, _ := OpenStore(dir)
+	if err := stC.PutSpec("echo", specs.Echo); err != nil {
+		t.Fatal(err)
+	}
+	j, err := checkpoint.CreateJournal(stC.JournalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := workBatchRec{
+		ID: "handoff-case", Tenant: "default", SpecDigest: ref.SpecDigest,
+		Budget: ref.Budget, DeadlineMS: ref.DeadlineMS, Degraded: ref.Degraded,
+		Traces: traces,
+	}
+	if err := j.Append(KindWorkBatch, rec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := j.Append(KindWorkRow, workRowRec{ID: rec.ID, Index: i, RowJSON: mustJSON(t, ref.Items[i])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tornTail(t, stC.JournalPath())
+
+	// Successor generation: boots, replays, finishes the tail before ready.
+	sC, tsC := newTestServer(t, Options{Store: stC})
+	if err := sC.AwaitReady(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sC.reg.Counter("serve.recovered_batches").Value(); got != 1 {
+		t.Fatalf("recovered_batches = %d, want 1", got)
+	}
+	code, recBytes := getBody(t, tsC.URL+"/v1/batches/handoff-case")
+	if code != http.StatusOK {
+		t.Fatalf("recovered report: %d %s", code, recBytes)
+	}
+	if !bytes.Equal(refBytes, recBytes) {
+		t.Fatalf("handoff report diverged from the uninterrupted run:\n--- reference ---\n%s\n--- recovered ---\n%s",
+			refBytes, recBytes)
+	}
+
+	// Re-submitting the finished batch answers the stored report verbatim
+	// (idempotent retry), without re-analyzing.
+	before := sC.m.completed.Value()
+	resp, err := http.Post(tsC.URL+"/v1/batch", "application/json",
+		bytes.NewReader(mustJSON(t, map[string]any{
+			"spec": specs.Echo, "batch_id": "handoff-case", "budget": 10000, "deadline_ms": 5000,
+			"traces": wire,
+		})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(buf.Bytes(), refBytes) {
+		t.Fatalf("idempotent retry: %d, body diverged=%v", resp.StatusCode, !bytes.Equal(buf.Bytes(), refBytes))
+	}
+	if sC.m.completed.Value() != before {
+		t.Fatal("idempotent retry re-ran the analysis")
+	}
+}
+
+func mustJSON(t testing.TB, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRecoveryAbandonsSpeclessBatch: a journaled batch whose spec never made
+// it to the store is abandoned with a done mark — boot converges instead of
+// replaying a doomed batch on every restart forever.
+func TestRecoveryAbandonsSpeclessBatch(t *testing.T) {
+	st, _ := OpenStore(t.TempDir())
+	j, err := checkpoint.CreateJournal(st.JournalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := workBatchRec{ID: "orphan", Tenant: "default",
+		SpecDigest: "sha256:" + fmt.Sprintf("%064x", 0), Budget: 10, DeadlineMS: 1000,
+		Traces: []batchTrace{{Trace: "x"}}}
+	if err := j.Append(KindWorkBatch, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := newTestServer(t, Options{Store: st})
+	if err := s.AwaitReady(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.reg.Counter("serve.recover_abandoned").Value(); got != 1 {
+		t.Fatalf("recover_abandoned = %d, want 1", got)
+	}
+	// The abandonment is durable: a third generation replays nothing.
+	order, batches, _, err := replayWork(st.JournalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := unfinished(order, batches); len(got) != 0 {
+		t.Fatalf("abandoned batch still pending after restart: %v", got)
+	}
+}
+
+// TestRestartLoopChaos runs several daemon generations over one store,
+// alternating clean completions with injected crash artifacts (torn journal
+// tails), and checks every generation boots, keeps the accumulated specs and
+// reports, and finishes a fresh batch.
+func TestRestartLoopChaos(t *testing.T) {
+	dir := t.TempDir()
+	valid, invalid := echoTraces(t)
+	var digest string
+	for gen := 0; gen < 4; gen++ {
+		st, err := OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, ts := newTestServer(t, Options{Store: st})
+		if err := s.AwaitReady(testCtx(t)); err != nil {
+			t.Fatalf("gen %d: %v", gen, err)
+		}
+		if gen == 0 {
+			code, m, _ := postJSON(t, ts.URL+"/v1/specs", map[string]any{"spec": specs.Echo, "spec_name": "echo"})
+			if code != http.StatusOK {
+				t.Fatalf("gen 0 upload: %d %v", code, m)
+			}
+			digest = m["spec_digest"].(string)
+		}
+		// Every later generation must have re-warmed the spec from disk.
+		code, m, _ := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"spec_digest": digest, "trace": valid})
+		if code != http.StatusOK || m["verdict"] != "valid" {
+			t.Fatalf("gen %d analyze: %d %v", gen, code, m)
+		}
+		// One batch per generation, journaled and persisted.
+		id := fmt.Sprintf("gen-%d", gen)
+		code, m, _ = postJSON(t, ts.URL+"/v1/batch", map[string]any{
+			"spec_digest": digest, "batch_id": id,
+			"traces": []map[string]any{{"name": "v", "trace": valid}, {"name": "i", "trace": invalid}},
+		})
+		if code != http.StatusOK {
+			t.Fatalf("gen %d batch: %d %v", gen, code, m)
+		}
+		// Every previous generation's report is still servable.
+		for g := 0; g <= gen; g++ {
+			if code, body := getBody(t, ts.URL+fmt.Sprintf("/v1/batches/gen-%d", g)); code != http.StatusOK {
+				t.Fatalf("gen %d: report gen-%d lost: %d %s", gen, g, code, body)
+			}
+		}
+		ts.Close()
+		// Crash, not drain: the journal handle is abandoned mid-life and the
+		// next generation finds a torn tail.
+		tornTail(t, st.JournalPath())
+	}
+}

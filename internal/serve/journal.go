@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/checkpoint"
+	"repro/internal/obs"
+)
+
+// The work journal is the handoff channel between daemon generations: every
+// accepted /v1/batch appends one workBatchRec (the whole request plus the
+// limits it was admitted under), each finished row appends one workRowRec,
+// and the finished batch appends one workDoneRec. A successor booting on the
+// same store replays the journal, keeps the rows that were already done
+// verbatim (exactly-once: a row is never re-analyzed once recorded), re-runs
+// only the missing ones under the *recorded* limits, and writes the same
+// normalized report the uninterrupted daemon would have — byte-identical,
+// because the analyzer is deterministic under fixed limits.
+//
+// The journal reuses the tango.ckpt/1 container (CRC-framed records, fsync
+// per append, torn-tail repair), so a SIGKILL mid-append costs at most the
+// record being written.
+
+// workBatchRec is the journal record of one accepted batch: the request
+// fields plus the resolved limits. Limits are captured at admission on
+// purpose — a successor replays under the limits the client was promised,
+// not under whatever load the successor happens to boot into, or the
+// recovered report would diverge from the uninterrupted one.
+type workBatchRec struct {
+	ID         string
+	Tenant     string
+	SpecDigest string
+
+	Order         string
+	DisabledIPs   []string
+	UnobservedIPs []string
+	Hash          bool
+	Memo          bool
+
+	// Resolved limits (not the client's asks).
+	Budget     int64
+	DeadlineMS int64
+	Degraded   bool
+
+	Traces []batchTrace
+}
+
+// workRowRec records one finished row of a batch, exactly once. The row
+// itself travels as JSON, not gob: gob omits zero values even behind
+// pointers, so a mismatch row's Match=&false would replay as a nil Match and
+// the recovered report would silently lose the mismatch. JSON round-trips the
+// row exactly as the persisted report renders it.
+type workRowRec struct {
+	ID      string
+	Index   int
+	RowJSON []byte
+}
+
+// workDoneRec marks a batch fully finished and its report written.
+type workDoneRec struct {
+	ID string
+}
+
+// workJournal serializes appends to the store's work journal. Appends from
+// concurrent batches interleave freely — replay groups records by batch ID.
+type workJournal struct {
+	mu sync.Mutex
+	j  *checkpoint.Journal
+}
+
+func (w *workJournal) append(kind string, payload any) error {
+	if w == nil || w.j == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.j.Append(kind, payload)
+}
+
+// appendRow journals one finished row (see workRowRec for why JSON).
+func (w *workJournal) appendRow(id string, index int, row obs.BatchItem) error {
+	data, err := json.Marshal(row)
+	if err != nil {
+		return err
+	}
+	return w.append(KindWorkRow, workRowRec{ID: id, Index: index, RowJSON: data})
+}
+
+// reset installs the freshly compacted journal at the end of the boot walk.
+func (w *workJournal) reset(j *checkpoint.Journal) {
+	w.mu.Lock()
+	w.j = j
+	w.mu.Unlock()
+}
+
+func (w *workJournal) close() {
+	if w == nil || w.j == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_ = w.j.Close()
+	w.j = nil
+}
+
+// pendingBatch is one journaled batch reconstructed by replay: its admission
+// record plus every row already finished (keyed by index).
+type pendingBatch struct {
+	rec  workBatchRec
+	rows map[int]obs.BatchItem
+	done bool
+}
+
+// replayWork reads the work journal back into per-batch state, in admission
+// order. A torn tail (SIGKILL mid-append) is tolerated; duplicate row records
+// keep the first occurrence (exactly-once on replay even if a crash landed
+// between analysis and ack). A missing journal file yields an empty plan.
+func replayWork(path string) (order []string, batches map[string]*pendingBatch, truncated bool, err error) {
+	recs, truncated, err := checkpoint.ReplayJournal(path)
+	if err != nil {
+		if errIsNotExist(err) {
+			return nil, map[string]*pendingBatch{}, false, nil
+		}
+		return nil, nil, truncated, err
+	}
+	batches = make(map[string]*pendingBatch)
+	for _, rec := range recs {
+		switch rec.Kind {
+		case KindWorkBatch:
+			var b workBatchRec
+			if rec.Decode(&b) != nil {
+				continue // corrupt payload: skip, crash-only boot never stalls
+			}
+			if _, ok := batches[b.ID]; ok {
+				continue // duplicate admission (replayed journal): first wins
+			}
+			batches[b.ID] = &pendingBatch{rec: b, rows: make(map[int]obs.BatchItem)}
+			order = append(order, b.ID)
+		case KindWorkRow:
+			var r workRowRec
+			if rec.Decode(&r) != nil {
+				continue
+			}
+			var row obs.BatchItem
+			if json.Unmarshal(r.RowJSON, &row) != nil {
+				continue
+			}
+			if pb, ok := batches[r.ID]; ok {
+				if _, dup := pb.rows[r.Index]; !dup {
+					pb.rows[r.Index] = row
+				}
+			}
+		case KindWorkDone:
+			var d workDoneRec
+			if rec.Decode(&d) != nil {
+				continue
+			}
+			if pb, ok := batches[d.ID]; ok {
+				pb.done = true
+			}
+		}
+	}
+	return order, batches, truncated, nil
+}
+
+// unfinished filters a replay plan down to the batches that still need work,
+// in admission order.
+func unfinished(order []string, batches map[string]*pendingBatch) []*pendingBatch {
+	var out []*pendingBatch
+	for _, id := range order {
+		if pb := batches[id]; pb != nil && !pb.done {
+			out = append(out, pb)
+		}
+	}
+	return out
+}
+
+// deriveBatchID computes the deterministic ID of a batch request that names
+// none: a content hash over the spec digest, options and every trace. The
+// same batch retried against a successor lands on the same journal key and
+// report file, which is what makes client retries idempotent.
+func deriveBatchID(digest string, req *batchRequest, lim reqLimits) string {
+	h := sha256.New()
+	put := func(s string) {
+		var n [8]byte
+		v := uint64(len(s))
+		for i := range n {
+			n[i] = byte(v >> (8 * i))
+		}
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	put(digest)
+	put(req.Order)
+	for _, s := range req.DisabledIPs {
+		put("disable:" + s)
+	}
+	for _, s := range req.UnobservedIPs {
+		put("unobserved:" + s)
+	}
+	put(strconv.FormatBool(req.Hash) + "/" + strconv.FormatBool(req.Memo))
+	put(strconv.FormatInt(lim.Budget, 10) + "/" + strconv.FormatInt(lim.Deadline.Milliseconds(), 10))
+	for _, t := range req.Traces {
+		put(t.Name)
+		put(t.Trace)
+		put(t.Expect)
+	}
+	return fmt.Sprintf("b-%x", h.Sum(nil))[:34]
+}
+
+// compactWork rewrites the journal with only the unfinished batches' records,
+// dropping everything a finished batch ever appended. Called once per boot,
+// before recovery starts appending: journal growth is bounded by the work
+// actually outstanding, not by daemon uptime. Returns an open journal
+// positioned for appends.
+func compactWork(path string, order []string, batches map[string]*pendingBatch) (*checkpoint.Journal, error) {
+	j, err := checkpoint.CreateJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, pb := range unfinished(order, batches) {
+		if err := j.Append(KindWorkBatch, pb.rec); err != nil {
+			_ = j.Close()
+			return nil, err
+		}
+		idxs := make([]int, 0, len(pb.rows))
+		for i := range pb.rows {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			data, err := json.Marshal(pb.rows[i])
+			if err != nil {
+				continue
+			}
+			if err := j.Append(KindWorkRow, workRowRec{ID: pb.rec.ID, Index: i, RowJSON: data}); err != nil {
+				_ = j.Close()
+				return nil, err
+			}
+		}
+	}
+	return j, nil
+}

@@ -3,101 +3,328 @@ package serve
 import (
 	"context"
 	"errors"
-	"sync/atomic"
+	"sync"
+	"time"
 )
 
-// Admission errors. Handlers map ErrSaturated to 429 (+ Retry-After) and
-// ErrDraining to 503: the load-shedding half of the degradation ladder.
+// Admission errors. Handlers map ErrSaturated and ErrThrottled to 429
+// (+ Retry-After) and ErrDraining to 503: the load-shedding half of the
+// degradation ladder.
 var (
-	// ErrSaturated: the wait queue is full — the server is past its
-	// configured backlog and sheds the request immediately rather than
-	// queueing it into a timeout.
+	// ErrSaturated: the tenant's (or the server's) wait queue is full — the
+	// server is past its configured backlog and sheds the request
+	// immediately rather than queueing it into a timeout.
 	ErrSaturated = errors.New("serve: saturated: queue full")
+	// ErrThrottled: the tenant's token bucket is empty — it is submitting
+	// faster than its configured sustained rate.
+	ErrThrottled = errors.New("serve: tenant rate limit exceeded")
 	// ErrDraining: the server is shutting down and accepts no new work.
 	ErrDraining = errors.New("serve: draining")
 )
 
-// pool is the admission-controlled worker pool: at most `workers` analyses
-// run at once, at most `depth` further requests wait for a slot, and anything
-// beyond that is shed synchronously with ErrSaturated. It deliberately has no
-// job queue of its own — the waiting HTTP handler goroutine *is* the queue
-// entry, so cancellation, deadlines and backpressure all ride the request
-// context: a client that hangs up while queued releases its queue slot
-// immediately instead of occupying a worker later.
-type pool struct {
-	slots chan struct{} // capacity = workers; holding a token = running
-	queue chan struct{} // capacity = workers+depth; holding a token = admitted
-	drain atomic.Bool
+// tenantState is one tenant's live admission state, all guarded by the
+// fairPool mutex. The FIFO entries are the waiting handler goroutines
+// themselves (see fairPool), so cancellation rides the request context.
+type tenantState struct {
+	name     string
+	pol      TenantPolicy
+	bucket   tokenBucket
+	fifo     []*waiter
+	inflight int
+	deficit  int
+	active   bool // member of the round-robin ring
+
+	// Shed accounting, read by the /metrics gauges under the pool mutex.
+	shedSaturated int64
+	shedThrottled int64
+	admitted      int64
 }
 
-func newPool(workers, depth int) *pool {
-	return &pool{
-		slots: make(chan struct{}, workers),
-		queue: make(chan struct{}, workers+depth),
+// waiter is one parked admission request. grant is closed exactly once, with
+// err set first, by the dispatcher (slot granted or drain rejection) — or
+// never, when the waiter gives up first and removes itself.
+type waiter struct {
+	tenant  *tenantState
+	grant   chan struct{}
+	granted bool // slot transferred; the waiter (or its canceller) must release
+	err     error
+}
+
+// fairPool is the admission-controlled worker pool with per-tenant fairness:
+// at most `workers` analyses run at once; each tenant's waiting requests park
+// in the tenant's own FIFO and free worker slots are granted by deficit
+// round-robin over the backlogged tenants, weighted by TenantPolicy.Weight
+// and capped by TenantPolicy.MaxInflight. Admission itself is gated by the
+// tenant's token bucket (rate/burst) and queue bound, so one hot tenant sheds
+// against its own limits instead of starving the rest.
+//
+// Like its single-queue predecessor it has no job queue of its own — the
+// waiting HTTP handler goroutine *is* the queue entry, so cancellation,
+// deadlines and backpressure all ride the request context: a client that
+// hangs up while queued releases its queue slot immediately instead of
+// occupying a worker later.
+type fairPool struct {
+	mu       sync.Mutex
+	workers  int
+	depth    int // global waiting bound beyond the running ones
+	free     int
+	waiting  int
+	draining bool
+
+	tenants map[string]*tenantState
+	ring    []*tenantState // backlogged tenants, round-robin order
+	rr      int            // next ring index to serve
+
+	now func() time.Time // test seam for the token buckets
+}
+
+func newFairPool(workers, depth int, cfg TenantConfig) *fairPool {
+	p := &fairPool{
+		workers: workers,
+		depth:   depth,
+		free:    workers,
+		tenants: make(map[string]*tenantState),
+		now:     time.Now,
 	}
+	// Configured tenants exist from the start so their gauges report even
+	// before the first request; the default tenant always exists.
+	for name, pol := range cfg {
+		p.addTenantLocked(name, pol)
+	}
+	if _, ok := p.tenants[DefaultTenant]; !ok {
+		p.addTenantLocked(DefaultTenant, TenantPolicy{})
+	}
+	return p
 }
 
-// acquire admits one request. It returns ErrDraining when the server is
-// shutting down, ErrSaturated when the backlog is full, the context error
-// when the caller gave up while queued, and nil once a worker slot is held
-// (the caller must release()).
-func (p *pool) acquire(ctx context.Context) error {
-	if p.drain.Load() {
+func (p *fairPool) addTenantLocked(name string, pol TenantPolicy) *tenantState {
+	pol = pol.withDefaults(p.workers, p.depth)
+	t := &tenantState{name: name, pol: pol, bucket: newTokenBucket(pol.Rate, pol.Burst)}
+	p.tenants[name] = t
+	return t
+}
+
+// tenantLocked resolves a request's tenant header to its state. Unknown
+// names share the default tenant (bucket, queue and metrics) — see
+// DefaultTenant.
+func (p *fairPool) tenantLocked(name string) *tenantState {
+	if t, ok := p.tenants[name]; ok {
+		return t
+	}
+	return p.tenants[DefaultTenant]
+}
+
+// canonical resolves a tenant header value to the tenant it is accounted to
+// ("default" for names the config does not know) — the bounded label used in
+// metric names and release calls.
+func (p *fairPool) canonical(name string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tenantLocked(name).name
+}
+
+// acquire admits one request for a tenant. It returns ErrDraining when the
+// server is shutting down, ErrThrottled when the tenant's token bucket is
+// empty, ErrSaturated when the tenant's or the server's backlog is full, the
+// context error when the caller gave up while queued, and nil once a worker
+// slot is held (the caller must release(tenant)).
+func (p *fairPool) acquire(ctx context.Context, tenant string) error {
+	p.mu.Lock()
+	if p.draining {
+		p.mu.Unlock()
 		return ErrDraining
 	}
-	select {
-	case p.queue <- struct{}{}:
-	default:
+	t := p.tenantLocked(tenant)
+	if !t.bucket.take(p.now()) {
+		t.shedThrottled++
+		p.mu.Unlock()
+		return ErrThrottled
+	}
+	if len(t.fifo) >= t.pol.MaxQueue || p.waiting >= p.depth {
+		t.shedSaturated++
+		p.mu.Unlock()
 		return ErrSaturated
 	}
-	// Admitted: wait (bounded by the caller's context) for a worker slot.
+	w := &waiter{tenant: t, grant: make(chan struct{})}
+	t.fifo = append(t.fifo, w)
+	p.waiting++
+	if !t.active {
+		t.active = true
+		p.ring = append(p.ring, t)
+	}
+	p.dispatchLocked()
+	p.mu.Unlock()
+
 	select {
-	case p.slots <- struct{}{}:
+	case <-w.grant:
+		if w.err != nil {
+			return w.err
+		}
+		return nil
 	case <-ctx.Done():
-		<-p.queue
+		p.mu.Lock()
+		select {
+		case <-w.grant:
+			// The grant raced the cancellation. If a slot was transferred we
+			// hold it now and must give it back; a drain rejection needs no
+			// cleanup.
+			if w.granted && w.err == nil {
+				p.releaseLocked(t)
+			}
+		default:
+			// Still parked: withdraw from the tenant FIFO.
+			for i, q := range t.fifo {
+				if q == w {
+					t.fifo = append(t.fifo[:i], t.fifo[i+1:]...)
+					p.waiting--
+					break
+				}
+			}
+		}
+		p.mu.Unlock()
 		return ctx.Err()
 	}
-	if p.drain.Load() {
-		// beginDrain raced in between the flag check and the slot grab; give
-		// the slot back so the drain's slot sweep terminates.
-		<-p.slots
-		<-p.queue
-		return ErrDraining
-	}
-	return nil
 }
 
 // release returns a worker slot after the analysis finished.
-func (p *pool) release() {
-	<-p.slots
-	<-p.queue
+func (p *fairPool) release(tenant string) {
+	p.mu.Lock()
+	p.releaseLocked(p.tenantLocked(tenant))
+	p.mu.Unlock()
+}
+
+func (p *fairPool) releaseLocked(t *tenantState) {
+	t.inflight--
+	p.free++
+	p.dispatchLocked()
+}
+
+// dispatchLocked grants free worker slots to parked waiters by deficit
+// round-robin: each backlogged tenant in ring order earns `weight` credits
+// per visit and spends one per granted slot, bounded by its max-inflight.
+// With unit cost per request this is weighted round-robin — the classic DRR
+// quantum machinery degenerates to it, which keeps the hot path trivial.
+func (p *fairPool) dispatchLocked() {
+	for p.free > 0 && len(p.ring) > 0 {
+		granted := false
+		for visits := len(p.ring); visits > 0 && p.free > 0 && len(p.ring) > 0; visits-- {
+			if p.rr >= len(p.ring) {
+				p.rr = 0
+			}
+			t := p.ring[p.rr]
+			t.deficit += t.pol.Weight
+			for t.deficit > 0 && len(t.fifo) > 0 && t.inflight < t.pol.MaxInflight && p.free > 0 {
+				w := t.fifo[0]
+				t.fifo = t.fifo[1:]
+				p.waiting--
+				w.granted = true
+				t.inflight++
+				t.admitted++
+				p.free--
+				t.deficit--
+				granted = true
+				close(w.grant)
+			}
+			if len(t.fifo) == 0 {
+				// Emptied (or idle): leave the ring and forfeit credit, so a
+				// tenant cannot bank weight while it has nothing queued.
+				t.deficit = 0
+				t.active = false
+				p.ring = append(p.ring[:p.rr], p.ring[p.rr+1:]...)
+				continue // rr now points at the next tenant
+			}
+			if t.inflight >= t.pol.MaxInflight {
+				t.deficit = 0 // blocked on its own cap; no banked credit
+			}
+			p.rr++
+		}
+		if !granted {
+			return // every backlogged tenant is at its inflight cap
+		}
+	}
+}
+
+// beginDrain stops admission: new acquires fail fast with ErrDraining and
+// every parked waiter is rejected with it; requests already holding a slot
+// finish normally.
+func (p *fairPool) beginDrain() {
+	p.mu.Lock()
+	p.draining = true
+	for _, t := range p.ring {
+		for _, w := range t.fifo {
+			w.err = ErrDraining
+			close(w.grant)
+		}
+		p.waiting -= len(t.fifo)
+		t.fifo = nil
+		t.deficit = 0
+		t.active = false
+	}
+	p.ring = nil
+	p.mu.Unlock()
+}
+
+// awaitIdle blocks until every in-flight analysis has released its slot (or
+// ctx expires). Call after beginDrain.
+func (p *fairPool) awaitIdle(ctx context.Context) error {
+	for {
+		p.mu.Lock()
+		idle := p.free == p.workers
+		p.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
 }
 
 // inflight is the number of analyses running; queued the number of admitted
 // requests waiting for a worker. Both are instantaneous gauges.
-func (p *pool) inflight() int { return len(p.slots) }
-func (p *pool) queued() int {
-	q := len(p.queue) - len(p.slots)
-	if q < 0 {
-		q = 0
-	}
-	return q
+func (p *fairPool) inflight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.workers - p.free
 }
 
-// beginDrain stops admission. New acquires fail fast with ErrDraining;
-// requests already holding a slot finish normally.
-func (p *pool) beginDrain() { p.drain.Store(true) }
+func (p *fairPool) queued() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.waiting
+}
 
-// awaitIdle blocks until every in-flight analysis has released its slot (or
-// ctx expires). It works by taking every worker slot itself, which is safe
-// because beginDrain has stopped new acquires.
-func (p *pool) awaitIdle(ctx context.Context) error {
-	for i := 0; i < cap(p.slots); i++ {
-		select {
-		case p.slots <- struct{}{}:
-		case <-ctx.Done():
-			return ctx.Err()
+// tenantLoad is one tenant's instantaneous load snapshot for /metrics.
+type tenantLoad struct {
+	Name          string
+	Inflight      int
+	Queued        int
+	Admitted      int64
+	ShedSaturated int64
+	ShedThrottled int64
+}
+
+// loads snapshots every tenant's load, sorted by name.
+func (p *fairPool) loads() []tenantLoad {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]tenantLoad, 0, len(p.tenants))
+	for _, t := range p.tenants {
+		out = append(out, tenantLoad{
+			Name: t.name, Inflight: t.inflight, Queued: len(t.fifo),
+			Admitted: t.admitted, ShedSaturated: t.shedSaturated, ShedThrottled: t.shedThrottled,
+		})
+	}
+	sortTenantLoads(out)
+	return out
+}
+
+func sortTenantLoads(ls []tenantLoad) {
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j].Name < ls[j-1].Name; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
 		}
 	}
-	return nil
 }

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/specs"
+)
+
+// getJSON fetches one URL and decodes the JSON answer.
+func getJSON(t testing.TB, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("%s: not JSON: %v", url, err)
+	}
+	return resp.StatusCode, m
+}
+
+// TestProbesAcrossBootPhases walks the phase machine by hand and checks the
+// liveness/readiness split: /healthz/live answers 200 in every phase (the
+// process is alive), /healthz/ready answers 503 with a machine-readable
+// reason until the boot walk ends, and analysis endpoints are gated the same
+// way as readiness.
+func TestProbesAcrossBootPhases(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+
+	// Born ready (no store).
+	if code, m := getJSON(t, ts.URL+"/healthz/ready"); code != http.StatusOK || m["status"] != "ready" {
+		t.Fatalf("ready probe at boot: %d %v", code, m)
+	}
+	if code, m := getJSON(t, ts.URL+"/healthz/live"); code != http.StatusOK || m["status"] != "alive" {
+		t.Fatalf("live probe at boot: %d %v", code, m)
+	}
+
+	for _, tc := range []struct {
+		phase  int32
+		reason string
+	}{
+		{phaseWarming, "re-warming spec store"},
+		{phaseReplaying, "replaying work journal"},
+	} {
+		s.phase.Store(tc.phase)
+		code, m := getJSON(t, ts.URL+"/healthz/ready")
+		if code != http.StatusServiceUnavailable || m["status"] != "booting" || m["reason"] != tc.reason {
+			t.Fatalf("phase %d ready probe: %d %v", tc.phase, code, m)
+		}
+		if code, m := getJSON(t, ts.URL+"/healthz/live"); code != http.StatusOK || m["status"] != "alive" {
+			t.Fatalf("phase %d live probe: %d %v", tc.phase, code, m)
+		}
+		code, m = getJSON(t, ts.URL+"/healthz")
+		if code != http.StatusServiceUnavailable || m["status"] != "booting" || m["reason"] != tc.reason {
+			t.Fatalf("phase %d healthz: %d %v", tc.phase, code, m)
+		}
+		// Work is refused with the same reason while booting.
+		valid, _ := echoTraces(t)
+		code, m, hdr := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"spec": specs.Echo, "trace": valid})
+		if code != http.StatusServiceUnavailable || m["code"] != CodeNotReady {
+			t.Fatalf("phase %d analyze: %d %v, want 503/not_ready", tc.phase, code, m)
+		}
+		if hdr.Get("Retry-After") == "" {
+			t.Fatalf("phase %d analyze: no Retry-After on 503", tc.phase)
+		}
+	}
+	s.phase.Store(phaseReady)
+	if code, m := getJSON(t, ts.URL+"/healthz/ready"); code != http.StatusOK || m["status"] != "ready" {
+		t.Fatalf("ready probe after boot: %d %v", code, m)
+	}
+
+	// Draining flips readiness off again; liveness stays up.
+	s.BeginDrain()
+	if code, m := getJSON(t, ts.URL+"/healthz/ready"); code != http.StatusServiceUnavailable || m["status"] != "draining" {
+		t.Fatalf("ready probe while draining: %d %v", code, m)
+	}
+	if code, m := getJSON(t, ts.URL+"/healthz/live"); code != http.StatusOK || m["status"] != "alive" {
+		t.Fatalf("live probe while draining: %d %v", code, m)
+	}
+}
+
+// TestRetryAfterJitterBounds is the regression test for the deterministic
+// Retry-After jitter: every value lands in [base, 2*base] whole seconds, the
+// same request always gets the same hint, and different peers get different
+// hints (the fleet desynchronization property).
+func TestRetryAfterJitterBounds(t *testing.T) {
+	mkReq := func(tenant, path, addr string) *http.Request {
+		r := httptest.NewRequest(http.MethodPost, path, nil)
+		r.RemoteAddr = addr
+		if tenant != "" {
+			r.Header.Set(TenantHeader, tenant)
+		}
+		return r
+	}
+	base := 3 * time.Second
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		addr := "10.0.0." + string(rune('0'+i%10)) + ":1234"
+		r := mkReq("tenant-a", "/v1/analyze", addr)
+		got := retryAfterSeconds(base, r)
+		if got < 3 || got > 6 {
+			t.Fatalf("retryAfterSeconds(%s) = %d, want within [3, 6]", addr, got)
+		}
+		if again := retryAfterSeconds(base, r); again != got {
+			t.Fatalf("jitter not deterministic: %d then %d", got, again)
+		}
+		seen[got] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("no spread across peers: every request got %v", seen)
+	}
+	// Tenant identity perturbs the hint too (not only the peer address).
+	a := retryAfterSeconds(base, mkReq("tenant-a", "/v1/analyze", "10.0.0.1:1"))
+	var diverged bool
+	for i := 0; i < 16 && !diverged; i++ {
+		b := retryAfterSeconds(base, mkReq("tenant-b-"+string(rune('a'+i)), "/v1/analyze", "10.0.0.1:1"))
+		diverged = b != a
+	}
+	if !diverged {
+		t.Fatal("tenant identity never changed the hint")
+	}
+
+	// Degenerate bases stay sane: nil request and sub-second bases.
+	if got := retryAfterSeconds(base, nil); got != 3 {
+		t.Fatalf("nil request: %d, want the un-jittered base", got)
+	}
+	if got := retryAfterSeconds(0, mkReq("", "/", "1.2.3.4:5")); got < 1 || got > 2 {
+		t.Fatalf("zero base: %d, want within [1, 2]", got)
+	}
+}

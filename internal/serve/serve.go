@@ -8,10 +8,11 @@
 //   - an LRU compiled-spec cache with singleflight compilation, so N
 //     concurrent requests for one spec cost one compile (and a cached compile
 //     *error* costs zero);
-//   - admission control: at most Workers analyses run, at most QueueDepth
-//     requests wait, everything beyond is shed synchronously with 429 +
-//     Retry-After — the queue entry is the waiting handler goroutine itself,
-//     so a hung-up client frees its backlog slot immediately;
+//   - admission control with per-tenant fairness: at most Workers analyses
+//     run; each tenant gets its own token bucket (rate/burst), queue bound
+//     and inflight cap, and free slots are granted by weighted deficit
+//     round-robin — one hot tenant sheds 429s against its own limits instead
+//     of starving the rest;
 //   - graceful degradation: every request runs under a deadline and a
 //     transition budget clamped by server policy, and an overloaded server
 //     shrinks both so expensive requests return deterministic partial
@@ -22,13 +23,20 @@
 //     without taking the daemon down, the panic is attributed to its spec,
 //     and a spec that keeps killing workers trips a circuit breaker and is
 //     quarantined (503) — the internal/supervise recipe applied to serving;
+//   - crash-only durability: with a Store configured, uploaded specs persist
+//     as CRC-framed fsynced snapshots and every accepted /v1/batch is
+//     journaled; a restarted daemon re-warms its spec cache from disk,
+//     replays the work journal, and finishes what its predecessor started —
+//     byte-identical to an uninterrupted run (see journal.go);
 //   - graceful drain: BeginDrain stops admission, running requests finish,
 //     /healthz flips to 503 so load balancers stop routing here.
 //
 // Endpoints: POST /v1/specs (upload+compile), POST /v1/analyze (single
 // trace), POST /v1/batch (many traces), POST /v1/stream (on-line analysis of
-// a streamed trace with incremental verdicts), GET /healthz, GET /metrics.
-// All JSON responses carry the "tango.serve/1" schema and the build version.
+// a streamed trace with incremental verdicts), GET /v1/batches/{id} (stored
+// batch reports), GET /healthz (+ /healthz/live, /healthz/ready), GET
+// /metrics. All JSON responses carry the "tango.serve/1" schema and the
+// build version.
 package serve
 
 import (
@@ -71,8 +79,9 @@ type Options struct {
 	// StreamStallTimeout bounds how long /v1/stream waits for a silent
 	// client before answering with a partial verdict (default 30s).
 	StreamStallTimeout time.Duration
-	// RetryAfter is the Retry-After hint on 429/503 responses (default 1s,
-	// rounded up to whole seconds on the wire).
+	// RetryAfter is the base Retry-After hint on 429/503 responses (default
+	// 1s). The wire value is jittered deterministically per request into
+	// [base, 2*base] whole seconds so shed clients don't retry in lockstep.
 	RetryAfter time.Duration
 	// Metrics receives serving metrics (serve.* counters and gauges); nil
 	// allocates a private registry. /metrics snapshots it either way.
@@ -83,6 +92,17 @@ type Options struct {
 	// HeartbeatEvery emits a periodic one-line load heartbeat to Log while
 	// the server runs (0 disables).
 	HeartbeatEvery time.Duration
+
+	// Store, when non-nil, is the daemon's durable state directory: uploaded
+	// specs persist across restarts, accepted batches are journaled, and a
+	// new daemon generation re-warms and replays from it before admitting
+	// traffic (crash-only serving). Nil serves purely from memory.
+	Store *Store
+	// Tenants is the per-tenant admission policy table (see TenantPolicy).
+	// Requests carry their tenant in the X-Tango-Tenant header; absent or
+	// unknown tenants share the "default" entry. Nil means one unthrottled
+	// default tenant — the pre-multitenancy behavior.
+	Tenants TenantConfig
 
 	// EnablePprof mounts net/http/pprof's profiling endpoints under
 	// /debug/pprof/ on the daemon's own mux. Off by default: the profiler
@@ -131,16 +151,29 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Boot phases. A storeless server is born ready; a store-backed one walks
+// warming (re-compiling persisted specs) → replaying (finishing journaled
+// batches) → ready, and /healthz/ready answers 503 until the walk ends.
+const (
+	phaseWarming int32 = iota
+	phaseReplaying
+	phaseReady
+)
+
 // Server is the serving daemon: pool + cache + handlers. Create with New,
 // mount Handler on an http.Server, and call BeginDrain/AwaitIdle on
 // shutdown.
 type Server struct {
 	opts  Options
-	pool  *pool
+	pool  *fairPool
 	cache *specCache
 	reg   *obs.Registry
+	store *Store
+	wj    *workJournal
 
 	started  time.Time
+	phase    atomic.Int32
+	ready    chan struct{} // closed when phase reaches phaseReady
 	draining atomic.Bool
 	stopBeat chan struct{}
 	beatOnce sync.Once
@@ -149,7 +182,7 @@ type Server struct {
 		requests    *obs.Counter // every request that reached a handler
 		completed   *obs.Counter // analyses that ran to a verdict
 		shed        *obs.Counter // 429s
-		rejected    *obs.Counter // 503s (draining, quarantined)
+		rejected    *obs.Counter // 503s (draining, quarantined, not ready)
 		badRequests *obs.Counter // 422s
 		degraded    *obs.Counter // requests run under degraded limits
 		panics      *obs.Counter // contained analysis panics
@@ -169,15 +202,20 @@ var (
 	queueWaitBoundsUS = []int64{100, 1_000, 10_000, 100_000, 1_000_000}
 )
 
-// New builds a Server. It does not listen; mount Handler().
+// New builds a Server. It does not listen; mount Handler(). With a Store
+// configured the server boots not-ready and becomes ready once persisted
+// specs are re-warmed and the work journal is replayed (AwaitReady).
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:     opts,
-		pool:     newPool(opts.Workers, opts.QueueDepth),
+		pool:     newFairPool(opts.Workers, opts.QueueDepth, opts.Tenants),
 		cache:    newSpecCache(opts.SpecCacheSize),
 		reg:      opts.Metrics,
+		store:    opts.Store,
+		wj:       &workJournal{},
 		started:  time.Now(),
+		ready:    make(chan struct{}),
 		stopBeat: make(chan struct{}),
 	}
 	s.m.requests = s.reg.Counter("serve.requests")
@@ -196,7 +234,71 @@ func New(opts Options) *Server {
 	if opts.HeartbeatEvery > 0 {
 		go s.heartbeatLoop(opts.HeartbeatEvery)
 	}
+	if s.store == nil {
+		s.phase.Store(phaseReady)
+		close(s.ready)
+	} else {
+		go s.warmAndRecover()
+	}
 	return s
+}
+
+// warmAndRecover is the store-backed boot walk: re-warm the spec cache from
+// disk, replay and compact the work journal, finish unfinished batches, then
+// flip ready. Crash-only: every failure is logged and skipped — a corrupt
+// spec file or torn journal tail can delay readiness, never prevent it.
+func (s *Server) warmAndRecover() {
+	defer func() {
+		s.phase.Store(phaseReady)
+		close(s.ready)
+		fmt.Fprintf(s.opts.Log, "serve: store %s ready (%d specs warm)\n", s.store.Dir(), s.cache.len())
+	}()
+
+	specs, errs := s.store.LoadSpecs()
+	for _, err := range errs {
+		s.storeError("warm", err)
+	}
+	for _, sp := range specs {
+		entry, _ := s.cache.get(sp.Name, sp.Source)
+		if _, err := s.cache.wait(context.Background(), entry); err != nil {
+			fmt.Fprintf(s.opts.Log, "serve: warm: spec %s no longer compiles: %v\n", entry.digest, err)
+		}
+	}
+
+	s.phase.Store(phaseReplaying)
+	order, batches, truncated, err := replayWork(s.store.JournalPath())
+	if err != nil {
+		s.storeError("journal replay", err)
+		order, batches = nil, map[string]*pendingBatch{}
+	}
+	if truncated {
+		fmt.Fprintf(s.opts.Log, "serve: recover: journal had a torn tail (crash mid-append); repaired\n")
+	}
+	j, err := compactWork(s.store.JournalPath(), order, batches)
+	if err != nil {
+		// Serve without a journal rather than not at all: batches run, they
+		// just can't hand off to the next generation.
+		s.storeError("journal compact", err)
+	} else {
+		s.wj.reset(j)
+	}
+	for _, pb := range unfinished(order, batches) {
+		s.recoverBatch(pb)
+	}
+}
+
+// Ready reports whether the server is past its boot walk and admitting.
+func (s *Server) Ready() bool { return s.phase.Load() == phaseReady }
+
+// AwaitReady blocks until the server is ready to admit traffic (or ctx
+// ends). Storeless servers are ready immediately.
+func (s *Server) AwaitReady(ctx context.Context) error {
+	select {
+	case <-s.ready:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Handler returns the daemon's routes.
@@ -206,7 +308,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/batches/{id}", s.handleBatchReport)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /healthz/live", s.handleLive)
+	mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.opts.EnablePprof {
 		// Mounted explicitly instead of importing net/http/pprof for its
@@ -232,10 +337,12 @@ func (s *Server) BeginDrain() {
 
 // AwaitIdle blocks until every in-flight analysis finished or ctx expired.
 // Call after BeginDrain; together with http.Server.Shutdown this is the
-// graceful half of SIGTERM handling.
+// graceful half of SIGTERM handling. The work journal is closed once idle —
+// anything still unfinished in it is the successor's to replay.
 func (s *Server) AwaitIdle(ctx context.Context) error {
 	err := s.pool.awaitIdle(ctx)
 	s.beatOnce.Do(func() { close(s.stopBeat) })
+	s.wj.close()
 	if err != nil {
 		fmt.Fprintf(s.opts.Log, "serve: drain: gave up waiting for in-flight analyses: %v\n", err)
 		return err
@@ -266,9 +373,14 @@ func (s *Server) heartbeatLoop(every time.Duration) {
 	}
 }
 
-// gauges refreshes the load gauges; called on request entry/exit so the
-// /metrics snapshot tracks the live pool.
+// gauges refreshes the load gauges — global and per tenant — on request
+// entry/exit so the /metrics snapshot tracks the live pool.
 func (s *Server) gauges() {
 	s.m.inflight.Set(int64(s.pool.inflight()))
 	s.m.queued.Set(int64(s.pool.queued()))
+	for _, tl := range s.pool.loads() {
+		mt := metricTenant(tl.Name)
+		s.reg.Gauge("serve.tenant." + mt + ".inflight").Set(int64(tl.Inflight))
+		s.reg.Gauge("serve.tenant." + mt + ".queued").Set(int64(tl.Queued))
+	}
 }

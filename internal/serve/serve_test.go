@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -215,8 +216,9 @@ func TestSaturationSheds429(t *testing.T) {
 			if m["code"] != CodeSaturated {
 				t.Fatalf("code %v, want %v", m["code"], CodeSaturated)
 			}
-			if ra := hdr.Get("Retry-After"); ra != "2" {
-				t.Fatalf("Retry-After %q, want 2", ra)
+			// The hint is jittered deterministically into [base, 2*base].
+			if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 2 || ra > 4 {
+				t.Fatalf("Retry-After %q, want 2..4", hdr.Get("Retry-After"))
 			}
 			break
 		}
@@ -451,10 +453,14 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Fatalf("metrics snapshot lacks %s: %v", k, snap)
 		}
 	}
-	// Per-tenant counter for the echo spec.
+	// Per-spec counter for the echo spec.
 	short := strings.TrimPrefix(SpecDigest(specs.Echo), "sha256:")[:12]
-	if _, ok := snap["serve.tenant."+short+".requests"]; !ok {
-		t.Fatalf("metrics snapshot lacks per-tenant counter: %v", snap)
+	if _, ok := snap["serve.spec."+short+".requests"]; !ok {
+		t.Fatalf("metrics snapshot lacks per-spec counter: %v", snap)
+	}
+	// Per-tenant admission accounting (default tenant).
+	if _, ok := snap["serve.tenant.default.admitted"]; !ok {
+		t.Fatalf("metrics snapshot lacks per-tenant admission counter: %v", snap)
 	}
 }
 

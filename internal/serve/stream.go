@@ -80,20 +80,19 @@ func ndjson(w http.ResponseWriter, ev streamEvent) {
 // on-line reader's own die-gracefully contract.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Inc()
-	if s.draining.Load() {
-		s.fail(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+	if !s.gate(w, r) {
 		return
 	}
 	q := r.URL.Query()
 	digest := q.Get("spec_digest")
 	if digest == "" {
-		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest,
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadRequest,
 			"stream requests name their spec by ?spec_digest= (upload via POST /v1/specs)")
 		return
 	}
 	order, err := parseOrder(q.Get("order"))
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
 		return
 	}
 	wantBudget, _ := strconv.ParseInt(q.Get("budget"), 10, 64)
@@ -103,10 +102,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if !s.admit(w, r) {
+	tenant, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
-	defer func() { s.pool.release(); s.gauges() }()
+	defer func() { s.pool.release(tenant); s.gauges() }()
 	s.m.streams.Inc()
 
 	lim := s.opts.Limits.resolve(time.Duration(wantDeadlineMS)*time.Millisecond, wantBudget, s.pool.queued())
@@ -134,7 +134,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	an, err := analysis.New(spec, aopts)
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadRequest, err.Error())
 		return
 	}
 
@@ -142,7 +142,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// request body while streaming verdict lines out. Without this the server
 	// closes the unread body at the first response write.
 	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, CodeBadRequest,
+		s.fail(w, r, http.StatusUnprocessableEntity, CodeBadRequest,
 			"stream transport does not support full-duplex: "+err.Error())
 		return
 	}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// DefaultTenant is the tenant every request without an X-Tango-Tenant header
+// — and every request naming a tenant the config does not know — is accounted
+// to. Unknown names deliberately share the default tenant's bucket and queue:
+// a flood that invents a fresh tenant name per request must not mint itself a
+// fresh quota per request.
+const DefaultTenant = "default"
+
+// TenantHeader names the request header carrying the tenant identity.
+const TenantHeader = "X-Tango-Tenant"
+
+// TenantPolicy is one tenant's admission contract: how fast it may submit
+// (token bucket), how much of the pool it may hold (max inflight), how much
+// backlog it may park (max queue), and its weight in the deficit-round-robin
+// draining of the queues.
+type TenantPolicy struct {
+	// Rate is the sustained admission rate in requests/second (token-bucket
+	// refill). 0 means unthrottled.
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the bucket capacity (default: ceil(Rate), at least 1). Only
+	// meaningful with Rate > 0.
+	Burst int `json:"burst,omitempty"`
+	// MaxInflight bounds this tenant's concurrently running analyses
+	// (default: the server's worker count — one tenant may use the whole
+	// pool when nobody else wants it; fairness kicks in under contention).
+	MaxInflight int `json:"max_inflight,omitempty"`
+	// MaxQueue bounds this tenant's waiting requests (default: the server's
+	// queue depth). Past it the tenant sheds 429 without touching others.
+	MaxQueue int `json:"max_queue,omitempty"`
+	// Weight is the tenant's share in the deficit-round-robin drain
+	// (default 1): a weight-3 tenant is granted up to three slots per
+	// scheduling round for every one a weight-1 tenant gets.
+	Weight int `json:"weight,omitempty"`
+}
+
+// withDefaults fills a policy's unset fields from the pool geometry.
+func (p TenantPolicy) withDefaults(workers, queueDepth int) TenantPolicy {
+	if p.MaxInflight <= 0 || p.MaxInflight > workers {
+		p.MaxInflight = workers
+	}
+	if p.MaxQueue <= 0 {
+		p.MaxQueue = queueDepth
+	}
+	if p.Weight <= 0 {
+		p.Weight = 1
+	}
+	if p.Rate > 0 && p.Burst <= 0 {
+		p.Burst = int(p.Rate + 0.999)
+		if p.Burst < 1 {
+			p.Burst = 1
+		}
+	}
+	return p
+}
+
+// TenantConfig maps tenant names to policies. The "default" entry (created
+// unthrottled when absent) doubles as the policy of unknown tenants.
+type TenantConfig map[string]TenantPolicy
+
+// LoadTenantConfig reads a `tango serve -tenants` JSON file:
+//
+//	{
+//	  "default": {"rate": 20, "burst": 40, "max_inflight": 2, "weight": 1},
+//	  "gold":    {"max_inflight": 8, "weight": 4}
+//	}
+func LoadTenantConfig(path string) (TenantConfig, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg TenantConfig
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("tenants config %s: %w", path, err)
+	}
+	for name, p := range cfg {
+		if name == "" {
+			return nil, fmt.Errorf("tenants config %s: empty tenant name", path)
+		}
+		if p.Rate < 0 || p.Burst < 0 || p.MaxInflight < 0 || p.MaxQueue < 0 || p.Weight < 0 {
+			return nil, fmt.Errorf("tenants config %s: tenant %q has a negative bound", path, name)
+		}
+	}
+	return cfg, nil
+}
+
+// Names returns the configured tenant names, sorted, for logs and gauges.
+func (c TenantConfig) Names() []string {
+	names := make([]string, 0, len(c))
+	for n := range c {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// tokenBucket is a standard lazily-refilled token bucket. All accesses happen
+// under the fairPool mutex.
+type tokenBucket struct {
+	rate   float64 // tokens per second; <= 0 disables throttling
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) tokenBucket {
+	return tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// take consumes one token at time now, refilling first. Unlimited buckets
+// (rate <= 0) always grant.
+func (b *tokenBucket) take(now time.Time) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// metricTenant sanitizes a tenant name for use inside a metric name: anything
+// outside [a-zA-Z0-9_-] becomes '_', so hostile tenant strings cannot mint
+// malformed metric series.
+func metricTenant(name string) string {
+	var sb strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			sb.WriteRune(r)
+		default:
+			sb.WriteRune('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return DefaultTenant
+	}
+	return sb.String()
+}

@@ -1,0 +1,371 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/specs"
+)
+
+// postJSONTenant is postJSON with an X-Tango-Tenant header.
+func postJSONTenant(t testing.TB, url, tenant string, body any) (int, map[string]any, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(mustJSON(t, body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("status %d: not JSON: %v\n%s", resp.StatusCode, err, raw)
+	}
+	return resp.StatusCode, m, resp.Header
+}
+
+func TestLoadTenantConfig(t *testing.T) {
+	write := func(s string) string {
+		t.Helper()
+		path := t.TempDir() + "/tenants.json"
+		if err := os.WriteFile(path, []byte(s), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cfg, err := LoadTenantConfig(write(`{
+		"default": {"rate": 20, "burst": 40, "max_inflight": 2, "weight": 1},
+		"gold":    {"max_inflight": 8, "weight": 4}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg["gold"].Weight != 4 || cfg["default"].Rate != 20 {
+		t.Fatalf("parsed config wrong: %+v", cfg)
+	}
+	if names := cfg.Names(); len(names) != 2 || names[0] != "default" || names[1] != "gold" {
+		t.Fatalf("Names() = %v", names)
+	}
+	for _, bad := range []string{
+		`{"gold": {"rate": -1}}`,        // negative bound
+		`{"": {"rate": 1}}`,             // empty tenant name
+		`{"gold": {"color": "yellow"}}`, // unknown field
+		`{"gold": {"rate": 1}`,          // malformed JSON
+	} {
+		if _, err := LoadTenantConfig(write(bad)); err == nil {
+			t.Errorf("config %q accepted", bad)
+		}
+	}
+}
+
+func TestTenantPolicyDefaults(t *testing.T) {
+	p := TenantPolicy{}.withDefaults(4, 16)
+	if p.MaxInflight != 4 || p.MaxQueue != 16 || p.Weight != 1 {
+		t.Fatalf("zero policy defaults: %+v", p)
+	}
+	p = TenantPolicy{MaxInflight: 99, Rate: 2.5}.withDefaults(4, 16)
+	if p.MaxInflight != 4 {
+		t.Fatalf("MaxInflight not clamped to workers: %+v", p)
+	}
+	if p.Burst != 3 {
+		t.Fatalf("Burst not derived as ceil(rate): %+v", p)
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	b := newTokenBucket(2, 2)
+	now := time.Unix(1000, 0)
+	if !b.take(now) || !b.take(now) {
+		t.Fatal("burst capacity not granted")
+	}
+	if b.take(now) {
+		t.Fatal("empty bucket granted")
+	}
+	// Half a second refills one token at 2/s.
+	now = now.Add(500 * time.Millisecond)
+	if !b.take(now) {
+		t.Fatal("refill not credited")
+	}
+	if b.take(now) {
+		t.Fatal("over-refilled")
+	}
+	// Refill is capped at burst, not unbounded.
+	now = now.Add(time.Hour)
+	if !b.take(now) || !b.take(now) || b.take(now) {
+		t.Fatal("refill cap broken")
+	}
+	// Unlimited bucket always grants.
+	u := newTokenBucket(0, 0)
+	for i := 0; i < 100; i++ {
+		if !u.take(now) {
+			t.Fatal("unlimited bucket denied")
+		}
+	}
+}
+
+func TestMetricTenant(t *testing.T) {
+	cases := map[string]string{
+		"gold":           "gold",
+		"Team-7_a":       "Team-7_a",
+		"é/../vil name!": "_____vil_name_",
+		"":               "default",
+	}
+	for in, want := range cases {
+		if got := metricTenant(in); got != want {
+			t.Errorf("metricTenant(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestDRRWeightedShares freezes the pool (all slots held), backs up two
+// tenants, then frees four slots in one atomic step so a single dispatch
+// round distributes them: the weight-3 tenant must get 3, the weight-1
+// tenant 1 — regardless of ring order.
+func TestDRRWeightedShares(t *testing.T) {
+	testDRRShares(t, TenantConfig{
+		"gold":   {Weight: 3},
+		"bronze": {Weight: 1},
+	}, 3, 1)
+}
+
+// TestDRRInflightCapBeatsWeight: the same setup, but gold's max-inflight cap
+// of 2 bites before its weight does, and the leftover slots flow to bronze —
+// a capped tenant cannot bank credit to starve others later.
+func TestDRRInflightCapBeatsWeight(t *testing.T) {
+	testDRRShares(t, TenantConfig{
+		"gold":   {Weight: 3, MaxInflight: 2},
+		"bronze": {Weight: 1},
+	}, 2, 2)
+}
+
+func testDRRShares(t *testing.T, cfg TenantConfig, wantGold, wantBronze int64) {
+	t.Helper()
+	p := newFairPool(4, 100, cfg)
+
+	// Hold every worker slot via the default tenant.
+	for i := 0; i < 4; i++ {
+		if err := p.acquire(context.Background(), DefaultTenant); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Park 9 waiters per contending tenant.
+	waitCtx, cancelWait := context.WithCancel(context.Background())
+	defer cancelWait()
+	finish := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, name := range []string{"gold", "bronze"} {
+		for i := 0; i < 9; i++ {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				if err := p.acquire(waitCtx, name); err == nil {
+					<-finish
+					p.release(name)
+				}
+			}(name)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.queued() != 18 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never parked: queued=%d", p.queued())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Free all four slots atomically so one dispatch round sees free=4.
+	p.mu.Lock()
+	p.tenants[DefaultTenant].inflight -= 4
+	p.free += 4
+	p.dispatchLocked()
+	p.mu.Unlock()
+
+	var gold, bronze tenantLoad
+	for time.Now().Before(deadline) {
+		for _, tl := range p.loads() {
+			switch tl.Name {
+			case "gold":
+				gold = tl
+			case "bronze":
+				bronze = tl
+			}
+		}
+		if gold.Admitted+bronze.Admitted == 4 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if gold.Admitted != wantGold || bronze.Admitted != wantBronze {
+		t.Fatalf("DRR shares gold=%d bronze=%d, want %d/%d", gold.Admitted, bronze.Admitted, wantGold, wantBronze)
+	}
+	if p.queued() != 14 {
+		t.Fatalf("queued = %d, want 14", p.queued())
+	}
+	cancelWait()  // parked waiters withdraw
+	close(finish) // granted waiters release
+	wg.Wait()
+}
+
+// TestTenantThrottled429 checks the token-bucket half of admission over HTTP:
+// a burst-1 tenant's second request is shed with 429/throttled, while the
+// default tenant is untouched.
+func TestTenantThrottled429(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Tenants: TenantConfig{"slow": {Rate: 0.001, Burst: 1}},
+	})
+	valid, _ := echoTraces(t)
+	req := map[string]any{"spec": specs.Echo, "trace": valid}
+
+	code, m, _ := postJSONTenant(t, ts.URL+"/v1/analyze", "slow", req)
+	if code != http.StatusOK {
+		t.Fatalf("first request: %d %v", code, m)
+	}
+	code, m, hdr := postJSONTenant(t, ts.URL+"/v1/analyze", "slow", req)
+	if code != http.StatusTooManyRequests || m["code"] != CodeThrottled {
+		t.Fatalf("second request: %d %v, want 429/throttled", code, m)
+	}
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("throttled response carries no Retry-After: %q", hdr.Get("Retry-After"))
+	}
+	// Other tenants are unaffected by slow's empty bucket.
+	code, m, _ = postJSON(t, ts.URL+"/v1/analyze", req)
+	if code != http.StatusOK {
+		t.Fatalf("default tenant after slow throttle: %d %v", code, m)
+	}
+}
+
+// TestUnknownTenantSharesDefaultBucket: a flood that invents a fresh tenant
+// name per request must not mint itself fresh quota — unknown names drain the
+// default tenant's bucket.
+func TestUnknownTenantSharesDefaultBucket(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Tenants: TenantConfig{"default": {Rate: 0.001, Burst: 2}},
+	})
+	valid, _ := echoTraces(t)
+	req := map[string]any{"spec": specs.Echo, "trace": valid}
+	codes := make(map[int]int)
+	for i := 0; i < 4; i++ {
+		code, _, _ := postJSONTenant(t, ts.URL+"/v1/analyze", "invented-"+strconv.Itoa(i), req)
+		codes[code]++
+	}
+	if codes[http.StatusOK] != 2 || codes[http.StatusTooManyRequests] != 2 {
+		t.Fatalf("codes %v, want 2x200 + 2x429 (shared default bucket)", codes)
+	}
+	// And the invented names minted no metric series of their own.
+	snap := map[string]any{}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for k := range snap {
+		if strings.HasPrefix(k, "serve.tenant.invented") {
+			t.Fatalf("unbounded tenant metric series minted: %s", k)
+		}
+	}
+}
+
+// TestTenantFloodNoStarvation is the fairness soak: a hostile tenant floods
+// the pool far past its queue bound while the default tenant submits steadily.
+// The invariant is starvation-freedom — every default-tenant request completes
+// (never shed), while the flood is bounded by its own limits and sheds 429s.
+// TANGO_FLOOD_SECONDS stretches the soak (CI runs 30); the default keeps it
+// test-suite fast.
+func TestTenantFloodNoStarvation(t *testing.T) {
+	duration := 800 * time.Millisecond
+	if s := os.Getenv("TANGO_FLOOD_SECONDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			duration = time.Duration(n) * time.Second
+		}
+	}
+	srv, ts := newTestServer(t, Options{
+		Workers:    2,
+		QueueDepth: 16,
+		Tenants:    TenantConfig{"flood": {MaxQueue: 2}},
+		FaultHook:  func(string) { time.Sleep(2 * time.Millisecond) },
+	})
+	valid, _ := echoTraces(t)
+	req := map[string]any{"spec": specs.Echo, "trace": valid}
+	// Pre-compile so the flood measures admission, not the first compile.
+	if code, m, _ := postJSON(t, ts.URL+"/v1/analyze", req); code != http.StatusOK {
+		t.Fatalf("warmup: %d %v", code, m)
+	}
+
+	var floodOK, floodShed, defaultOK, defaultBad atomic.Int64
+	stop := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				switch code, _, _ := postJSONTenant(t, ts.URL+"/v1/analyze", "flood", req); code {
+				case http.StatusOK:
+					floodOK.Add(1)
+				case http.StatusTooManyRequests:
+					floodShed.Add(1)
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				if code, _, _ := postJSON(t, ts.URL+"/v1/analyze", req); code == http.StatusOK {
+					defaultOK.Add(1)
+				} else {
+					defaultBad.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	t.Logf("flood: %d ok, %d shed; default: %d ok, %d failed (over %s)",
+		floodOK.Load(), floodShed.Load(), defaultOK.Load(), defaultBad.Load(), duration)
+	if defaultBad.Load() != 0 {
+		t.Fatalf("default tenant was shed %d times during the flood (starved)", defaultBad.Load())
+	}
+	if defaultOK.Load() < 5 {
+		t.Fatalf("default tenant completed only %d requests", defaultOK.Load())
+	}
+	if floodShed.Load() == 0 {
+		t.Fatal("flood was never shed — queue bound not enforced")
+	}
+	// Fair share: with equal weights the steady default submitter must see a
+	// throughput within a small factor of the flood's, not a leftover trickle.
+	if defaultOK.Load()*4 < floodOK.Load() {
+		t.Fatalf("default got %d completions vs flood's %d — not a fair share",
+			defaultOK.Load(), floodOK.Load())
+	}
+	if got := srv.reg.Counter("serve.tenant.flood.shed_429").Value(); got == 0 {
+		t.Fatal("per-tenant shed counter never moved")
+	}
+}
