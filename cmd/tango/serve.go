@@ -60,6 +60,9 @@ func runServe(args []string, w, ew io.Writer) error {
 		if store, err = serve.OpenStore(*storeDir); err != nil {
 			return fmt.Errorf("serve: open store: %w", err)
 		}
+		// Release the store lock only on the way out, after the drain: the
+		// successor generation may open the store the moment we let go.
+		defer store.Close()
 	}
 	var tenants serve.TenantConfig
 	if *tenantsCfg != "" {

@@ -117,10 +117,24 @@ func readRecord(b []byte) (rec Record, rest []byte, err error) {
 // ---------------------------------------------------------------------------
 // Snapshot files (exactly one record, atomic replace)
 
+// SyncDir fsyncs a directory, making a just-created or just-renamed entry in
+// it durable. File-level Sync alone is not enough on journaling filesystems:
+// the data can be on disk while the directory entry pointing at it is not,
+// and a crash then loses the "durable" file. Callers pair this with every
+// rename-into-place or create that a durability claim rests on.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
 // WriteSnapshot atomically writes a one-record checkpoint file: the frame is
-// written to a temp file in the same directory, fsynced, and renamed over
-// path, so a concurrent crash leaves either the previous snapshot or the new
-// one — never a torn file.
+// written to a temp file in the same directory, fsynced, renamed over path,
+// and the directory is fsynced, so a concurrent crash leaves either the
+// previous snapshot or the new one — never a torn file, never a lost rename.
 func WriteSnapshot(path, kind string, payload any) error {
 	frame, err := encodeRecord(kind, payload)
 	if err != nil {
@@ -148,7 +162,10 @@ func WriteSnapshot(path, kind string, payload any) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return SyncDir(dir)
 }
 
 // ReadSnapshot reads a one-record checkpoint written by WriteSnapshot,
@@ -199,8 +216,9 @@ type Journal struct {
 	path string
 }
 
-// CreateJournal creates (or truncates) a journal at path and writes the
-// version header.
+// CreateJournal creates (or truncates) a journal at path, writes the version
+// header, and fsyncs the containing directory so the file itself survives a
+// crash right after creation.
 func CreateJournal(path string) (*Journal, error) {
 	f, err := os.Create(path)
 	if err != nil {
@@ -211,6 +229,10 @@ func CreateJournal(path string) (*Journal, error) {
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := SyncDir(filepath.Dir(path)); err != nil {
 		f.Close()
 		return nil, err
 	}

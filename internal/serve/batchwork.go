@@ -18,15 +18,20 @@ import (
 // finished by a previous daemon generation (prior, keyed by index) verbatim —
 // the exactly-once half of the handoff contract: a row that made it into the
 // journal is never analyzed again. onRow observes each *newly computed* row
-// (the journaling hook); prior rows were journaled by whoever computed them.
+// with a flag marking a breaker stop (the journaling hook); prior rows were
+// journaled by whoever computed them. stopAt, when >= 0, is a journaled
+// breaker stop from the interrupted run: recovery replays up to and including
+// that row and stops there, reproducing the early stop instead of analyzing
+// the tail with a fresh panic counter (which would yield a longer report than
+// the uninterrupted daemon's). Pass -1 for live batches.
 //
 // The row semantics are identical for live and recovered batches on purpose:
 // bad traces become ClassBadTrace rows, a contained panic reports its row and
 // continues on a fresh session, and a breaker trip mid-batch stops feeding
 // the quarantined spec. The only error return is a failed session rebuild.
 func (s *Server) runBatchRows(ctx context.Context, entry *specEntry, spec *efsm.Spec,
-	aopts analysis.Options, traces []batchTrace, prior map[int]obs.BatchItem,
-	onRow func(int, obs.BatchItem)) ([]obs.BatchItem, error) {
+	aopts analysis.Options, traces []batchTrace, prior map[int]obs.BatchItem, stopAt int,
+	onRow func(i int, row obs.BatchItem, stopped bool)) ([]obs.BatchItem, error) {
 
 	var hook func(batch.Item)
 	if s.opts.FaultHook != nil {
@@ -40,6 +45,9 @@ func (s *Server) runBatchRows(ctx context.Context, entry *specEntry, spec *efsm.
 	for i, bt := range traces {
 		if row, done := prior[i]; done {
 			items = append(items, row)
+			if i == stopAt {
+				break // the interrupted run stopped here; so do we
+			}
 			continue
 		}
 		name := bt.Name
@@ -73,9 +81,9 @@ func (s *Server) runBatchRows(ctx context.Context, entry *specEntry, spec *efsm.
 		}
 		items = append(items, row)
 		if onRow != nil {
-			onRow(i, row)
+			onRow(i, row, stop)
 		}
-		if stop {
+		if stop || i == stopAt {
 			break
 		}
 	}
@@ -212,12 +220,17 @@ func (s *Server) recoverBatch(pb *pendingBatch) {
 	aopts := analysisOptions(order, rec.DisabledIPs, rec.UnobservedIPs,
 		false, rec.Hash, rec.Memo, lim, s.opts.Limits.MaxHeapCells)
 
-	onRow := func(i int, row obs.BatchItem) {
+	onRow := func(i int, row obs.BatchItem, stopped bool) {
 		if err := s.wj.appendRow(rec.ID, i, row); err != nil {
 			s.storeError("journal row "+rec.ID, err)
 		}
+		if stopped {
+			if err := s.wj.append(KindWorkStop, workStopRec{ID: rec.ID, Index: i}); err != nil {
+				s.storeError("journal stop "+rec.ID, err)
+			}
+		}
 	}
-	items, err := s.runBatchRows(ctx, entry, spec, aopts, rec.Traces, pb.rows, onRow)
+	items, err := s.runBatchRows(ctx, entry, spec, aopts, rec.Traces, pb.rows, pb.stopAt, onRow)
 	if err != nil {
 		abandon("session", err)
 		return

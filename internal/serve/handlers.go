@@ -592,11 +592,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// generation instead of losing it. Journal faults degrade durability,
 	// never availability.
 	var batchID string
-	var onRow func(int, obs.BatchItem)
+	var onRow func(i int, row obs.BatchItem, stopped bool)
 	if s.store != nil {
 		batchID = req.BatchID
 		if batchID == "" {
-			batchID = deriveBatchID(entry.digest, &req, lim)
+			batchID = deriveBatchID(entry.digest, &req)
 		}
 		if data, rerr := s.store.GetReport(batchID); rerr == nil {
 			// Idempotent retry: this batch already ran to completion (possibly
@@ -616,16 +616,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if jerr := s.wj.append(KindWorkBatch, rec); jerr != nil {
 			s.storeError("journal batch "+batchID, jerr)
 		} else {
-			onRow = func(i int, row obs.BatchItem) {
+			onRow = func(i int, row obs.BatchItem, stopped bool) {
 				if jerr := s.wj.appendRow(batchID, i, row); jerr != nil {
 					s.storeError("journal row "+batchID, jerr)
+				}
+				if stopped {
+					// Journal the breaker stop so a successor recovering this
+					// batch reproduces the early stop (see workStopRec).
+					if jerr := s.wj.append(KindWorkStop, workStopRec{ID: batchID, Index: i}); jerr != nil {
+						s.storeError("journal stop "+batchID, jerr)
+					}
 				}
 			}
 		}
 	}
 
 	start := time.Now()
-	items, err := s.runBatchRows(ctx, entry, spec, aopts, req.Traces, nil, onRow)
+	items, err := s.runBatchRows(ctx, entry, spec, aopts, req.Traces, nil, -1, onRow)
 	if err != nil {
 		s.fail(w, r, http.StatusInternalServerError, CodePanic, err.Error())
 		return

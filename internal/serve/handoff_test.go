@@ -71,6 +71,9 @@ func TestJournalReplayAndCompact(t *testing.T) {
 	must(KindWorkDone, workDoneRec{ID: "b1"})
 	must(KindWorkBatch, workBatchRec{ID: "b2", Tenant: "imposter"}) // duplicate admission: first wins
 	must(KindWorkRow, workRowRec{ID: "ghost", Index: 0})            // row for an unknown batch: dropped
+	must(KindWorkStop, workStopRec{ID: "b2", Index: 0})             // breaker stop after row 0
+	must(KindWorkStop, workStopRec{ID: "b2", Index: 1})             // duplicate stop: first wins
+	must(KindWorkStop, workStopRec{ID: "ghost", Index: 0})          // stop for an unknown batch: dropped
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -95,12 +98,20 @@ func TestJournalReplayAndCompact(t *testing.T) {
 	if got := batches["b2"].rows[0].Trace; got != "first" {
 		t.Fatalf("duplicate row won: %q", got)
 	}
+	if batches["b1"].stopAt != -1 || batches["b2"].stopAt != 0 {
+		t.Fatalf("stopAt: b1=%d b2=%d, want -1 and 0", batches["b1"].stopAt, batches["b2"].stopAt)
+	}
 	pending := unfinished(order, batches)
 	if len(pending) != 1 || pending[0].rec.ID != "b2" {
 		t.Fatalf("unfinished %v", pending)
 	}
 
 	// Compaction drops the finished batch entirely and survives a re-replay.
+	// A stale temp file from a compaction SIGKILL'd before its rename must not
+	// get in the way — and the live journal it left behind stays replayable.
+	if err := os.WriteFile(path+".compacting", []byte("garbage from a dead compaction"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	j2, err := compactWork(path, order, batches)
 	if err != nil {
 		t.Fatal(err)
@@ -118,6 +129,9 @@ func TestJournalReplayAndCompact(t *testing.T) {
 	if len(order) != 1 || order[0] != "b2" || len(batches["b2"].rows) != 1 {
 		t.Fatalf("after compact: order %v rows %v", order, batches["b2"].rows)
 	}
+	if batches["b2"].stopAt != 0 {
+		t.Fatalf("breaker stop lost in compaction: stopAt=%d, want 0", batches["b2"].stopAt)
+	}
 
 	// A missing journal is an empty plan, not an error.
 	order, batches, truncated, err = replayWork(path + ".does-not-exist")
@@ -127,10 +141,10 @@ func TestJournalReplayAndCompact(t *testing.T) {
 }
 
 func TestDeriveBatchIDDeterministic(t *testing.T) {
-	req := &batchRequest{Order: "FULL", Traces: []batchTrace{{Name: "a", Trace: "x"}, {Trace: "y"}}}
-	lim := reqLimits{Budget: 100, Deadline: 5000 * 1e6}
-	id1 := deriveBatchID("sha256:abc", req, lim)
-	id2 := deriveBatchID("sha256:abc", req, lim)
+	req := &batchRequest{Order: "FULL", Budget: 100, DeadlineMS: 5000,
+		Traces: []batchTrace{{Name: "a", Trace: "x"}, {Trace: "y"}}}
+	id1 := deriveBatchID("sha256:abc", req)
+	id2 := deriveBatchID("sha256:abc", req)
 	if id1 != id2 {
 		t.Fatalf("same request, different ids: %s vs %s", id1, id2)
 	}
@@ -139,12 +153,21 @@ func TestDeriveBatchIDDeterministic(t *testing.T) {
 	}
 	other := *req
 	other.Traces = []batchTrace{{Name: "a", Trace: "x"}, {Trace: "z"}}
-	if deriveBatchID("sha256:abc", &other, lim) == id1 {
+	if deriveBatchID("sha256:abc", &other) == id1 {
 		t.Fatal("different traces, same id")
 	}
-	if deriveBatchID("sha256:other", req, lim) == id1 {
+	if deriveBatchID("sha256:other", req) == id1 {
 		t.Fatal("different spec, same id")
 	}
+	// A different *requested* budget is a different logical batch...
+	asked := *req
+	asked.Budget = 200
+	if deriveBatchID("sha256:abc", &asked) == id1 {
+		t.Fatal("different requested budget, same id")
+	}
+	// ...but the ID is a pure function of the request: resolved limits (which
+	// shift with instantaneous load via the degradation clamp) never factor
+	// in, so a blind retry under different load hits the same stored report.
 }
 
 // TestHandoffByteIdenticalReport is the handoff acceptance test in-process: a
@@ -260,6 +283,102 @@ func TestHandoffByteIdenticalReport(t *testing.T) {
 	}
 }
 
+// TestHandoffReproducesBreakerStop: when the panic breaker trips mid-batch,
+// the uninterrupted daemon stops early (fewer rows, last row quarantined) —
+// and journals that stop. A successor recovering the batch must reproduce the
+// early stop instead of analyzing the remaining traces with a fresh panic
+// counter, or the recovered report would be longer than the uninterrupted one
+// and the byte-identical handoff contract would break.
+func TestHandoffReproducesBreakerStop(t *testing.T) {
+	valid, _ := echoTraces(t)
+	poison := SpecDigest(specs.TP0)
+	wire := []map[string]any{
+		{"name": "t0", "trace": valid},
+		{"name": "t1", "trace": valid},
+		{"name": "t2", "trace": valid},
+	}
+	traces := []batchTrace{{Name: "t0", Trace: valid}, {Name: "t1", Trace: valid}, {Name: "t2", Trace: valid}}
+
+	// Reference: every analysis of the poisoned spec panics, the breaker trips
+	// on the first one, and the batch stops after a single quarantined row.
+	stRef, _ := OpenStore(t.TempDir())
+	sRef, tsRef := newTestServer(t, Options{Store: stRef, BreakerPanics: 1,
+		FaultHook: func(digest string) {
+			if digest == poison {
+				panic("injected: poisoned spec")
+			}
+		}})
+	if err := sRef.AwaitReady(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	code, m, _ := postJSON(t, tsRef.URL+"/v1/batch", map[string]any{
+		"spec": specs.TP0, "batch_id": "breaker-case", "budget": 10000, "deadline_ms": 5000,
+		"traces": wire,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("reference batch: %d %v", code, m)
+	}
+	code, refBytes := getBody(t, tsRef.URL+"/v1/batches/breaker-case")
+	if code != http.StatusOK {
+		t.Fatalf("reference report: %d %s", code, refBytes)
+	}
+	var ref batchResponse
+	if err := json.Unmarshal(refBytes, &ref); err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Items) != 1 || !ref.Items[0].Quarantined {
+		t.Fatalf("reference run did not stop on the breaker: %d items, quarantined=%v",
+			len(ref.Items), len(ref.Items) > 0 && ref.Items[0].Quarantined)
+	}
+
+	// Crash scene: the predecessor journaled the admission, the quarantined
+	// row, and the breaker stop, then died mid-append.
+	stC, _ := OpenStore(t.TempDir())
+	if err := stC.PutSpec("tp0", specs.TP0); err != nil {
+		t.Fatal(err)
+	}
+	j, err := checkpoint.CreateJournal(stC.JournalPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := workBatchRec{
+		ID: "breaker-case", Tenant: "default", SpecDigest: ref.SpecDigest,
+		Budget: ref.Budget, DeadlineMS: ref.DeadlineMS, Degraded: ref.Degraded,
+		Traces: traces,
+	}
+	if err := j.Append(KindWorkBatch, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(KindWorkRow, workRowRec{ID: rec.ID, Index: 0, RowJSON: mustJSON(t, ref.Items[0])}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(KindWorkStop, workStopRec{ID: rec.ID, Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tornTail(t, stC.JournalPath())
+
+	// Successor: no fault hook, fresh panic counters — if it ignored the stop
+	// record it would happily analyze t1 and t2 and diverge.
+	sC, tsC := newTestServer(t, Options{Store: stC})
+	if err := sC.AwaitReady(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sC.reg.Counter("serve.recovered_batches").Value(); got != 1 {
+		t.Fatalf("recovered_batches = %d, want 1", got)
+	}
+	code, recBytes := getBody(t, tsC.URL+"/v1/batches/breaker-case")
+	if code != http.StatusOK {
+		t.Fatalf("recovered report: %d %s", code, recBytes)
+	}
+	if !bytes.Equal(refBytes, recBytes) {
+		t.Fatalf("breaker-stopped handoff diverged from the uninterrupted run:\n--- reference ---\n%s\n--- recovered ---\n%s",
+			refBytes, recBytes)
+	}
+}
+
 func mustJSON(t testing.TB, v any) []byte {
 	t.Helper()
 	b, err := json.Marshal(v)
@@ -350,7 +469,11 @@ func TestRestartLoopChaos(t *testing.T) {
 		}
 		ts.Close()
 		// Crash, not drain: the journal handle is abandoned mid-life and the
-		// next generation finds a torn tail.
+		// next generation finds a torn tail. The store lock alone is released
+		// (the kernel drops flocks with the process; Close stands in for that).
 		tornTail(t, st.JournalPath())
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -66,6 +68,17 @@ type workDoneRec struct {
 	ID string
 }
 
+// workStopRec records that a batch stopped early at Index because its spec's
+// panic breaker tripped mid-batch. Without it, a successor recovering the
+// batch would start with a fresh panic counter, analyze the remaining traces,
+// and produce a longer report than the uninterrupted daemon — breaking the
+// byte-identical handoff contract. With it, recovery reproduces the early
+// stop exactly.
+type workStopRec struct {
+	ID    string
+	Index int
+}
+
 // workJournal serializes appends to the store's work journal. Appends from
 // concurrent batches interleave freely — replay groups records by batch ID.
 type workJournal struct {
@@ -109,11 +122,13 @@ func (w *workJournal) close() {
 }
 
 // pendingBatch is one journaled batch reconstructed by replay: its admission
-// record plus every row already finished (keyed by index).
+// record plus every row already finished (keyed by index). stopAt is the
+// index of a journaled breaker stop, -1 if the batch never stopped early.
 type pendingBatch struct {
-	rec  workBatchRec
-	rows map[int]obs.BatchItem
-	done bool
+	rec    workBatchRec
+	rows   map[int]obs.BatchItem
+	stopAt int
+	done   bool
 }
 
 // replayWork reads the work journal back into per-batch state, in admission
@@ -139,7 +154,7 @@ func replayWork(path string) (order []string, batches map[string]*pendingBatch, 
 			if _, ok := batches[b.ID]; ok {
 				continue // duplicate admission (replayed journal): first wins
 			}
-			batches[b.ID] = &pendingBatch{rec: b, rows: make(map[int]obs.BatchItem)}
+			batches[b.ID] = &pendingBatch{rec: b, rows: make(map[int]obs.BatchItem), stopAt: -1}
 			order = append(order, b.ID)
 		case KindWorkRow:
 			var r workRowRec
@@ -154,6 +169,14 @@ func replayWork(path string) (order []string, batches map[string]*pendingBatch, 
 				if _, dup := pb.rows[r.Index]; !dup {
 					pb.rows[r.Index] = row
 				}
+			}
+		case KindWorkStop:
+			var st workStopRec
+			if rec.Decode(&st) != nil {
+				continue
+			}
+			if pb, ok := batches[st.ID]; ok && pb.stopAt < 0 {
+				pb.stopAt = st.Index
 			}
 		case KindWorkDone:
 			var d workDoneRec
@@ -181,10 +204,16 @@ func unfinished(order []string, batches map[string]*pendingBatch) []*pendingBatc
 }
 
 // deriveBatchID computes the deterministic ID of a batch request that names
-// none: a content hash over the spec digest, options and every trace. The
-// same batch retried against a successor lands on the same journal key and
-// report file, which is what makes client retries idempotent.
-func deriveBatchID(digest string, req *batchRequest, lim reqLimits) string {
+// none: a content hash over the spec digest, options and every trace. Only
+// client-supplied fields go into the hash — the *requested* budget/deadline,
+// never the resolved limits, which depend on instantaneous load (the
+// degradation clamp) and would give a blind retry of the identical request a
+// different ID under different load, re-running the batch instead of
+// answering from the stored report. The same batch retried against a
+// successor lands on the same journal key and report file, which is what
+// makes client retries idempotent; the admitted limits are captured in the
+// workBatchRec instead.
+func deriveBatchID(digest string, req *batchRequest) string {
 	h := sha256.New()
 	put := func(s string) {
 		var n [8]byte
@@ -204,7 +233,7 @@ func deriveBatchID(digest string, req *batchRequest, lim reqLimits) string {
 		put("unobserved:" + s)
 	}
 	put(strconv.FormatBool(req.Hash) + "/" + strconv.FormatBool(req.Memo))
-	put(strconv.FormatInt(lim.Budget, 10) + "/" + strconv.FormatInt(lim.Deadline.Milliseconds(), 10))
+	put(strconv.FormatInt(req.Budget, 10) + "/" + strconv.FormatInt(req.DeadlineMS, 10))
 	for _, t := range req.Traces {
 		put(t.Name)
 		put(t.Trace)
@@ -218,15 +247,26 @@ func deriveBatchID(digest string, req *batchRequest, lim reqLimits) string {
 // before recovery starts appending: journal growth is bounded by the work
 // actually outstanding, not by daemon uptime. Returns an open journal
 // positioned for appends.
+//
+// The compacted journal is built in a temp file beside the live one and
+// renamed into place (then the directory is fsynced) only once every record
+// is durable — the live journal is never truncated in place, so a SIGKILL at
+// any instant of the compaction leaves either the old journal or the new one
+// intact, never a window where the unfinished batches exist nowhere.
 func compactWork(path string, order []string, batches map[string]*pendingBatch) (*checkpoint.Journal, error) {
-	j, err := checkpoint.CreateJournal(path)
+	tmpPath := path + ".compacting"
+	j, err := checkpoint.CreateJournal(tmpPath)
 	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*checkpoint.Journal, error) {
+		_ = j.Close()
+		_ = os.Remove(tmpPath)
 		return nil, err
 	}
 	for _, pb := range unfinished(order, batches) {
 		if err := j.Append(KindWorkBatch, pb.rec); err != nil {
-			_ = j.Close()
-			return nil, err
+			return fail(err)
 		}
 		idxs := make([]int, 0, len(pb.rows))
 		for i := range pb.rows {
@@ -239,10 +279,26 @@ func compactWork(path string, order []string, batches map[string]*pendingBatch) 
 				continue
 			}
 			if err := j.Append(KindWorkRow, workRowRec{ID: pb.rec.ID, Index: i, RowJSON: data}); err != nil {
-				_ = j.Close()
-				return nil, err
+				return fail(err)
+			}
+		}
+		if pb.stopAt >= 0 {
+			if err := j.Append(KindWorkStop, workStopRec{ID: pb.rec.ID, Index: pb.stopAt}); err != nil {
+				return fail(err)
 			}
 		}
 	}
-	return j, nil
+	if err := j.Close(); err != nil {
+		_ = os.Remove(tmpPath)
+		return nil, err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		_ = os.Remove(tmpPath)
+		return nil, err
+	}
+	if err := checkpoint.SyncDir(filepath.Dir(path)); err != nil {
+		return nil, err
+	}
+	jj, _, err := checkpoint.OpenJournalAppend(path)
+	return jj, err
 }

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package serve
+
+import "os"
+
+// lockStoreDir on platforms without flock keeps the lock file open as a
+// marker but enforces nothing — single-daemon-per-store discipline is the
+// operator's job there. All deployment targets are unix.
+func lockStoreDir(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+}

@@ -1,0 +1,39 @@
+//go:build unix
+
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStoreLockExcludesSecondDaemon: two live daemons on one store would
+// corrupt the work journal (one boot-compacting while the other appends), so
+// the second open must fail fast — and succeed again once the holder lets go,
+// which is what the kernel does automatically when a daemon is SIGKILL'd.
+func TestStoreLockExcludesSecondDaemon(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir); err == nil {
+		t.Fatal("second OpenStore on a locked store succeeded")
+	} else if !strings.Contains(err.Error(), "locked by another daemon") {
+		t.Fatalf("second OpenStore: %v, want a locked-store error", err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore after the holder released: %v", err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent.
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

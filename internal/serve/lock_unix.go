@@ -1,0 +1,29 @@
+//go:build unix
+
+package serve
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockStoreDir takes a non-blocking exclusive flock on the store's lock file.
+// flock follows the open file description: it survives fork/exec of children
+// holding the fd, and the kernel releases it when the last descriptor closes
+// — including the implicit close of a SIGKILL'd process — so a crashed daemon
+// never wedges its store, and no stale-pid heuristics are needed.
+func lockStoreDir(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK {
+			return nil, fmt.Errorf("store: %s is locked by another daemon (two generations must not share a live store)", path)
+		}
+		return nil, fmt.Errorf("store: lock %s: %w", path, err)
+	}
+	return f, nil
+}

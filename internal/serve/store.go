@@ -13,11 +13,13 @@ import (
 
 // The serve-owned record kinds inside tango.ckpt/1 containers. Spec files
 // hold exactly one KindSpecSource snapshot; the work journal interleaves
-// KindWorkBatch / KindWorkRow / KindWorkDone records (see journal.go).
+// KindWorkBatch / KindWorkRow / KindWorkStop / KindWorkDone records (see
+// journal.go).
 const (
 	KindSpecSource = "spec-source"
 	KindWorkBatch  = "work-batch"
 	KindWorkRow    = "work-row"
+	KindWorkStop   = "work-stop"
 	KindWorkDone   = "work-done"
 )
 
@@ -43,7 +45,8 @@ type specPayload struct {
 //	<dir>/reports/<batch-id>.json   normalized batch reports
 //	<dir>/work.ckpt                 the batch work journal
 type Store struct {
-	dir string
+	dir  string
+	lock *os.File // exclusive advisory lock on <dir>/.lock, held open for life
 
 	// fault, when non-nil, runs before every write with the operation name
 	// ("put-spec", "report", ...); returning an error simulates that write
@@ -51,14 +54,36 @@ type Store struct {
 	fault func(op string) error
 }
 
-// OpenStore opens (creating as needed) a store directory.
+// OpenStore opens (creating as needed) a store directory and takes an
+// exclusive advisory lock on it. Two daemons on one store would be ruinous —
+// one generation's boot compaction rewriting work.ckpt while the other
+// appends to it corrupts the journal and double-runs or loses batches — so a
+// second open fails fast instead. The lock is advisory and kernel-released:
+// a SIGKILL'd holder frees it the instant the process dies, which is exactly
+// the crash-only handoff moment.
 func OpenStore(dir string) (*Store, error) {
 	for _, sub := range []string{"", "specs", "reports"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, err
 		}
 	}
-	return &Store{dir: dir}, nil
+	lock, err := lockStoreDir(filepath.Join(dir, ".lock"))
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, lock: lock}, nil
+}
+
+// Close releases the store lock, handing the directory to the next
+// generation. The daemon calls it after its final drain; a crashed daemon
+// never does — the kernel drops the lock with the process.
+func (st *Store) Close() error {
+	if st.lock == nil {
+		return nil
+	}
+	err := st.lock.Close()
+	st.lock = nil
+	return err
 }
 
 // Dir returns the store's root directory.
@@ -186,7 +211,12 @@ func (st *Store) PutReport(id string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// The rename alone is not durable: fsync the reports directory so a crash
+	// right after "report persisted" cannot un-persist it.
+	return checkpoint.SyncDir(filepath.Dir(path))
 }
 
 // GetReport loads a finished batch's report, or os.ErrNotExist.

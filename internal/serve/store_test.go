@@ -119,6 +119,11 @@ func TestSpecsSurviveRestart(t *testing.T) {
 	}
 	digest := m["spec_digest"].(string)
 	ts1.Close()
+	// The dead generation's store lock is kernel-released with the process;
+	// in-process, Close stands in for that.
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	// Next generation, same store, nothing uploaded.
 	st2, _ := OpenStore(dir)
