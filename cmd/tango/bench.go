@@ -19,8 +19,12 @@ import (
 
 // benchConfigs are the analyzer configurations `tango bench` compares. The
 // baseline re-enables the eager deep-copy snapshots the search core used
-// before the copy-on-write heap; the other two measure the overhaul's layers
-// separately so the trajectory shows where each improvement comes from.
+// before the copy-on-write heap; "cow" and "cow+memo" measure the overhaul's
+// layers separately so the trajectory shows where each improvement comes
+// from; the par-jN axis scales the work-stealing parallel search over the
+// same COW core (par-j1 is the sequential anchor for that axis — speedup on
+// a row is par-j1 ns/op over par-jN ns/op, and tracks available cores, not
+// N). Every configuration must reproduce the same verdict on every workload.
 var benchConfigs = []struct {
 	name string
 	opts analysis.Options
@@ -28,6 +32,10 @@ var benchConfigs = []struct {
 	{"eager", analysis.Options{EagerSnapshots: true}},
 	{"cow", analysis.Options{}},
 	{"cow+memo", analysis.Options{Memo: true}},
+	{"par-j1", analysis.Options{Parallelism: 1}},
+	{"par-j2", analysis.Options{Parallelism: 2}},
+	{"par-j4", analysis.Options{Parallelism: 4}},
+	{"par-j8", analysis.Options{Parallelism: 8}},
 }
 
 // benchWorkload is one benchmarked scenario: a spec, a trace, and the verdict

@@ -314,6 +314,7 @@ func splitList(s string) []string {
 
 func runAnalyze(args []string, w, ew io.Writer) error {
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	jobs := fs.Int("j", 1, "work-stealing search workers exploring one trace (1 = sequential; ignored by -online and partial traces)")
 	order := fs.String("order", "FULL", "relative order checking mode: NR, IO, IP or FULL")
 	disable := fs.String("disable", "", "comma-separated IPs whose outputs are not checked")
 	unobserved := fs.String("unobserved", "", "comma-separated IPs whose inputs are missing (partial trace)")
@@ -363,6 +364,7 @@ func runAnalyze(args []string, w, ew io.Writer) error {
 		MemoBytes:          *memoMB << 20,
 		MaxTransitions:     *budget,
 		StallTimeout:       *stallTimeout,
+		Parallelism:        *jobs,
 		Coverage:           *coverOut != "",
 		FlightRecorder:     *flight,
 	}

@@ -43,7 +43,7 @@ type Analyzer struct {
 	autoDepth bool
 
 	stats  Stats
-	seen   *vm.FPSet
+	seen   *seenTable
 	memo   *deadMemo
 	faults []string
 
@@ -116,6 +116,11 @@ type node struct {
 	hashed    bool
 	canon     string
 	truncated bool
+
+	// par is the work-stealing engine's sidecar (rank key, pending-candidate
+	// refcount, atomic truncation flag); nil in the sequential search. See
+	// parallel.go.
+	par *parNode
 }
 
 type candidate struct {
@@ -217,7 +222,7 @@ func (a *Analyzer) reset(traceLen int) {
 	a.seen = nil
 	a.memo = nil // rebuilt lazily in searchLoop, sized from the root state
 	if a.opts.StateHashing {
-		a.seen = vm.NewFPSet(a.opts.CollisionCheck)
+		a.seen = newSeenTable(a.opts.CollisionCheck)
 	}
 	if a.cov != nil {
 		a.cov.Reset() // per-run counts, so a reused Session snapshots per trace
@@ -288,8 +293,8 @@ func (a *Analyzer) foldPruneStats() {
 		a.memo.evictions = 0
 	}
 	if a.seen != nil {
-		a.stats.Collisions += a.seen.Collisions
-		a.seen.Collisions = 0
+		a.stats.Collisions += a.seen.collisions
+		a.seen.collisions = 0
 	}
 }
 
@@ -358,7 +363,7 @@ func (a *Analyzer) AnalyzeTraceContext(ctx context.Context, tr *trace.Trace) (re
 			}
 			a.foldPruneStats()
 			if a.seen != nil {
-				a.seen = vm.NewFPSet(a.opts.CollisionCheck)
+				a.seen = newSeenTable(a.opts.CollisionCheck)
 			}
 			// Dead-state entries are forward-sound across retries, but a
 			// fresh memo keeps each retry's exploration (and therefore its
@@ -395,7 +400,7 @@ func (a *Analyzer) AnalyzeSourceContext(ctx context.Context, src trace.Source) (
 	defer a.finishRun(time.Now(), &res)
 	r, answered := p.poll(ctx, a.opts.StallTimeout)
 	if !answered {
-		return a.stopResult(a.spec.Prog.InitTo, nil, a.interruptReason(ctx), Partial,
+		return a.stopResult(a.spec.Prog.InitTo, nil, 0, a.interruptReason(ctx), Partial,
 			"trace source did not answer the initial poll"), nil
 	}
 	if r.err != nil {
@@ -421,16 +426,21 @@ func (a *Analyzer) interruptReason(ctx context.Context) StopReason {
 }
 
 // stopResult builds the structured partial verdict for an interrupted search.
-func (a *Analyzer) stopResult(initState int, best *node, reason StopReason, v Verdict, why string) *Result {
+// bestFSM is the FSM ordinal captured when best last advanced (see searchLoop).
+func (a *Analyzer) stopResult(initState int, best *node, bestFSM int, reason StopReason, v Verdict, why string) *Result {
 	stop := &StopInfo{Reason: reason, Nodes: a.stats.Nodes, Transitions: a.stats.TE}
 	if best != nil {
 		stop.VerifiedPrefix = a.explained(best)
+	}
+	var d *Diagnosis
+	if best != nil {
+		d = a.diagnoseWithFSM(best, bestFSM)
 	}
 	return &Result{
 		Verdict:      v,
 		InitialState: initState,
 		Reason:       why,
-		Diagnosis:    a.diagnose(best),
+		Diagnosis:    d,
 		Stop:         stop,
 	}
 }
@@ -456,7 +466,13 @@ func (a *Analyzer) search(ctx context.Context, src *sourcePoller, initState int,
 		}()
 	}
 	pprof.Do(ctx, pprof.Labels("tango_phase", "search"), func(ctx context.Context) {
-		res, err = a.searchLoop(ctx, src, initState, start)
+		// The work-stealing engine covers static complete-trace search; the
+		// on-line (MDFS) and partial modes stay on the sequential loop.
+		if a.opts.Parallelism > 1 && src == nil && !a.dynamic && !a.opts.Partial {
+			res, err = a.searchParallel(ctx, initState, start)
+		} else {
+			res, err = a.searchLoop(ctx, src, initState, start)
+		}
 	})
 	return res, err
 }
@@ -495,14 +511,19 @@ func (a *Analyzer) searchLoop(ctx context.Context, src *sourcePoller, initState 
 	var pgav *node      // best PGAV node seen (dynamic mode)
 
 	// best tracks the node explaining the most trace events, for the
-	// diagnosis attached to invalid verdicts.
+	// diagnosis attached to invalid verdicts. bestFSM is the FSM ordinal of
+	// the best node's state, captured when the best advances: a node explored
+	// in place shares its live *vm.State with deeper nodes, so reading the
+	// FSM at diagnosis time would report wherever later exploration left the
+	// shared state, not the state the best path actually reached.
 	best := root
 	bestScore := a.explained(root)
+	bestFSM := a.stateOf(root).FSM
 	a.noteProgress(bestScore)
 	note := func(n *node) {
 		sc := a.explained(n)
 		if sc > bestScore {
-			best, bestScore = n, sc
+			best, bestScore, bestFSM = n, sc, a.stateOf(n).FSM
 		}
 		a.noteProgress(sc)
 	}
@@ -564,8 +585,8 @@ func (a *Analyzer) searchLoop(ctx context.Context, src *sourcePoller, initState 
 				// optimization, kept sound here by clearing). The dead-state
 				// memo needs no clearing: it only ever records nodes proven
 				// dead after EOF, when the event lists are final.
-				a.stats.Collisions += a.seen.Collisions
-				a.seen = vm.NewFPSet(a.opts.CollisionCheck)
+				a.stats.Collisions += a.seen.collisions
+				a.seen = newSeenTable(a.opts.CollisionCheck)
 			}
 			if a.opts.Reorder && len(pgSaved) > 0 {
 				// §3.1.3 dynamic node reordering: PG-nodes move to where
@@ -589,12 +610,12 @@ func (a *Analyzer) searchLoop(ctx context.Context, src *sourcePoller, initState 
 	for {
 		if a.stats.TE > a.opts.MaxTransitions {
 			a.maybeCheckpoint(initState, best, curOwner, true)
-			return a.stopResult(initState, best, StopBudget, Exhausted,
+			return a.stopResult(initState, best, bestFSM, StopBudget, Exhausted,
 				fmt.Sprintf("transition budget %d exceeded", a.opts.MaxTransitions)), nil
 		}
 		if ctx.Err() != nil {
 			a.maybeCheckpoint(initState, best, curOwner, true)
-			return a.stopResult(initState, best, a.interruptReason(ctx), Partial,
+			return a.stopResult(initState, best, bestFSM, a.interruptReason(ctx), Partial,
 				"analysis interrupted: "+ctx.Err().Error()), nil
 		}
 		expansions++
@@ -617,7 +638,7 @@ func (a *Analyzer) searchLoop(ctx context.Context, src *sourcePoller, initState 
 		if len(stack) == 0 {
 			if !a.dynamic {
 				return &Result{Verdict: Invalid, InitialState: initState,
-					Diagnosis: a.diagnose(best)}, nil
+					Diagnosis: a.diagnoseWithFSM(best, bestFSM)}, nil
 			}
 			// MDFS idle handling: revive PG-nodes, wait for input, or stop.
 			if a.eofSeen {
@@ -643,7 +664,7 @@ func (a *Analyzer) searchLoop(ctx context.Context, src *sourcePoller, initState 
 				}
 				if !progressed {
 					return &Result{Verdict: Invalid, InitialState: initState,
-						Diagnosis: a.diagnose(best)}, nil
+						Diagnosis: a.diagnoseWithFSM(best, bestFSM)}, nil
 				}
 				continue
 			}
@@ -671,7 +692,7 @@ func (a *Analyzer) searchLoop(ctx context.Context, src *sourcePoller, initState 
 				// budget has stalled and the search dies gracefully.
 				wait := a.opts.StallTimeout - src.idleFor()
 				if wait <= 0 {
-					return a.stopResult(initState, best, StopStall, Partial,
+					return a.stopResult(initState, best, bestFSM, StopStall, Partial,
 						fmt.Sprintf("trace source stalled for over %v", a.opts.StallTimeout)), nil
 				}
 				arrived, err := poll(wait)
@@ -685,7 +706,7 @@ func (a *Analyzer) searchLoop(ctx context.Context, src *sourcePoller, initState 
 					continue // the loop top reports the interruption
 				}
 				if src.idleFor() >= a.opts.StallTimeout {
-					return a.stopResult(initState, best, StopStall, Partial,
+					return a.stopResult(initState, best, bestFSM, StopStall, Partial,
 						fmt.Sprintf("trace source stalled for over %v", a.opts.StallTimeout)), nil
 				}
 			} else if arrived, err := poll(0); err != nil {
@@ -704,10 +725,10 @@ func (a *Analyzer) searchLoop(ctx context.Context, src *sourcePoller, initState 
 				case len(pgSaved) > 0:
 					return &Result{Verdict: LikelyInvalid, InitialState: initState,
 						Reason:    "only non-AV PG-nodes remain in the search tree",
-						Diagnosis: a.diagnose(best)}, nil
+						Diagnosis: a.diagnoseWithFSM(best, bestFSM)}, nil
 				default:
 					return &Result{Verdict: Invalid, InitialState: initState,
-						Diagnosis: a.diagnose(best)}, nil
+						Diagnosis: a.diagnoseWithFSM(best, bestFSM)}, nil
 				}
 			}
 			continue
@@ -1441,7 +1462,7 @@ func (a *Analyzer) checkChild(child *node, st *vm.State) (bool, string) {
 		// when the live state may have moved on), so capture it now.
 		child.canon = canon()
 	}
-	if a.seen != nil && !a.seen.Add(child.fp, canon) {
+	if a.seen != nil && a.seen.visit(child.fp, child.depth, canon) {
 		a.stats.HashHits++
 		return true, "hash"
 	}
@@ -1669,10 +1690,21 @@ func (a *Analyzer) diagnose(best *node) *Diagnosis {
 	if best == nil {
 		return nil
 	}
+	return a.diagnoseWithFSM(best, a.stateOf(best).FSM)
+}
+
+// diagnoseWithFSM is diagnose with the best node's FSM state supplied by the
+// caller — the parallel engine releases node states back to the pool as
+// subtrees finalize, so it captures the FSM ordinal when the best-node
+// reduction advances instead of reading it from a state that may be gone.
+func (a *Analyzer) diagnoseWithFSM(best *node, fsm int) *Diagnosis {
+	if best == nil {
+		return nil
+	}
 	d := &Diagnosis{
 		Explained: a.explained(best),
 		Total:     len(a.events),
-		State:     a.spec.StateName(a.stateOf(best).FSM),
+		State:     a.spec.StateName(fsm),
 		Faults:    append([]string(nil), a.faults...),
 	}
 	// Earliest unexplained event across all queues.

@@ -1,0 +1,103 @@
+package analysis
+
+import "sync/atomic"
+
+// wsDeque is a Chase–Lev work-stealing deque of search-tree branch points.
+// The owning worker pushes and pops at the bottom (depth-first order, hot
+// cache); idle workers steal single nodes from the top — the root-most
+// pending branch points, whose subtrees are the largest, so one steal buys
+// the thief the most work per synchronization.
+//
+// This is the classic Chase–Lev structure simplified for Go: the garbage
+// collector removes the reclamation/ABA concerns of the original, Go's
+// atomics are sequentially consistent (no fence placement subtleties), and
+// the circular buffer's slots are themselves atomic pointers so a stale
+// thief reading a slot the owner is re-filling is a defined load, decided by
+// the top CAS. A successful deque transfer is the happens-before edge the
+// vm.Heap concurrency contract requires for handing states between
+// goroutines.
+//
+// Owner-only methods: push, pop. Any goroutine: steal.
+type wsDeque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[wsBuf]
+}
+
+type wsBuf struct {
+	mask int64 // len-1; len is a power of two
+	a    []atomic.Pointer[node]
+}
+
+func newWSBuf(capacity int64) *wsBuf {
+	return &wsBuf{mask: capacity - 1, a: make([]atomic.Pointer[node], capacity)}
+}
+
+func (b *wsBuf) get(i int64) *node    { return b.a[i&b.mask].Load() }
+func (b *wsBuf) put(i int64, n *node) { b.a[i&b.mask].Store(n) }
+
+func newWSDeque() *wsDeque {
+	d := &wsDeque{}
+	d.buf.Store(newWSBuf(64))
+	return d
+}
+
+// push appends a node at the bottom. Owner only.
+func (d *wsDeque) push(n *node) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	buf := d.buf.Load()
+	if b-t >= int64(len(buf.a)) {
+		// Grow: copy live entries into a doubled buffer. The old buffer is
+		// never written again, so a thief that loaded it pre-grow still
+		// reads valid values for any index its successful top-CAS claims.
+		nb := newWSBuf(int64(len(buf.a)) * 2)
+		for i := t; i < b; i++ {
+			nb.put(i, buf.get(i))
+		}
+		d.buf.Store(nb)
+		buf = nb
+	}
+	buf.put(b, n)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes and returns the bottom node, or nil when the deque is empty or
+// a thief won the race for the last element. Owner only.
+func (d *wsDeque) pop() *node {
+	b := d.bottom.Load() - 1
+	buf := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore bottom.
+		d.bottom.Store(t)
+		return nil
+	}
+	n := buf.get(b)
+	if t == b {
+		// Last element: race thieves via the same CAS they use.
+		if !d.top.CompareAndSwap(t, t+1) {
+			n = nil // a thief got it
+		}
+		d.bottom.Store(t + 1)
+		return n
+	}
+	return n
+}
+
+// steal removes and returns the top node, or nil when the deque looks empty
+// or another thief (or the owner, on the last element) won the CAS.
+func (d *wsDeque) steal() *node {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	buf := d.buf.Load()
+	n := buf.get(t)
+	if n == nil || !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return n
+}

@@ -1,0 +1,74 @@
+package analysis
+
+// Depth-aware visited-state pruning for the sequential search.
+//
+// The original seen set pruned any revisit of a fingerprint, regardless of
+// the depth at which it was revisited. That is sound only when exploration
+// from a state is depth-independent — which MaxDepth truncation breaks: the
+// first visit may have been cut short by the depth cap while a later,
+// shallower visit would have had budget to reach an accept. Recording the
+// minimum depth at which each fingerprint was explored and pruning only
+// revisits at the same or greater depth closes that hole (the recorded
+// visit's subtree dominates the pruned one: same state, at least as much
+// depth budget). The rule only ever prunes LESS than the old one, so it is a
+// strict soundness improvement; it is also exactly the depth half of the
+// (rank, depth) witness rule the parallel search uses (see parallel.go), so
+// sequential and parallel prune against comparable witnesses and the
+// determinism differential holds under StateHashing too.
+type seenTable struct {
+	paranoid bool
+	fast     map[uint64]int32 // fingerprint hash -> min depth explored
+	byString map[string]int32 // canonical form -> min depth (paranoid)
+	byHash   map[uint64]string
+	// collisions counts distinct canonical strings observed with the same
+	// 64-bit hash (paranoid mode only); foldPruneStats drains it.
+	collisions int64
+}
+
+func newSeenTable(paranoid bool) *seenTable {
+	t := &seenTable{paranoid: paranoid}
+	if paranoid {
+		t.byString = make(map[string]int32)
+		t.byHash = make(map[uint64]string)
+	} else {
+		t.fast = make(map[uint64]int32)
+	}
+	return t
+}
+
+// visit reports whether a node with this fingerprint at this depth should be
+// pruned, recording it as the new best witness when not. canon is invoked
+// only in paranoid mode.
+func (t *seenTable) visit(h uint64, depth int, canon func() string) bool {
+	d := int32(depth)
+	if !t.paranoid {
+		if prev, ok := t.fast[h]; ok && prev <= d {
+			return true
+		}
+		t.fast[h] = d
+		return false
+	}
+	c := canon()
+	if prev, ok := t.byHash[h]; ok {
+		if prev != c {
+			t.collisions++
+		}
+	} else {
+		t.byHash[h] = c
+	}
+	if prev, ok := t.byString[c]; ok && prev <= d {
+		return true
+	}
+	t.byString[c] = d
+	return false
+}
+
+func (t *seenTable) len() int {
+	if t == nil {
+		return 0
+	}
+	if t.paranoid {
+		return len(t.byString)
+	}
+	return len(t.fast)
+}

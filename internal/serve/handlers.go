@@ -382,6 +382,7 @@ func analysisOptions(order analysis.OrderOpts, disabled, unobserved []string,
 		Memo:               memo,
 		MaxTransitions:     lim.Budget,
 		MaxHeapCells:       heap,
+		Parallelism:        lim.Parallelism,
 		FlightRecorder:     serveFlightEvents,
 	}
 }

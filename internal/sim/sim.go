@@ -135,7 +135,7 @@ func explore(ctx context.Context, spec *efsm.Spec, maxStates int, paranoid bool)
 			res.Deadlocks++
 		}
 	}
-	res.Collisions = seen.Collisions
+	res.Collisions = seen.Collisions()
 	return res, nil
 }
 

@@ -1,6 +1,10 @@
 package vm
 
-import "strconv"
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
 
 // This file implements zero-allocation 64-bit fingerprint hashing for values,
 // heaps, and states. The hash is FNV-1a over exactly the canonical byte
@@ -138,61 +142,107 @@ func (s *State) Hash64() uint64 {
 	return h.Sum64()
 }
 
+// fpShardBits sizes the FPSet stripe count. 64 shards keeps per-shard
+// contention negligible for any plausible worker count while the fixed
+// array stays a few cache lines of mutexes.
+const fpShardBits = 6
+
+type fpShard struct {
+	mu       sync.Mutex
+	fast     map[uint64]struct{}
+	byString map[string]struct{}
+	byHash   map[uint64]string
+}
+
 // FPSet is a visited-fingerprint set shared by the analyzer's seen-state
 // pruning and the simulator's reachability exploration. In fast mode it
 // stores only 64-bit hashes (8 bytes a state instead of a full canonical
 // string). In paranoid mode — for tests and for callers that cannot tolerate
 // even a 2^-64 collision — the canonical string stays authoritative and the
 // hash is used only to detect and count collisions.
+//
+// The set is striped into shards keyed by the fingerprint's high bits, each
+// behind its own mutex, so concurrent searches (the work-stealing parallel
+// backtracker, parallel reachability sweeps) can share one set without a
+// global lock. Single-goroutine callers pay one uncontended lock per Add.
 type FPSet struct {
-	fast     map[uint64]struct{}
-	byString map[string]struct{}
-	byHash   map[uint64]string
-
-	// Collisions counts distinct canonical strings observed with the same
-	// 64-bit hash (paranoid mode only; fast mode cannot see them).
-	Collisions int64
+	paranoid   bool
+	shards     [1 << fpShardBits]fpShard
+	collisions atomic.Int64
 }
 
 // NewFPSet returns an empty set. With paranoid set, membership is decided by
 // canonical strings and hash collisions are counted instead of trusted.
 func NewFPSet(paranoid bool) *FPSet {
-	if paranoid {
-		return &FPSet{byString: make(map[string]struct{}), byHash: make(map[uint64]string)}
+	s := &FPSet{paranoid: paranoid}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if paranoid {
+			sh.byString = make(map[string]struct{})
+			sh.byHash = make(map[uint64]string)
+		} else {
+			sh.fast = make(map[uint64]struct{})
+		}
 	}
-	return &FPSet{fast: make(map[uint64]struct{})}
+	return s
+}
+
+func (s *FPSet) shard(h uint64) *fpShard {
+	return &s.shards[h>>(64-fpShardBits)]
 }
 
 // Add inserts the fingerprint and reports whether it was absent. canon is
 // only invoked in paranoid mode, so fast-mode callers can pass a closure
-// that builds the canonical string lazily.
+// that builds the canonical string lazily. In paranoid mode the canonical
+// string is materialized BEFORE the shard lock is taken: canon walks the
+// whole state and may be arbitrarily expensive, and holding the stripe while
+// it runs would serialize every other worker hashing into the same shard.
 func (s *FPSet) Add(h uint64, canon func() string) bool {
-	if s.fast != nil {
-		if _, ok := s.fast[h]; ok {
-			return false
+	sh := s.shard(h)
+	if !s.paranoid {
+		sh.mu.Lock()
+		_, dup := sh.fast[h]
+		if !dup {
+			sh.fast[h] = struct{}{}
 		}
-		s.fast[h] = struct{}{}
-		return true
+		sh.mu.Unlock()
+		return !dup
 	}
-	c := canon()
-	if prev, ok := s.byHash[h]; ok {
-		if prev != c {
-			s.Collisions++
-		}
+	c := canon() // outside the lock, deliberately
+	collided := false
+	sh.mu.Lock()
+	if prev, ok := sh.byHash[h]; ok {
+		collided = prev != c
 	} else {
-		s.byHash[h] = c
+		sh.byHash[h] = c
 	}
-	if _, ok := s.byString[c]; ok {
-		return false
+	_, dup := sh.byString[c]
+	if !dup {
+		sh.byString[c] = struct{}{}
 	}
-	s.byString[c] = struct{}{}
-	return true
+	sh.mu.Unlock()
+	if collided {
+		s.collisions.Add(1)
+	}
+	return !dup
 }
+
+// Collisions returns the number of distinct canonical strings observed with
+// the same 64-bit hash (paranoid mode only; fast mode cannot see them).
+func (s *FPSet) Collisions() int64 { return s.collisions.Load() }
 
 // Len returns the number of distinct states recorded.
 func (s *FPSet) Len() int {
-	if s.fast != nil {
-		return len(s.fast)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if s.paranoid {
+			n += len(sh.byString)
+		} else {
+			n += len(sh.fast)
+		}
+		sh.mu.Unlock()
 	}
-	return len(s.byString)
+	return n
 }

@@ -130,8 +130,8 @@ func TestFPSetParanoidCountsCollisions(t *testing.T) {
 	if s.Add(42, func() string { return "a" }) {
 		t.Fatal("a must be a revisit")
 	}
-	if s.Collisions != 1 {
-		t.Fatalf("Collisions = %d, want 1", s.Collisions)
+	if s.Collisions() != 1 {
+		t.Fatalf("Collisions = %d, want 1", s.Collisions())
 	}
 	if s.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", s.Len())

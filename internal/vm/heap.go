@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/estelle/types"
 )
@@ -28,12 +29,24 @@ type cell struct {
 // (ensureOwnedMap) and copies just the written cell, so branches that never
 // touch dynamic memory pay nothing for it.
 //
-// Concurrency contract: a heap family — every State descended from one
-// RunInit via Snapshot — must stay confined to a single goroutine, because
-// Snapshot mutates the source heap's ownership fields and the family shares
-// the generation counter. This matches the vm-wide rule (one Exec plus the
-// states it creates per goroutine) that the batch engine already relies on
-// and the -race test in this package enforces.
+// Concurrency contract: each Heap (and the State wrapping it) is owned by
+// exactly one goroutine at a time — Snapshot and the write paths mutate the
+// struct's ownership fields without locks. Distinct heaps of the same
+// snapshot family MAY live on different goroutines simultaneously, provided
+// every handoff of a heap between goroutines goes through a happens-before
+// edge (channel send, mutex, or an atomic publish such as the analysis
+// work-stealing deque). Family-wide safety rests on three invariants:
+//
+//  1. the generation counter shared by the family is atomic;
+//  2. a cells map referenced by more than one heap is never written — both
+//     sides of a Snapshot carry mapShared=true and clone before their first
+//     write, so mapShared=false implies exclusive map ownership;
+//  3. a cell payload is mutated in place only when cell.gen == heap.gen,
+//     which holds only for cells created or COW-copied by this heap after
+//     its last Snapshot — such cells are reachable from this heap alone.
+//
+// The -race tests in this package exercise exactly this cross-goroutine
+// sharing. The parallel search in internal/analysis relies on it.
 type Heap struct {
 	cells map[int64]*cell
 	next  int64
@@ -41,15 +54,15 @@ type Heap struct {
 	// Allocs and Disposes count lifetime operations, for statistics.
 	Allocs, Disposes int64
 
-	gen       uint64  // ownership generation: cells with this gen are exclusively ours
-	genCtr    *uint64 // generation counter shared across the snapshot family
-	mapShared bool    // the cells map may be aliased by other heaps in the family
+	gen       uint64         // ownership generation: cells with this gen are exclusively ours
+	genCtr    *atomic.Uint64 // generation counter shared across the snapshot family
+	mapShared bool           // the cells map may be aliased by other heaps in the family
 }
 
 // NewHeap returns an empty heap rooting a fresh snapshot family.
 func NewHeap() *Heap {
-	ctr := new(uint64)
-	*ctr = 1
+	ctr := new(atomic.Uint64)
+	ctr.Store(1)
 	return &Heap{cells: make(map[int64]*cell), next: 1, gen: 1, genCtr: ctr}
 }
 
@@ -138,16 +151,19 @@ func (h *Heap) Len() int { return len(h.cells) }
 // allocated after a restore do not collide with addresses that may still be
 // referenced by other saved states.
 func (h *Heap) Snapshot() *Heap {
-	*h.genCtr++
-	h.gen = *h.genCtr
-	*h.genCtr++
+	// One atomic bump hands out two fresh generations, one per side; the
+	// counter is the only family-wide mutable datum, so snapshots of
+	// *different* heaps in the family may race benignly from different
+	// goroutines (the heap structs themselves stay single-owner).
+	g := h.genCtr.Add(2)
+	h.gen = g - 1
 	out := allocHeap()
 	*out = Heap{
 		cells:     h.cells,
 		next:      h.next,
 		Allocs:    h.Allocs,
 		Disposes:  h.Disposes,
-		gen:       *h.genCtr,
+		gen:       g,
 		genCtr:    h.genCtr,
 		mapShared: true,
 	}
@@ -160,8 +176,8 @@ func (h *Heap) Snapshot() *Heap {
 // (analysis.Options.EagerSnapshots) and for callers that want a state with
 // no structural sharing at all (checkpointing).
 func (h *Heap) DeepSnapshot() *Heap {
-	ctr := new(uint64)
-	*ctr = 1
+	ctr := new(atomic.Uint64)
+	ctr.Store(1)
 	out := &Heap{
 		cells:    make(map[int64]*cell, len(h.cells)),
 		next:     h.next,
@@ -201,6 +217,15 @@ type State struct {
 	FSM     int
 	Globals []Value
 	Heap    *Heap
+
+	// pooled is set while the container sits in the state pool, turning a
+	// double ReleaseState into an immediate panic instead of silently
+	// corrupting whatever search the pool re-issued the struct to. Best
+	// effort by design: the flag clears as soon as the pool re-issues it.
+	pooled bool
+	// own is the debug-mode single-owner assertion: zero-sized in normal
+	// builds, an atomic guard under -race (see owner_race.go).
+	own stateOwner
 }
 
 // Snapshot returns a logically independent copy of the state (the paper's
@@ -209,6 +234,8 @@ type State struct {
 // copy-on-write (see Heap.Snapshot). States obtained here may be handed back
 // with ReleaseState once provably unreachable.
 func (s *State) Snapshot() *State {
+	s.own.acquire()
+	defer s.own.release()
 	out := allocState(len(s.Globals))
 	out.FSM = s.FSM
 	for i := range s.Globals {

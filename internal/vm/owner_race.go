@@ -1,0 +1,21 @@
+//go:build race
+
+package vm
+
+import "sync/atomic"
+
+// stateOwner enforces the single-owner contract under -race: Snapshot and
+// ReleaseState are owner-only operations, so two goroutines inside either on
+// the same State at the same time is a bug regardless of whether the race
+// detector happens to observe a conflicting memory access. The CAS turns the
+// overlap into a deterministic panic with a message that names the contract.
+type stateOwner struct{ busy atomic.Int32 }
+
+func (o *stateOwner) acquire() {
+	if !o.busy.CompareAndSwap(0, 1) {
+		panic("vm: State accessed from two goroutines at once — " +
+			"Snapshot/ReleaseState require exclusive ownership (see Heap concurrency contract)")
+	}
+}
+
+func (o *stateOwner) release() { o.busy.Store(0) }

@@ -23,6 +23,7 @@ var (
 
 func allocState(nglobals int) *State {
 	s := statePool.Get().(*State)
+	s.pooled = false
 	if cap(s.Globals) >= nglobals {
 		s.Globals = s.Globals[:nglobals]
 	} else {
@@ -82,10 +83,21 @@ func copyValueInto(dst, src *Value) {
 // globals, or its heap container. Cell payloads are never recycled (they may
 // be shared copy-on-write); only the containers are. Releasing is always
 // optional — an unreleased state is simply garbage-collected.
+//
+// Releasing the same state twice panics: a double release would hand one
+// container to two future owners and corrupt an unrelated search, which is
+// far harder to debug than a crash at the second release site. The check is
+// best effort — it cannot fire once the pool has re-issued the struct.
 func ReleaseState(s *State) {
 	if s == nil {
 		return
 	}
+	s.own.acquire()
+	defer s.own.release()
+	if s.pooled {
+		panic("vm: ReleaseState called twice on the same State")
+	}
+	s.pooled = true
 	if h := s.Heap; h != nil {
 		if h.cells != nil && !h.mapShared {
 			for a := range h.cells {
